@@ -1,0 +1,61 @@
+// Command sparker-analyze reproduces the paper's Section-2
+// methodology on a history log: it reads the JSON-lines event log a
+// training run wrote (sparker-train -eventlog FILE) and prints the
+// phase decomposition and hot-spot — the analysis that revealed tree
+// aggregation as MLlib's bottleneck.
+//
+// Usage:
+//
+//	sparker-train -model lr -eventlog run.log
+//	sparker-analyze run.log
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sparker/internal/eventlog"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sparker-analyze <history-log>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparker-analyze:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	events, err := eventlog.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sparker-analyze:", err)
+		os.Exit(1)
+	}
+	b := eventlog.Analyze(events)
+	if b.Total == 0 {
+		fmt.Println("no phase events in log")
+		return
+	}
+
+	names := make([]string, 0, len(b.Phases))
+	for n := range b.Phases {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return b.Phases[names[i]] > b.Phases[names[j]] })
+
+	fmt.Printf("%d events, %v of attributed time\n\n", len(events), b.Total.Round(time.Millisecond))
+	fmt.Printf("%-14s %12s %8s\n", "phase", "time", "share")
+	for _, n := range names {
+		d := b.Phases[n]
+		fmt.Printf("%-14s %12v %7.1f%%\n", n, d.Round(time.Millisecond), 100*float64(d)/float64(b.Total))
+	}
+	hot, d := b.Hotspot()
+	fmt.Printf("\nhot-spot: %s (%v)\n", hot, d.Round(time.Millisecond))
+	aggShare := b.Share("agg-compute", "agg-reduce")
+	fmt.Printf("aggregation share: %.1f%% (the paper measured 67.69%% geomean across MLlib workloads)\n", 100*aggShare)
+}

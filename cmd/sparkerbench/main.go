@@ -1,0 +1,69 @@
+// Command sparkerbench regenerates every table and figure of the
+// Sparker paper's evaluation section from the calibrated cluster
+// simulation.
+//
+// Usage:
+//
+//	sparkerbench              # all tables and figures, paper order
+//	sparkerbench -only fig16  # one report (table1..3, fig1..4, fig12..18)
+//	sparkerbench -list        # list report ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparker/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "render a single report (e.g. fig16, table2)")
+	list := flag.Bool("list", false, "list available report ids")
+	format := flag.String("format", "text", "output format: text or md")
+	verify := flag.Bool("verify", false, "run the reproduction checklist: every headline paper claim, PASS/FAIL")
+	flag.Parse()
+
+	render := func(r *bench.Report) string {
+		if *format == "md" {
+			return r.RenderMarkdown()
+		}
+		return r.Render()
+	}
+
+	if *verify {
+		claims, err := bench.VerifyClaims()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.RenderClaims(claims))
+		for _, c := range claims {
+			if !c.Pass {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *list {
+		fmt.Println("table1 table2 table3 fig1 fig2 fig3 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig12-aws fig13-aws fig16-aws ablation-imm ablation-algos ablation-allreduce")
+		return
+	}
+	if *only != "" {
+		r, err := bench.ByID(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(render(r))
+		return
+	}
+	reports, err := bench.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		fmt.Println(render(r))
+	}
+}

@@ -1,0 +1,103 @@
+// Using the scalable communicator directly: a ring allreduce over
+// REAL TCP loopback sockets, the collective Sparker's interface
+// enables beyond the paper (reduce-scatter + allgather).
+//
+// Six "executors" each hold a gradient shard; after RingAllReduce all
+// six hold the identical elementwise sum, moving only 2·(N-1)/N of the
+// data per node — the bandwidth-optimal schedule.
+//
+//	go run ./examples/allreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"sparker/internal/collective"
+	"sparker/internal/comm"
+	"sparker/internal/transport"
+)
+
+const (
+	executors   = 6
+	parallelism = 2
+	dim         = 1 << 18 // 256k floats = 2 MB per executor
+)
+
+func main() {
+	net := transport.NewTCP() // real loopback sockets
+	defer net.Close()
+
+	eps, err := comm.NewGroup(net, "allreduce-demo", executors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer comm.CloseGroup(eps)
+	for _, e := range eps {
+		if err := e.ConnectRing(parallelism); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each executor contributes rank-dependent data, pre-split into
+	// parallelism × executors segments (the PDR layout).
+	nSegs := parallelism * executors
+	inputs := make([][][]float64, executors)
+	want := make([]float64, dim)
+	for r := 0; r < executors; r++ {
+		full := make([]float64, dim)
+		for i := range full {
+			full[i] = float64(r+1) * math.Sin(float64(i))
+			want[i] += full[i]
+		}
+		segs := make([][]float64, nSegs)
+		for s := 0; s < nSegs; s++ {
+			lo, hi := s*dim/nSegs, (s+1)*dim/nSegs
+			segs[s] = append([]float64(nil), full[lo:hi]...)
+		}
+		inputs[r] = segs
+	}
+
+	start := time.Now()
+	results := make([][][]float64, executors)
+	var wg sync.WaitGroup
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep *comm.Endpoint) {
+			defer wg.Done()
+			out, err := collective.RingAllReduce(ep, inputs[ep.Rank()], parallelism, collective.F64Ops())
+			if err != nil {
+				log.Fatalf("rank %d: %v", ep.Rank(), err)
+			}
+			results[ep.Rank()] = out
+		}(ep)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Every rank must hold the identical elementwise sum.
+	for r := 0; r < executors; r++ {
+		flat := flatten(results[r])
+		for i := range want {
+			if math.Abs(flat[i]-want[i]) > 1e-9 {
+				log.Fatalf("rank %d element %d: %v != %v", r, i, flat[i], want[i])
+			}
+		}
+	}
+	moved := float64(2*(executors-1)) / float64(executors) * dim * 8 / (1 << 20)
+	fmt.Printf("allreduce of %d × %.1f MB over TCP loopback: %v\n",
+		executors, float64(dim*8)/(1<<20), elapsed.Round(time.Millisecond))
+	fmt.Printf("per-node traffic: %.1f MB (bandwidth-optimal 2(N-1)/N schedule)\n", moved)
+	fmt.Println("all ranks agree ✓")
+}
+
+func flatten(segs [][]float64) []float64 {
+	out := make([]float64, 0, dim)
+	for _, s := range segs {
+		out = append(out, s...)
+	}
+	return out
+}

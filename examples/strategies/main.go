@@ -1,0 +1,107 @@
+// Strategy shoot-out: all four aggregation strategies (tree, tree+IMM,
+// split, allreduce) measured live on the in-process engine across
+// three aggregator sizes — a functional miniature of the paper's
+// Figure 16 plus this repo's allreduce extension.
+//
+//	go run ./examples/strategies
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sparker/internal/mllib"
+	"sparker/internal/rdd"
+)
+
+func main() {
+	ctx, err := rdd.NewContext(rdd.Config{
+		Name:             "strategies",
+		NumExecutors:     4,
+		CoresPerExecutor: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctx.Close()
+
+	samples := rdd.Generate(ctx, 16, func(part int) ([]int64, error) {
+		out := make([]int64, 64)
+		for i := range out {
+			out[i] = int64(part*64 + i)
+		}
+		return out, nil
+	}).Cache()
+	if _, err := rdd.Count(samples); err != nil {
+		log.Fatal(err)
+	}
+
+	strategies := []mllib.Strategy{
+		mllib.StrategyTree, mllib.StrategyTreeIMM,
+		mllib.StrategySplit, mllib.StrategyAllReduce,
+	}
+	fmt.Printf("%-12s", "aggregator")
+	for _, s := range strategies {
+		fmt.Printf("  %10v", s)
+	}
+	fmt.Println()
+
+	for _, dim := range []int{1 << 12, 1 << 17, 1 << 20} { // 32KB, 1MB, 8MB
+		fmt.Printf("%-12s", fmtBytes(dim*8))
+		var reference []float64
+		for _, s := range strategies {
+			seqOp := func(acc []float64, v int64) []float64 {
+				acc[int(v)%dim]++
+				return acc
+			}
+			// Warm, then best-of-3.
+			if _, err := mllib.AggregateF64(samples, dim, seqOp, s, 2, 4); err != nil {
+				log.Fatal(err)
+			}
+			best := time.Hour
+			var out []float64
+			for i := 0; i < 3; i++ {
+				start := time.Now()
+				out, err = mllib.AggregateF64(samples, dim, seqOp, s, 2, 4)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			if reference == nil {
+				reference = out
+			} else if !equal(reference, out) {
+				log.Fatalf("strategy %v disagrees with tree!", s)
+			}
+			fmt.Printf("  %10v", best.Round(100*time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nall strategies produced identical aggregates ✓")
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,3 @@
+module sparker
+
+go 1.22

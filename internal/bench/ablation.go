@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sparker/internal/sim"
+)
+
+// AblationIMM decomposes split aggregation's win: how much comes from
+// the scalable reduction alone (split without IMM) vs in-memory merge
+// — verifying the paper's §5.2.3 claim that "most of the improvement
+// comes from the scalable reduction".
+func AblationIMM() (*Report, error) {
+	r := &Report{
+		Title:  "Ablation A: where split aggregation's speedup comes from (BIC, 8 nodes)",
+		Header: []string{"Message", "Tree", "Split w/o IMM", "Split (full)", "Reduction-only speedup", "Full speedup"},
+	}
+	c := sim.BIC()
+	for _, m := range []int64{8 * mb, 64 * mb, 256 * mb} {
+		p := sim.AggParams{Cluster: c, Nodes: 8, MsgBytes: m, Parallelism: 4, TopoAware: true}
+		tree, err := sim.AggregateTime(sim.AggTree, p)
+		if err != nil {
+			return nil, err
+		}
+		noIMM, err := sim.SplitNoIMMTime(p)
+		if err != nil {
+			return nil, err
+		}
+		full, err := sim.AggregateTime(sim.AggSplit, p)
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(fmtBytes(m), fsec(tree), fsec(noIMM), fsec(full),
+			fx(float64(tree)/float64(noIMM)), fx(float64(tree)/float64(full)))
+	}
+	r.AddNote("paper §5.2.3: most of the improvement comes from the scalable reduction; IMM contributes the rest")
+	return r, nil
+}
+
+// AblationAlgorithms compares segment-reduction algorithms over the
+// same transport and processing rates — why the ring.
+func AblationAlgorithms() (*Report, error) {
+	r := &Report{
+		Title:  "Ablation B: segment-reduction algorithm choice (SC transport, 48 executors)",
+		Header: []string{"Message", "Ring (PDR)", "Pairwise exchange", "Reduce+scatterv"},
+	}
+	c := sim.BIC()
+	for _, m := range []int64{256 * 1024, 8 * mb, 256 * mb} {
+		row := []string{fmtBytes(m)}
+		for _, algo := range []sim.SegmentReductionAlgorithm{sim.AlgoRing, sim.AlgoPairwise, sim.AlgoHalving} {
+			par := 4
+			if algo != sim.AlgoRing {
+				par = 1
+			}
+			d, err := sim.ReduceAlgorithmTime(algo, sim.RSParams{
+				Cluster: c, Nodes: 8, MsgBytes: m, Parallelism: par, TopoAware: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fdur(d))
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("ring wins at large messages through topology-aware neighbor traffic; pairwise scatters across nodes; reduce+scatterv bottlenecks at the root")
+	return r, nil
+}
+
+// AblationAllReduce compares driver-gather split aggregation with the
+// allreduce extension that leaves results on executors — the repo's
+// answer to the paper's driver-bottleneck limitation (§6).
+func AblationAllReduce() (*Report, error) {
+	r := &Report{
+		Title:  "Ablation C: driver gather vs allreduce result placement (BIC, 8 nodes)",
+		Header: []string{"Message", "Split (gather to driver)", "Split allreduce", "Delta"},
+	}
+	c := sim.BIC()
+	for _, m := range []int64{8 * mb, 64 * mb, 256 * mb} {
+		p := sim.AggParams{Cluster: c, Nodes: 8, MsgBytes: m, Parallelism: 4, TopoAware: true}
+		gather, err := sim.AggregateTime(sim.AggSplit, p)
+		if err != nil {
+			return nil, err
+		}
+		allred, err := sim.SplitAllReduceTime(p)
+		if err != nil {
+			return nil, err
+		}
+		delta := "slower"
+		if allred <= gather {
+			delta = "faster"
+		}
+		r.AddRow(fmtBytes(m), fsec(gather), fsec(allred),
+			fmt.Sprintf("%.2f× %s", absRatio(gather, allred), delta))
+	}
+	r.AddNote("allreduce pays an extra ring lap but removes the driver's serial deserialize+concat and, across iterations, the model redistribution (§6's noted new bottleneck)")
+	return r, nil
+}
+
+func absRatio(a, b time.Duration) float64 {
+	if b == 0 || a == 0 {
+		return 1
+	}
+	if a > b {
+		return float64(a) / float64(b)
+	}
+	return float64(b) / float64(a)
+}

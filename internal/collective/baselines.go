@@ -1,0 +1,202 @@
+package collective
+
+// Baseline reduction algorithms: the binomial tree (the communication
+// shape of Spark's treeAggregate once aggregators leave the executors)
+// and the two MPICH reduce-scatter algorithms the paper's MPI reference
+// would have used (recursive halving for short messages and pairwise
+// exchange for long ones — Thakur, Rabenseifner & Gropp 2005).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sparker/internal/comm"
+)
+
+// TreeReduce reduces every rank's value to the root rank with a
+// binomial tree: in round k, rank r with the low k bits zero receives
+// from r + 2^k (if alive) and merges. Non-root ranks return the zero V.
+// This treats the value as an unsplittable object — exactly the
+// restriction the paper's Figure 5 (left) illustrates.
+func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, error) {
+	n := e.Size()
+	var zero V
+	if n == 1 {
+		return value, nil
+	}
+	// Rotate ranks so the root is virtual rank 0.
+	vr := (e.Rank() - root + n) % n
+	toReal := func(v int) int { return (v + root) % n }
+
+	acc := value
+	for dist := 1; dist < n; dist *= 2 {
+		if vr%(2*dist) != 0 {
+			// Sender: transmit to vr-dist and exit.
+			dst := toReal(vr - dist)
+			wire := ops.Encode(nil, acc)
+			if err := e.SendTo(dst, treeChannel, wire); err != nil {
+				return zero, fmt.Errorf("collective: tree send: %w", err)
+			}
+			return zero, nil
+		}
+		src := vr + dist
+		if src < n {
+			in, err := e.RecvFrom(toReal(src), treeChannel)
+			if err != nil {
+				return zero, fmt.Errorf("collective: tree recv: %w", err)
+			}
+			v, err := ops.Decode(in)
+			if err != nil {
+				return zero, err
+			}
+			acc = ops.Reduce(acc, v)
+		}
+	}
+	return acc, nil
+}
+
+// Reserved channel ids so collectives sharing an endpoint do not cross
+// streams with PDR reduce-scatter traffic (which uses channels 0..P-1).
+const (
+	treeChannel     = 1 << 20
+	halvingChannel  = 1 << 21
+	pairwiseChannel = 1 << 22
+)
+
+// RecursiveHalvingReduceScatter implements the MPICH short-message
+// reduce-scatter: log2(N) rounds of exchanging and reducing half of the
+// remaining data. It requires N to be a power of two (MPICH falls back
+// otherwise; callers should too). segs must have length N. The rank's
+// own fully reduced segment is returned.
+func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
+	n := e.Size()
+	var zero V
+	if len(segs) != n {
+		return zero, fmt.Errorf("collective: need %d segments, got %d", n, len(segs))
+	}
+	if n&(n-1) != 0 {
+		return zero, fmt.Errorf("collective: recursive halving requires power-of-two size, got %d", n)
+	}
+	if n == 1 {
+		return segs[0], nil
+	}
+	r := e.Rank()
+	cur := make([]V, n)
+	copy(cur, segs)
+
+	lo, hi := 0, n // active segment range this rank still contributes to
+	for dist := n / 2; dist >= 1; dist /= 2 {
+		partner := r ^ dist
+		mid := lo + (hi-lo)/2
+		var sendLo, sendHi, keepLo, keepHi int
+		if r&dist == 0 {
+			// Keep the lower half, send the upper half.
+			sendLo, sendHi, keepLo, keepHi = mid, hi, lo, mid
+		} else {
+			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
+		}
+		var wire []byte
+		wire = binary.LittleEndian.AppendUint32(wire, uint32(sendHi-sendLo))
+		for i := sendLo; i < sendHi; i++ {
+			wire = ops.Encode(wire, cur[i])
+		}
+		sendDone := asyncSend(e, partner, halvingChannel, wire)
+		in, err := e.RecvFrom(partner, halvingChannel)
+		if err != nil {
+			<-sendDone
+			return zero, fmt.Errorf("collective: halving recv: %w", err)
+		}
+		cnt := int(binary.LittleEndian.Uint32(in))
+		if cnt != keepHi-keepLo {
+			<-sendDone
+			return zero, fmt.Errorf("collective: halving count mismatch: got %d want %d", cnt, keepHi-keepLo)
+		}
+		off := 4
+		for i := keepLo; i < keepHi; i++ {
+			v, used, err := decodeWithSize(in[off:], ops)
+			if err != nil {
+				<-sendDone
+				return zero, err
+			}
+			off += used
+			cur[i] = ops.Reduce(cur[i], v)
+		}
+		if err := <-sendDone; err != nil {
+			return zero, err
+		}
+		lo, hi = keepLo, keepHi
+	}
+	if hi-lo != 1 || lo != r {
+		return zero, fmt.Errorf("collective: halving ended with range [%d,%d) at rank %d", lo, hi, r)
+	}
+	return cur[r], nil
+}
+
+// decodeWithSize decodes one value and reports bytes consumed by
+// re-encoding it (Ops.Decode does not report consumption; values are
+// self-delimiting for the encodings used here, so re-encoding length is
+// exact and cheap relative to network transfer).
+func decodeWithSize[V any](src []byte, ops Ops[V]) (V, int, error) {
+	v, err := ops.Decode(src)
+	if err != nil {
+		var zero V
+		return zero, 0, err
+	}
+	return v, len(ops.Encode(nil, v)), nil
+}
+
+// PairwiseReduceScatter implements the MPICH long-message
+// reduce-scatter: N-1 rounds; in round k rank r sends segment
+// (r+k) mod N directly to its final owner and receives its own segment
+// slice from rank (r-k+N) mod N. Works for any N. Returns the rank's
+// fully reduced segment.
+func PairwiseReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
+	n := e.Size()
+	var zero V
+	if len(segs) != n {
+		return zero, fmt.Errorf("collective: need %d segments, got %d", n, len(segs))
+	}
+	r := e.Rank()
+	acc := segs[r]
+	for k := 1; k < n; k++ {
+		dst := (r + k) % n
+		src := (r - k + n) % n
+		wire := ops.Encode(nil, segs[dst])
+		sendDone := asyncSend(e, dst, pairwiseChannel, wire)
+		in, err := e.RecvFrom(src, pairwiseChannel)
+		if err != nil {
+			<-sendDone
+			return zero, fmt.Errorf("collective: pairwise recv: %w", err)
+		}
+		v, err := ops.Decode(in)
+		if err != nil {
+			<-sendDone
+			return zero, err
+		}
+		acc = ops.Reduce(acc, v)
+		if err := <-sendDone; err != nil {
+			return zero, err
+		}
+	}
+	return acc, nil
+}
+
+// --- tiny local binary helpers (no dependency on serde to keep the
+// collective layer reusable under the pure communicator benches) ------
+
+func appendUint32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendFloat64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func uint32At(src []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(src[i:])
+}
+
+func float64At(src []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+}

@@ -1,0 +1,246 @@
+// Package collective implements the reduction algorithms Sparker builds
+// on: the ring-based reduce-scatter (Patarasuk & Yuan) used by split
+// aggregation, ring allgather/allreduce, a binomial tree reduce (the
+// shape of Spark's treeAggregate), and the recursive-halving and
+// pairwise-exchange reduce-scatters used as MPI reference baselines
+// (Thakur, Rabenseifner & Gropp).
+//
+// All algorithms are generic over the segment type V. Values cross
+// executor boundaries serialized via the Ops callbacks, mirroring the
+// paper's splitOp/reduceOp/concatOp callback design.
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"sparker/internal/comm"
+)
+
+// Ops supplies the type-specific callbacks for a collective over
+// segments of type V.
+type Ops[V any] struct {
+	// Reduce merges b into a and returns the result. It may mutate and
+	// return a; b must not be retained.
+	Reduce func(a, b V) V
+	// Encode appends the wire form of v to dst.
+	Encode func(dst []byte, v V) []byte
+	// Decode parses one value from src.
+	Decode func(src []byte) (V, error)
+}
+
+// F64Ops returns elementwise-sum Ops for []float64 segments — the
+// aggregator shape of every MLlib workload in the paper.
+func F64Ops() Ops[[]float64] {
+	return Ops[[]float64]{
+		Reduce: func(a, b []float64) []float64 {
+			if len(a) != len(b) {
+				panic(fmt.Sprintf("collective: segment length mismatch %d vs %d", len(a), len(b)))
+			}
+			for i := range a {
+				a[i] += b[i]
+			}
+			return a
+		},
+		Encode: encodeF64,
+		Decode: decodeF64,
+	}
+}
+
+func encodeF64(dst []byte, v []float64) []byte {
+	dst = appendUint32(dst, uint32(len(v)))
+	for _, f := range v {
+		dst = appendFloat64(dst, f)
+	}
+	return dst
+}
+
+func decodeF64(src []byte) ([]float64, error) {
+	if len(src) < 4 {
+		return nil, fmt.Errorf("collective: short []float64")
+	}
+	n := int(uint32At(src, 0))
+	if len(src) < 4+8*n {
+		return nil, fmt.Errorf("collective: truncated []float64 (%d of %d)", len(src)-4, 8*n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64At(src, 4+8*i)
+	}
+	return out, nil
+}
+
+// asyncSend runs a ring send off the receive path so that send and
+// receive of one iteration overlap and large messages cannot deadlock
+// over real sockets.
+func asyncSend(e *comm.Endpoint, peer, channel int, b []byte) chan error {
+	done := make(chan error, 1)
+	go func() { done <- e.SendTo(peer, channel, b) }()
+	return done
+}
+
+// RingReduceScatter reduces P×N segments held by each of N ranks so
+// that afterwards every rank owns P fully-reduced segments (one per
+// parallel channel). segs must have length P×N; segment j of channel p
+// is segs[p*N + j], and all ranks must agree on this layout.
+//
+// The returned map is globalSegmentIndex -> reduced value. Rank r ends
+// up owning, for each channel p, global segment p*N + (r+1)%N — the
+// paper's Figure 11 schedule, run P-way in parallel over the PDR.
+func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops Ops[V]) (map[int]V, error) {
+	n := e.Size()
+	p := parallelism
+	if p <= 0 {
+		return nil, fmt.Errorf("collective: parallelism must be positive, got %d", p)
+	}
+	if len(segs) != p*n {
+		return nil, fmt.Errorf("collective: need %d segments (P=%d × N=%d), got %d", p*n, p, n, len(segs))
+	}
+
+	owned := make(map[int]V, p)
+	if n == 1 {
+		// Single rank: everything is already reduced.
+		for i, s := range segs {
+			owned[i] = s
+		}
+		return owned, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	r := e.Rank()
+	for ch := 0; ch < p; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			block := segs[ch*n : (ch+1)*n]
+			cur := make([]V, n)
+			copy(cur, block)
+			for k := 0; k < n-1; k++ {
+				sendIdx := ((r-k)%n + n) % n
+				recvIdx := ((r-k-1)%n + n) % n
+				wire := ops.Encode(nil, cur[sendIdx])
+				sendDone := asyncSend(e, e.Next(), ch, wire)
+				in, err := e.RecvPrev(ch)
+				if err != nil {
+					setErr(fmt.Errorf("collective: rank %d ch %d step %d recv: %w", r, ch, k, err))
+					<-sendDone
+					return
+				}
+				v, err := ops.Decode(in)
+				if err != nil {
+					setErr(fmt.Errorf("collective: rank %d ch %d step %d decode: %w", r, ch, k, err))
+					<-sendDone
+					return
+				}
+				cur[recvIdx] = ops.Reduce(cur[recvIdx], v)
+				if err := <-sendDone; err != nil {
+					setErr(fmt.Errorf("collective: rank %d ch %d step %d send: %w", r, ch, k, err))
+					return
+				}
+			}
+			final := (r + 1) % n
+			mu.Lock()
+			owned[ch*n+final] = cur[final]
+			mu.Unlock()
+		}(ch)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return owned, nil
+}
+
+// RingAllGather circulates each rank's owned segments around the ring
+// until every rank holds all N segments of every channel. owned is the
+// result of RingReduceScatter; the returned slice has length P×N with
+// every entry populated identically on all ranks.
+func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, ops Ops[V]) ([]V, error) {
+	n := e.Size()
+	p := parallelism
+	all := make([]V, p*n)
+	for i, v := range owned {
+		if i < 0 || i >= p*n {
+			return nil, fmt.Errorf("collective: owned segment index %d out of range", i)
+		}
+		all[i] = v
+	}
+	if n == 1 {
+		return all, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	r := e.Rank()
+	for ch := 0; ch < p; ch++ {
+		wg.Add(1)
+		go func(ch int) {
+			defer wg.Done()
+			// After reduce-scatter rank r owns block index (r+1)%n.
+			have := (r + 1) % n
+			for k := 0; k < n-1; k++ {
+				sendIdx := ((have-k)%n + n) % n
+				recvIdx := ((have-k-1)%n + n) % n
+				wire := ops.Encode(nil, all[ch*n+sendIdx])
+				sendDone := asyncSend(e, e.Next(), ch, wire)
+				in, err := e.RecvPrev(ch)
+				if err != nil {
+					setErr(fmt.Errorf("collective: allgather rank %d ch %d step %d recv: %w", r, ch, k, err))
+					<-sendDone
+					return
+				}
+				v, err := ops.Decode(in)
+				if err != nil {
+					setErr(err)
+					<-sendDone
+					return
+				}
+				all[ch*n+recvIdx] = v
+				if err := <-sendDone; err != nil {
+					setErr(err)
+					return
+				}
+			}
+		}(ch)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return all, nil
+}
+
+// RingAllReduce is reduce-scatter followed by allgather: every rank
+// ends with the fully reduced P×N segments. This is the
+// bandwidth-optimal allreduce Sparker's interface enables (listed as an
+// enabled algorithm, §7 "fast reduction algorithms").
+func RingAllReduce[V any](e *comm.Endpoint, segs []V, parallelism int, ops Ops[V]) ([]V, error) {
+	owned, err := RingReduceScatter(e, segs, parallelism, ops)
+	if err != nil {
+		return nil, err
+	}
+	return RingAllGather(e, owned, parallelism, ops)
+}

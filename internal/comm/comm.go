@@ -1,0 +1,279 @@
+// Package comm implements Sparker's scalable communicator: direct
+// inter-executor messaging arranged as a parallel directed ring (PDR).
+//
+// Each executor owns an Endpoint with a unique rank in [0, N). Executor
+// i can send to its next neighbor ((i+1) mod N) and receive from its
+// previous neighbor ((i-1+N) mod N). P parallel channels (independent
+// connections) are established between each pair of ring neighbors so
+// that P threads can drive reduce-scatter concurrently and saturate the
+// link — the paper's Figure 10. General point-to-point send/recv is
+// also provided for the latency/throughput micro-benchmarks (Figures
+// 12–13) and for the recursive-halving/pairwise MPI baselines.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sparker/internal/transport"
+)
+
+// Endpoint is one communicator participant.
+type Endpoint struct {
+	group string
+	rank  int
+	size  int
+	net   transport.Network
+	lis   transport.Listener
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbound map[connKey]transport.Conn // accepted, keyed by (src, channel)
+	dialed  map[connKey]transport.Conn // dialed, keyed by (dst, channel)
+	closed  bool
+
+	acceptDone chan struct{}
+
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	msgsSent      atomic.Int64
+	msgsReceived  atomic.Int64
+}
+
+// Stats is a snapshot of an endpoint's traffic counters.
+type Stats struct {
+	BytesSent, BytesReceived int64
+	MsgsSent, MsgsReceived   int64
+}
+
+// Stats returns the endpoint's cumulative traffic counters — the
+// observable for bandwidth-optimality checks (a ring reduce-scatter
+// moves exactly (N-1)/N of the aggregator per rank).
+func (e *Endpoint) Stats() Stats {
+	return Stats{
+		BytesSent:     e.bytesSent.Load(),
+		BytesReceived: e.bytesReceived.Load(),
+		MsgsSent:      e.msgsSent.Load(),
+		MsgsReceived:  e.msgsReceived.Load(),
+	}
+}
+
+type connKey struct {
+	peer    int
+	channel int
+}
+
+// addrOf is the listening address of rank r in group g.
+func addrOf(g string, r int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("comm/%s/%d", g, r))
+}
+
+// NewEndpoint creates the endpoint for rank within a size-member group
+// and starts listening. All members must share the same net and group
+// name. Ranks must be unique.
+func NewEndpoint(net transport.Network, group string, rank, size int) (*Endpoint, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: invalid rank %d of %d", rank, size)
+	}
+	lis, err := net.Listen(addrOf(group, rank))
+	if err != nil {
+		return nil, err
+	}
+	e := &Endpoint{
+		group:      group,
+		rank:       rank,
+		size:       size,
+		net:        net,
+		lis:        lis,
+		inbound:    map[connKey]transport.Conn{},
+		dialed:     map[connKey]transport.Conn{},
+		acceptDone: make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Rank returns this endpoint's ring position.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Size returns the number of group members.
+func (e *Endpoint) Size() int { return e.size }
+
+// Next returns the rank of the next ring neighbor.
+func (e *Endpoint) Next() int { return (e.rank + 1) % e.size }
+
+// Prev returns the rank of the previous ring neighbor.
+func (e *Endpoint) Prev() int { return (e.rank - 1 + e.size) % e.size }
+
+func (e *Endpoint) acceptLoop() {
+	defer close(e.acceptDone)
+	for {
+		c, err := e.lis.Accept()
+		if err != nil {
+			return
+		}
+		go func(c transport.Conn) {
+			hdr, err := c.Recv()
+			if err != nil || len(hdr) < 8 {
+				c.Close()
+				return
+			}
+			src := int(int32(binary.LittleEndian.Uint32(hdr)))
+			ch := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
+			e.mu.Lock()
+			if e.closed {
+				e.mu.Unlock()
+				c.Close()
+				return
+			}
+			e.inbound[connKey{src, ch}] = c
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		}(c)
+	}
+}
+
+// dial returns (establishing if needed) the outbound connection to peer
+// on the given channel.
+func (e *Endpoint) dial(peer, channel int) (transport.Conn, error) {
+	key := connKey{peer, channel}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if c, ok := e.dialed[key]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	c, err := e.net.Dial(addrOf(e.group, peer))
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(int32(e.rank)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(int32(channel)))
+	if err := c.Send(hdr[:]); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return nil, transport.ErrClosed
+	}
+	if prev, ok := e.dialed[key]; ok {
+		// Lost a benign race; keep the first connection.
+		c.Close()
+		return prev, nil
+	}
+	e.dialed[key] = c
+	return c, nil
+}
+
+// accepted blocks until the inbound connection from peer on channel
+// exists, then returns it.
+func (e *Endpoint) accepted(peer, channel int) (transport.Conn, error) {
+	key := connKey{peer, channel}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if c, ok := e.inbound[key]; ok {
+			return c, nil
+		}
+		if e.closed {
+			return nil, transport.ErrClosed
+		}
+		e.cond.Wait()
+	}
+}
+
+// SendTo transmits b to peer on the given parallel channel. Distinct
+// channels may be used concurrently; a single (peer, channel) pair must
+// be driven by one goroutine at a time.
+func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
+	c, err := e.dial(peer, channel)
+	if err != nil {
+		return err
+	}
+	if err := c.Send(b); err != nil {
+		return err
+	}
+	e.bytesSent.Add(int64(len(b)))
+	e.msgsSent.Add(1)
+	return nil
+}
+
+// RecvFrom blocks for the next message from peer on channel.
+func (e *Endpoint) RecvFrom(peer, channel int) ([]byte, error) {
+	c, err := e.accepted(peer, channel)
+	if err != nil {
+		return nil, err
+	}
+	b, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	e.bytesReceived.Add(int64(len(b)))
+	e.msgsReceived.Add(1)
+	return b, nil
+}
+
+// SendNext sends on the directed ring.
+func (e *Endpoint) SendNext(channel int, b []byte) error {
+	return e.SendTo(e.Next(), channel, b)
+}
+
+// RecvPrev receives on the directed ring.
+func (e *Endpoint) RecvPrev(channel int) ([]byte, error) {
+	return e.RecvFrom(e.Prev(), channel)
+}
+
+// ConnectRing eagerly establishes the PDR: parallelism outbound
+// channels to the next neighbor. Calling it is optional — connections
+// are established lazily otherwise — but doing so moves connection
+// setup out of the timed reduction path, as Sparker does at executor
+// registration.
+func (e *Endpoint) ConnectRing(parallelism int) error {
+	if e.size == 1 {
+		return nil
+	}
+	for ch := 0; ch < parallelism; ch++ {
+		if _, err := e.dial(e.Next(), ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears the endpoint down and unblocks pending receives.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]transport.Conn, 0, len(e.inbound)+len(e.dialed))
+	for _, c := range e.inbound {
+		conns = append(conns, c)
+	}
+	for _, c := range e.dialed {
+		conns = append(conns, c)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	<-e.acceptDone
+	return nil
+}

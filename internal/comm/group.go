@@ -1,0 +1,41 @@
+package comm
+
+// Group helpers for creating whole communicator groups in one process —
+// used by tests, examples and the functional benchmarks, where all
+// "executors" share an address space but still exchange serialized
+// bytes through the transport.
+
+import (
+	"fmt"
+
+	"sparker/internal/transport"
+)
+
+// NewGroup creates size endpoints with ranks 0..size-1 on net under a
+// shared group name. On error, any endpoints already created are
+// closed.
+func NewGroup(net transport.Network, name string, size int) ([]*Endpoint, error) {
+	eps := make([]*Endpoint, 0, size)
+	for r := 0; r < size; r++ {
+		ep, err := NewEndpoint(net, name, r, size)
+		if err != nil {
+			for _, p := range eps {
+				p.Close()
+			}
+			return nil, fmt.Errorf("comm: creating rank %d: %w", r, err)
+		}
+		eps = append(eps, ep)
+	}
+	return eps, nil
+}
+
+// CloseGroup closes every endpoint, returning the first error.
+func CloseGroup(eps []*Endpoint) error {
+	var first error
+	for _, e := range eps {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

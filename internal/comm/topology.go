@@ -1,0 +1,54 @@
+package comm
+
+import "sort"
+
+// RanksByHost computes a topology-aware rank assignment: executors are
+// ordered by hostname (stably, preserving executor index order within a
+// host), so ring neighbors land on the same node wherever possible and
+// each node boundary is crossed exactly once per lap. The paper reports
+// a 2.76× reduce-scatter speedup from this ordering (Figure 14).
+//
+// hosts[i] is the hostname of executor i. The returned slice perm maps
+// rank -> executor index: perm[r] is the executor that should take rank
+// r. RanksByHost does not modify hosts.
+func RanksByHost(hosts []string) []int {
+	perm := make([]int, len(hosts))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return hosts[perm[a]] < hosts[perm[b]]
+	})
+	return perm
+}
+
+// InverseRanks inverts a rank permutation: given perm[rank] = executor,
+// it returns rankOf[executor] = rank.
+func InverseRanks(perm []int) []int {
+	inv := make([]int, len(perm))
+	for r, e := range perm {
+		inv[e] = r
+	}
+	return inv
+}
+
+// CrossNodeHops counts how many directed ring edges cross node
+// boundaries under the given rank assignment. It is the quantity
+// topology awareness minimizes: with E executors on H hosts the best
+// achievable value is H (one boundary crossing per host) and the worst
+// is E.
+func CrossNodeHops(hosts []string, perm []int) int {
+	n := len(perm)
+	if n <= 1 {
+		return 0
+	}
+	hops := 0
+	for r := 0; r < n; r++ {
+		a := hosts[perm[r]]
+		b := hosts[perm[(r+1)%n]]
+		if a != b {
+			hops++
+		}
+	}
+	return hops
+}

@@ -1,0 +1,124 @@
+package core
+
+// SplitAllReduce extends split aggregation past the paper: §6 notes
+// that once reduction is fixed, "the driver overhead becomes the new
+// bottleneck" because every iteration still gathers the aggregator to
+// the driver and redistributes the updated model. SplitAllReduce
+// replaces the gather with a ring allreduce (reduce-scatter +
+// allgather, both enabled by the same splittable interface), leaving
+// the fully reduced aggregate resident on every executor; only one
+// executor ships a copy back so the driver can observe it. Iterative
+// algorithms can then read the previous result executor-side instead
+// of round-tripping it through the driver.
+
+import (
+	"fmt"
+	"time"
+
+	"sparker/internal/collective"
+	"sparker/internal/metrics"
+	"sparker/internal/rdd"
+	"sparker/internal/serde"
+)
+
+// AllReduceOptions tunes SplitAllReduce.
+type AllReduceOptions struct {
+	// Parallelism is the PDR channel count (default: context setting).
+	Parallelism int
+	// KeepKey, when non-empty, stores the reduced result in every
+	// executor's mutable object manager under this key so later stages
+	// can read it locally.
+	KeepKey string
+}
+
+// SplitAllReduce aggregates like SplitAggregate but ends with every
+// executor holding concatOp of the fully reduced segments. The driver
+// receives the copy returned by ring rank 0.
+func SplitAllReduce[T, U, V any](
+	r *rdd.RDD[T],
+	zero func() U,
+	seqOp func(U, T) U,
+	mergeOp func(U, U) U,
+	splitOp func(u U, i, n int) V,
+	reduceOp func(V, V) V,
+	concatOp func([]V) V,
+	opts AllReduceOptions,
+) (V, error) {
+	var zv V
+	ctx := r.Context()
+	par := opts.Parallelism
+	if par == 0 {
+		par = ctx.RingParallelism()
+	}
+	if par < 1 {
+		return zv, fmt.Errorf("core: Parallelism must be >= 1, got %d", par)
+	}
+	prefix := fmt.Sprintf("allreduce/%d/", ctx.NewOpID())
+	if opts.KeepKey == "" {
+		defer cleanupIMM(ctx, prefix)
+	} else {
+		// Keep the result objects; clean only the aggregation state.
+		defer cleanupIMM(ctx, prefix+"agg")
+	}
+
+	start := time.Now()
+	if err := runIMMStage(r, prefix, zero, seqOp, mergeOp); err != nil {
+		return zv, err
+	}
+	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
+
+	start = time.Now()
+	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "allreduce stage") }()
+
+	nExec := ctx.NumExecutors()
+	nSegs := par * nExec
+	ops := collective.Ops[V]{
+		Reduce: reduceOp,
+		Encode: func(dst []byte, v V) []byte { return serde.MustEncode(dst, v) },
+		Decode: func(src []byte) (V, error) {
+			val, _, err := serde.Decode(src)
+			if err != nil {
+				var z V
+				return z, err
+			}
+			return val.(V), nil
+		},
+	}
+	keepKey := opts.KeepKey
+	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		agg := sharedAgg(ec, prefix+"agg", zero)
+		segs := splitParallel(agg, nSegs, ec.Cores, splitOp)
+		owned, err := collective.RingReduceScatter(ec.Comm, segs, par, ops)
+		if err != nil {
+			return nil, err
+		}
+		all, err := collective.RingAllGather(ec.Comm, owned, par, ops)
+		if err != nil {
+			return nil, err
+		}
+		result := concatOp(all)
+		if keepKey != "" {
+			ec.MutObjs.GetOrCreate(keepKey, func() any { return result }).
+				Update(func(any) any { return result })
+		}
+		// Only ring rank 0 returns the payload; everyone else acks.
+		if ec.Rank != 0 {
+			return nil, nil
+		}
+		return serde.Encode(nil, result)
+	})
+	if err != nil {
+		return zv, err
+	}
+	for _, p := range payloads {
+		if len(p) == 0 {
+			continue
+		}
+		v, _, err := serde.Decode(p)
+		if err != nil {
+			return zv, err
+		}
+		return v.(V), nil
+	}
+	return zv, fmt.Errorf("core: allreduce produced no driver copy")
+}

@@ -1,0 +1,333 @@
+// Package core implements Sparker's contribution: the Split
+// Aggregation Interface (SAI) and In-Memory Merge (IMM) on top of the
+// rdd engine.
+//
+// Three aggregation strategies are provided, matching the paper's
+// Figure 16 comparison:
+//
+//   - TreeAggregate — re-exported Spark baseline (rdd.TreeAggregate):
+//     per-task serialized results, combiner stages, serial driver merge.
+//   - TreeAggregateIMM — tree aggregation with in-memory merge: tasks
+//     on the same executor merge into a shared aggregator inside the
+//     mutable object manager before anything is serialized, so only one
+//     result per executor crosses the wire (§3.2, Figure 8).
+//   - SplitAggregate — the full design (§3.1, Figure 6): IMM leaves one
+//     aggregator per executor, a statically placed stage (SpawnRDD,
+//     §4.3) splits each into P×N segments with splitOp and runs ring
+//     reduce-scatter over the parallel directed ring, and the driver
+//     gathers the reduced segments and reassembles them with concatOp.
+//
+// Type parameters follow the paper: T is the element type, U the
+// aggregator type, V the aggregator-segment type. U and V may differ —
+// the paper's abstract-aggregator argument — and both must be
+// serde-encodable where they cross executor boundaries (U for IMM
+// fetches, V for reduce-scatter traffic).
+//
+// One signature deviation from Figure 6: SplitAggregate and
+// TreeAggregateIMM take mergeOp (U, U) → U for the intra-executor
+// merge. The paper's shared in-memory value is merged with the
+// aggregator class's own merge method (Figure 7, line 6), which its
+// interface listing leaves implicit; Go has no method requirement to
+// hang that on, so the callback is explicit.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sparker/internal/collective"
+	"sparker/internal/metrics"
+	"sparker/internal/rdd"
+	"sparker/internal/serde"
+)
+
+// Options tunes split aggregation.
+type Options struct {
+	// Parallelism is the number of PDR channels (and reduce-scatter
+	// threads) per executor. Defaults to the context's RingParallelism
+	// (the paper settles on 4).
+	Parallelism int
+}
+
+// TreeAggregate is the Spark baseline. See rdd.TreeAggregate.
+func TreeAggregate[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, reduceOp func(U, U) U, depth int) (U, error) {
+	return rdd.TreeAggregate(r, zero, seqOp, reduceOp, rdd.AggregateOptions{Depth: depth})
+}
+
+// immState is the per-executor shared aggregator for one aggregation.
+type immState[U any] struct {
+	agg   U
+	tasks int // number of task results merged in
+}
+
+// runIMMStage executes the reduced-result stage: every partition is
+// folded with seqOp and merged into the executor's shared aggregator
+// with mergeOp. On any task failure the stage's shared values are
+// cleared on every executor and the whole stage re-submitted (§3.2).
+// Afterwards each executor holds exactly one aggregator under
+// prefix+"agg".
+func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) error {
+	ctx := r.Context()
+	key := prefix + "agg"
+	_, err := ctx.RunJob(rdd.JobSpec{
+		Tasks: r.NumPartitions(),
+		Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+			data, err := r.Materialize(ec, task)
+			if err != nil {
+				return nil, err
+			}
+			// Fold locally first so executor cores compute in parallel;
+			// only the final merge serializes on the shared object.
+			acc := zero()
+			for _, v := range data {
+				acc = seqOp(acc, v)
+			}
+			obj := ec.MutObjs.GetOrCreate(key, func() any {
+				return &immState[U]{agg: zero()}
+			})
+			obj.Update(func(v any) any {
+				st := v.(*immState[U])
+				st.agg = mergeOp(st.agg, acc)
+				st.tasks++
+				return st
+			})
+			// A reduced-result task returns only (executor id, object
+			// id) — the aggregator itself stays in executor memory.
+			return []byte(fmt.Sprintf("%d:%s", ec.ID, key)), nil
+		},
+		StageCleanup: func(ec *rdd.ExecContext) error {
+			ec.MutObjs.ClearPrefix(prefix)
+			return nil
+		},
+	})
+	return err
+}
+
+// cleanupIMM drops the aggregation's shared state everywhere.
+func cleanupIMM(ctx *rdd.Context, prefix string) {
+	ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		ec.MutObjs.ClearPrefix(prefix)
+		return nil, nil
+	})
+}
+
+// sharedAgg returns the executor's merged aggregator, creating a zero
+// one when the executor received no partitions.
+func sharedAgg[U any](ec *rdd.ExecContext, key string, zero func() U) U {
+	obj := ec.MutObjs.GetOrCreate(key, func() any {
+		return &immState[U]{agg: zero()}
+	})
+	var out U
+	obj.Read(func(v any) { out = v.(*immState[U]).agg })
+	return out
+}
+
+// TreeAggregateIMM performs tree aggregation with in-memory merge:
+// the reduced-result stage leaves one aggregator per executor, and a
+// second stage serializes each of those for a serial driver merge. The
+// reduction remains tree-shaped (driver-bound); only the serialization
+// volume shrinks from one result per task to one per executor.
+func TreeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
+	var zu U
+	ctx := r.Context()
+	prefix := fmt.Sprintf("imm/%d/", ctx.NewOpID())
+	defer cleanupIMM(ctx, prefix)
+
+	start := time.Now()
+	if err := runIMMStage(r, prefix, zero, seqOp, mergeOp); err != nil {
+		return zu, err
+	}
+	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
+
+	start = time.Now()
+	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "reduce stage") }()
+	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		return serde.Encode(nil, sharedAgg(ec, prefix+"agg", zero))
+	})
+	if err != nil {
+		return zu, err
+	}
+	acc := zero()
+	for _, p := range payloads {
+		v, _, err := serde.Decode(p)
+		if err != nil {
+			return zu, err
+		}
+		acc = mergeOp(acc, v.(U))
+	}
+	return acc, nil
+}
+
+// SplitAggregate is the split aggregation interface of Figure 6.
+//
+// zero, seqOp: as in treeAggregate, building per-partition aggregators.
+// mergeOp:     merges aggregators within one executor (IMM).
+// splitOp:     returns segment i of n from an aggregator; all ranks
+//
+//	must agree on the segmentation.
+//
+// reduceOp:    merges two aggregator-segments.
+// concatOp:    reassembles the ordered reduced segments into the final
+//
+//	result.
+//
+// The reduction runs as ring reduce-scatter over the PDR with
+// opts.Parallelism channels, then the driver collects each executor's
+// owned segments (the "gather via collect" of §4.2) and applies
+// concatOp.
+func SplitAggregate[T, U, V any](
+	r *rdd.RDD[T],
+	zero func() U,
+	seqOp func(U, T) U,
+	mergeOp func(U, U) U,
+	splitOp func(u U, i, n int) V,
+	reduceOp func(V, V) V,
+	concatOp func([]V) V,
+	opts Options,
+) (V, error) {
+	var zv V
+	ctx := r.Context()
+	par := opts.Parallelism
+	if par == 0 {
+		par = ctx.RingParallelism()
+	}
+	if par < 1 {
+		return zv, fmt.Errorf("core: Parallelism must be >= 1, got %d", par)
+	}
+	prefix := fmt.Sprintf("split/%d/", ctx.NewOpID())
+	defer cleanupIMM(ctx, prefix)
+
+	// Stage 1: reduced-result stage (IMM) → one aggregator per executor.
+	start := time.Now()
+	if err := runIMMStage(r, prefix, zero, seqOp, mergeOp); err != nil {
+		return zv, err
+	}
+	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
+
+	start = time.Now()
+	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "reduce stage") }()
+
+	// Stage 2: SpawnRDD — exactly one task per executor, statically
+	// placed, running reduce-scatter over the ring. Each task returns
+	// its owned (globalIndex, segment) pairs.
+	nExec := ctx.NumExecutors()
+	nSegs := par * nExec
+	ops := collective.Ops[V]{
+		Reduce: reduceOp,
+		Encode: func(dst []byte, v V) []byte { return serde.MustEncode(dst, v) },
+		Decode: func(src []byte) (V, error) {
+			val, _, err := serde.Decode(src)
+			if err != nil {
+				var z V
+				return z, err
+			}
+			return val.(V), nil
+		},
+	}
+	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		agg := sharedAgg(ec, prefix+"agg", zero)
+		segs := splitParallel(agg, nSegs, ec.Cores, splitOp)
+		owned, err := collective.RingReduceScatter(ec.Comm, segs, par, ops)
+		if err != nil {
+			return nil, err
+		}
+		return encodeOwned(owned, ops)
+	})
+	if err != nil {
+		return zv, err
+	}
+
+	// Gather: order the segments by global index and concatenate.
+	segs := make([]V, nSegs)
+	seen := make([]bool, nSegs)
+	for _, p := range payloads {
+		if err := decodeOwned(p, segs, seen, ops); err != nil {
+			return zv, err
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return zv, fmt.Errorf("core: segment %d missing after reduce-scatter", i)
+		}
+	}
+	return concatOp(segs), nil
+}
+
+// splitParallel applies splitOp across the executor's cores — the
+// reason §3.1 defines splitOp to return one segment per call: "multiple
+// threads can split a single aggregator in parallel".
+func splitParallel[U, V any](agg U, nSegs, workers int, splitOp func(U, int, int) V) []V {
+	segs := make([]V, nSegs)
+	if workers < 2 || nSegs < 2 {
+		for i := range segs {
+			segs[i] = splitOp(agg, i, nSegs)
+		}
+		return segs
+	}
+	if workers > nSegs {
+		workers = nSegs
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nSegs; i += workers {
+				segs[i] = splitOp(agg, i, nSegs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return segs
+}
+
+// encodeOwned frames a rank's owned segments as count + (index, bytes)
+// pairs, sorted by index for determinism.
+func encodeOwned[V any](owned map[int]V, ops collective.Ops[V]) ([]byte, error) {
+	idxs := make([]int, 0, len(owned))
+	for i := range owned {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(idxs)))
+	for _, i := range idxs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(i))
+		seg := ops.Encode(nil, owned[i])
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(seg)))
+		b = append(b, seg...)
+	}
+	return b, nil
+}
+
+func decodeOwned[V any](p []byte, segs []V, seen []bool, ops collective.Ops[V]) error {
+	if len(p) < 4 {
+		return fmt.Errorf("core: short owned-segments frame")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	off := 4
+	for k := 0; k < n; k++ {
+		if len(p) < off+8 {
+			return fmt.Errorf("core: truncated owned-segments frame")
+		}
+		idx := int(binary.LittleEndian.Uint32(p[off:]))
+		segLen := int(binary.LittleEndian.Uint32(p[off+4:]))
+		off += 8
+		if len(p) < off+segLen {
+			return fmt.Errorf("core: truncated segment %d", idx)
+		}
+		if idx < 0 || idx >= len(segs) {
+			return fmt.Errorf("core: segment index %d out of range", idx)
+		}
+		v, err := ops.Decode(p[off : off+segLen])
+		if err != nil {
+			return err
+		}
+		segs[idx] = v
+		seen[idx] = true
+		off += segLen
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package data
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenClassificationShape(t *testing.T) {
+	spec := ClassificationSpec{Samples: 100, Features: 50, NNZPerSample: 8, Seed: 1}
+	pts := GenClassification(spec)
+	if len(pts) != 100 {
+		t.Fatalf("got %d samples", len(pts))
+	}
+	ones := 0
+	for _, p := range pts {
+		if p.Features.Dim != 50 {
+			t.Fatalf("dim = %d", p.Features.Dim)
+		}
+		if p.Features.NNZ() < 1 || p.Features.NNZ() > 50 {
+			t.Fatalf("nnz = %d", p.Features.NNZ())
+		}
+		if p.Label != 0 && p.Label != 1 {
+			t.Fatalf("label = %v", p.Label)
+		}
+		if p.Label == 1 {
+			ones++
+		}
+	}
+	// A hidden linear separator over symmetric features gives roughly
+	// balanced classes.
+	if ones < 20 || ones > 80 {
+		t.Fatalf("labels badly skewed: %d/100 positive", ones)
+	}
+}
+
+func TestGenClassificationDeterministic(t *testing.T) {
+	spec := ClassificationSpec{Samples: 10, Features: 20, NNZPerSample: 4, Seed: 42}
+	a := GenClassification(spec)
+	b := GenClassification(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce identical data")
+	}
+	spec.Seed = 43
+	c := GenClassification(spec)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGenClassificationPartitionsCoverWhole(t *testing.T) {
+	spec := ClassificationSpec{Samples: 103, Features: 10, NNZPerSample: 3, Seed: 7}
+	total := 0
+	for part := 0; part < 7; part++ {
+		total += len(GenClassificationPartition(spec, part, 7))
+	}
+	if total != 103 {
+		t.Fatalf("partitions cover %d samples, want 103", total)
+	}
+}
+
+func TestGenCorpusValid(t *testing.T) {
+	spec := CorpusSpec{Docs: 50, Vocab: 200, Topics: 5, MeanDocLen: 30, Seed: 3}
+	docs := GenCorpus(spec)
+	if len(docs) != 50 {
+		t.Fatalf("got %d docs", len(docs))
+	}
+	for i, d := range docs {
+		if err := d.Validate(200); err != nil {
+			t.Fatalf("doc %d invalid: %v", i, err)
+		}
+		if d.TokenCount() < 1 {
+			t.Fatalf("doc %d empty", i)
+		}
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	pts := GenClassification(ClassificationSpec{Samples: 25, Features: 40, NNZPerSample: 5, Seed: 9})
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLibSVM(&buf, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("got %d points", len(got))
+	}
+	for i := range pts {
+		if got[i].Label != pts[i].Label {
+			t.Fatalf("row %d label %v != %v", i, got[i].Label, pts[i].Label)
+		}
+		if !reflect.DeepEqual(got[i].Features.Indices, pts[i].Features.Indices) {
+			t.Fatalf("row %d indices differ", i)
+		}
+		for j := range pts[i].Features.Values {
+			a, b := got[i].Features.Values[j], pts[i].Features.Values[j]
+			if a != b {
+				// %g keeps full precision for float64, so exact match expected.
+				t.Fatalf("row %d value %d: %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestReadLibSVMConventions(t *testing.T) {
+	in := strings.NewReader("+1 1:0.5 3:2\n-1 2:1\n\n# comment\n0 1:1\n")
+	pts, err := ReadLibSVM(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d rows", len(pts))
+	}
+	if pts[0].Label != 1 || pts[1].Label != 0 || pts[2].Label != 0 {
+		t.Fatalf("labels = %v %v %v", pts[0].Label, pts[1].Label, pts[2].Label)
+	}
+	// Inferred dim = max index (3, 1-based) = 3.
+	if pts[0].Features.Dim != 3 {
+		t.Fatalf("inferred dim = %d", pts[0].Features.Dim)
+	}
+	if pts[0].Features.At(0) != 0.5 || pts[0].Features.At(2) != 2 {
+		t.Fatal("sparse values misparsed")
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	for _, bad := range []string{
+		"abc 1:1\n",
+		"1 nocolon\n",
+		"1 0:1\n", // libsvm indices are 1-based
+		"1 2:xyz\n",
+	} {
+		if _, err := ReadLibSVM(strings.NewReader(bad), 0); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestBagOfWordsRoundTrip(t *testing.T) {
+	docs := GenCorpus(CorpusSpec{Docs: 20, Vocab: 100, Topics: 4, MeanDocLen: 25, Seed: 5})
+	var buf bytes.Buffer
+	if err := WriteBagOfWords(&buf, docs, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, vocab, err := ReadBagOfWords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vocab != 100 || len(got) != len(docs) {
+		t.Fatalf("vocab=%d docs=%d", vocab, len(got))
+	}
+	for i := range docs {
+		if !reflect.DeepEqual(got[i], docs[i]) {
+			t.Fatalf("doc %d mismatch", i)
+		}
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	if len(Profiles) != 6 {
+		t.Fatalf("Table 2 has 6 datasets, got %d", len(Profiles))
+	}
+	p, err := ProfileByName("nytimes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Samples != 300_000 || p.Features != 102_660 {
+		t.Fatalf("nytimes scale wrong: %+v", p)
+	}
+	if _, err := ProfileByName("bogus"); err == nil {
+		t.Fatal("unknown profile should fail")
+	}
+	// LDA-N aggregator with K=100: 100 × 102660 × 8 ≈ 82 MB.
+	if got := p.AggregatorBytes(100); got != 8*100*102_660 {
+		t.Fatalf("AggregatorBytes = %d", got)
+	}
+	kdd12, _ := ProfileByName("kdd12")
+	if got := kdd12.AggregatorBytes(100); got != 8*(54_686_452+2) {
+		t.Fatalf("kdd12 AggregatorBytes = %d", got)
+	}
+}
+
+func TestProfileScaled(t *testing.T) {
+	p, _ := ProfileByName("kdd12")
+	s := p.Scaled(100_000)
+	if s.Samples < 200 || s.Features < 50 {
+		t.Fatalf("scaled profile too small: %+v", s)
+	}
+	if s.NNZPerSample > s.Features {
+		t.Fatal("nnz exceeds features after scaling")
+	}
+	if q := p.Scaled(0); q.Samples != p.Samples {
+		t.Fatal("factor<1 should clamp to 1")
+	}
+}
+
+func TestQuickGeneratedDocsValidate(t *testing.T) {
+	f := func(seed int64, docsRaw, vocabRaw uint8) bool {
+		spec := CorpusSpec{
+			Docs:       int(docsRaw%10) + 1,
+			Vocab:      int(vocabRaw%100) + 10,
+			Topics:     3,
+			MeanDocLen: 15,
+			Seed:       seed,
+		}
+		for _, d := range GenCorpus(spec) {
+			if d.Validate(spec.Vocab) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileLoaders(t *testing.T) {
+	dir := t.TempDir()
+	pts := GenClassification(ClassificationSpec{Samples: 15, Features: 10, NNZPerSample: 3, Seed: 4})
+	libsvmPath := dir + "/d.libsvm"
+	f, err := os.Create(libsvmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteLibSVM(f, pts); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadLibSVMFile(libsvmPath, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 15 {
+		t.Fatalf("loaded %d points", len(got))
+	}
+	if _, err := ReadLibSVMFile(dir+"/missing", 0); err == nil {
+		t.Fatal("missing file should fail")
+	}
+
+	docs := GenCorpus(CorpusSpec{Docs: 8, Vocab: 30, Topics: 2, MeanDocLen: 10, Seed: 1})
+	bowPath := dir + "/d.bow"
+	f2, err := os.Create(bowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBagOfWords(f2, docs, 30); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	gotDocs, vocab, err := ReadBagOfWordsFile(bowPath)
+	if err != nil || vocab != 30 || len(gotDocs) != 8 {
+		t.Fatalf("bow load: %d docs vocab %d err %v", len(gotDocs), vocab, err)
+	}
+}

@@ -1,0 +1,53 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadLibSVM: arbitrary text input must parse or error, never
+// panic, and parsed rows must satisfy the sparse-vector invariants.
+func FuzzReadLibSVM(f *testing.F) {
+	f.Add("1 1:0.5 3:2\n-1 2:1\n")
+	f.Add("+1 1:1\n")
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("0 5:nan\n")
+	f.Add("1 1:1 1:2\n") // duplicate index
+	f.Fuzz(func(t *testing.T, input string) {
+		pts, err := ReadLibSVM(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		for _, p := range pts {
+			if p.Features.NNZ() != len(p.Features.Values) {
+				t.Fatal("inconsistent sparse vector")
+			}
+			prev := int32(-1)
+			for _, ix := range p.Features.Indices {
+				if ix <= prev || int(ix) >= p.Features.Dim {
+					t.Fatalf("invariant violated: idx %d after %d (dim %d)", ix, prev, p.Features.Dim)
+				}
+				prev = ix
+			}
+		}
+	})
+}
+
+// FuzzReadBagOfWords: same guarantee for the UCI corpus format.
+func FuzzReadBagOfWords(f *testing.F) {
+	f.Add("2\n5\n3\n1 1 2\n1 3 1\n2 5 4\n")
+	f.Add("0\n0\n0\n")
+	f.Add("x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		docs, vocab, err := ReadBagOfWords(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, d := range docs {
+			if err := d.Validate(vocab); err != nil {
+				t.Fatalf("parsed doc violates invariants: %v", err)
+			}
+		}
+	})
+}

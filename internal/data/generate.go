@@ -1,0 +1,199 @@
+// Package data supplies the datasets of the evaluation. The paper's
+// corpora are proprietary-scale downloads (Table 2: avazu, criteo,
+// kdd10, kdd12 from libsvm; enron, nytimes from UCI); per the
+// substitution rule we generate shape-preserving synthetic equivalents
+// — same task type, same sparsity regime, aggregator sizes scaled by a
+// single factor — plus a libsvm reader/writer so real files can be
+// used when available.
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"sparker/internal/linalg"
+	"sparker/internal/mllib"
+)
+
+// ClassificationSpec shapes a synthetic classification dataset.
+type ClassificationSpec struct {
+	// Samples and Features set the matrix dimensions.
+	Samples, Features int
+	// NNZPerSample is the average number of non-zeros per row.
+	NNZPerSample int
+	// NoiseRate flips this fraction of labels (default 0.05).
+	NoiseRate float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenClassification synthesizes linearly-separable-with-noise sparse
+// samples: a hidden weight vector labels each random sparse row, and
+// NoiseRate of the labels are flipped. Labels are 0/1.
+func GenClassification(spec ClassificationSpec) []mllib.LabeledPoint {
+	if spec.NoiseRate == 0 {
+		spec.NoiseRate = 0.05
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	truth := make([]float64, spec.Features)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	out := make([]mllib.LabeledPoint, spec.Samples)
+	for s := range out {
+		x := randSparse(rng, spec.Features, spec.NNZPerSample)
+		margin := linalg.Dot(truth, x)
+		label := 0.0
+		if margin > 0 {
+			label = 1
+		}
+		if rng.Float64() < spec.NoiseRate {
+			label = 1 - label
+		}
+		out[s] = mllib.LabeledPoint{Label: label, Features: x}
+	}
+	return out
+}
+
+// GenClassificationPartition generates only partition part of parts —
+// executors synthesize their own data without the driver materializing
+// the full dataset, the way the benches load paper-scale inputs.
+func GenClassificationPartition(spec ClassificationSpec, part, parts int) []mllib.LabeledPoint {
+	lo := part * spec.Samples / parts
+	hi := (part + 1) * spec.Samples / parts
+	sub := spec
+	sub.Samples = hi - lo
+	sub.Seed = spec.Seed ^ (int64(part)+1)*0x1E3779B97F4A7C15
+	return GenClassification(sub)
+}
+
+// randSparse draws a sparse vector with Poisson-ish nnz and N(0,1)
+// values at uniformly random distinct indices.
+func randSparse(rng *rand.Rand, dim, avgNNZ int) linalg.SparseVector {
+	nnz := avgNNZ
+	if nnz <= 0 {
+		nnz = 1
+	}
+	// Jitter ±25% around the mean.
+	nnz += rng.Intn(nnz/2+1) - nnz/4
+	if nnz < 1 {
+		nnz = 1
+	}
+	if nnz > dim {
+		nnz = dim
+	}
+	seen := make(map[int32]bool, nnz)
+	idx := make([]int32, 0, nnz)
+	for len(idx) < nnz {
+		i := int32(rng.Intn(dim))
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sortInt32(idx)
+	vals := make([]float64, nnz)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	v, err := linalg.NewSparse(dim, idx, vals)
+	if err != nil {
+		panic(err) // construction is correct by design
+	}
+	return v
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// CorpusSpec shapes a synthetic LDA corpus.
+type CorpusSpec struct {
+	// Docs, Vocab set the corpus size; Topics the hidden topic count.
+	Docs, Vocab, Topics int
+	// MeanDocLen is the average tokens per document.
+	MeanDocLen int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenCorpus synthesizes documents from a hidden LDA-style generative
+// process: each topic is a Zipf-tilted distribution over a vocabulary
+// band, each document mixes a couple of topics.
+func GenCorpus(spec CorpusSpec) []mllib.Document {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Topics < 1 {
+		spec.Topics = 1
+	}
+	if spec.MeanDocLen < 1 {
+		spec.MeanDocLen = 50
+	}
+	// Topic t prefers the vocab band [t*V/T, (t+1)*V/T) with Zipf decay.
+	out := make([]mllib.Document, spec.Docs)
+	for d := range out {
+		k1 := rng.Intn(spec.Topics)
+		k2 := rng.Intn(spec.Topics)
+		docLen := spec.MeanDocLen/2 + rng.Intn(spec.MeanDocLen+1)
+		counts := map[int32]float64{}
+		for t := 0; t < docLen; t++ {
+			k := k1
+			if rng.Float64() < 0.3 {
+				k = k2
+			}
+			w := int32(topicWord(rng, k, spec.Topics, spec.Vocab))
+			counts[w]++
+		}
+		out[d] = docFromCounts(counts)
+	}
+	return out
+}
+
+// GenCorpusPartition generates only partition part of parts.
+func GenCorpusPartition(spec CorpusSpec, part, parts int) []mllib.Document {
+	lo := part * spec.Docs / parts
+	hi := (part + 1) * spec.Docs / parts
+	sub := spec
+	sub.Docs = hi - lo
+	sub.Seed = spec.Seed ^ (int64(part)+1)*0x1E3779B97F4A7C15
+	return GenCorpus(sub)
+}
+
+// topicWord samples a word for topic k: mostly from the topic's band,
+// Zipf-tilted, with a uniform background.
+func topicWord(rng *rand.Rand, k, topics, vocab int) int {
+	if rng.Float64() < 0.1 {
+		return rng.Intn(vocab)
+	}
+	band := vocab / topics
+	if band < 1 {
+		band = 1
+	}
+	// Zipf-ish within the band via inverse-power transform.
+	u := rng.Float64()
+	pos := int(math.Pow(u, 2.0) * float64(band))
+	if pos >= band {
+		pos = band - 1
+	}
+	w := k*band + pos
+	if w >= vocab {
+		w = vocab - 1
+	}
+	return w
+}
+
+func docFromCounts(counts map[int32]float64) mllib.Document {
+	ids := make([]int32, 0, len(counts))
+	for w := range counts {
+		ids = append(ids, w)
+	}
+	sortInt32(ids)
+	cs := make([]float64, len(ids))
+	for i, w := range ids {
+		cs[i] = counts[w]
+	}
+	return mllib.Document{WordIDs: ids, Counts: cs}
+}

@@ -1,0 +1,115 @@
+package data
+
+import "fmt"
+
+// Task distinguishes workload families (Table 2's "Task" column).
+type Task string
+
+// Task values.
+const (
+	TaskClassification Task = "classification"
+	TaskTopicModel     Task = "topic model"
+)
+
+// Profile records one Table-2 dataset at paper scale plus the
+// generation parameters used for its synthetic stand-in.
+type Profile struct {
+	// Name is the paper's dataset name.
+	Name string
+	// Task is the workload family.
+	Task Task
+	// Samples is rows (classification) or documents (topic model).
+	Samples int
+	// Features is feature count (classification) or dictionary size
+	// (topic model).
+	Features int
+	// NNZPerSample approximates row density (classification) or mean
+	// distinct words per document (topic model).
+	NNZPerSample int
+	// Source is the paper's provenance column.
+	Source string
+}
+
+// Profiles are the six Table-2 datasets at their published scales.
+// AggregatorBytes shows why kdd10/kdd12/nytimes dominate Figure 17:
+// their aggregators are hundreds of MB.
+var Profiles = []Profile{
+	{Name: "avazu", Task: TaskClassification, Samples: 45_006_431, Features: 1_000_000, NNZPerSample: 15, Source: "libsvm"},
+	{Name: "criteo", Task: TaskClassification, Samples: 51_882_752, Features: 1_000_000, NNZPerSample: 39, Source: "libsvm"},
+	{Name: "kdd10", Task: TaskClassification, Samples: 8_918_054, Features: 20_216_830, NNZPerSample: 30, Source: "libsvm"},
+	{Name: "kdd12", Task: TaskClassification, Samples: 149_639_105, Features: 54_686_452, NNZPerSample: 11, Source: "libsvm"},
+	{Name: "enron", Task: TaskTopicModel, Samples: 39_861, Features: 28_102, NNZPerSample: 90, Source: "uci"},
+	{Name: "nytimes", Task: TaskTopicModel, Samples: 300_000, Features: 102_660, NNZPerSample: 230, Source: "uci"},
+}
+
+// ProfileByName looks a profile up.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("data: unknown dataset profile %q", name)
+}
+
+// AggregatorBytes returns the per-iteration aggregator size of the
+// MLlib workload over this dataset: 8·features for the linear models'
+// gradient (plus loss/count words), 8·K·V for LDA's expected-count
+// matrix.
+func (p Profile) AggregatorBytes(ldaTopics int) int64 {
+	if p.Task == TaskTopicModel {
+		return 8 * int64(ldaTopics) * int64(p.Features)
+	}
+	return 8 * (int64(p.Features) + 2)
+}
+
+// Scaled returns a laptop-scale copy: dimensions divided by factor
+// (minimum sizes keep the workload meaningful). Used by the functional
+// examples and tests; the sim layer always uses the unscaled profile.
+func (p Profile) Scaled(factor int) Profile {
+	if factor < 1 {
+		factor = 1
+	}
+	q := p
+	q.Samples = maxInt(p.Samples/factor, 200)
+	q.Features = maxInt(p.Features/factor, 50)
+	q.NNZPerSample = minInt(p.NNZPerSample, q.Features)
+	return q
+}
+
+// ClassificationSpec converts a (scaled) classification profile into
+// generator parameters.
+func (p Profile) ClassificationSpec(seed int64) ClassificationSpec {
+	return ClassificationSpec{
+		Samples:      p.Samples,
+		Features:     p.Features,
+		NNZPerSample: p.NNZPerSample,
+		Seed:         seed,
+	}
+}
+
+// CorpusSpec converts a (scaled) topic-model profile into generator
+// parameters.
+func (p Profile) CorpusSpec(topics int, seed int64) CorpusSpec {
+	return CorpusSpec{
+		Docs:       p.Samples,
+		Vocab:      p.Features,
+		Topics:     topics,
+		MeanDocLen: p.NNZPerSample,
+		Seed:       seed,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+// Package eventlog reproduces the methodology of the paper's Section
+// 2: the authors found MLlib's bottleneck by analyzing Spark's history
+// logs. The engine emits structured events (jobs, stages, phase
+// timings) as JSON lines; Analyze folds a log back into the
+// aggregation / non-aggregation / driver decomposition of Figure 2 and
+// the compute-vs-reduce split of Figures 3-4.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one history-log record.
+type Event struct {
+	// Time is the wall-clock timestamp, nanoseconds.
+	Time int64 `json:"time"`
+	// Kind is "phase", "job" or "marker".
+	Kind string `json:"kind"`
+	// Name is the phase name (metrics.Phase*) or job label.
+	Name string `json:"name"`
+	// DurationNS is the elapsed time attributed to the event.
+	DurationNS int64 `json:"duration_ns"`
+	// Detail carries free-form context (workload name, message size…).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Logger serializes events to an io.Writer as JSON lines. Safe for
+// concurrent use. A nil *Logger drops events, so call sites need no
+// guards.
+type Logger struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	now func() time.Time
+}
+
+// New creates a logger writing to w.
+func New(w io.Writer) *Logger {
+	bw := bufio.NewWriter(w)
+	return &Logger{w: bw, enc: json.NewEncoder(bw), now: time.Now}
+}
+
+// Log records one event.
+func (l *Logger) Log(kind, name string, d time.Duration, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.enc.Encode(Event{
+		Time:       l.now().UnixNano(),
+		Kind:       kind,
+		Name:       name,
+		DurationNS: d.Nanoseconds(),
+		Detail:     detail,
+	})
+}
+
+// Phase records a named phase duration.
+func (l *Logger) Phase(name string, d time.Duration, detail string) {
+	l.Log("phase", name, d, detail)
+}
+
+// Flush drains buffered events.
+func (l *Logger) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// Read parses a history log.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("eventlog: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// Breakdown is the Figure-2-style decomposition recovered from a log.
+type Breakdown struct {
+	// Phases maps phase name to total attributed time.
+	Phases map[string]time.Duration
+	// Total is the sum over phases.
+	Total time.Duration
+}
+
+// Share returns the fraction of Total spent in the named phases.
+func (b Breakdown) Share(names ...string) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	var s time.Duration
+	for _, n := range names {
+		s += b.Phases[n]
+	}
+	return float64(s) / float64(b.Total)
+}
+
+// Hotspot returns the phase with the largest attributed time.
+func (b Breakdown) Hotspot() (string, time.Duration) {
+	names := make([]string, 0, len(b.Phases))
+	for n := range b.Phases {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic ties
+	var best string
+	var bestD time.Duration
+	for _, n := range names {
+		if b.Phases[n] > bestD {
+			best, bestD = n, b.Phases[n]
+		}
+	}
+	return best, bestD
+}
+
+// Analyze folds phase events into a Breakdown — the §2.3 analysis that
+// revealed tree aggregation as the hot-spot.
+func Analyze(events []Event) Breakdown {
+	b := Breakdown{Phases: map[string]time.Duration{}}
+	for _, e := range events {
+		if e.Kind != "phase" {
+			continue
+		}
+		d := time.Duration(e.DurationNS)
+		b.Phases[e.Name] += d
+		b.Total += d
+	}
+	return b
+}

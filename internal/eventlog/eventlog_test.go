@@ -1,0 +1,89 @@
+package eventlog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sparker/internal/metrics"
+)
+
+func TestLogReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	l.Phase(metrics.PhaseAggCompute, 3*time.Second, "stage 1")
+	l.Phase(metrics.PhaseAggReduce, 7*time.Second, "combine")
+	l.Log("job", "train", 10*time.Second, "")
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Name != metrics.PhaseAggCompute || events[0].DurationNS != int64(3*time.Second) {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Detail != "combine" {
+		t.Fatalf("detail lost: %+v", events[1])
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Phase("x", time.Second, "")
+	l.Log("a", "b", 0, "")
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeRecoversDecomposition(t *testing.T) {
+	events := []Event{
+		{Kind: "phase", Name: metrics.PhaseAggCompute, DurationNS: int64(30 * time.Second)},
+		{Kind: "phase", Name: metrics.PhaseAggReduce, DurationNS: int64(50 * time.Second)},
+		{Kind: "phase", Name: metrics.PhaseAggCompute, DurationNS: int64(10 * time.Second)},
+		{Kind: "phase", Name: metrics.PhaseNonAgg, DurationNS: int64(20 * time.Second)},
+		{Kind: "job", Name: "irrelevant", DurationNS: int64(time.Hour)},
+	}
+	b := Analyze(events)
+	if b.Total != 110*time.Second {
+		t.Fatalf("Total = %v", b.Total)
+	}
+	if b.Phases[metrics.PhaseAggCompute] != 40*time.Second {
+		t.Fatalf("agg-compute = %v", b.Phases[metrics.PhaseAggCompute])
+	}
+	// The Section-2 analysis: aggregation share and hotspot.
+	share := b.Share(metrics.PhaseAggCompute, metrics.PhaseAggReduce)
+	if share < 0.81 || share > 0.82 { // 90/110
+		t.Fatalf("aggregation share = %v", share)
+	}
+	name, d := b.Hotspot()
+	if name != metrics.PhaseAggReduce || d != 50*time.Second {
+		t.Fatalf("hotspot = %s %v", name, d)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	b := Analyze(nil)
+	if b.Total != 0 || b.Share("x") != 0 {
+		t.Fatal("empty analysis should be zero")
+	}
+	if name, _ := b.Hotspot(); name != "" {
+		t.Fatalf("empty hotspot = %q", name)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	events, err := Read(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("empty log: %v %v", events, err)
+	}
+}

@@ -1,0 +1,183 @@
+package linalg
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sparker/internal/serde"
+)
+
+func mustSparse(t *testing.T, dim int, idx []int32, vals []float64) SparseVector {
+	t.Helper()
+	v, err := NewSparse(dim, idx, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewSparseValidation(t *testing.T) {
+	if _, err := NewSparse(4, []int32{0, 1}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewSparse(4, []int32{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("duplicate index should fail")
+	}
+	if _, err := NewSparse(4, []int32{2, 1}, []float64{1, 2}); err == nil {
+		t.Error("decreasing index should fail")
+	}
+	if _, err := NewSparse(4, []int32{4}, []float64{1}); err == nil {
+		t.Error("out-of-dim index should fail")
+	}
+	if _, err := NewSparse(4, nil, nil); err != nil {
+		t.Errorf("empty vector should be valid: %v", err)
+	}
+}
+
+func TestAtAndDense(t *testing.T) {
+	v := mustSparse(t, 6, []int32{1, 3, 5}, []float64{10, 30, 50})
+	wantDense := []float64{0, 10, 0, 30, 0, 50}
+	if !reflect.DeepEqual(v.Dense(), wantDense) {
+		t.Fatalf("Dense = %v", v.Dense())
+	}
+	for i, want := range wantDense {
+		if got := v.At(i); got != want {
+			t.Errorf("At(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if v.NNZ() != 3 {
+		t.Errorf("NNZ = %d", v.NNZ())
+	}
+}
+
+func TestDotMatchesDense(t *testing.T) {
+	v := mustSparse(t, 5, []int32{0, 2, 4}, []float64{1, -2, 3})
+	w := []float64{2, 9, 4, 9, 0.5}
+	want := 2.0 - 8 + 1.5
+	if got := Dot(w, v); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Dot = %v, want %v", got, want)
+	}
+	if got := DotDense(w, v.Dense()); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DotDense = %v, want %v", got, want)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	v := mustSparse(t, 4, []int32{1, 3}, []float64{2, -1})
+	y := []float64{1, 1, 1, 1}
+	Axpy(0.5, v, y)
+	want := []float64{1, 2, 1, 0.5}
+	if !reflect.DeepEqual(y, want) {
+		t.Fatalf("Axpy = %v, want %v", y, want)
+	}
+}
+
+func TestAxpyDenseAndScal(t *testing.T) {
+	y := []float64{1, 2}
+	AxpyDense(2, []float64{3, 4}, y)
+	if !reflect.DeepEqual(y, []float64{7, 10}) {
+		t.Fatalf("AxpyDense = %v", y)
+	}
+	Scal(0.5, y)
+	if !reflect.DeepEqual(y, []float64{3.5, 5}) {
+		t.Fatalf("Scal = %v", y)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %v", got)
+	}
+}
+
+func TestSparseSerdeRoundTrip(t *testing.T) {
+	v := mustSparse(t, 100, []int32{0, 50, 99}, []float64{-1.5, 2.5, 3})
+	b, err := serde.Encode(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := serde.Decode(b)
+	if err != nil || n != len(b) {
+		t.Fatalf("decode: %v (n=%d/%d)", err, n, len(b))
+	}
+	if !reflect.DeepEqual(got.(SparseVector), v) {
+		t.Fatalf("roundtrip: got %+v", got)
+	}
+}
+
+func TestQuickDotAgainstDense(t *testing.T) {
+	f := func(raw []float64, dimRaw uint8) bool {
+		dim := int(dimRaw%32) + 1
+		var idx []int32
+		var vals []float64
+		for i, r := range raw {
+			if i >= dim {
+				break
+			}
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			// Clamp magnitude: the property is about index bookkeeping,
+			// not about float association order at 1e308 scales.
+			r = math.Mod(r, 1e6)
+			if int64(i)%2 == 0 { // make it sparse
+				idx = append(idx, int32(i))
+				vals = append(vals, r)
+			}
+		}
+		v, err := NewSparse(dim, idx, vals)
+		if err != nil {
+			return false
+		}
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = float64(i) * 0.25
+		}
+		got := Dot(w, v)
+		want := DotDense(w, v.Dense())
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSparseRoundTrip(t *testing.T) {
+	f := func(vals []float64, dimRaw uint8) bool {
+		dim := len(vals) + int(dimRaw)%8 + 1
+		idx := make([]int32, len(vals))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		v, err := NewSparse(dim, idx, vals)
+		if err != nil {
+			return false
+		}
+		b, err := serde.Encode(nil, v)
+		if err != nil {
+			return false
+		}
+		got, _, err := serde.Decode(b)
+		if err != nil {
+			return false
+		}
+		gv := got.(SparseVector)
+		if gv.Dim != v.Dim || gv.NNZ() != v.NNZ() {
+			return false
+		}
+		for i := range vals {
+			if gv.Values[i] != vals[i] && !(math.IsNaN(gv.Values[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package metrics provides the phase-level time accounting used to
+// reproduce the paper's end-to-end decompositions (Figures 2–4, 18):
+// driver time, non-aggregation compute, aggregation compute and
+// aggregation reduce.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Canonical phase names used by the engine and the harness.
+const (
+	PhaseDriver     = "driver"
+	PhaseNonAgg     = "non-agg"
+	PhaseAggCompute = "agg-compute"
+	PhaseAggReduce  = "agg-reduce"
+)
+
+// Recorder accumulates named durations. It is safe for concurrent use.
+type Recorder struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{m: map[string]time.Duration{}}
+}
+
+// Add accumulates d into the named phase.
+func (r *Recorder) Add(phase string, d time.Duration) {
+	r.mu.Lock()
+	r.m[phase] += d
+	r.mu.Unlock()
+}
+
+// Time runs f, charging its wall time to phase.
+func (r *Recorder) Time(phase string, f func()) {
+	start := time.Now()
+	f()
+	r.Add(phase, time.Since(start))
+}
+
+// Get returns the accumulated duration of a phase.
+func (r *Recorder) Get(phase string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[phase]
+}
+
+// Total returns the sum over all phases.
+func (r *Recorder) Total() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t time.Duration
+	for _, d := range r.m {
+		t += d
+	}
+	return t
+}
+
+// Snapshot returns a copy of the phase map.
+func (r *Recorder) Snapshot() map[string]time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]time.Duration, len(r.m))
+	for k, v := range r.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all phases.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.m = map[string]time.Duration{}
+	r.mu.Unlock()
+}
+
+// String renders phases sorted by name, for logs and test output.
+func (r *Recorder) String() string {
+	snap := r.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%v", k, snap[k])
+	}
+	return b.String()
+}

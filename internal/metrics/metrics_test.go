@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	r := NewRecorder()
+	r.Add(PhaseAggCompute, time.Second)
+	r.Add(PhaseAggCompute, 2*time.Second)
+	r.Add(PhaseAggReduce, time.Second)
+	if got := r.Get(PhaseAggCompute); got != 3*time.Second {
+		t.Fatalf("Get = %v", got)
+	}
+	if got := r.Total(); got != 4*time.Second {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := r.Get("missing"); got != 0 {
+		t.Fatalf("missing phase = %v", got)
+	}
+}
+
+func TestTimeChargesPhase(t *testing.T) {
+	r := NewRecorder()
+	r.Time("work", func() { time.Sleep(5 * time.Millisecond) })
+	if got := r.Get("work"); got < 5*time.Millisecond {
+		t.Fatalf("Time charged only %v", got)
+	}
+}
+
+func TestSnapshotIsolated(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", time.Second)
+	snap := r.Snapshot()
+	snap["a"] = 0
+	if r.Get("a") != time.Second {
+		t.Fatal("mutating snapshot affected recorder")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder()
+	r.Add("a", time.Second)
+	r.Reset()
+	if r.Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Add("zeta", time.Second)
+	r.Add("alpha", 2*time.Second)
+	s := r.String()
+	if !strings.Contains(s, "alpha=2s") || !strings.Contains(s, "zeta=1s") {
+		t.Fatalf("String = %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Fatalf("phases not sorted: %q", s)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add("p", time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("p"); got != 1600*time.Millisecond {
+		t.Fatalf("concurrent adds lost updates: %v", got)
+	}
+}

@@ -1,0 +1,159 @@
+package mllib
+
+import (
+	"fmt"
+	"sort"
+
+	"sparker/internal/linalg"
+)
+
+// BinaryMetrics evaluates a binary classifier's scores against 0/1
+// labels — the evaluation half of an ML library (MLlib's
+// BinaryClassificationMetrics).
+type BinaryMetrics struct {
+	scores []float64
+	labels []float64
+	pos    int
+}
+
+// NewBinaryMetrics pairs scores (higher = more positive) with labels.
+func NewBinaryMetrics(scores, labels []float64) (*BinaryMetrics, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("mllib: %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("mllib: empty evaluation set")
+	}
+	m := &BinaryMetrics{
+		scores: append([]float64(nil), scores...),
+		labels: append([]float64(nil), labels...),
+	}
+	for _, l := range labels {
+		if l != 0 && l != 1 {
+			return nil, fmt.Errorf("mllib: label %v is not 0/1", l)
+		}
+		if l == 1 {
+			m.pos++
+		}
+	}
+	return m, nil
+}
+
+// EvaluateModel scores data with a linear model and builds metrics
+// from its margins.
+func EvaluateModel(m *LinearModel, data []LabeledPoint) (*BinaryMetrics, error) {
+	scores := make([]float64, len(data))
+	labels := make([]float64, len(data))
+	for i, p := range data {
+		scores[i] = m.Margin(p.Features)
+		labels[i] = p.Label
+	}
+	return NewBinaryMetrics(scores, labels)
+}
+
+// ConfusionAt thresholds the scores and returns (tp, fp, tn, fn).
+func (m *BinaryMetrics) ConfusionAt(threshold float64) (tp, fp, tn, fn int) {
+	for i, s := range m.scores {
+		predicted := s >= threshold
+		actual := m.labels[i] == 1
+		switch {
+		case predicted && actual:
+			tp++
+		case predicted && !actual:
+			fp++
+		case !predicted && !actual:
+			tn++
+		default:
+			fn++
+		}
+	}
+	return tp, fp, tn, fn
+}
+
+// PrecisionRecallAt returns precision and recall at a threshold.
+func (m *BinaryMetrics) PrecisionRecallAt(threshold float64) (precision, recall float64) {
+	tp, fp, _, fn := m.ConfusionAt(threshold)
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// F1At returns the F1 score at a threshold.
+func (m *BinaryMetrics) F1At(threshold float64) float64 {
+	p, r := m.PrecisionRecallAt(threshold)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// AUC computes the area under the ROC curve via the rank statistic
+// (equivalent to the Mann–Whitney U), with tie correction.
+func (m *BinaryMetrics) AUC() float64 {
+	n := len(m.scores)
+	neg := n - m.pos
+	if m.pos == 0 || neg == 0 {
+		return 1 // degenerate: a single class is trivially separated
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.scores[idx[a]] < m.scores[idx[b]] })
+
+	// Average ranks over ties, then sum positive ranks.
+	var rankSum float64
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && m.scores[idx[j+1]] == m.scores[idx[i]] {
+			j++
+		}
+		avgRank := float64(i+j)/2 + 1 // ranks are 1-based
+		for k := i; k <= j; k++ {
+			if m.labels[idx[k]] == 1 {
+				rankSum += avgRank
+			}
+		}
+		i = j + 1
+	}
+	u := rankSum - float64(m.pos)*float64(m.pos+1)/2
+	return u / (float64(m.pos) * float64(neg))
+}
+
+// SilhouetteApprox computes a cheap clustering quality score in [-1, 1]
+// for a KMeans model over points: mean over points of
+// (b − a) / max(a, b) with a = distance to own center and b = distance
+// to the nearest other center (the simplified centroid-based
+// silhouette).
+func SilhouetteApprox(m *KMeansModel, points []linalg.SparseVector) float64 {
+	if len(points) == 0 || len(m.Centers) < 2 {
+		return 0
+	}
+	var total float64
+	for _, x := range points {
+		own := m.Predict(x)
+		a := sqDist(m.Centers[own], x)
+		b := -1.0
+		for c := range m.Centers {
+			if c == own {
+				continue
+			}
+			if d := sqDist(m.Centers[c], x); b < 0 || d < b {
+				b = d
+			}
+		}
+		den := a
+		if b > den {
+			den = b
+		}
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(len(points))
+}

@@ -1,0 +1,177 @@
+package mllib
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sparker/internal/linalg"
+)
+
+func TestBinaryMetricsValidation(t *testing.T) {
+	if _, err := NewBinaryMetrics([]float64{1}, []float64{1, 0}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewBinaryMetrics(nil, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := NewBinaryMetrics([]float64{1}, []float64{2}); err == nil {
+		t.Error("non-binary label should fail")
+	}
+}
+
+func TestConfusionAndPR(t *testing.T) {
+	// scores: perfect separation at 0.5.
+	m, err := NewBinaryMetrics(
+		[]float64{0.9, 0.8, 0.2, 0.1},
+		[]float64{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp, tn, fn := m.ConfusionAt(0.5)
+	if tp != 2 || fp != 0 || tn != 2 || fn != 0 {
+		t.Fatalf("confusion = %d %d %d %d", tp, fp, tn, fn)
+	}
+	p, r := m.PrecisionRecallAt(0.5)
+	if p != 1 || r != 1 {
+		t.Fatalf("P/R = %v/%v", p, r)
+	}
+	if f1 := m.F1At(0.5); f1 != 1 {
+		t.Fatalf("F1 = %v", f1)
+	}
+	// Threshold below everything: recall 1, precision 0.5.
+	p, r = m.PrecisionRecallAt(-1)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("low-threshold P/R = %v/%v", p, r)
+	}
+	if auc := m.AUC(); auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	// Scores independent of labels: AUC ≈ 0.5.
+	n := 2000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	s := uint64(12345)
+	for i := range scores {
+		s = s*6364136223846793005 + 1442695040888963407
+		scores[i] = float64((s>>20)%1000) / 1000
+		s = s*6364136223846793005 + 1442695040888963407
+		labels[i] = float64((s >> 40) % 2)
+	}
+	m, err := NewBinaryMetrics(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := m.AUC(); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC = %v, want ≈ 0.5", auc)
+	}
+}
+
+func TestAUCWithTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 by tie correction.
+	m, err := NewBinaryMetrics([]float64{1, 1, 1, 1}, []float64{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := m.AUC(); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCInvariantToMonotoneTransform(t *testing.T) {
+	f := func(raw []float64, labelBits []bool) bool {
+		n := len(raw)
+		if n < 4 || len(labelBits) < n {
+			return true
+		}
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		hasPos, hasNeg := false, false
+		for i := 0; i < n; i++ {
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = float64(i)
+			}
+			scores[i] = math.Mod(v, 100)
+			if labelBits[i] {
+				labels[i] = 1
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		a, err := NewBinaryMetrics(scores, labels)
+		if err != nil {
+			return false
+		}
+		// Monotone transform: scale and shift.
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = 3*s + 7
+		}
+		b, err := NewBinaryMetrics(transformed, labels)
+		if err != nil {
+			return false
+		}
+		return math.Abs(a.AUC()-b.AUC()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateModelOnTrainedLR(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	train := trainingSet(ctx, 400, 2, 4)
+	m, err := TrainLogisticRegression(train, LogisticRegressionConfig{
+		NumFeatures: 2,
+		GD:          GDConfig{Iterations: 30, StepSize: 5, Strategy: StrategySplit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := collectTrainingSet(t, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := EvaluateModel(m, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := metrics.AUC(); auc < 0.95 {
+		t.Fatalf("trained LR AUC = %v, want ≥ 0.95 on separable data", auc)
+	}
+	if f1 := metrics.F1At(0); f1 < 0.85 {
+		t.Fatalf("F1 at margin 0 = %v", f1)
+	}
+}
+
+func TestSilhouetteApprox(t *testing.T) {
+	m := &KMeansModel{Centers: [][]float64{{0, 0}, {10, 10}}}
+	mk := func(a, b float64) linalg.SparseVector {
+		v, _ := linalg.NewSparse(2, []int32{0, 1}, []float64{a, b})
+		return v
+	}
+	// Tight, well-separated points: silhouette near 1.
+	good := []linalg.SparseVector{mk(0.1, 0), mk(0, 0.1), mk(10, 10.1), mk(9.9, 10)}
+	if s := SilhouetteApprox(m, good); s < 0.9 {
+		t.Fatalf("well-separated silhouette = %v", s)
+	}
+	// Points halfway between centers: silhouette near 0.
+	mid := []linalg.SparseVector{mk(5, 5.01), mk(5.01, 5)}
+	if s := SilhouetteApprox(m, mid); math.Abs(s) > 0.1 {
+		t.Fatalf("ambiguous silhouette = %v", s)
+	}
+	if s := SilhouetteApprox(m, nil); s != 0 {
+		t.Fatalf("empty silhouette = %v", s)
+	}
+	if s := SilhouetteApprox(&KMeansModel{Centers: [][]float64{{0}}}, good); s != 0 {
+		t.Fatalf("single-cluster silhouette = %v", s)
+	}
+}

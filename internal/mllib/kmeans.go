@@ -1,0 +1,167 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+
+	"sparker/internal/linalg"
+	"sparker/internal/rdd"
+)
+
+// KMeansConfig configures TrainKMeans.
+type KMeansConfig struct {
+	// K is the cluster count.
+	K int
+	// NumFeatures is the point dimensionality.
+	NumFeatures int
+	// Iterations caps Lloyd iterations (default 20).
+	Iterations int
+	// ConvergenceTol stops when no center moves more than this L2
+	// distance (default 1e-4).
+	ConvergenceTol float64
+	// Strategy, Depth, Parallelism select the aggregation path — the
+	// per-iteration aggregator is K×dim sums + K counts + cost, another
+	// big flat vector that split aggregation slices.
+	Strategy    Strategy
+	Depth       int
+	Parallelism int
+}
+
+func (c *KMeansConfig) fill() error {
+	if c.K < 1 || c.NumFeatures < 1 {
+		return fmt.Errorf("mllib: KMeans needs positive K and NumFeatures (got %d, %d)", c.K, c.NumFeatures)
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 20
+	}
+	if c.ConvergenceTol == 0 {
+		c.ConvergenceTol = 1e-4
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+	return nil
+}
+
+// KMeansModel is a trained clustering.
+type KMeansModel struct {
+	// Centers are the K cluster centers.
+	Centers [][]float64
+	// CostHistory is the per-iteration within-cluster sum of squares.
+	CostHistory []float64
+}
+
+// Predict returns the nearest center's index.
+func (m *KMeansModel) Predict(x linalg.SparseVector) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, center := range m.Centers {
+		d := sqDist(center, x)
+		if d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// Cost returns the final training cost.
+func (m *KMeansModel) Cost() float64 {
+	if len(m.CostHistory) == 0 {
+		return math.NaN()
+	}
+	return m.CostHistory[len(m.CostHistory)-1]
+}
+
+// sqDist computes ||c - x||² for dense c, sparse x.
+func sqDist(center []float64, x linalg.SparseVector) float64 {
+	var cNorm float64
+	for _, v := range center {
+		cNorm += v * v
+	}
+	var xNorm, dot float64
+	for i, ix := range x.Indices {
+		v := x.Values[i]
+		xNorm += v * v
+		dot += center[ix] * v
+	}
+	d := cNorm - 2*dot + xNorm
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// TrainKMeans runs Lloyd's algorithm: one distributed aggregation per
+// iteration computes every cluster's point sum, count and the total
+// cost against the current centers.
+func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMeansModel, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	k, dim := cfg.K, cfg.NumFeatures
+
+	// Initialize centers from the first K points (deterministic; the
+	// callers shuffle their data or accept seeding quality).
+	seedPts, err := rdd.Take(points, k)
+	if err != nil {
+		return nil, err
+	}
+	if len(seedPts) < k {
+		return nil, fmt.Errorf("mllib: only %d points for K=%d", len(seedPts), k)
+	}
+	centers := make([][]float64, k)
+	for i, p := range seedPts {
+		if p.Dim != dim {
+			return nil, fmt.Errorf("mllib: point dim %d != NumFeatures %d", p.Dim, dim)
+		}
+		centers[i] = p.Dense()
+	}
+
+	model := &KMeansModel{Centers: centers}
+	// Aggregator layout: [k*dim) sums, [k*dim, k*dim+k) counts, last cost.
+	aggDim := k*dim + k + 1
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		snapshot := make([][]float64, k)
+		for i, c := range centers {
+			snapshot[i] = append([]float64(nil), c...)
+		}
+		agg, err := AggregateF64(points, aggDim, func(acc []float64, x linalg.SparseVector) []float64 {
+			best, bestDist := 0, math.Inf(1)
+			for c, center := range snapshot {
+				if d := sqDist(center, x); d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			linalg.Axpy(1, x, acc[best*dim:(best+1)*dim])
+			acc[k*dim+best]++
+			acc[k*dim+k] += bestDist
+			return acc
+		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("mllib: kmeans iteration %d: %w", iter, err)
+		}
+		model.CostHistory = append(model.CostHistory, agg[k*dim+k])
+
+		moved := 0.0
+		for c := 0; c < k; c++ {
+			count := agg[k*dim+c]
+			if count == 0 {
+				continue // keep the empty cluster's center
+			}
+			var shift float64
+			for j := 0; j < dim; j++ {
+				nv := agg[c*dim+j] / count
+				d := nv - centers[c][j]
+				shift += d * d
+				centers[c][j] = nv
+			}
+			if s := math.Sqrt(shift); s > moved {
+				moved = s
+			}
+		}
+		if moved < cfg.ConvergenceTol {
+			break
+		}
+	}
+	return model, nil
+}

@@ -1,0 +1,178 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sparker/internal/linalg"
+	"sparker/internal/rdd"
+)
+
+// blobRDD generates points around k well-separated dense centers.
+func blobRDD(ctx *rdd.Context, n, dim, k, parts int) *rdd.RDD[linalg.SparseVector] {
+	return rdd.Generate(ctx, parts, func(part int) ([]linalg.SparseVector, error) {
+		lo := part * n / parts
+		hi := (part + 1) * n / parts
+		out := make([]linalg.SparseVector, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			c := i % k
+			idx := make([]int32, dim)
+			vals := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				idx[j] = int32(j)
+				// Center c lives at 10*c in every coordinate; jitter ±0.5.
+				vals[j] = 10*float64(c) + float64((i*31+j*17)%100)/100 - 0.5
+			}
+			sv, err := linalg.NewSparse(dim, idx, vals)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sv)
+		}
+		return out, nil
+	}).Cache()
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	for _, s := range []Strategy{StrategyTree, StrategySplit} {
+		t.Run(s.String(), func(t *testing.T) {
+			ctx := testContext(t, 3, 2)
+			const n, dim, k = 300, 3, 3
+			pts := blobRDD(ctx, n, dim, k, 6)
+			m, err := TrainKMeans(pts, KMeansConfig{
+				K: k, NumFeatures: dim, Iterations: 15, Strategy: s,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Each learned center must sit near one blob center (0, 10
+			// or 20 per coordinate), and all blobs must be covered.
+			covered := map[int]bool{}
+			for _, c := range m.Centers {
+				blob := int(math.Round(c[0] / 10))
+				for j := range c {
+					if math.Abs(c[j]-10*float64(blob)) > 1 {
+						t.Fatalf("center %v far from any blob", c)
+					}
+				}
+				covered[blob] = true
+			}
+			if len(covered) != k {
+				t.Fatalf("only %d blobs covered: %v", len(covered), m.Centers)
+			}
+			// Cost decreases (weakly) across iterations.
+			for i := 1; i < len(m.CostHistory); i++ {
+				if m.CostHistory[i] > m.CostHistory[i-1]+1e-6 {
+					t.Fatalf("cost increased at %d: %v", i, m.CostHistory)
+				}
+			}
+		})
+	}
+}
+
+func TestKMeansPredict(t *testing.T) {
+	m := &KMeansModel{Centers: [][]float64{{0, 0}, {10, 10}}}
+	near0, _ := linalg.NewSparse(2, []int32{0, 1}, []float64{1, -1})
+	near1, _ := linalg.NewSparse(2, []int32{0, 1}, []float64{9, 11})
+	if m.Predict(near0) != 0 || m.Predict(near1) != 1 {
+		t.Fatal("Predict picked wrong centers")
+	}
+	if !math.IsNaN((&KMeansModel{}).Cost()) {
+		t.Fatal("empty model Cost should be NaN")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	pts := blobRDD(ctx, 10, 2, 2, 2)
+	if _, err := TrainKMeans(pts, KMeansConfig{K: 0, NumFeatures: 2}); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := TrainKMeans(pts, KMeansConfig{K: 50, NumFeatures: 2}); err == nil {
+		t.Fatal("K > points should fail")
+	}
+	if _, err := TrainKMeans(pts, KMeansConfig{K: 2, NumFeatures: 5}); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+}
+
+func TestKMeansStrategiesAgree(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	pts := blobRDD(ctx, 120, 2, 2, 4)
+	run := func(s Strategy) *KMeansModel {
+		m, err := TrainKMeans(pts, KMeansConfig{K: 2, NumFeatures: 2, Iterations: 8, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(StrategyTree), run(StrategySplit)
+	for c := range a.Centers {
+		for j := range a.Centers[c] {
+			if math.Abs(a.Centers[c][j]-b.Centers[c][j]) > 1e-9 {
+				t.Fatalf("centers diverge: %v vs %v", a.Centers, b.Centers)
+			}
+		}
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	x, _ := linalg.NewSparse(3, []int32{0, 2}, []float64{1, 2})
+	c := []float64{1, 1, 0}
+	// ||c-x||² = 0 + 1 + 4 = 5.
+	if d := sqDist(c, x); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("sqDist = %v, want 5", d)
+	}
+}
+
+func TestLDAInferDoc(t *testing.T) {
+	const docs, vocab, topics, k = 120, 60, 3, 6
+	ctx := testContext(t, 2, 2)
+	corpus := corpusRDD(ctx, docs, vocab, topics, 4)
+	m, err := TrainLDA(corpus, LDAConfig{K: k, Vocab: vocab, Iterations: 12, Strategy: StrategySplit, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	band := vocab / topics
+	// A doc drawn purely from band 1 must infer a mixture concentrated
+	// on topics whose mass lives in band 1.
+	doc := Document{
+		WordIDs: []int32{int32(band), int32(band + 3), int32(band + 7)},
+		Counts:  []float64{3, 2, 4},
+	}
+	gamma := m.InferDoc(doc, 0, 0)
+	var sum float64
+	for _, g := range gamma {
+		if g < 0 {
+			t.Fatalf("negative mixture weight: %v", gamma)
+		}
+		sum += g
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mixture sums to %v", sum)
+	}
+	// Weight mass on band-1 topics must dominate.
+	dists := m.TopicDistributions()
+	var band1Weight float64
+	for kk, g := range gamma {
+		var mass float64
+		for w := band; w < 2*band; w++ {
+			mass += dists[kk][w]
+		}
+		if mass > 0.5 {
+			band1Weight += g
+		}
+	}
+	if band1Weight < 0.6 {
+		t.Fatalf("band-1 topics only got %.2f of the mixture: %v", band1Weight, gamma)
+	}
+	// Empty doc: uniform.
+	uniform := m.InferDoc(Document{}, 0, 0)
+	for _, g := range uniform {
+		if math.Abs(g-1.0/k) > 1e-9 {
+			t.Fatalf("empty doc mixture not uniform: %v", uniform)
+		}
+	}
+	_ = fmt.Sprint(gamma)
+}

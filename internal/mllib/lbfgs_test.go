@@ -1,0 +1,146 @@
+package mllib
+
+import (
+	"math"
+	"testing"
+
+	"sparker/internal/linalg"
+)
+
+func TestLBFGSLearnsFasterThanSGD(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	const n, dim = 400, 2
+	train := trainingSet(ctx, n, dim, 6)
+
+	lbfgs, err := TrainLogisticRegressionLBFGS(train, dim, LBFGSConfig{
+		Iterations: 15, Strategy: StrategySplit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgd, err := TrainLogisticRegression(train, LogisticRegressionConfig{
+		NumFeatures: dim,
+		GD:          GDConfig{Iterations: 15, StepSize: 5, Strategy: StrategySplit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbfgsLoss := lbfgs.Losses[len(lbfgs.Losses)-1]
+	sgdLoss := sgd.Losses[len(sgd.Losses)-1]
+	if lbfgsLoss > sgdLoss+1e-6 {
+		t.Fatalf("L-BFGS final loss %v worse than SGD's %v after equal iterations", lbfgsLoss, sgdLoss)
+	}
+	pts, err := collectTrainingSet(t, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := lbfgs.Accuracy(pts); acc < 0.9 {
+		t.Fatalf("L-BFGS accuracy %v < 0.9", acc)
+	}
+}
+
+func TestLBFGSMonotoneLoss(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	train := trainingSet(ctx, 300, 2, 4)
+	m, err := TrainLogisticRegressionLBFGS(train, 2, LBFGSConfig{
+		Iterations: 20, Strategy: StrategyTree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Losses); i++ {
+		if m.Losses[i] > m.Losses[i-1]+1e-9 {
+			t.Fatalf("loss increased at iteration %d: %v -> %v", i, m.Losses[i-1], m.Losses[i])
+		}
+	}
+}
+
+func TestLBFGSStrategiesAgree(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	train := trainingSet(ctx, 250, 2, 5)
+	run := func(s Strategy) *LinearModel {
+		m, err := TrainLogisticRegressionLBFGS(train, 2, LBFGSConfig{Iterations: 8, Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	tree := run(StrategyTree)
+	split := run(StrategySplit)
+	for i := range tree.Weights {
+		if math.Abs(tree.Weights[i]-split.Weights[i]) > 1e-6 {
+			t.Fatalf("L-BFGS weights diverge across strategies at %d: %v vs %v",
+				i, tree.Weights[i], split.Weights[i])
+		}
+	}
+}
+
+func TestLBFGSRegularization(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	train := trainingSet(ctx, 200, 2, 4)
+	free, err := TrainLogisticRegressionLBFGS(train, 2, LBFGSConfig{Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := TrainLogisticRegressionLBFGS(train, 2, LBFGSConfig{Iterations: 20, RegParam: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm(reg.Weights) >= norm(free.Weights) {
+		t.Fatalf("L2 regularization did not shrink weights: %v vs %v",
+			norm(reg.Weights), norm(free.Weights))
+	}
+}
+
+func TestLBFGSValidation(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	train := trainingSet(ctx, 50, 2, 2)
+	if _, err := TrainLogisticRegressionLBFGS(train, 0, LBFGSConfig{}); err == nil {
+		t.Fatal("zero features should fail")
+	}
+	if _, _, err := RunLBFGS(train, LogisticGradient{}, nil, LBFGSConfig{}); err == nil {
+		t.Fatal("empty initial weights should fail")
+	}
+}
+
+func TestTwoLoopIdentityWithoutHistory(t *testing.T) {
+	g := []float64{1, -2, 3}
+	q := twoLoop(g, nil, nil, nil)
+	for i := range g {
+		if q[i] != g[i] {
+			t.Fatalf("empty-history two-loop changed gradient: %v", q)
+		}
+	}
+}
+
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func collectTrainingSet(t *testing.T, r interface{ NumPartitions() int }) ([]LabeledPoint, error) {
+	t.Helper()
+	// trainingSet builds deterministic data; regenerate it directly.
+	out := make([]LabeledPoint, 0, 400)
+	for i := 0; i < 400; i++ {
+		f0 := float64(i%17)/17 - 0.5
+		f1 := float64(i%13)/13 - 0.5
+		label := 0.0
+		if f0+f1 > 0 {
+			label = 1
+		}
+		sv, err := sparseFrom(2, f0, f1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LabeledPoint{Label: label, Features: sv})
+	}
+	return out, nil
+}
+
+func sparseFrom(dim int, f0, f1 float64) (v linalg.SparseVector, err error) {
+	return linalg.NewSparse(dim, []int32{0, 1}, []float64{f0, f1})
+}

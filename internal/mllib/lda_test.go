@@ -1,0 +1,239 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sparker/internal/rdd"
+)
+
+// corpusRDD distributes a deterministic synthetic two-band corpus:
+// documents are drawn from one of `topics` vocabulary bands, so a
+// correct LDA should concentrate each learned topic on a band.
+func corpusRDD(ctx *rdd.Context, docs, vocab, topics, parts int) *rdd.RDD[Document] {
+	return rdd.Generate(ctx, parts, func(part int) ([]Document, error) {
+		lo := part * docs / parts
+		hi := (part + 1) * docs / parts
+		out := make([]Document, 0, hi-lo)
+		band := vocab / topics
+		for i := lo; i < hi; i++ {
+			k := i % topics
+			// 6 distinct words from the doc's band, lattice-spread.
+			ids := make([]int32, 0, 6)
+			counts := make([]float64, 0, 6)
+			for j := 0; j < 6; j++ {
+				w := int32(k*band + (i*7+j*13)%band)
+				// Keep strictly increasing by sorting below.
+				ids = append(ids, w)
+				counts = append(counts, float64(1+j%3))
+			}
+			d := dedupSorted(ids, counts)
+			out = append(out, d)
+		}
+		return out, nil
+	}).Cache()
+}
+
+func dedupSorted(ids []int32, counts []float64) Document {
+	m := map[int32]float64{}
+	for i, w := range ids {
+		m[w] += counts[i]
+	}
+	uniq := make([]int32, 0, len(m))
+	for w := range m {
+		uniq = append(uniq, w)
+	}
+	for i := 1; i < len(uniq); i++ {
+		for j := i; j > 0 && uniq[j] < uniq[j-1]; j-- {
+			uniq[j], uniq[j-1] = uniq[j-1], uniq[j]
+		}
+	}
+	cs := make([]float64, len(uniq))
+	for i, w := range uniq {
+		cs[i] = m[w]
+	}
+	return Document{WordIDs: uniq, Counts: cs}
+}
+
+func TestLDAConfigValidation(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	docs := corpusRDD(ctx, 10, 20, 2, 2)
+	if _, err := TrainLDA(docs, LDAConfig{K: 0, Vocab: 20}); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := TrainLDA(docs, LDAConfig{K: 2, Vocab: 0}); err == nil {
+		t.Fatal("Vocab=0 should fail")
+	}
+}
+
+func TestLDATrainsAllStrategies(t *testing.T) {
+	// K is over-provisioned (2× the generating topic count), the
+	// standard guard against variational EM's symmetric local optima.
+	const docs, vocab, topics, k = 120, 60, 3, 6
+	for _, s := range []Strategy{StrategyTree, StrategyTreeIMM, StrategySplit} {
+		t.Run(s.String(), func(t *testing.T) {
+			ctx := testContext(t, 3, 2)
+			corpus := corpusRDD(ctx, docs, vocab, topics, 6)
+			m, err := TrainLDA(corpus, LDAConfig{
+				K: k, Vocab: vocab, Iterations: 12, Strategy: s, Seed: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Invariant: topic rows normalize to 1.
+			for k, row := range m.TopicDistributions() {
+				var sum float64
+				for _, p := range row {
+					if p < 0 {
+						t.Fatalf("topic %d has negative probability", k)
+					}
+					sum += p
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("topic %d sums to %v", k, sum)
+				}
+			}
+			// The bound proxy should improve from first to last iteration.
+			first, last := m.Bounds[0], m.Bounds[len(m.Bounds)-1]
+			if !(last > first) {
+				t.Fatalf("bound did not improve: %v -> %v", first, last)
+			}
+			// Band recovery: every generating vocabulary band must be
+			// captured by at least one learned topic with ≥70% of its
+			// probability mass inside that band.
+			band := vocab / topics
+			dists := m.TopicDistributions()
+			for b := 0; b < topics; b++ {
+				best := 0.0
+				for kk := 0; kk < k; kk++ {
+					var mass float64
+					for w := b * band; w < (b+1)*band; w++ {
+						mass += dists[kk][w]
+					}
+					if mass > best {
+						best = mass
+					}
+				}
+				if best < 0.7 {
+					t.Fatalf("band %d best topic purity %.2f < 0.7", b, best)
+				}
+			}
+		})
+	}
+}
+
+func TestLDAStrategiesAgree(t *testing.T) {
+	const docs, vocab, topics = 60, 30, 2
+	ctx := testContext(t, 3, 2)
+	corpus := corpusRDD(ctx, docs, vocab, topics, 4)
+	run := func(s Strategy) *LDAModel {
+		m, err := TrainLDA(corpus, LDAConfig{K: topics, Vocab: vocab, Iterations: 4, Strategy: s, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	tree := run(StrategyTree)
+	split := run(StrategySplit)
+	// Same init + same data + same update order (floating addition
+	// order differs in reductions, so allow small tolerance).
+	for k := 0; k < topics; k++ {
+		for v := 0; v < vocab; v++ {
+			a, b := tree.Lambda[k][v], split.Lambda[k][v]
+			if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+				t.Fatalf("lambda[%d][%d]: tree=%v split=%v", k, v, a, b)
+			}
+		}
+	}
+}
+
+func TestLDASufficientStatsMassConservation(t *testing.T) {
+	// The aggregated expected counts must sum to the corpus token count
+	// (each token's responsibilities sum to 1).
+	const docs, vocab, topics = 40, 24, 2
+	ctx := testContext(t, 2, 2)
+	corpus := corpusRDD(ctx, docs, vocab, topics, 4)
+
+	collected, err := rdd.Collect(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tokens float64
+	for _, d := range collected {
+		tokens += d.TokenCount()
+	}
+
+	m, err := TrainLDA(corpus, LDAConfig{K: topics, Vocab: vocab, Iterations: 1, Strategy: StrategySplit, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 1 iteration lambda = eta + sstats, so sum(lambda) - K*V*eta
+	// = sum(sstats) ≈ tokens.
+	eta := 1.0 / float64(topics)
+	var mass float64
+	for _, row := range m.Lambda {
+		for _, x := range row {
+			mass += x
+		}
+	}
+	mass -= eta * float64(topics*vocab)
+	if math.Abs(mass-tokens) > 1e-6*tokens {
+		t.Fatalf("expected-count mass %v != token count %v", mass, tokens)
+	}
+}
+
+func TestLDATopTermsShape(t *testing.T) {
+	m := &LDAModel{K: 1, Vocab: 4, Lambda: [][]float64{{0.1, 5, 2, 0.4}}}
+	top := m.TopTerms(0, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Fatalf("TopTerms = %v", top)
+	}
+	if got := m.TopTerms(0, 99); len(got) != 4 {
+		t.Fatalf("TopTerms clamp failed: %v", got)
+	}
+}
+
+func TestLDAEmptyDocsHandled(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	docs := rdd.Generate(ctx, 2, func(part int) ([]Document, error) {
+		if part == 0 {
+			return []Document{{}}, nil // empty document
+		}
+		return []Document{{WordIDs: []int32{0, 1}, Counts: []float64{1, 2}}}, nil
+	})
+	m, err := TrainLDA(docs, LDAConfig{K: 2, Vocab: 4, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range m.Lambda {
+		for _, x := range row {
+			if math.IsNaN(x) || x <= 0 {
+				t.Fatalf("lambda corrupted by empty doc: %v", x)
+			}
+		}
+	}
+}
+
+func BenchmarkDocEStep(b *testing.B) {
+	const k, v = 20, 500
+	lambda := make([][]float64, k)
+	for i := range lambda {
+		lambda[i] = make([]float64, v)
+		for j := range lambda[i] {
+			lambda[i][j] = 1 + float64((i*31+j*17)%10)/10
+		}
+	}
+	beta := flatten(expDirichletExpectation(lambda), v)
+	doc := Document{}
+	for w := 0; w < 40; w++ {
+		doc.WordIDs = append(doc.WordIDs, int32(w*12))
+		doc.Counts = append(doc.Counts, float64(1+w%3))
+	}
+	acc := make([]float64, k*v+2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docEStep(doc, beta, acc, k, v, 0.05, 20)
+	}
+	_ = fmt.Sprint(acc[0])
+}

@@ -1,0 +1,210 @@
+package mllib
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sparker/internal/core"
+	"sparker/internal/rdd"
+)
+
+// Strategy selects the aggregation implementation a training run uses —
+// the single switch the paper says MLlib users flip to enjoy split
+// aggregation ("MLlib users only need a configuration parameter").
+type Strategy int
+
+// Aggregation strategies.
+const (
+	// StrategyTree is vanilla Spark treeAggregate.
+	StrategyTree Strategy = iota
+	// StrategyTreeIMM is tree aggregation with in-memory merge.
+	StrategyTreeIMM
+	// StrategySplit is Sparker's split aggregation over the PDR.
+	StrategySplit
+	// StrategyAllReduce is the allreduce extension: split aggregation
+	// whose result stays resident on every executor, removing the
+	// driver gather (the paper's §6 future-work direction).
+	StrategyAllReduce
+)
+
+// ParseStrategy converts a config-string ("tree", "imm"/"tree+imm",
+// "split", "allreduce") into a Strategy — the single knob the paper
+// says MLlib users flip.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "tree":
+		return StrategyTree, nil
+	case "imm", "tree+imm":
+		return StrategyTreeIMM, nil
+	case "split":
+		return StrategySplit, nil
+	case "allreduce":
+		return StrategyAllReduce, nil
+	default:
+		return 0, fmt.Errorf("mllib: unknown strategy %q (tree, imm, split, allreduce)", s)
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyTree:
+		return "tree"
+	case StrategyTreeIMM:
+		return "tree+imm"
+	case StrategySplit:
+		return "split"
+	case StrategyAllReduce:
+		return "allreduce"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// AggregateF64 reduces a flattened []float64 aggregator over an RDD
+// using the chosen strategy. It is the shared plumbing of all three
+// models: each builds its per-iteration sufficient statistics as one
+// flat vector, which is exactly the shape that makes splitOp/concatOp
+// trivial (Figure 7's splitA/concatA).
+func AggregateF64[T any](r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int) ([]float64, error) {
+	zero := func() []float64 { return make([]float64, dim) }
+	switch s {
+	case StrategyTree:
+		return core.TreeAggregate(r, zero, seqOp, core.AddF64, depth)
+	case StrategyTreeIMM:
+		return core.TreeAggregateIMM(r, zero, seqOp, core.AddF64)
+	case StrategySplit:
+		return core.SplitAggregate(r, zero, seqOp, core.AddF64,
+			core.SplitSliceCopy[float64], core.AddF64, core.ConcatSlices[float64],
+			core.Options{Parallelism: parallelism})
+	case StrategyAllReduce:
+		return core.SplitAllReduce(r, zero, seqOp, core.AddF64,
+			core.SplitSliceCopy[float64], core.AddF64, core.ConcatSlices[float64],
+			core.AllReduceOptions{Parallelism: parallelism})
+	default:
+		return nil, fmt.Errorf("mllib: unknown strategy %d", int(s))
+	}
+}
+
+// GDConfig configures RunGradientDescent.
+type GDConfig struct {
+	// StepSize is the base learning rate (default 1.0).
+	StepSize float64
+	// Iterations is the number of outer iterations (default 10).
+	Iterations int
+	// RegParam is passed to the updater (default 0).
+	RegParam float64
+	// MiniBatchFraction subsamples each iteration (default 1.0, the
+	// paper's SVM setting).
+	MiniBatchFraction float64
+	// Strategy picks the aggregation implementation.
+	Strategy Strategy
+	// Depth is the treeAggregate depth (default 2).
+	Depth int
+	// Parallelism is the split-aggregation ring parallelism (default:
+	// context setting).
+	Parallelism int
+	// Seed drives mini-batch sampling.
+	Seed int64
+	// ConvergenceTol stops early when the relative weight change drops
+	// below it (0 disables, matching fixed-iteration benchmarks).
+	ConvergenceTol float64
+}
+
+func (c *GDConfig) fill() {
+	if c.StepSize == 0 {
+		c.StepSize = 1.0
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.MiniBatchFraction == 0 {
+		c.MiniBatchFraction = 1.0
+	}
+	if c.Depth == 0 {
+		c.Depth = 2
+	}
+}
+
+// RunGradientDescent is MLlib's GradientDescent.runMiniBatchSGD: per
+// iteration one aggregation computes (gradientSum, lossSum, count) over
+// the (sampled) data against the current weights, then the updater
+// steps. It returns the final weights and the per-iteration loss
+// history.
+func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, initial []float64, cfg GDConfig) ([]float64, []float64, error) {
+	cfg.fill()
+	dim := len(initial)
+	if dim == 0 {
+		return nil, nil, fmt.Errorf("mllib: empty initial weights")
+	}
+	weights := make([]float64, dim)
+	copy(weights, initial)
+	losses := make([]float64, 0, cfg.Iterations)
+
+	for iter := 1; iter <= cfg.Iterations; iter++ {
+		w := make([]float64, dim)
+		copy(w, weights) // snapshot captured by this iteration's tasks
+
+		batch := data
+		if cfg.MiniBatchFraction < 1.0 {
+			batch = sampleRDD(data, cfg.MiniBatchFraction, cfg.Seed, iter)
+		}
+		// Aggregator layout: [0,dim) gradient sum, [dim] loss sum,
+		// [dim+1] sample count.
+		agg, err := AggregateF64(batch, dim+2, func(acc []float64, p LabeledPoint) []float64 {
+			loss := grad.Compute(p.Features, p.Label, w, acc[:dim])
+			acc[dim] += loss
+			acc[dim+1]++
+			return acc
+		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mllib: iteration %d: %w", iter, err)
+		}
+		count := agg[dim+1]
+		if count == 0 {
+			losses = append(losses, math.NaN())
+			continue
+		}
+		gradient := agg[:dim]
+		for i := range gradient {
+			gradient[i] /= count
+		}
+		newW, regVal := up.Update(weights, gradient, cfg.StepSize, iter, cfg.RegParam)
+		losses = append(losses, agg[dim]/count+regVal)
+
+		if cfg.ConvergenceTol > 0 && converged(weights, newW, cfg.ConvergenceTol) {
+			weights = newW
+			break
+		}
+		weights = newW
+	}
+	return weights, losses, nil
+}
+
+// converged tests relative weight movement against tol.
+func converged(prev, next []float64, tol float64) bool {
+	var diff, norm float64
+	for i := range prev {
+		d := next[i] - prev[i]
+		diff += d * d
+		norm += next[i] * next[i]
+	}
+	return math.Sqrt(diff) < tol*math.Max(math.Sqrt(norm), 1)
+}
+
+// sampleRDD subsamples deterministically per (seed, iter, partition),
+// so task retries observe identical batches — the determinism Spark
+// gets from seeded samplers.
+func sampleRDD(data *rdd.RDD[LabeledPoint], frac float64, seed int64, iter int) *rdd.RDD[LabeledPoint] {
+	return rdd.MapPartitions(data, func(part int, in []LabeledPoint) ([]LabeledPoint, error) {
+		rng := rand.New(rand.NewSource(seed ^ int64(iter)*1_000_003 ^ int64(part)*7_777_777))
+		out := make([]LabeledPoint, 0, int(float64(len(in))*frac)+1)
+		for _, p := range in {
+			if rng.Float64() < frac {
+				out = append(out, p)
+			}
+		}
+		return out, nil
+	})
+}

@@ -1,0 +1,119 @@
+package mllib
+
+import (
+	"math"
+	"testing"
+
+	"sparker/internal/linalg"
+	"sparker/internal/rdd"
+)
+
+func TestColumnStats(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	// Feature 0: values 1..8; feature 1: constant 5; feature 2: zeros.
+	pts := make([]LabeledPoint, 8)
+	for i := range pts {
+		sv, err := linalg.NewSparse(3, []int32{0, 1}, []float64{float64(i + 1), 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = LabeledPoint{Features: sv}
+	}
+	data := rdd.FromSlice(ctx, pts, 4)
+	for _, s := range []Strategy{StrategyTree, StrategySplit} {
+		sum, err := ColumnStats(data, 3, s, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Count != 8 {
+			t.Fatalf("[%v] Count = %d", s, sum.Count)
+		}
+		if math.Abs(sum.Mean[0]-4.5) > 1e-12 || sum.Mean[1] != 5 || sum.Mean[2] != 0 {
+			t.Fatalf("[%v] Mean = %v", s, sum.Mean)
+		}
+		// Population variance of 1..8 = 5.25.
+		if math.Abs(sum.Variance[0]-5.25) > 1e-9 {
+			t.Fatalf("[%v] Variance[0] = %v", s, sum.Variance[0])
+		}
+		if sum.Variance[1] > 1e-9 || sum.Variance[2] != 0 {
+			t.Fatalf("[%v] Variance = %v", s, sum.Variance)
+		}
+		if sum.NumNonzeros[0] != 8 || sum.NumNonzeros[1] != 8 || sum.NumNonzeros[2] != 0 {
+			t.Fatalf("[%v] NNZ = %v", s, sum.NumNonzeros)
+		}
+	}
+}
+
+func TestColumnStatsValidation(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	empty := rdd.FromSlice(ctx, []LabeledPoint{}, 2)
+	if _, err := ColumnStats(empty, 3, StrategyTree, 1); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+	if _, err := ColumnStats(empty, 0, StrategyTree, 1); err == nil {
+		t.Fatal("zero features should fail")
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	s := &ColumnSummary{
+		Mean:     []float64{10, 0, 3},
+		Variance: []float64{4, 0, 1}, // stddev 2, (zero), 1
+	}
+	sc := NewStandardScaler(s)
+	got := sc.TransformDense([]float64{14, 7, 3})
+	want := []float64{2, 7, 0} // (14-10)/2, zero-variance untouched-scale, (3-3)/1
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Transform = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScaledFeaturesTrainBetter(t *testing.T) {
+	// Standardization makes badly-scaled features trainable: feature 1
+	// is 1000× larger than feature 0, which stalls plain SGD.
+	ctx := testContext(t, 2, 2)
+	const n, dim = 300, 2
+	raw := make([]LabeledPoint, n)
+	for i := 0; i < n; i++ {
+		f0 := float64(i%17)/17 - 0.5
+		f1 := 1000 * (float64(i%13)/13 - 0.5)
+		label := 0.0
+		if f0+f1/1000 > 0 {
+			label = 1
+		}
+		sv, err := linalg.NewSparse(dim, []int32{0, 1}, []float64{f0, f1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[i] = LabeledPoint{Label: label, Features: sv}
+	}
+	data := rdd.FromSlice(ctx, raw, 4).Cache()
+	summary, err := ColumnStats(data, dim, StrategySplit, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler := NewStandardScaler(summary)
+	scaled := rdd.Map(data, func(p LabeledPoint) LabeledPoint {
+		dense := scaler.TransformDense(p.Features.Dense())
+		idx := []int32{0, 1}
+		sv, _ := linalg.NewSparse(dim, idx, dense)
+		return LabeledPoint{Label: p.Label, Features: sv}
+	}).Cache()
+
+	cfg := LogisticRegressionConfig{NumFeatures: dim, GD: GDConfig{Iterations: 20, StepSize: 1, Strategy: StrategySplit}}
+	rawModel, err := TrainLogisticRegression(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledModel, err := TrainLogisticRegression(scaled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawLoss := rawModel.Losses[len(rawModel.Losses)-1]
+	scaledLoss := scaledModel.Losses[len(scaledModel.Losses)-1]
+	if scaledLoss >= rawLoss {
+		t.Fatalf("scaling did not help: raw %v vs scaled %v", rawLoss, scaledLoss)
+	}
+}

@@ -1,0 +1,118 @@
+// Package mllib reimplements the slice of Spark MLlib the paper
+// evaluates: gradient-descent-trained linear models (logistic
+// regression and linear SVM) and a variational-EM LDA topic model, each
+// parameterized by the aggregation strategy — Spark's tree aggregation,
+// tree aggregation with in-memory merge, or Sparker's split aggregation
+// — so the paper's end-to-end comparisons (Figures 1, 2, 17, 18) can be
+// run over identical algorithm code.
+package mllib
+
+import (
+	"fmt"
+
+	"sparker/internal/linalg"
+	"sparker/internal/serde"
+)
+
+// LabeledPoint is one classification sample.
+type LabeledPoint struct {
+	// Label is 0 or 1 for the binary classifiers.
+	Label float64
+	// Features is the sparse feature vector.
+	Features linalg.SparseVector
+}
+
+// MarshalBinaryTo implements serde.Marshaler.
+func (p LabeledPoint) MarshalBinaryTo(dst []byte) []byte {
+	dst = serde.AppendFloat64(dst, p.Label)
+	return p.Features.MarshalBinaryTo(dst)
+}
+
+// UnmarshalBinaryFrom implements serde.Unmarshaler.
+func (p *LabeledPoint) UnmarshalBinaryFrom(src []byte) (int, error) {
+	if len(src) < 8 {
+		return 0, fmt.Errorf("mllib: short LabeledPoint")
+	}
+	p.Label = serde.Float64At(src, 0)
+	n, err := p.Features.UnmarshalBinaryFrom(src[8:])
+	return n + 8, err
+}
+
+// Document is one bag-of-words document for LDA.
+type Document struct {
+	// WordIDs are the distinct vocabulary ids present (strictly
+	// increasing); Counts their occurrence counts.
+	WordIDs []int32
+	Counts  []float64
+}
+
+// TokenCount returns the total token count.
+func (d Document) TokenCount() float64 {
+	var s float64
+	for _, c := range d.Counts {
+		s += c
+	}
+	return s
+}
+
+// Validate checks structural invariants.
+func (d Document) Validate(vocab int) error {
+	if len(d.WordIDs) != len(d.Counts) {
+		return fmt.Errorf("mllib: %d word ids but %d counts", len(d.WordIDs), len(d.Counts))
+	}
+	prev := int32(-1)
+	for i, w := range d.WordIDs {
+		if w <= prev {
+			return fmt.Errorf("mllib: word ids not strictly increasing at %d", w)
+		}
+		if int(w) >= vocab {
+			return fmt.Errorf("mllib: word id %d out of vocab %d", w, vocab)
+		}
+		if d.Counts[i] <= 0 {
+			return fmt.Errorf("mllib: non-positive count for word %d", w)
+		}
+		prev = w
+	}
+	return nil
+}
+
+// MarshalBinaryTo implements serde.Marshaler.
+func (d Document) MarshalBinaryTo(dst []byte) []byte {
+	dst = serde.AppendInt(dst, len(d.WordIDs))
+	for _, w := range d.WordIDs {
+		dst = serde.AppendInt(dst, int(w))
+	}
+	for _, c := range d.Counts {
+		dst = serde.AppendFloat64(dst, c)
+	}
+	return dst
+}
+
+// UnmarshalBinaryFrom implements serde.Unmarshaler.
+func (d *Document) UnmarshalBinaryFrom(src []byte) (int, error) {
+	if len(src) < 8 {
+		return 0, fmt.Errorf("mllib: short Document")
+	}
+	n := serde.IntAt(src, 0)
+	need := 8 + 16*n
+	if n < 0 || len(src) < need {
+		return 0, fmt.Errorf("mllib: truncated Document (n=%d)", n)
+	}
+	d.WordIDs = make([]int32, n)
+	d.Counts = make([]float64, n)
+	off := 8
+	for i := 0; i < n; i++ {
+		d.WordIDs[i] = int32(serde.IntAt(src, off))
+		off += 8
+	}
+	for i := 0; i < n; i++ {
+		d.Counts[i] = serde.Float64At(src, off)
+		off += 8
+	}
+	return off, nil
+}
+
+func init() {
+	serde.RegisterSelf(LabeledPoint{}, func() serde.Unmarshaler { return new(LabeledPoint) })
+	serde.RegisterSelf(Document{}, func() serde.Unmarshaler { return new(Document) })
+}

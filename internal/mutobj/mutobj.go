@@ -1,0 +1,114 @@
+// Package mutobj implements Sparker's mutable object manager: per-
+// executor storage for intermediate state shared by tasks running on
+// the same executor. In-memory merge (IMM) uses it to accumulate task
+// results into a single value per executor before anything is
+// serialized, and split aggregation reads the merged aggregator back
+// out of it from the statically scheduled reduce-scatter task.
+package mutobj
+
+import (
+	"strings"
+	"sync"
+)
+
+// Manager owns the shared objects of one executor.
+type Manager struct {
+	mu   sync.Mutex
+	objs map[string]*Object
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{objs: map[string]*Object{}}
+}
+
+// Object is a single shared mutable value. All access goes through
+// Update/Read so concurrent tasks on the executor's cores serialize
+// correctly.
+type Object struct {
+	mu    sync.Mutex
+	value any
+}
+
+// GetOrCreate returns the object stored under key, creating it with
+// init on first use. Creation is atomic: init runs at most once per
+// key even under concurrent callers.
+func (m *Manager) GetOrCreate(key string, init func() any) *Object {
+	m.mu.Lock()
+	o, ok := m.objs[key]
+	if !ok {
+		o = &Object{}
+		m.objs[key] = o
+		// Initialize while holding the object lock but not the manager
+		// lock, so slow inits don't block unrelated keys.
+		o.mu.Lock()
+		m.mu.Unlock()
+		o.value = init()
+		o.mu.Unlock()
+		return o
+	}
+	m.mu.Unlock()
+	return o
+}
+
+// Get returns the object under key, or nil if absent.
+func (m *Manager) Get(key string) *Object {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.objs[key]
+}
+
+// Remove deletes the object under key.
+func (m *Manager) Remove(key string) {
+	m.mu.Lock()
+	delete(m.objs, key)
+	m.mu.Unlock()
+}
+
+// ClearPrefix removes every object whose key starts with prefix and
+// reports how many were removed. Stage cleanup after an IMM task
+// failure uses this: the paper's recovery story is "clean up the failed
+// stage stored in the shared in-memory value, then re-submit the
+// stage" (§3.2).
+func (m *Manager) ClearPrefix(prefix string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k := range m.objs {
+		if strings.HasPrefix(k, prefix) {
+			delete(m.objs, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of live objects.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.objs)
+}
+
+// Update applies f to the value under the object lock, storing f's
+// return value.
+func (o *Object) Update(f func(v any) any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.value = f(o.value)
+}
+
+// Read calls f with the value under the object lock.
+func (o *Object) Read(f func(v any)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	f(o.value)
+}
+
+// Value returns the current value. The caller must not mutate shared
+// state reachable from it without holding the object lock via Update.
+func (o *Object) Value() any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.value
+}

@@ -1,0 +1,108 @@
+package mutobj
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetOrCreateInitOnce(t *testing.T) {
+	m := NewManager()
+	var inits int32
+	var mu sync.Mutex
+	const goroutines = 32
+	var wg sync.WaitGroup
+	objs := make([]*Object, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			objs[i] = m.GetOrCreate("k", func() any {
+				mu.Lock()
+				inits++
+				mu.Unlock()
+				return 0
+			})
+		}(i)
+	}
+	wg.Wait()
+	if inits != 1 {
+		t.Fatalf("init ran %d times, want 1", inits)
+	}
+	for i := 1; i < goroutines; i++ {
+		if objs[i] != objs[0] {
+			t.Fatal("GetOrCreate returned different objects for same key")
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	m := NewManager()
+	o := m.GetOrCreate("sum", func() any { return 0 })
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				o.Update(func(v any) any { return v.(int) + 1 })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Value().(int); got != workers*per {
+		t.Fatalf("sum = %d, want %d", got, workers*per)
+	}
+}
+
+func TestClearPrefix(t *testing.T) {
+	m := NewManager()
+	for stage := 0; stage < 3; stage++ {
+		for part := 0; part < 4; part++ {
+			m.GetOrCreate(fmt.Sprintf("stage-%d/obj-%d", stage, part), func() any { return part })
+		}
+	}
+	if n := m.ClearPrefix("stage-1/"); n != 4 {
+		t.Fatalf("ClearPrefix removed %d, want 4", n)
+	}
+	if m.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", m.Len())
+	}
+	if m.Get("stage-1/obj-0") != nil {
+		t.Fatal("cleared object still present")
+	}
+	if m.Get("stage-0/obj-0") == nil {
+		t.Fatal("unrelated object removed")
+	}
+}
+
+func TestRemoveAndGet(t *testing.T) {
+	m := NewManager()
+	if m.Get("x") != nil {
+		t.Fatal("Get of missing key should be nil")
+	}
+	m.GetOrCreate("x", func() any { return "v" })
+	if m.Get("x") == nil {
+		t.Fatal("Get after create should find object")
+	}
+	m.Remove("x")
+	if m.Get("x") != nil {
+		t.Fatal("Get after Remove should be nil")
+	}
+}
+
+func TestReadSeesUpdates(t *testing.T) {
+	m := NewManager()
+	o := m.GetOrCreate("v", func() any { return []float64{1, 2} })
+	o.Update(func(v any) any {
+		s := v.([]float64)
+		s[0] = 10
+		return s
+	})
+	var got float64
+	o.Read(func(v any) { got = v.([]float64)[0] })
+	if got != 10 {
+		t.Fatalf("Read saw %v, want 10", got)
+	}
+}

@@ -1,0 +1,135 @@
+// Package netsim models a cluster network on top of the vclock engine:
+// per-node NIC resources (FIFO bandwidth occupancy in each direction),
+// per-stream bandwidth caps (a single TCP connection cannot saturate
+// the NIC — the reason the PDR uses parallel channels), one-way
+// latencies, and a fast intra-node path. Transfers reserve the sender's
+// egress and the receiver's ingress with pipelined timing, so fan-in
+// hotspots (everyone sending to the driver) and ring neighbor traffic
+// contend realistically.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"sparker/internal/vclock"
+)
+
+// Params calibrates one network. Bandwidths are bytes/second.
+type Params struct {
+	// Nodes and ExecutorsPerNode define placement: executor e lives on
+	// node e / ExecutorsPerNode. One extra implicit node hosts the
+	// driver (see Driver).
+	Nodes            int
+	ExecutorsPerNode int
+
+	// InterLatency is the one-way message latency between nodes.
+	InterLatency time.Duration
+	// NICBandwidth caps a node's total egress (and ingress) rate.
+	NICBandwidth float64
+	// StreamBandwidth caps a single connection; parallel channels are
+	// required to reach NICBandwidth (Figure 13).
+	StreamBandwidth float64
+
+	// IntraLatency and IntraBandwidth model same-node transfers
+	// (loopback / shared memory).
+	IntraLatency   time.Duration
+	IntraBandwidth float64
+}
+
+func (p Params) validate() error {
+	if p.Nodes < 1 || p.ExecutorsPerNode < 1 {
+		return fmt.Errorf("netsim: need at least one node and executor, got %d×%d", p.Nodes, p.ExecutorsPerNode)
+	}
+	if p.NICBandwidth <= 0 || p.IntraBandwidth <= 0 {
+		return fmt.Errorf("netsim: bandwidths must be positive")
+	}
+	if p.StreamBandwidth <= 0 {
+		return fmt.Errorf("netsim: stream bandwidth must be positive")
+	}
+	return nil
+}
+
+// Driver is the executor-id pseudo-address of the driver process. It
+// lives on its own node (node index Nodes).
+const Driver = -1
+
+// Network is one simulated cluster fabric.
+type Network struct {
+	e       *vclock.Engine
+	p       Params
+	egress  []*vclock.Resource // per node, index Nodes = driver node
+	ingress []*vclock.Resource
+	intra   []*vclock.Resource
+}
+
+// New builds the network's resources on engine e.
+func New(e *vclock.Engine, p Params) (*Network, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{e: e, p: p}
+	for i := 0; i <= p.Nodes; i++ { // +1: driver node
+		n.egress = append(n.egress, vclock.NewResource(e, p.NICBandwidth))
+		n.ingress = append(n.ingress, vclock.NewResource(e, p.NICBandwidth))
+		n.intra = append(n.intra, vclock.NewResource(e, p.IntraBandwidth))
+	}
+	return n, nil
+}
+
+// Params returns the calibration the network was built with.
+func (n *Network) Params() Params { return n.p }
+
+// Executors returns the total executor count.
+func (n *Network) Executors() int { return n.p.Nodes * n.p.ExecutorsPerNode }
+
+// NodeOf maps an executor id (or Driver) to its node index.
+func (n *Network) NodeOf(exec int) int {
+	if exec == Driver {
+		return n.p.Nodes
+	}
+	return exec / n.p.ExecutorsPerNode
+}
+
+// TransferDone reserves the resources for a transfer of `bytes` from
+// executor src to executor dst issued at virtual time start, and
+// returns the completion time (when the last byte is available at the
+// receiver). It does not block any process.
+func (n *Network) TransferDone(start time.Duration, src, dst int, bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	sn, dn := n.NodeOf(src), n.NodeOf(dst)
+	if sn == dn {
+		// Same node: one pass through the node's memory fabric.
+		done := n.intra[sn].ReserveAt(start, float64(bytes))
+		return done + n.p.IntraLatency
+	}
+	fb := float64(bytes)
+	// Sender NIC occupancy.
+	txDone := n.egress[sn].ReserveAt(start, fb)
+	// Receiver NIC: pipelined — it can start when the first bytes land,
+	// i.e. txDone minus the pure transmission time.
+	txTime := time.Duration(fb / n.p.NICBandwidth * float64(time.Second))
+	rxDone := n.ingress[dn].ReserveAt(txDone-txTime, fb)
+	// Per-stream cap: one connection cannot beat StreamBandwidth.
+	streamDone := start + time.Duration(fb/n.p.StreamBandwidth*float64(time.Second))
+	done := rxDone
+	if streamDone > done {
+		done = streamDone
+	}
+	return done + n.p.InterLatency
+}
+
+// Transfer blocks p for the duration of the transfer.
+func (n *Network) Transfer(p *vclock.Proc, src, dst int, bytes int64) {
+	done := n.TransferDone(p.Now(), src, dst, bytes)
+	p.Sleep(done - p.Now())
+}
+
+// Send delivers a value into mb at the transfer's completion time
+// without blocking the sender beyond reservation bookkeeping.
+func Send[T any](n *Network, p *vclock.Proc, mb *vclock.Mailbox[T], src, dst int, bytes int64, val T) {
+	done := n.TransferDone(p.Now(), src, dst, bytes)
+	mb.PutAt(done, val)
+}

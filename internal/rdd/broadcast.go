@@ -1,0 +1,95 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+
+	"sparker/internal/serde"
+)
+
+// Broadcast is a read-only value shipped to executors once and cached
+// there, like Spark's broadcast variables: the driver serializes the
+// value into its block store, and each executor fetches and
+// deserializes it at most once regardless of how many tasks read it.
+// MLlib-style training uses this shape to distribute model weights
+// each iteration.
+type Broadcast[T any] struct {
+	ctx     *Context
+	id      int64
+	blockID string
+
+	mu        sync.Mutex
+	destroyed bool
+}
+
+// NewBroadcast registers value with the driver's block store. T must
+// be serde-encodable.
+func NewBroadcast[T any](ctx *Context, value T) (*Broadcast[T], error) {
+	wire, err := serde.Encode(nil, value)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: broadcast encode: %w", err)
+	}
+	id := ctx.newJobID()
+	blockID := fmt.Sprintf("broadcast/%d", id)
+	if err := ctx.driverStore.Put(blockID, wire); err != nil {
+		return nil, fmt.Errorf("rdd: broadcast publish: %w", err)
+	}
+	return &Broadcast[T]{ctx: ctx, id: id, blockID: blockID}, nil
+}
+
+// ID returns the broadcast's unique id.
+func (b *Broadcast[T]) ID() int64 { return b.id }
+
+func (b *Broadcast[T]) cacheKey() string {
+	return fmt.Sprintf("bcastcache/%d", b.id)
+}
+
+// Value returns the broadcast value on an executor, fetching it over
+// the transport on first use and serving the executor-local cache
+// afterwards. Concurrent first readers may fetch redundantly (like
+// Spark, the last write wins; the value is immutable so this is safe).
+func (b *Broadcast[T]) Value(ec *ExecContext) (T, error) {
+	var zero T
+	if v, ok := ec.CacheGet(b.cacheKey()); ok {
+		return v.(T), nil
+	}
+	b.mu.Lock()
+	destroyed := b.destroyed
+	b.mu.Unlock()
+	if destroyed {
+		return zero, fmt.Errorf("rdd: broadcast %d used after Destroy", b.id)
+	}
+	wire, err := ec.Store.Get(b.blockID)
+	if err != nil {
+		return zero, fmt.Errorf("rdd: broadcast %d fetch: %w", b.id, err)
+	}
+	v, _, err := serde.Decode(wire)
+	if err != nil {
+		return zero, fmt.Errorf("rdd: broadcast %d decode: %w", b.id, err)
+	}
+	tv, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("rdd: broadcast %d decoded %T", b.id, v)
+	}
+	ec.CachePut(b.cacheKey(), tv)
+	return tv, nil
+}
+
+// Destroy removes the broadcast from the driver store and every
+// executor cache. Tasks that try to read it afterwards fail.
+func (b *Broadcast[T]) Destroy() error {
+	b.mu.Lock()
+	if b.destroyed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.destroyed = true
+	b.mu.Unlock()
+	b.ctx.driverStore.Delete(b.blockID)
+	key := b.cacheKey()
+	_, err := b.ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		ec.exec.cache.Delete(key)
+		return nil, nil
+	})
+	return err
+}

@@ -1,0 +1,197 @@
+package rdd
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBroadcastValueOnExecutors(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	weights := []float64{1.5, -2.5, 3.5}
+	b, err := NewBroadcast(ctx, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		v, err := b.Value(ec)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(v, weights) {
+			return nil, fmt.Errorf("executor %d saw %v", ec.ID, v)
+		}
+		return []byte{1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("ran on %d executors", len(out))
+	}
+}
+
+func TestBroadcastFetchedOncePerExecutor(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	b, err := NewBroadcast(ctx, []float64{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many tasks per executor read the value; afterwards each executor
+	// must hold exactly one cached copy (fetch count is hard to observe
+	// directly, but the cache key must be present and correct).
+	var reads int64
+	_, err = ctx.RunJob(JobSpec{
+		Tasks: 16,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			v, err := b.Value(ec)
+			if err != nil {
+				return nil, err
+			}
+			if v[0] != 42 {
+				return nil, fmt.Errorf("bad value %v", v)
+			}
+			atomic.AddInt64(&reads, 1)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads != 16 {
+		t.Fatalf("reads = %d", reads)
+	}
+	out, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		if _, ok := ec.CacheGet(b.cacheKey()); !ok {
+			return nil, fmt.Errorf("executor %d has no cached broadcast", ec.ID)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+}
+
+func TestBroadcastDestroy(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	b, err := NewBroadcast(ctx, int64(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime one executor's cache.
+	if _, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		_, err := b.Value(ec)
+		return nil, err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads must now fail on every executor (cache cleared + block gone).
+	_, err = ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		if _, err := b.Value(ec); err == nil {
+			return nil, fmt.Errorf("executor %d read destroyed broadcast", ec.ID)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Destroy(); err != nil {
+		t.Fatal("second Destroy should be a no-op")
+	}
+}
+
+func TestBroadcastUnencodableValue(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	type secret struct{ x int }
+	if _, err := NewBroadcast(ctx, secret{1}); err == nil {
+		t.Fatal("unregistered type should fail to broadcast")
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	r := FromSlice(ctx, ints(1000), 4)
+	s := Sample(r, 0.5, 99)
+	a, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bWire, err := Collect(Sample(r, 0.5, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, bWire) {
+		t.Fatal("same seed should sample identically")
+	}
+	if len(a) < 300 || len(a) > 700 {
+		t.Fatalf("0.5 sample kept %d of 1000", len(a))
+	}
+	c, err := Collect(Sample(r, 0.5, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+	// fraction >= 1 is the identity.
+	if s := Sample(r, 1.0, 1); s != r {
+		t.Fatal("fraction 1.0 should return the receiver")
+	}
+}
+
+func TestMapPartitionsWithContext(t *testing.T) {
+	ctx := testContext(t, 3, 1)
+	r := FromSlice(ctx, ints(9), 3)
+	tagged := MapPartitionsWithContext(r, func(ec *ExecContext, part int, in []int64) ([]int64, error) {
+		out := make([]int64, len(in))
+		for i, v := range in {
+			out[i] = v*100 + int64(ec.ID)
+		}
+		return out, nil
+	})
+	got, err := Collect(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		execID := v % 100
+		if v/100 != int64(i) {
+			t.Fatalf("element %d mangled: %d", i, v)
+		}
+		if execID < 0 || execID > 2 {
+			t.Fatalf("bad executor id %d", execID)
+		}
+	}
+}
+
+func TestTakeAndFirst(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	r := FromSlice(ctx, ints(50), 5)
+	got, err := Take(r, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ints(12)) {
+		t.Fatalf("Take = %v", got)
+	}
+	if got, err := Take(r, 0); err != nil || len(got) != 0 {
+		t.Fatalf("Take(0) = %v, %v", got, err)
+	}
+	big, err := Take(r, 500)
+	if err != nil || len(big) != 50 {
+		t.Fatalf("Take beyond size = %d elems, %v", len(big), err)
+	}
+	f, err := First(r)
+	if err != nil || f != 0 {
+		t.Fatalf("First = %v, %v", f, err)
+	}
+	empty := FromSlice(ctx, []int64{}, 2)
+	if _, err := First(empty); err == nil {
+		t.Fatal("First of empty RDD should fail")
+	}
+}

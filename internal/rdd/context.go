@@ -1,0 +1,256 @@
+// Package rdd is the dataflow engine substrate: a Spark-like driver /
+// executor system running in one process. Executors are real
+// concurrency domains — each owns a pool of worker cores, a block
+// store shard, a mutable object manager and a scalable-communicator
+// endpoint — and every task result crosses the driver/executor
+// boundary serialized through the transport, so the serialization and
+// communication behaviour Sparker optimizes is really present.
+//
+// The engine intentionally mirrors the pieces of Spark the paper
+// touches: ResultStage-style jobs (RunJob), a reduced-result stage with
+// whole-stage retry for in-memory merge (JobSpec.StageCleanup),
+// statically placed tasks for SpawnRDD (JobSpec.Placement), block-based
+// shuffle for treeAggregate, and MEMORY_ONLY caching.
+package rdd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparker/internal/blockmanager"
+	"sparker/internal/comm"
+	"sparker/internal/eventlog"
+	"sparker/internal/metrics"
+	"sparker/internal/transport"
+)
+
+// Config describes the simulated cluster an engine runs on.
+type Config struct {
+	// Name distinguishes multiple contexts sharing a Network.
+	Name string
+	// NumExecutors is the number of executor processes (default 2).
+	NumExecutors int
+	// CoresPerExecutor is the number of concurrent task slots per
+	// executor (default 2).
+	CoresPerExecutor int
+	// Hosts assigns a hostname to each executor for topology-aware rank
+	// ordering. Defaults to every executor on a distinct host.
+	Hosts []string
+	// Network carries all driver/executor and executor/executor bytes.
+	// Defaults to an unshaped in-memory network owned by the context.
+	Network transport.Network
+	// RingParallelism is the PDR channel count used by split
+	// aggregation (default 4, the paper's production setting).
+	RingParallelism int
+	// MaxTaskAttempts bounds per-task retries for ordinary stages
+	// (default 3).
+	MaxTaskAttempts int
+	// MaxStageAttempts bounds whole-stage resubmissions for
+	// reduced-result stages (default 3).
+	MaxStageAttempts int
+	// TopologyAware orders ring ranks by hostname (default true).
+	// Disabling it reproduces the unsorted baseline of Figure 14.
+	TopologyAware *bool
+	// EventLog, when non-nil, receives structured history-log events
+	// (phase timings) the way Spark's history server does — the data
+	// source of the paper's Section-2 bottleneck analysis.
+	EventLog *eventlog.Logger
+}
+
+func (c *Config) fill() error {
+	if c.Name == "" {
+		c.Name = "sparker"
+	}
+	if c.NumExecutors == 0 {
+		c.NumExecutors = 2
+	}
+	if c.NumExecutors < 1 {
+		return fmt.Errorf("rdd: NumExecutors must be >= 1, got %d", c.NumExecutors)
+	}
+	if c.CoresPerExecutor == 0 {
+		c.CoresPerExecutor = 2
+	}
+	if c.CoresPerExecutor < 1 {
+		return fmt.Errorf("rdd: CoresPerExecutor must be >= 1, got %d", c.CoresPerExecutor)
+	}
+	if c.Hosts == nil {
+		c.Hosts = make([]string, c.NumExecutors)
+		for i := range c.Hosts {
+			c.Hosts[i] = fmt.Sprintf("node-%03d", i)
+		}
+	}
+	if len(c.Hosts) != c.NumExecutors {
+		return fmt.Errorf("rdd: len(Hosts)=%d != NumExecutors=%d", len(c.Hosts), c.NumExecutors)
+	}
+	if c.RingParallelism == 0 {
+		c.RingParallelism = 4
+	}
+	if c.MaxTaskAttempts == 0 {
+		c.MaxTaskAttempts = 3
+	}
+	if c.MaxStageAttempts == 0 {
+		c.MaxStageAttempts = 3
+	}
+	if c.TopologyAware == nil {
+		t := true
+		c.TopologyAware = &t
+	}
+	return nil
+}
+
+// Context is the driver: it owns the executors and schedules jobs.
+type Context struct {
+	conf   Config
+	net    transport.Network
+	ownNet bool
+
+	master      *blockmanager.Master
+	driverStore *blockmanager.Store
+	executors   []*Executor
+	rankOfExec  []int // executor index -> ring rank
+	execOfRank  []int // ring rank -> executor index
+
+	jobs   sync.Map // int64 -> *job
+	nextID atomic.Int64
+
+	connMu sync.Mutex
+	conns  []*lockedConn // driver -> executor task connections
+
+	rec *metrics.Recorder
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewContext boots a cluster per conf: block manager master, one
+// executor per slot with its store, mutobj manager, worker pool, a
+// driver connection, and the communicator ring.
+func NewContext(conf Config) (*Context, error) {
+	if err := conf.fill(); err != nil {
+		return nil, err
+	}
+	ctx := &Context{conf: conf, rec: metrics.NewRecorder()}
+	if conf.Network != nil {
+		ctx.net = conf.Network
+	} else {
+		ctx.net = transport.NewMem()
+		ctx.ownNet = true
+	}
+
+	var err error
+	ctx.master, err = blockmanager.NewMaster(ctx.net)
+	if err != nil {
+		return nil, fmt.Errorf("rdd: starting block manager master: %w", err)
+	}
+	ctx.driverStore, err = blockmanager.NewStore(ctx.net, conf.Name+"/driver")
+	if err != nil {
+		ctx.Close()
+		return nil, fmt.Errorf("rdd: starting driver store: %w", err)
+	}
+
+	// Ring rank assignment: topology-aware sorts by hostname.
+	if *conf.TopologyAware {
+		ctx.execOfRank = comm.RanksByHost(conf.Hosts)
+	} else {
+		ctx.execOfRank = make([]int, conf.NumExecutors)
+		for i := range ctx.execOfRank {
+			ctx.execOfRank[i] = i
+		}
+	}
+	ctx.rankOfExec = comm.InverseRanks(ctx.execOfRank)
+
+	ctx.executors = make([]*Executor, conf.NumExecutors)
+	for i := 0; i < conf.NumExecutors; i++ {
+		e, err := newExecutor(ctx, i, conf.Hosts[i], ctx.rankOfExec[i])
+		if err != nil {
+			ctx.Close()
+			return nil, fmt.Errorf("rdd: starting executor %d: %w", i, err)
+		}
+		ctx.executors[i] = e
+	}
+	// Eagerly wire the PDR so connection setup stays out of timed paths.
+	for _, e := range ctx.executors {
+		if err := e.comm.ConnectRing(conf.RingParallelism); err != nil {
+			ctx.Close()
+			return nil, fmt.Errorf("rdd: connecting ring: %w", err)
+		}
+	}
+	return ctx, nil
+}
+
+// NumExecutors returns the executor count.
+func (ctx *Context) NumExecutors() int { return ctx.conf.NumExecutors }
+
+// CoresPerExecutor returns task slots per executor.
+func (ctx *Context) CoresPerExecutor() int { return ctx.conf.CoresPerExecutor }
+
+// TotalCores returns the cluster-wide slot count.
+func (ctx *Context) TotalCores() int {
+	return ctx.conf.NumExecutors * ctx.conf.CoresPerExecutor
+}
+
+// RingParallelism returns the PDR parallelism for split aggregation.
+func (ctx *Context) RingParallelism() int { return ctx.conf.RingParallelism }
+
+// Metrics returns the context's phase recorder.
+func (ctx *Context) Metrics() *metrics.Recorder { return ctx.rec }
+
+// RecordPhase charges d to the named phase in the metrics recorder and
+// emits a history-log event when event logging is enabled.
+func (ctx *Context) RecordPhase(name string, d time.Duration, detail string) {
+	ctx.rec.Add(name, d)
+	ctx.conf.EventLog.Phase(name, d, detail)
+}
+
+// DriverStore returns the driver-side block store, used to fetch final
+// aggregators from executors.
+func (ctx *Context) DriverStore() *blockmanager.Store { return ctx.driverStore }
+
+// ExecutorStoreName returns the block store name of executor i.
+func (ctx *Context) ExecutorStoreName(i int) string {
+	return fmt.Sprintf("%s/exec-%d", ctx.conf.Name, i)
+}
+
+// RankOfExecutor returns the ring rank of executor i.
+func (ctx *Context) RankOfExecutor(i int) int { return ctx.rankOfExec[i] }
+
+// ExecutorOfRank returns the executor index holding ring rank r.
+func (ctx *Context) ExecutorOfRank(r int) int { return ctx.execOfRank[r] }
+
+// Close shuts the cluster down.
+func (ctx *Context) Close() error {
+	ctx.closeOnce.Do(func() {
+		ctx.connMu.Lock()
+		for _, lc := range ctx.conns {
+			if lc != nil {
+				lc.c.Close()
+			}
+		}
+		ctx.conns = nil
+		ctx.connMu.Unlock()
+		for _, e := range ctx.executors {
+			if e != nil {
+				e.close()
+			}
+		}
+		if ctx.driverStore != nil {
+			ctx.driverStore.Close()
+		}
+		if ctx.master != nil {
+			ctx.master.Close()
+		}
+		if ctx.ownNet && ctx.net != nil {
+			ctx.closeErr = ctx.net.Close()
+		}
+	})
+	return ctx.closeErr
+}
+
+// newJobID allocates a cluster-unique job id.
+func (ctx *Context) newJobID() int64 { return ctx.nextID.Add(1) }
+
+// NewOpID allocates a unique id for operations layered on the engine
+// (aggregation state keys, shuffle block prefixes).
+func (ctx *Context) NewOpID() int64 { return ctx.newJobID() }

@@ -1,0 +1,304 @@
+package rdd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sparker/internal/transport"
+)
+
+// --- wire frames -------------------------------------------------------
+//
+// task frame:    jobID int64 | task int32 | attempt int32
+// result frame:  jobID int64 | task int32 | attempt int32 | ok byte | body
+//                body = payload bytes (ok=1) or error string (ok=0)
+
+func encodeTaskFrame(jobID int64, task, attempt int) []byte {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b, uint64(jobID))
+	binary.LittleEndian.PutUint32(b[8:], uint32(int32(task)))
+	binary.LittleEndian.PutUint32(b[12:], uint32(int32(attempt)))
+	return b
+}
+
+func decodeTaskFrame(b []byte) (jobID int64, task, attempt int, err error) {
+	if len(b) < 16 {
+		return 0, 0, 0, fmt.Errorf("rdd: short task frame (%d bytes)", len(b))
+	}
+	jobID = int64(binary.LittleEndian.Uint64(b))
+	task = int(int32(binary.LittleEndian.Uint32(b[8:])))
+	attempt = int(int32(binary.LittleEndian.Uint32(b[12:])))
+	return jobID, task, attempt, nil
+}
+
+func encodeResultFrame(jobID int64, task, attempt int, payload []byte, errStr string) []byte {
+	b := make([]byte, 0, 17+len(payload)+len(errStr))
+	b = binary.LittleEndian.AppendUint64(b, uint64(jobID))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(task)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(attempt)))
+	if errStr == "" {
+		b = append(b, 1)
+		b = append(b, payload...)
+	} else {
+		b = append(b, 0)
+		b = append(b, errStr...)
+	}
+	return b
+}
+
+func decodeResultFrame(b []byte) (jobID int64, task, attempt int, payload []byte, errStr string, err error) {
+	if len(b) < 17 {
+		return 0, 0, 0, nil, "", fmt.Errorf("rdd: short result frame (%d bytes)", len(b))
+	}
+	jobID = int64(binary.LittleEndian.Uint64(b))
+	task = int(int32(binary.LittleEndian.Uint32(b[8:])))
+	attempt = int(int32(binary.LittleEndian.Uint32(b[12:])))
+	if b[16] == 1 {
+		payload = b[17:]
+	} else {
+		errStr = string(b[17:])
+		if errStr == "" {
+			errStr = "rdd: task failed without message"
+		}
+	}
+	return jobID, task, attempt, payload, errStr, nil
+}
+
+// --- job bookkeeping ---------------------------------------------------
+
+type taskResult struct {
+	task    int
+	attempt int
+	payload []byte
+	errStr  string
+}
+
+type job struct {
+	id      int64
+	fn      func(ec *ExecContext, task, attempt int) ([]byte, error)
+	results chan taskResult
+}
+
+// JobSpec describes one stage submitted to the cluster.
+type JobSpec struct {
+	// Tasks is the number of tasks in the stage.
+	Tasks int
+	// Placement maps task index -> executor index. Nil means the
+	// default round-robin placement task % NumExecutors (which also
+	// keeps cached partitions on stable executors). A non-nil Placement
+	// is the SpawnRDD static-scheduling path.
+	Placement []int
+	// Fn runs executor-side. Its []byte return crosses the transport
+	// back to the driver.
+	Fn func(ec *ExecContext, task, attempt int) ([]byte, error)
+	// StageCleanup marks this as a reduced-result stage (IMM): on any
+	// task failure the whole stage is aborted, StageCleanup runs on
+	// every executor, and the stage is resubmitted from scratch. When
+	// nil, failed tasks are retried individually (plain RDD semantics,
+	// which require independent tasks).
+	StageCleanup func(ec *ExecContext) error
+}
+
+// ErrJobFailed wraps the terminal failure of a job after retries.
+var ErrJobFailed = errors.New("rdd: job failed")
+
+// executorConn returns (dialing on first use) the driver's task
+// connection to executor i.
+func (ctx *Context) executorConn(i int) (*lockedConn, error) {
+	ctx.connMu.Lock()
+	defer ctx.connMu.Unlock()
+	if ctx.conns == nil {
+		ctx.conns = make([]*lockedConn, ctx.conf.NumExecutors)
+	}
+	if ctx.conns[i] != nil {
+		return ctx.conns[i], nil
+	}
+	c, err := ctx.net.Dial(taskAddr(ctx.conf.Name, i))
+	if err != nil {
+		return nil, err
+	}
+	lc := &lockedConn{c: c}
+	ctx.conns[i] = lc
+	go ctx.readResults(c)
+	return lc, nil
+}
+
+// readResults routes result frames from one executor connection to the
+// owning job. Results for finished jobs (stale retries) are dropped.
+func (ctx *Context) readResults(c transport.Conn) {
+	for {
+		b, err := c.Recv()
+		if err != nil {
+			return
+		}
+		jobID, task, attempt, payload, errStr, err := decodeResultFrame(b)
+		if err != nil {
+			continue
+		}
+		j, ok := ctx.jobs.Load(jobID)
+		if !ok {
+			continue
+		}
+		// Copy the payload: the frame buffer belongs to the transport.
+		var p []byte
+		if payload != nil {
+			p = append([]byte(nil), payload...)
+		}
+		select {
+		case j.(*job).results <- taskResult{task: task, attempt: attempt, payload: p, errStr: errStr}:
+		default:
+			// Result channel full implies a protocol bug; drop rather
+			// than deadlock the reader.
+		}
+	}
+}
+
+// RunJob executes spec and returns the per-task payloads in task order.
+func (ctx *Context) RunJob(spec JobSpec) ([][]byte, error) {
+	if spec.Tasks <= 0 {
+		return nil, fmt.Errorf("rdd: JobSpec.Tasks must be positive, got %d", spec.Tasks)
+	}
+	if spec.Fn == nil {
+		return nil, fmt.Errorf("rdd: JobSpec.Fn is nil")
+	}
+	placement := spec.Placement
+	if placement == nil {
+		placement = make([]int, spec.Tasks)
+		for t := range placement {
+			placement[t] = t % ctx.conf.NumExecutors
+		}
+	}
+	if len(placement) != spec.Tasks {
+		return nil, fmt.Errorf("rdd: len(Placement)=%d != Tasks=%d", len(placement), spec.Tasks)
+	}
+	for t, e := range placement {
+		if e < 0 || e >= ctx.conf.NumExecutors {
+			return nil, fmt.Errorf("rdd: task %d placed on invalid executor %d", t, e)
+		}
+	}
+
+	if spec.StageCleanup == nil {
+		return ctx.runStageTaskRetry(spec, placement)
+	}
+	return ctx.runStageWholeRetry(spec, placement)
+}
+
+// runStageTaskRetry retries failed tasks individually.
+func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, error) {
+	id := ctx.newJobID()
+	j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks*ctx.conf.MaxTaskAttempts+1)}
+	ctx.jobs.Store(id, j)
+	defer ctx.jobs.Delete(id)
+
+	submit := func(task, attempt int) error {
+		lc, err := ctx.executorConn(placement[task])
+		if err != nil {
+			return err
+		}
+		return lc.send(encodeTaskFrame(id, task, attempt))
+	}
+	for t := 0; t < spec.Tasks; t++ {
+		if err := submit(t, 0); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, spec.Tasks)
+	done := make([]bool, spec.Tasks)
+	attempts := make([]int, spec.Tasks)
+	remaining := spec.Tasks
+	for remaining > 0 {
+		r := <-j.results
+		if r.task < 0 || r.task >= spec.Tasks || done[r.task] {
+			continue
+		}
+		if r.errStr == "" {
+			out[r.task] = r.payload
+			done[r.task] = true
+			remaining--
+			continue
+		}
+		attempts[r.task]++
+		if attempts[r.task] >= ctx.conf.MaxTaskAttempts {
+			return nil, fmt.Errorf("%w: task %d failed %d times, last: %s",
+				ErrJobFailed, r.task, attempts[r.task], r.errStr)
+		}
+		if err := submit(r.task, attempts[r.task]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runStageWholeRetry implements reduced-result stage recovery: abort on
+// first failure, clean every executor's shared state, resubmit.
+func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte, error) {
+	var lastErr string
+	for stageAttempt := 0; stageAttempt < ctx.conf.MaxStageAttempts; stageAttempt++ {
+		id := ctx.newJobID()
+		j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks+1)}
+		ctx.jobs.Store(id, j)
+
+		failed := false
+		for t := 0; t < spec.Tasks; t++ {
+			lc, err := ctx.executorConn(placement[t])
+			if err != nil {
+				ctx.jobs.Delete(id)
+				return nil, err
+			}
+			if err := lc.send(encodeTaskFrame(id, t, stageAttempt)); err != nil {
+				ctx.jobs.Delete(id)
+				return nil, err
+			}
+		}
+		out := make([][]byte, spec.Tasks)
+		// Wait for ALL tasks (success or failure) so no task of an
+		// aborted stage attempt is still mutating shared state while
+		// cleanup runs.
+		for seen := 0; seen < spec.Tasks; seen++ {
+			r := <-j.results
+			if r.errStr != "" {
+				failed = true
+				lastErr = r.errStr
+				continue
+			}
+			if r.task >= 0 && r.task < spec.Tasks {
+				out[r.task] = r.payload
+			}
+		}
+		ctx.jobs.Delete(id)
+		if !failed {
+			return out, nil
+		}
+		if err := ctx.runCleanup(spec.StageCleanup); err != nil {
+			return nil, fmt.Errorf("rdd: stage cleanup failed: %w", err)
+		}
+	}
+	return nil, fmt.Errorf("%w: reduced-result stage failed %d attempts, last: %s",
+		ErrJobFailed, ctx.conf.MaxStageAttempts, lastErr)
+}
+
+// runCleanup runs cleanup once on every executor.
+func (ctx *Context) runCleanup(cleanup func(ec *ExecContext) error) error {
+	placement := make([]int, ctx.conf.NumExecutors)
+	for i := range placement {
+		placement[i] = i
+	}
+	_, err := ctx.runStageTaskRetry(JobSpec{
+		Tasks: ctx.conf.NumExecutors,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			return nil, cleanup(ec)
+		},
+	}, placement)
+	return err
+}
+
+// RunOnAllExecutors runs fn once per executor (task i on executor i)
+// and returns the payloads indexed by executor.
+func (ctx *Context) RunOnAllExecutors(fn func(ec *ExecContext, task, attempt int) ([]byte, error)) ([][]byte, error) {
+	placement := make([]int, ctx.conf.NumExecutors)
+	for i := range placement {
+		placement[i] = i
+	}
+	return ctx.RunJob(JobSpec{Tasks: ctx.conf.NumExecutors, Placement: placement, Fn: fn})
+}

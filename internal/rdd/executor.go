@@ -1,0 +1,213 @@
+package rdd
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"sparker/internal/blockmanager"
+	"sparker/internal/comm"
+	"sparker/internal/mutobj"
+	"sparker/internal/transport"
+)
+
+// Executor is one worker process: a task server with CoresPerExecutor
+// concurrent slots, a block store shard, a mutable object manager and a
+// communicator endpoint. It receives task descriptions from the driver
+// over the transport and returns serialized results the same way.
+type Executor struct {
+	ctx  *Context
+	id   int
+	host string
+	rank int
+
+	store *blockmanager.Store
+	mut   *mutobj.Manager
+	comm  *comm.Endpoint
+	cache sync.Map // "rdd/<id>/<part>" -> materialized partition
+
+	lis   transport.Listener
+	queue chan taskMsg
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// taskMsg is one task dispatched to this executor, paired with the
+// connection its result must return on.
+type taskMsg struct {
+	conn    *lockedConn
+	jobID   int64
+	task    int
+	attempt int
+}
+
+// lockedConn serializes concurrent result writes from worker slots.
+type lockedConn struct {
+	mu sync.Mutex
+	c  transport.Conn
+}
+
+func (lc *lockedConn) send(b []byte) error {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.c.Send(b)
+}
+
+func taskAddr(name string, id int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("exec/%s/%d/tasks", name, id))
+}
+
+func newExecutor(ctx *Context, id int, host string, rank int) (*Executor, error) {
+	store, err := blockmanager.NewStore(ctx.net, ctx.ExecutorStoreName(id))
+	if err != nil {
+		return nil, err
+	}
+	ep, err := comm.NewEndpoint(ctx.net, ctx.conf.Name+"/ring", rank, ctx.conf.NumExecutors)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	lis, err := ctx.net.Listen(taskAddr(ctx.conf.Name, id))
+	if err != nil {
+		store.Close()
+		ep.Close()
+		return nil, err
+	}
+	e := &Executor{
+		ctx:   ctx,
+		id:    id,
+		host:  host,
+		rank:  rank,
+		store: store,
+		mut:   mutobj.NewManager(),
+		comm:  ep,
+		lis:   lis,
+		queue: make(chan taskMsg, 4096),
+		quit:  make(chan struct{}),
+	}
+	for c := 0; c < ctx.conf.CoresPerExecutor; c++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	go e.serve()
+	return e, nil
+}
+
+// serve accepts task connections (the driver opens one) and feeds the
+// slot queue.
+func (e *Executor) serve() {
+	for {
+		c, err := e.lis.Accept()
+		if err != nil {
+			return
+		}
+		go e.readTasks(&lockedConn{c: c})
+	}
+}
+
+func (e *Executor) readTasks(lc *lockedConn) {
+	for {
+		b, err := lc.c.Recv()
+		if err != nil {
+			return
+		}
+		jobID, task, attempt, err := decodeTaskFrame(b)
+		if err != nil {
+			continue
+		}
+		select {
+		case e.queue <- taskMsg{conn: lc, jobID: jobID, task: task, attempt: attempt}:
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// worker is one core: it pulls tasks and executes them.
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	ec := &ExecContext{
+		ID:      e.id,
+		Host:    e.host,
+		Rank:    e.rank,
+		Cores:   e.ctx.conf.CoresPerExecutor,
+		Store:   e.store,
+		MutObjs: e.mut,
+		Comm:    e.comm,
+		exec:    e,
+	}
+	for {
+		select {
+		case tm := <-e.queue:
+			payload, errStr := e.runTask(ec, tm)
+			frame := encodeResultFrame(tm.jobID, tm.task, tm.attempt, payload, errStr)
+			tm.conn.send(frame)
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// runTask executes one task, converting panics into task failures —
+// the engine must survive user-code bugs the way Spark does.
+func (e *Executor) runTask(ec *ExecContext, tm taskMsg) (payload []byte, errStr string) {
+	j, ok := e.ctx.jobs.Load(tm.jobID)
+	if !ok {
+		return nil, fmt.Sprintf("rdd: unknown job %d", tm.jobID)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			payload = nil
+			errStr = fmt.Sprintf("rdd: task %d/%d panicked: %v\n%s", tm.jobID, tm.task, r, debug.Stack())
+		}
+	}()
+	out, err := j.(*job).fn(ec, tm.task, tm.attempt)
+	if err != nil {
+		return nil, err.Error()
+	}
+	return out, ""
+}
+
+func (e *Executor) close() {
+	select {
+	case <-e.quit:
+	default:
+		close(e.quit)
+	}
+	e.lis.Close()
+	e.comm.Close()
+	e.store.Close()
+	e.wg.Wait()
+}
+
+// ExecContext is the executor-side view handed to task closures.
+type ExecContext struct {
+	// ID is the executor index; Host its hostname; Rank its ring rank.
+	ID   int
+	Host string
+	Rank int
+	// Cores is the number of task slots on this executor.
+	Cores int
+	// Store is the executor's block shard.
+	Store *blockmanager.Store
+	// MutObjs is the executor's mutable object manager (IMM state).
+	MutObjs *mutobj.Manager
+	// Comm is the executor's scalable-communicator endpoint.
+	Comm *comm.Endpoint
+
+	exec *Executor
+}
+
+// Context returns the driver context. Task closures use it only for
+// cluster geometry (executor counts, store names), never to schedule.
+func (ec *ExecContext) Context() *Context { return ec.exec.ctx }
+
+// CacheGet returns a cached partition.
+func (ec *ExecContext) CacheGet(key string) (any, bool) {
+	return ec.exec.cache.Load(key)
+}
+
+// CachePut stores a materialized partition.
+func (ec *ExecContext) CachePut(key string, v any) {
+	ec.exec.cache.Store(key, v)
+}

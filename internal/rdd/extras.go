@@ -1,0 +1,107 @@
+package rdd
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample returns an RDD holding each element with probability fraction,
+// deterministically per (seed, partition) so retries and re-evaluations
+// observe the same subset — the contract MLlib's mini-batch SGD relies
+// on.
+func Sample[T any](r *RDD[T], fraction float64, seed int64) *RDD[T] {
+	if fraction >= 1 {
+		return r
+	}
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]T, error) {
+		in, err := r.Materialize(ec, part)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed ^ int64(part+1)*0x5DEECE66D))
+		out := make([]T, 0, int(float64(len(in))*fraction)+1)
+		for _, v := range in {
+			if rng.Float64() < fraction {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// MapPartitionsWithContext is MapPartitions with access to the
+// executor context — the hook for reading Broadcast values or
+// executor-local state inside a transformation.
+func MapPartitionsWithContext[T, U any](r *RDD[T], f func(ec *ExecContext, part int, in []T) ([]U, error)) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]U, error) {
+		in, err := r.Materialize(ec, part)
+		if err != nil {
+			return nil, err
+		}
+		return f(ec, part, in)
+	})
+}
+
+// Take returns the first n elements in partition order. It collects
+// partition by partition, stopping as soon as n elements are gathered.
+func Take[T any](r *RDD[T], n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	var out []T
+	for part := 0; part < r.parts && len(out) < n; part++ {
+		p := part
+		payloads, err := r.ctx.RunJob(JobSpec{
+			Tasks:     1,
+			Placement: []int{r.PlacementOf(p)},
+			Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+				data, err := r.Materialize(ec, p)
+				if err != nil {
+					return nil, err
+				}
+				if len(data) > n {
+					data = data[:n]
+				}
+				return encodeSlice(data)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		vs, err := decodeSlice[T](payloads[0])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// First returns the first element.
+func First[T any](r *RDD[T]) (T, error) {
+	var zero T
+	out, err := Take(r, 1)
+	if err != nil {
+		return zero, err
+	}
+	if len(out) == 0 {
+		return zero, fmt.Errorf("rdd: First of empty RDD")
+	}
+	return out[0], nil
+}
+
+// Distinct returns the unique elements, deduplicated across partitions
+// through a shuffle. T must be comparable and serde-encodable.
+func Distinct[T comparable](r *RDD[T], numPartitions int) (*RDD[T], error) {
+	keyed := KeyBy(r, func(v T) T { return v })
+	reduced, err := ReduceByKey(Map(keyed, func(p Pair[T, T]) Pair[T, int64] {
+		return Pair[T, int64]{Key: p.Key, Value: 1}
+	}), func(a, b int64) int64 { return a + b }, numPartitions)
+	if err != nil {
+		return nil, err
+	}
+	return Map(reduced, func(p Pair[T, int64]) T { return p.Key }), nil
+}

@@ -1,0 +1,159 @@
+package rdd
+
+import (
+	"fmt"
+
+	"sparker/internal/serde"
+)
+
+// JoinedValue carries one match of an inner join.
+type JoinedValue[L, R any] struct {
+	Left  L
+	Right R
+}
+
+// Join performs an inner hash join of two pair RDDs: both sides are
+// shuffled to numPartitions by key hash (reusing the ReduceByKey
+// machinery with list accumulation), then matching keys are paired
+// partition-locally. Every (left, right) combination per key is
+// emitted, ordered deterministically.
+//
+// K, L and R must be serde-encodable.
+func Join[K comparable, L, R any](left *RDD[Pair[K, L]], right *RDD[Pair[K, R]], numPartitions int) (*RDD[Pair[K, JoinedValue[L, R]]], error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("rdd: Join needs at least one partition")
+	}
+	if left.ctx != right.ctx {
+		return nil, fmt.Errorf("rdd: Join across contexts")
+	}
+	RegisterPair[K, L]()
+	RegisterPair[K, R]()
+	serde.RegisterSelfOnce(JoinedValue[L, R]{}, func() serde.Unmarshaler { return new(JoinedValue[L, R]) })
+	RegisterPair[K, JoinedValue[L, R]]()
+
+	// Shuffle each side's raw pairs into the shared partitioning; the
+	// join then runs partition-locally against a right-side hash map.
+	lBuckets, err := shufflePairs(left, numPartitions)
+	if err != nil {
+		return nil, err
+	}
+	rBuckets, err := shufflePairs(right, numPartitions)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := left.ctx
+	out := newRDD(ctx, numPartitions, func(ec *ExecContext, dst int) ([]Pair[K, JoinedValue[L, R]], error) {
+		ls, err := fetchBucket[K, L](ec, ctx, lBuckets, dst)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := fetchBucket[K, R](ec, ctx, rBuckets, dst)
+		if err != nil {
+			return nil, err
+		}
+		rightByKey := map[K][]R{}
+		for _, p := range rs {
+			rightByKey[p.Key] = append(rightByKey[p.Key], p.Value)
+		}
+		var outPairs []Pair[K, JoinedValue[L, R]]
+		for _, lp := range ls {
+			for _, rv := range rightByKey[lp.Key] {
+				outPairs = append(outPairs, Pair[K, JoinedValue[L, R]]{
+					Key:   lp.Key,
+					Value: JoinedValue[L, R]{Left: lp.Value, Right: rv},
+				})
+			}
+		}
+		return outPairs, nil
+	})
+	return out, nil
+}
+
+// shuffleHandle identifies one side's shuffle output.
+type shuffleHandle struct {
+	id       int64
+	srcParts int
+}
+
+// shufflePairs buckets a pair RDD's elements by key hash into
+// numPartitions blocks per source partition, stored on the executors.
+// Elements keep their original order within a (src, dst) bucket, so
+// downstream reads are deterministic.
+func shufflePairs[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) (shuffleHandle, error) {
+	ctx := r.ctx
+	h := shuffleHandle{id: ctx.newJobID(), srcParts: r.parts}
+	_, err := ctx.RunJob(JobSpec{
+		Tasks: r.parts,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			in, err := r.Materialize(ec, task)
+			if err != nil {
+				return nil, err
+			}
+			buckets := make([][]Pair[K, V], numPartitions)
+			for _, p := range in {
+				hv, err := keyHash(p.Key)
+				if err != nil {
+					return nil, err
+				}
+				d := int(hv % uint64(numPartitions))
+				buckets[d] = append(buckets[d], p)
+			}
+			for dst, bucket := range buckets {
+				wire, err := encodePairs(bucket)
+				if err != nil {
+					return nil, err
+				}
+				ec.Store.PutLocal(fmt.Sprintf("join/%d/%d/%d", h.id, task, dst), wire)
+			}
+			return nil, nil
+		},
+	})
+	return h, err
+}
+
+// fetchBucket gathers partition dst of a shuffled side.
+func fetchBucket[K comparable, V any](ec *ExecContext, ctx *Context, h shuffleHandle, dst int) ([]Pair[K, V], error) {
+	var out []Pair[K, V]
+	for src := 0; src < h.srcParts; src++ {
+		owner := ctx.ExecutorStoreName(src % ctx.conf.NumExecutors)
+		wire, err := ec.Store.FetchFrom(owner, fmt.Sprintf("join/%d/%d/%d", h.id, src, dst))
+		if err != nil {
+			return nil, fmt.Errorf("rdd: join fetch %d->%d: %w", src, dst, err)
+		}
+		pairs, err := decodePairs[K, V](wire)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pairs...)
+	}
+	return out, nil
+}
+
+// MarshalBinaryTo implements serde.Marshaler for joined values.
+func (j JoinedValue[L, R]) MarshalBinaryTo(dst []byte) []byte {
+	dst = serde.MustEncode(dst, j.Left)
+	return serde.MustEncode(dst, j.Right)
+}
+
+// UnmarshalBinaryFrom implements serde.Unmarshaler.
+func (j *JoinedValue[L, R]) UnmarshalBinaryFrom(src []byte) (int, error) {
+	l, n, err := serde.Decode(src)
+	if err != nil {
+		return 0, err
+	}
+	r, m, err := serde.Decode(src[n:])
+	if err != nil {
+		return 0, err
+	}
+	lv, ok := l.(L)
+	if !ok {
+		return 0, fmt.Errorf("rdd: joined left decoded as %T", l)
+	}
+	rv, ok := r.(R)
+	if !ok {
+		return 0, fmt.Errorf("rdd: joined right decoded as %T", r)
+	}
+	j.Left, j.Right = lv, rv
+	return n + m, nil
+}

@@ -1,0 +1,109 @@
+package rdd
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestJoinInner(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	users := FromSlice(ctx, []Pair[int64, string]{
+		{Key: 1, Value: "ada"},
+		{Key: 2, Value: "grace"},
+		{Key: 3, Value: "edsger"},
+	}, 2)
+	orders := FromSlice(ctx, []Pair[int64, int64]{
+		{Key: 1, Value: 100},
+		{Key: 1, Value: 150},
+		{Key: 3, Value: 75},
+		{Key: 9, Value: 1}, // no matching user
+	}, 3)
+	joined, err := Join(users, orders, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		user  string
+		total int64
+	}
+	var rows []row
+	for _, p := range got {
+		rows = append(rows, row{p.Value.Left, p.Value.Right})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].user != rows[j].user {
+			return rows[i].user < rows[j].user
+		}
+		return rows[i].total < rows[j].total
+	})
+	want := []row{{"ada", 100}, {"ada", 150}, {"edsger", 75}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("join rows = %v, want %v", rows, want)
+	}
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	left := FromSlice(ctx, []Pair[int64, int64]{{Key: 1, Value: 1}}, 1)
+	right := FromSlice(ctx, []Pair[int64, int64]{}, 1)
+	joined, err := Join(left, right, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("join with empty side produced %v", got)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	l := FromSlice(ctx, []Pair[int64, int64]{{Key: 1, Value: 1}}, 1)
+	r := FromSlice(ctx, []Pair[int64, int64]{{Key: 1, Value: 1}}, 1)
+	if _, err := Join(l, r, 0); err == nil {
+		t.Fatal("zero partitions should fail")
+	}
+	other := testContext(t, 2, 1)
+	r2 := FromSlice(other, []Pair[int64, int64]{{Key: 1, Value: 1}}, 1)
+	if _, err := Join(l, r2, 2); err == nil {
+		t.Fatal("cross-context join should fail")
+	}
+}
+
+func TestJoinManyToMany(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	l := FromSlice(ctx, []Pair[string, int64]{
+		{Key: "a", Value: 1}, {Key: "a", Value: 2},
+	}, 2)
+	r := FromSlice(ctx, []Pair[string, int64]{
+		{Key: "a", Value: 10}, {Key: "a", Value: 20},
+	}, 2)
+	joined, err := Join(l, r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 × 2 cross product on key "a".
+	if len(got) != 4 {
+		t.Fatalf("many-to-many join produced %d rows, want 4", len(got))
+	}
+	var sum int64
+	for _, p := range got {
+		sum += p.Value.Left * p.Value.Right
+	}
+	// (1+2)×(10+20) = 90.
+	if sum != 90 {
+		t.Fatalf("cross-product checksum = %d, want 90", sum)
+	}
+}

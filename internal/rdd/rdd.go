@@ -1,0 +1,240 @@
+package rdd
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// RDD is a partitioned, immutable, lazily evaluated dataset. Like
+// Spark's, it is a driver-side recipe: Compute materializes one
+// partition on an executor. Transformations are package functions
+// (Map, Filter, …) because Go methods cannot introduce type
+// parameters.
+//
+// Partition p is always computed on executor p % NumExecutors, so a
+// cached partition is found again by later jobs.
+type RDD[T any] struct {
+	ctx          *Context
+	id           int64
+	parts        int
+	compute      func(ec *ExecContext, part int) ([]T, error)
+	cached       atomic.Bool
+	checkpointed atomic.Bool
+}
+
+// Context returns the owning driver context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// ID returns the RDD's unique id.
+func (r *RDD[T]) ID() int64 { return r.id }
+
+// Cache marks the RDD for MEMORY_ONLY storage: the first
+// materialization of each partition is kept on its executor. Returns r
+// for chaining.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.cached.Store(true)
+	return r
+}
+
+// Unpersist drops the RDD's cached partitions from every executor and
+// stops further caching. Later actions recompute from lineage.
+func (r *RDD[T]) Unpersist() error {
+	r.cached.Store(false)
+	id := r.id
+	_, err := r.ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		prefix := fmt.Sprintf("rdd/%d/", id)
+		ec.exec.cache.Range(func(k, _ any) bool {
+			if key, ok := k.(string); ok && strings.HasPrefix(key, prefix) {
+				ec.exec.cache.Delete(k)
+			}
+			return true
+		})
+		return nil, nil
+	})
+	return err
+}
+
+func (r *RDD[T]) cacheKey(part int) string {
+	return fmt.Sprintf("rdd/%d/%d", r.id, part)
+}
+
+// Materialize produces partition part on the calling executor,
+// consulting and filling the cache when the RDD is cached.
+func (r *RDD[T]) Materialize(ec *ExecContext, part int) ([]T, error) {
+	if part < 0 || part >= r.parts {
+		return nil, fmt.Errorf("rdd: partition %d out of range [0,%d)", part, r.parts)
+	}
+	if r.cached.Load() {
+		if v, ok := ec.CacheGet(r.cacheKey(part)); ok {
+			return v.([]T), nil
+		}
+	}
+	var data []T
+	var err error
+	if r.checkpointed.Load() {
+		data, err = r.readCheckpoint(ec, part)
+	} else {
+		data, err = r.compute(ec, part)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.cached.Load() {
+		ec.CachePut(r.cacheKey(part), data)
+	}
+	return data, nil
+}
+
+// PlacementOf returns the executor index that computes partition p.
+func (r *RDD[T]) PlacementOf(p int) int { return p % r.ctx.conf.NumExecutors }
+
+func (r *RDD[T]) checkpointBlockID(part int) string {
+	return fmt.Sprintf("ckpt/%d/%d", r.id, part)
+}
+
+// Checkpoint materializes every partition into its executor's block
+// store and truncates lineage: later materializations read the stored
+// bytes instead of recomputing ancestors — Spark's localCheckpoint,
+// the other half of its fault-tolerance story. T must be
+// serde-encodable.
+func (r *RDD[T]) Checkpoint() error {
+	_, err := r.ctx.RunJob(JobSpec{
+		Tasks: r.parts,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			data, err := r.Materialize(ec, task)
+			if err != nil {
+				return nil, err
+			}
+			wire, err := encodeSlice(data)
+			if err != nil {
+				return nil, err
+			}
+			ec.Store.PutLocal(r.checkpointBlockID(task), wire)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("rdd: checkpoint: %w", err)
+	}
+	r.checkpointed.Store(true)
+	return nil
+}
+
+// readCheckpoint loads a checkpointed partition (fetching across the
+// transport when the task ran off its usual executor).
+func (r *RDD[T]) readCheckpoint(ec *ExecContext, part int) ([]T, error) {
+	owner := r.ctx.ExecutorStoreName(r.PlacementOf(part))
+	wire, err := ec.Store.FetchFrom(owner, r.checkpointBlockID(part))
+	if err != nil {
+		return nil, fmt.Errorf("rdd: reading checkpoint of partition %d: %w", part, err)
+	}
+	return decodeSlice[T](wire)
+}
+
+// newRDD wires an RDD into ctx.
+func newRDD[T any](ctx *Context, parts int, compute func(ec *ExecContext, part int) ([]T, error)) *RDD[T] {
+	return &RDD[T]{ctx: ctx, id: ctx.newJobID(), parts: parts, compute: compute}
+}
+
+// Generate creates an RDD whose partitions are produced by gen. gen
+// runs executor-side; it must be deterministic per partition so task
+// retries observe identical data.
+func Generate[T any](ctx *Context, parts int, gen func(part int) ([]T, error)) *RDD[T] {
+	if parts < 1 {
+		panic("rdd: Generate needs at least one partition")
+	}
+	return newRDD(ctx, parts, func(_ *ExecContext, part int) ([]T, error) {
+		return gen(part)
+	})
+}
+
+// FromSlice distributes data across parts partitions by contiguous
+// ranges.
+func FromSlice[T any](ctx *Context, data []T, parts int) *RDD[T] {
+	if parts < 1 {
+		panic("rdd: FromSlice needs at least one partition")
+	}
+	n := len(data)
+	return newRDD(ctx, parts, func(_ *ExecContext, part int) ([]T, error) {
+		lo := part * n / parts
+		hi := (part + 1) * n / parts
+		out := make([]T, hi-lo)
+		copy(out, data[lo:hi])
+		return out, nil
+	})
+}
+
+// Map applies f to every element.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]U, error) {
+		in, err := r.Materialize(ec, part)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out, nil
+	})
+}
+
+// Filter keeps the elements for which f is true.
+func Filter[T any](r *RDD[T], f func(T) bool) *RDD[T] {
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]T, error) {
+		in, err := r.Materialize(ec, part)
+		if err != nil {
+			return nil, err
+		}
+		out := in[:0:0]
+		for _, v := range in {
+			if f(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]U, error) {
+		in, err := r.Materialize(ec, part)
+		if err != nil {
+			return nil, err
+		}
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out, nil
+	})
+}
+
+// MapPartitions applies f to each whole partition.
+func MapPartitions[T, U any](r *RDD[T], f func(part int, in []T) ([]U, error)) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]U, error) {
+		in, err := r.Materialize(ec, part)
+		if err != nil {
+			return nil, err
+		}
+		return f(part, in)
+	})
+}
+
+// Union concatenates two RDDs' partitions.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	if a.ctx != b.ctx {
+		panic("rdd: Union across contexts")
+	}
+	return newRDD(a.ctx, a.parts+b.parts, func(ec *ExecContext, part int) ([]T, error) {
+		if part < a.parts {
+			return a.Materialize(ec, part)
+		}
+		return b.Materialize(ec, part-a.parts)
+	})
+}

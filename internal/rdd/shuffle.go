@@ -1,0 +1,247 @@
+package rdd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"sparker/internal/serde"
+)
+
+// Pair is a keyed element for shuffle operations. Pair values are
+// serde self-marshaling as long as K and V are serde-encodable; the
+// concrete instantiation is registered by RegisterPair (called
+// automatically by KeyBy, ReduceByKey and CountByKey).
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// MarshalBinaryTo implements serde.Marshaler.
+func (p Pair[K, V]) MarshalBinaryTo(dst []byte) []byte {
+	dst = serde.MustEncode(dst, p.Key)
+	return serde.MustEncode(dst, p.Value)
+}
+
+// UnmarshalBinaryFrom implements serde.Unmarshaler.
+func (p *Pair[K, V]) UnmarshalBinaryFrom(src []byte) (int, error) {
+	kv, n, err := serde.Decode(src)
+	if err != nil {
+		return 0, err
+	}
+	vv, m, err := serde.Decode(src[n:])
+	if err != nil {
+		return 0, err
+	}
+	k, ok := kv.(K)
+	if !ok {
+		return 0, fmt.Errorf("rdd: pair key decoded as %T", kv)
+	}
+	v, ok := vv.(V)
+	if !ok {
+		return 0, fmt.Errorf("rdd: pair value decoded as %T", vv)
+	}
+	p.Key, p.Value = k, v
+	return n + m, nil
+}
+
+// RegisterPair registers the concrete Pair[K, V] instantiation with
+// serde so pair RDDs can be collected. Idempotent.
+func RegisterPair[K comparable, V any]() {
+	serde.RegisterSelfOnce(Pair[K, V]{}, func() serde.Unmarshaler { return new(Pair[K, V]) })
+}
+
+// KeyBy turns an RDD into a pair RDD.
+func KeyBy[T any, K comparable](r *RDD[T], key func(T) K) *RDD[Pair[K, T]] {
+	RegisterPair[K, T]()
+	return Map(r, func(v T) Pair[K, T] { return Pair[K, T]{Key: key(v), Value: v} })
+}
+
+// ReduceByKey performs the classic shuffled aggregation: values are
+// combined per key within each input partition (map-side combine),
+// hash-partitioned into numPartitions shuffle blocks stored on the
+// executors, and merged on the reduce side. The shuffle map stage runs
+// eagerly (unlike Spark's lazy stages — documented engine
+// simplification); the returned RDD's partitions fetch and merge their
+// blocks on demand, emitting pairs in deterministic key-hash order.
+//
+// K and V must be serde-encodable.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], reduce func(V, V) V, numPartitions int) (*RDD[Pair[K, V]], error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("rdd: ReduceByKey needs at least one partition")
+	}
+	RegisterPair[K, V]()
+	ctx := r.ctx
+	shufID := ctx.newJobID()
+	blockID := func(src, dst int) string {
+		return fmt.Sprintf("shuf/%d/%d/%d", shufID, src, dst)
+	}
+
+	// Map stage: local combine, hash-partition, store blocks locally.
+	srcParts := r.parts
+	_, err := ctx.RunJob(JobSpec{
+		Tasks: srcParts,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			in, err := r.Materialize(ec, task)
+			if err != nil {
+				return nil, err
+			}
+			combined := map[K]V{}
+			for _, p := range in {
+				if cur, ok := combined[p.Key]; ok {
+					combined[p.Key] = reduce(cur, p.Value)
+				} else {
+					combined[p.Key] = p.Value
+				}
+			}
+			buckets := make([][]Pair[K, V], numPartitions)
+			for k, v := range combined {
+				h, err := keyHash(k)
+				if err != nil {
+					return nil, err
+				}
+				d := int(h % uint64(numPartitions))
+				buckets[d] = append(buckets[d], Pair[K, V]{Key: k, Value: v})
+			}
+			for dst, bucket := range buckets {
+				wire, err := encodePairs(bucket)
+				if err != nil {
+					return nil, err
+				}
+				ec.Store.PutLocal(blockID(task, dst), wire)
+			}
+			return nil, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce-side RDD: partition dst fetches its block from every map
+	// task's executor and merges.
+	out := newRDD(ctx, numPartitions, func(ec *ExecContext, dst int) ([]Pair[K, V], error) {
+		merged := map[K]V{}
+		for src := 0; src < srcParts; src++ {
+			owner := ctx.ExecutorStoreName(src % ctx.conf.NumExecutors)
+			wire, err := ec.Store.FetchFrom(owner, blockID(src, dst))
+			if err != nil {
+				return nil, fmt.Errorf("rdd: shuffle fetch %d->%d: %w", src, dst, err)
+			}
+			pairs, err := decodePairs[K, V](wire)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pairs {
+				if cur, ok := merged[p.Key]; ok {
+					merged[p.Key] = reduce(cur, p.Value)
+				} else {
+					merged[p.Key] = p.Value
+				}
+			}
+		}
+		return sortedPairs(merged)
+	})
+	return out, nil
+}
+
+// CountByKey reduces to per-key counts, collected at the driver.
+func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
+	RegisterPair[K, int64]()
+	ones := Map(r, func(p Pair[K, V]) Pair[K, int64] { return Pair[K, int64]{Key: p.Key, Value: 1} })
+	counted, err := ReduceByKey(ones, func(a, b int64) int64 { return a + b }, r.ctx.conf.NumExecutors)
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := Collect(counted)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int64, len(pairs))
+	for _, p := range pairs {
+		out[p.Key] = p.Value
+	}
+	return out, nil
+}
+
+// keyHash hashes a key through its serde encoding — stable across
+// processes and executors.
+func keyHash[K comparable](k K) (uint64, error) {
+	wire, err := serde.Encode(nil, k)
+	if err != nil {
+		return 0, fmt.Errorf("rdd: shuffle key not encodable: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(wire)
+	return h.Sum64(), nil
+}
+
+// sortedPairs emits map entries ordered by encoded key bytes, so
+// partition contents are deterministic.
+func sortedPairs[K comparable, V any](m map[K]V) ([]Pair[K, V], error) {
+	type kb struct {
+		key  K
+		wire []byte
+	}
+	keys := make([]kb, 0, len(m))
+	for k := range m {
+		wire, err := serde.Encode(nil, k)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, kb{key: k, wire: wire})
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i].wire, keys[j].wire) < 0 })
+	out := make([]Pair[K, V], len(keys))
+	for i, k := range keys {
+		out[i] = Pair[K, V]{Key: k.key, Value: m[k.key]}
+	}
+	return out, nil
+}
+
+// encodePairs frames pairs as count + (key, value) encodings.
+func encodePairs[K comparable, V any](pairs []Pair[K, V]) ([]byte, error) {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(len(pairs)))
+	var err error
+	for _, p := range pairs {
+		if b, err = serde.Encode(b, p.Key); err != nil {
+			return nil, err
+		}
+		if b, err = serde.Encode(b, p.Value); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func decodePairs[K comparable, V any](b []byte) ([]Pair[K, V], error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("rdd: short shuffle block")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	off := 4
+	out := make([]Pair[K, V], 0, n)
+	for i := 0; i < n; i++ {
+		kv, used, err := serde.Decode(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		vv, used, err := serde.Decode(b[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used
+		k, ok := kv.(K)
+		if !ok {
+			return nil, fmt.Errorf("rdd: shuffle key decoded as %T", kv)
+		}
+		v, ok := vv.(V)
+		if !ok {
+			return nil, fmt.Errorf("rdd: shuffle value decoded as %T", vv)
+		}
+		out = append(out, Pair[K, V]{Key: k, Value: v})
+	}
+	return out, nil
+}

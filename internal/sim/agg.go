@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"sparker/internal/netsim"
+	"sparker/internal/vclock"
+)
+
+// AggStrategy labels the three aggregation implementations of Figure 16.
+type AggStrategy int
+
+// Aggregation strategies.
+const (
+	AggTree AggStrategy = iota
+	AggTreeIMM
+	AggSplit
+)
+
+// String implements fmt.Stringer.
+func (s AggStrategy) String() string {
+	switch s {
+	case AggTree:
+		return "tree"
+	case AggTreeIMM:
+		return "tree+imm"
+	case AggSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("AggStrategy(%d)", int(s))
+	}
+}
+
+// AggParams parameterizes one simulated aggregation (the reduction
+// path of the Figure-16 micro-benchmark: the RDD is preloaded in
+// memory, seqOp is trivial, the aggregator is MsgBytes).
+type AggParams struct {
+	Cluster ClusterConfig
+	Nodes   int
+	// MsgBytes is the aggregator size.
+	MsgBytes int64
+	// Parallelism is the split-aggregation PDR channel count.
+	Parallelism int
+	// TopoAware orders ring ranks by host.
+	TopoAware bool
+}
+
+func (p AggParams) validate() error {
+	if p.Nodes < 1 || p.Nodes > p.Cluster.Nodes {
+		return fmt.Errorf("sim: nodes %d out of range [1,%d]", p.Nodes, p.Cluster.Nodes)
+	}
+	if p.MsgBytes <= 0 {
+		return fmt.Errorf("sim: message size must be positive")
+	}
+	return nil
+}
+
+// AggregateTime simulates one aggregation under the given strategy and
+// returns its duration (Spark stages are barriers, so phases sum).
+func AggregateTime(s AggStrategy, p AggParams) (time.Duration, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	switch s {
+	case AggTree:
+		return treeAggTime(p)
+	case AggTreeIMM:
+		return treeIMMAggTime(p)
+	case AggSplit:
+		return splitAggTime(p)
+	default:
+		return 0, fmt.Errorf("sim: unknown strategy %d", int(s))
+	}
+}
+
+// seconds converts a byte count over a rate into a duration.
+func seconds(bytes int64, rate float64) time.Duration {
+	return time.Duration(float64(bytes) / rate * float64(time.Second))
+}
+
+// stageCost is the driver's scheduling cost for a stage of n tasks.
+func stageCost(c ClusterConfig, tasks int) time.Duration {
+	return c.StageOverhead + time.Duration(tasks)*c.TaskOverhead
+}
+
+// treeScale is Spark's treeAggregate combiner factor for depth 2.
+func treeScale(parts int) int {
+	s := 1
+	for s*s < parts {
+		s++
+	}
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// treeCombinePhases simulates treeAggregate's reduction over `cur`
+// serialized blocks of m bytes placed round-robin on E executors:
+// shuffle-combine rounds followed by the driver's serial fetch + merge.
+// It returns the summed phase durations.
+func treeCombinePhases(p AggParams, cur int) (time.Duration, error) {
+	c := p.Cluster
+	e := p.Nodes * c.ExecutorsPerNode
+	m := p.MsgBytes
+	var total time.Duration
+
+	// Stage-1 blocks sit one per core, uniformly across executors.
+	srcPlace := make([]int, cur)
+	for i := range srcPlace {
+		srcPlace[i] = i % e
+	}
+	// The scheduler spreads a small combiner stage across nodes, not
+	// packed onto the first executors.
+	spread := func(i int) int {
+		node := i % p.Nodes
+		slot := (i / p.Nodes) % c.ExecutorsPerNode
+		return node*c.ExecutorsPerNode + slot
+	}
+	scale := treeScale(cur)
+	for cur > scale+cur/scale {
+		numComb := (cur + scale - 1) / scale
+		eng := vclock.New()
+		net, err := c.network(eng, c.SC, p.Nodes, c.ExecutorsPerNode)
+		if err != nil {
+			return 0, err
+		}
+		srcCount := cur
+		place := srcPlace
+		for comb := 0; comb < numComb; comb++ {
+			comb := comb
+			mbox := vclock.NewMailbox[int](eng)
+			eng.Go(func(pr *vclock.Proc) {
+				dst := spread(comb)
+				// Shuffle fetches pipeline: all block transfers are in
+				// flight while the combiner deserializes and merges.
+				n := 0
+				for src := comb; src < srcCount; src += numComb {
+					netsim.Send(net, pr, mbox, place[src], dst, m, src)
+					n++
+				}
+				for i := 0; i < n; i++ {
+					mbox.Recv(pr)
+					pr.Sleep(seconds(m, c.DeserRate) + seconds(m, c.MergeRate))
+				}
+				pr.Sleep(seconds(m, c.SerRate))
+			})
+		}
+		d, err := eng.Run()
+		if err != nil {
+			return 0, err
+		}
+		total += d + stageCost(c, numComb)
+		cur = numComb
+		srcPlace = make([]int, cur)
+		for i := range srcPlace {
+			srcPlace[i] = spread(i)
+		}
+	}
+
+	// Driver phase: blocks stream in concurrently, one driver thread
+	// deserializes and merges them serially.
+	eng := vclock.New()
+	net, err := c.network(eng, c.SC, p.Nodes, c.ExecutorsPerNode)
+	if err != nil {
+		return 0, err
+	}
+	mb := vclock.NewMailbox[int](eng)
+	for i := 0; i < cur; i++ {
+		i := i
+		eng.Go(func(pr *vclock.Proc) {
+			netsim.Send(net, pr, mb, srcPlace[i], netsim.Driver, m, i)
+		})
+	}
+	blocks := cur
+	eng.Go(func(pr *vclock.Proc) {
+		for i := 0; i < blocks; i++ {
+			mb.Recv(pr)
+			pr.Sleep(seconds(m, c.DeserRate) + seconds(m, c.MergeRate) + c.TaskOverhead)
+		}
+	})
+	d, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	return total + d, nil
+}
+
+// treeAggTime: every task result is serialized (one per core), then
+// tree-combined.
+func treeAggTime(p AggParams) (time.Duration, error) {
+	c := p.Cluster
+	e := p.Nodes * c.ExecutorsPerNode
+	parts := e * c.CoresPerExecutor
+	// Stage 1: all cores serialize their partition aggregator in
+	// parallel.
+	total := seconds(p.MsgBytes, c.SerRate) + stageCost(c, parts)
+	combine, err := treeCombinePhases(p, parts)
+	if err != nil {
+		return 0, err
+	}
+	return total + combine, nil
+}
+
+// immMergeTime is the reduced-result stage tail: each executor's cores
+// merge their aggregators into the shared in-memory value. Task
+// completions stagger, so the lock is held for ~log2(cores) merge
+// spans on the critical path rather than cores-1. No serialization
+// happens.
+func immMergeTime(c ClusterConfig) func(m int64) time.Duration {
+	return func(m int64) time.Duration {
+		spans := bits.Len(uint(c.CoresPerExecutor - 1))
+		return time.Duration(spans) * seconds(m, c.MergeRate)
+	}
+}
+
+// treeIMMAggTime: IMM leaves one aggregator per executor; those E
+// serialized results then tree-combine.
+func treeIMMAggTime(p AggParams) (time.Duration, error) {
+	c := p.Cluster
+	e := p.Nodes * c.ExecutorsPerNode
+	total := immMergeTime(c)(p.MsgBytes) + // parallel across executors
+		seconds(p.MsgBytes, c.SerRate) + // one result per executor
+		stageCost(c, e*c.CoresPerExecutor)
+	combine, err := treeCombinePhases(p, e)
+	if err != nil {
+		return 0, err
+	}
+	return total + combine, nil
+}
+
+// splitAggTime: IMM, then splitOp + ring reduce-scatter over the PDR,
+// then the segment gather to the driver and concatOp.
+func splitAggTime(p AggParams) (time.Duration, error) {
+	c := p.Cluster
+	e := p.Nodes * c.ExecutorsPerNode
+	par := p.Parallelism
+	if par < 1 {
+		par = 4
+	}
+	total := immMergeTime(c)(p.MsgBytes) + stageCost(c, e*c.CoresPerExecutor)
+
+	// SpawnRDD stage: split (memcpy), ring reduce-scatter, gather.
+	total += seconds(p.MsgBytes, c.CopyRate)
+	ring, err := RingReduceScatter(RSParams{
+		Cluster:     c,
+		Nodes:       p.Nodes,
+		MsgBytes:    p.MsgBytes,
+		Parallelism: par,
+		TopoAware:   p.TopoAware,
+	})
+	if err != nil {
+		return 0, err
+	}
+	total += ring
+
+	// Gather: every executor ships its m/E of reduced segments to the
+	// driver concurrently; the driver concatenates (memcpy) and handles
+	// E task results.
+	eng := vclock.New()
+	net, err := c.network(eng, c.SC, p.Nodes, c.ExecutorsPerNode)
+	if err != nil {
+		return 0, err
+	}
+	seg := p.MsgBytes / int64(e)
+	g := vclock.NewGroup(eng)
+	for i := 0; i < e; i++ {
+		i := i
+		g.Go(func(pr *vclock.Proc) {
+			net.Transfer(pr, i, netsim.Driver, seg)
+		})
+	}
+	eng.Go(func(pr *vclock.Proc) {
+		g.Wait(pr)
+		// The driver deserializes the gathered segments, concatenates
+		// them, and handles one task-result event per executor.
+		pr.Sleep(seconds(p.MsgBytes, c.DeserRate) +
+			seconds(p.MsgBytes, c.CopyRate) +
+			time.Duration(e)*c.TaskOverhead)
+	})
+	d, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	return total + d + stageCost(c, e), nil
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sparker/internal/netsim"
+	"sparker/internal/vclock"
+)
+
+// P2PLatency reproduces Figure 12: the one-way small-message latency
+// between a pair of executors on different nodes, per transport. It is
+// measured as half the simulated ping-pong round trip of an 8-byte
+// payload.
+func P2PLatency(c ClusterConfig, t Transport) (time.Duration, error) {
+	if c.Nodes < 2 {
+		return 0, fmt.Errorf("sim: p2p latency needs 2 nodes")
+	}
+	e := vclock.New()
+	net, err := c.network(e, t, 2, 1)
+	if err != nil {
+		return 0, err
+	}
+	const rounds = 10
+	ping := vclock.NewMailbox[int](e)
+	pong := vclock.NewMailbox[int](e)
+	e.Go(func(p *vclock.Proc) {
+		for i := 0; i < rounds; i++ {
+			netsim.Send(net, p, ping, 0, 1, 8, i)
+			pong.Recv(p)
+		}
+	})
+	e.Go(func(p *vclock.Proc) {
+		for i := 0; i < rounds; i++ {
+			ping.Recv(p)
+			netsim.Send(net, p, pong, 1, 0, 8, i)
+		}
+	})
+	total, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	return total / (2 * rounds), nil
+}
+
+// P2PThroughput reproduces Figure 13: the throughput (bytes/s) between
+// a pair of executors when a message of msgBytes is striped over
+// `parallelism` connections.
+func P2PThroughput(c ClusterConfig, t Transport, msgBytes int64, parallelism int) (float64, error) {
+	if parallelism < 1 {
+		return 0, fmt.Errorf("sim: parallelism must be >= 1")
+	}
+	e := vclock.New()
+	net, err := c.network(e, t, 2, 1)
+	if err != nil {
+		return 0, err
+	}
+	g := vclock.NewGroup(e)
+	for ch := 0; ch < parallelism; ch++ {
+		ch := ch
+		g.Go(func(p *vclock.Proc) {
+			part := msgBytes / int64(parallelism)
+			if ch == 0 {
+				part += msgBytes % int64(parallelism)
+			}
+			net.Transfer(p, 0, 1, part)
+		})
+	}
+	e.Go(func(p *vclock.Proc) { g.Wait(p) })
+	total, err := e.Run()
+	if err != nil {
+		return 0, err
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("sim: zero transfer time")
+	}
+	return float64(msgBytes) / total.Seconds(), nil
+}

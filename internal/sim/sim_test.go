@@ -1,0 +1,419 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const paperMB = 1024 * 1024
+
+func TestP2PLatencyMatchesCalibration(t *testing.T) {
+	c := BIC()
+	cases := []struct {
+		tr   Transport
+		want time.Duration
+	}{
+		{c.MPI, time.Duration(15.94 * float64(time.Microsecond))},
+		{c.SC, time.Duration(72.73 * float64(time.Microsecond))},
+		{c.BM, time.Duration(3861.25 * float64(time.Microsecond))},
+	}
+	for _, cse := range cases {
+		got, err := P2PLatency(c, cse.tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := float64(got) / float64(cse.want); ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("%s latency = %v, want ≈ %v (Figure 12)", cse.tr.Name, got, cse.want)
+		}
+	}
+	// Orderings of Figure 12: BM ≫ SC > MPI.
+	bm, _ := P2PLatency(c, c.BM)
+	sc, _ := P2PLatency(c, c.SC)
+	mpi, _ := P2PLatency(c, c.MPI)
+	if !(bm > 10*sc && sc > 2*mpi) {
+		t.Errorf("latency ordering broken: BM=%v SC=%v MPI=%v", bm, sc, mpi)
+	}
+}
+
+func TestP2PThroughputParallelism(t *testing.T) {
+	c := BIC()
+	const m = 256 * paperMB
+	tp1, err := P2PThroughput(c, c.SC, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp2, _ := P2PThroughput(c, c.SC, m, 2)
+	tp4, _ := P2PThroughput(c, c.SC, m, 4)
+	if !(tp4 > tp2 && tp2 > tp1) {
+		t.Fatalf("throughput not increasing with parallelism: %v %v %v", tp1, tp2, tp4)
+	}
+	// Figure 13: 4 channels reach ≥95% of the 1151.80 MB/s line rate.
+	if tp4 < 0.95*c.SC.NICBW {
+		t.Errorf("4-parallel throughput %.0f MB/s below 95%% of line rate", tp4/paperMB)
+	}
+	// Small messages are latency-bound: far below line rate.
+	small, _ := P2PThroughput(c, c.SC, 1024, 1)
+	if small > 0.5*c.SC.NICBW {
+		t.Errorf("1KB throughput %.0f MB/s suspiciously high", small/paperMB)
+	}
+	if _, err := P2PThroughput(c, c.SC, m, 0); err == nil {
+		t.Error("parallelism 0 should fail")
+	}
+}
+
+func TestRingReduceScatterParallelismAndTopology(t *testing.T) {
+	c := BIC()
+	base := RSParams{Cluster: c, Nodes: 8, MsgBytes: 256 * paperMB, Parallelism: 1, TopoAware: true}
+	t1, err := RingReduceScatter(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Parallelism = 8
+	t8, _ := RingReduceScatter(base)
+	// Figure 14: 8-parallelism ≈ 3.06× over 1-parallelism.
+	if sp := float64(t1) / float64(t8); sp < 2.0 || sp > 6.0 {
+		t.Errorf("parallelism speedup %.2f out of plausible range [2,6] (paper 3.06)", sp)
+	}
+	base.Parallelism = 4
+	topo, _ := RingReduceScatter(base)
+	base.TopoAware = false
+	noTopo, _ := RingReduceScatter(base)
+	if sp := float64(noTopo) / float64(topo); sp < 1.3 {
+		t.Errorf("topology-awareness speedup %.2f < 1.3 (paper 2.76)", sp)
+	}
+}
+
+func TestRingReduceScatterScaling(t *testing.T) {
+	c := BIC()
+	run := func(nodes int, m int64) time.Duration {
+		d, err := RingReduceScatter(RSParams{Cluster: c, Nodes: nodes, MsgBytes: m, Parallelism: 4, TopoAware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Figure 15 large: 6→48 executors grows ≤ 1.5× (paper 1.27×).
+	big1, big8 := run(1, 256*paperMB), run(8, 256*paperMB)
+	if g := float64(big8) / float64(big1); g > 1.5 {
+		t.Errorf("256MB reduce-scatter grew %.2f× from 1 to 8 nodes, want ≤1.5 (paper 1.27)", g)
+	}
+	// Figure 15 small: grows roughly with executor count (paper 5.30×).
+	small1, small8 := run(1, 256*1024), run(8, 256*1024)
+	if g := float64(small8) / float64(small1); g < 2.5 {
+		t.Errorf("256KB reduce-scatter grew only %.2f× from 1 to 8 nodes, want ≥2.5 (paper 5.30)", g)
+	}
+}
+
+func TestMPIScalesWorseThanSCForSmallMessages(t *testing.T) {
+	c := BIC()
+	growth := func(f func(RSParams) (time.Duration, error), m int64) float64 {
+		a, err := f(RSParams{Cluster: c, Nodes: 2, MsgBytes: m, Parallelism: 4, TopoAware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := f(RSParams{Cluster: c, Nodes: 8, MsgBytes: m, Parallelism: 4, TopoAware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(b) / float64(a)
+	}
+	scG := growth(RingReduceScatter, 256*1024)
+	mpiG := growth(MPIReduceScatter, 256*1024)
+	if mpiG < scG*0.8 {
+		t.Errorf("small-message growth: SC %.2f×, MPI %.2f× — MPI should scale comparably or worse", scG, mpiG)
+	}
+	// MPI stays faster in absolute terms at small scale (lower α).
+	sc, _ := RingReduceScatter(RSParams{Cluster: c, Nodes: 2, MsgBytes: 256 * 1024, Parallelism: 4, TopoAware: true})
+	mpi, _ := MPIReduceScatter(RSParams{Cluster: c, Nodes: 2, MsgBytes: 256 * 1024, Parallelism: 1})
+	if mpi > sc {
+		t.Errorf("MPI small-message absolute %v should beat SC %v", mpi, sc)
+	}
+}
+
+func TestReduceScatterValidation(t *testing.T) {
+	c := BIC()
+	if _, err := RingReduceScatter(RSParams{Cluster: c, Nodes: 0, MsgBytes: 1, Parallelism: 1}); err == nil {
+		t.Error("0 nodes should fail")
+	}
+	if _, err := RingReduceScatter(RSParams{Cluster: c, Nodes: 1, MsgBytes: 0, Parallelism: 1}); err == nil {
+		t.Error("0 bytes should fail")
+	}
+	if _, err := MPIReduceScatter(RSParams{Cluster: c, Nodes: 9, MsgBytes: 1, Parallelism: 1}); err == nil {
+		t.Error("too many nodes should fail")
+	}
+}
+
+func TestRankPlacement(t *testing.T) {
+	topo := rankPlacement(6, 3, 2, true)
+	for r, e := range topo {
+		if e != r {
+			t.Fatalf("topo placement should be identity, got %v", topo)
+		}
+	}
+	rr := rankPlacement(6, 3, 2, false)
+	// Round-robin: consecutive ranks land on different nodes.
+	for r := 0; r < 5; r++ {
+		if rr[r]/2 == rr[r+1]/2 {
+			t.Fatalf("round-robin placement has same-node neighbors: %v", rr)
+		}
+	}
+}
+
+func TestAggregateFigure16Shapes(t *testing.T) {
+	c := BIC()
+	run := func(s AggStrategy, nodes int, m int64) time.Duration {
+		d, err := AggregateTime(s, AggParams{Cluster: c, Nodes: nodes, MsgBytes: m, Parallelism: 4, TopoAware: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// 1KB: the three strategies are comparable (within 2×).
+	for _, s := range []AggStrategy{AggTreeIMM, AggSplit} {
+		tr, other := run(AggTree, 8, 1024), run(s, 8, 1024)
+		if r := float64(other) / float64(tr); r < 0.5 || r > 2.0 {
+			t.Errorf("1KB: %v is %.2f× tree, want within 2×", s, r)
+		}
+	}
+	// 256MB at 8 nodes: split ≈ 6.48× over tree; IMM ≈ 1.46× (both
+	// within a generous band).
+	tr := run(AggTree, 8, 256*paperMB)
+	sp := run(AggSplit, 8, 256*paperMB)
+	imm := run(AggTreeIMM, 8, 256*paperMB)
+	if r := float64(tr) / float64(sp); r < 4 || r > 11 {
+		t.Errorf("256MB split speedup %.2f out of [4,11] (paper 6.48)", r)
+	}
+	if r := float64(tr) / float64(imm); r < 1.2 || r > 3 {
+		t.Errorf("256MB IMM speedup %.2f out of [1.2,3] (paper 1.46)", r)
+	}
+	// Split scales nearly flat 1→8 nodes (paper 1.12×).
+	sp1 := run(AggSplit, 1, 256*paperMB)
+	if g := float64(sp) / float64(sp1); g > 1.4 {
+		t.Errorf("split grew %.2f× from 1 to 8 nodes, want ≤1.4 (paper 1.12)", g)
+	}
+	// Tree grows markedly with nodes.
+	tr1 := run(AggTree, 1, 256*paperMB)
+	if g := float64(tr) / float64(tr1); g < 1.5 {
+		t.Errorf("tree grew only %.2f× from 1 to 8 nodes", g)
+	}
+	// 8MB: split gains but less (paper 1.91×).
+	tr8m, sp8m := run(AggTree, 8, 8*paperMB), run(AggSplit, 8, 8*paperMB)
+	if r := float64(tr8m) / float64(sp8m); r < 1.2 || r > 4 {
+		t.Errorf("8MB split speedup %.2f out of [1.2,4] (paper 1.91)", r)
+	}
+	if _, err := AggregateTime(AggStrategy(9), AggParams{Cluster: c, Nodes: 1, MsgBytes: 1}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestAggregateDeterministic(t *testing.T) {
+	c := BIC()
+	p := AggParams{Cluster: c, Nodes: 4, MsgBytes: 8 * paperMB, Parallelism: 4, TopoAware: true}
+	a, err := AggregateTime(AggSplit, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := AggregateTime(AggSplit, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("simulation nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestWorkloadsTable(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 9 {
+		t.Fatalf("Figure 1/17 have 9 workloads, got %d", len(ws))
+	}
+	if _, err := WorkloadByName("LDA-N"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+	for _, w := range ws {
+		if w.AggBytes <= 0 || w.IterationsBIC <= 0 || w.ScalableCoreSecBIC <= 0 {
+			t.Errorf("workload %s has degenerate parameters: %+v", w.Name, w)
+		}
+	}
+	// kdd12 must have the largest aggregator (437MB).
+	k12, _ := WorkloadByName("SVM-K12")
+	for _, w := range ws {
+		if w.AggBytes > k12.AggBytes {
+			t.Errorf("%s aggregator larger than kdd12's", w.Name)
+		}
+	}
+}
+
+func TestFigure1Shapes(t *testing.T) {
+	// 8-node vs 1-node speedups on BIC under vanilla Spark.
+	product := 1.0
+	speedups := map[string]float64{}
+	for _, w := range Workloads() {
+		one, err := RunWorkload(RunParams{Cluster: BIC(), Workload: w, Strategy: AggTree, Nodes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eight, err := RunWorkload(RunParams{Cluster: BIC(), Workload: w, Strategy: AggTree, Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := one.Total().Seconds() / eight.Total().Seconds()
+		speedups[w.Name] = sp
+		product *= sp
+		// Nothing approaches perfect speedup 8 (paper max 2.49).
+		if sp > 4 {
+			t.Errorf("%s speedup %.2f implausibly high", w.Name, sp)
+		}
+	}
+	geo := math.Pow(product, 1.0/9.0)
+	if geo < 1.0 || geo > 1.7 {
+		t.Errorf("Figure 1 geomean speedup %.2f out of [1.0,1.7] (paper avg 1.25)", geo)
+	}
+	// The kdd workloads scale WORST — adding machines slows them down.
+	if speedups["LR-K"] >= 1.0 || speedups["SVM-K"] >= 1.0 {
+		t.Errorf("kdd10 workloads should scale below 1.0: LR-K=%.2f SVM-K=%.2f",
+			speedups["LR-K"], speedups["SVM-K"])
+	}
+	// LDA-N scales best among the LDA/LR workloads (paper best 2.49).
+	if speedups["LDA-N"] < 1.8 {
+		t.Errorf("LDA-N speedup %.2f, want ≥ 1.8 (paper 2.49)", speedups["LDA-N"])
+	}
+}
+
+func TestFigure17Shapes(t *testing.T) {
+	for _, cl := range []ClusterConfig{BIC(), AWS()} {
+		product := 1.0
+		speedups := map[string]float64{}
+		for _, w := range Workloads() {
+			spark, err := RunWorkload(RunParams{Cluster: cl, Workload: w, Strategy: AggTree})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sparker, err := RunWorkload(RunParams{Cluster: cl, Workload: w, Strategy: AggSplit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := spark.Total().Seconds() / sparker.Total().Seconds()
+			speedups[w.Name] = sp
+			product *= sp
+			if sp < 1.0 {
+				t.Errorf("[%s] %s: Sparker slower than Spark (%.2f)", cl.Name, w.Name, sp)
+			}
+		}
+		geo := math.Pow(product, 1.0/9.0)
+		// Paper: geomean 1.60 on BIC, 1.81 on AWS.
+		if geo < 1.3 || geo > 2.6 {
+			t.Errorf("[%s] geomean %.2f out of [1.3,2.6]", cl.Name, geo)
+		}
+		// Big-aggregator workloads gain the most.
+		if speedups["SVM-K"] < speedups["SVM-A"] || speedups["SVM-K12"] < speedups["SVM-C"] {
+			t.Errorf("[%s] kdd workloads should gain most: %+v", cl.Name, speedups)
+		}
+	}
+}
+
+func TestFigure18StrongScaling(t *testing.T) {
+	ldan, err := WorkloadByName("LDA-N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cfg struct{ nodes, epn, cpe int }
+	configs := []cfg{{1, 2, 4}, {1, 12, 8}, {10, 12, 8}}
+	var sparkRed, sparkerRed []float64
+	for _, cf := range configs {
+		spark, err := RunWorkload(RunParams{Cluster: AWS(), Workload: ldan, Strategy: AggTree,
+			Nodes: cf.nodes, ExecutorsPerNode: cf.epn, CoresPerExecutor: cf.cpe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparker, err := RunWorkload(RunParams{Cluster: AWS(), Workload: ldan, Strategy: AggSplit,
+			Nodes: cf.nodes, ExecutorsPerNode: cf.epn, CoresPerExecutor: cf.cpe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparkRed = append(sparkRed, spark.AggReduce.Seconds())
+		sparkerRed = append(sparkerRed, sparker.AggReduce.Seconds())
+		// Sparker's compute must not exceed Spark's (IMM removes
+		// serialization; Figure 18's compute bars).
+		if sparker.AggCompute > spark.AggCompute+spark.AggCompute/10 {
+			t.Errorf("%d cores: sparker compute %v > spark %v",
+				cf.nodes*cf.epn*cf.cpe, sparker.AggCompute, spark.AggCompute)
+		}
+	}
+	// Spark's reduction grows with scale; Sparker's stays low, so the
+	// reduction speedup increases with scale (paper: 4.19× → 7.22×).
+	firstSp := sparkRed[0] / sparkerRed[0]
+	lastSp := sparkRed[len(sparkRed)-1] / sparkerRed[len(sparkerRed)-1]
+	if firstSp < 1.5 {
+		t.Errorf("reduction speedup at small scale %.2f < 1.5 (paper 4.19)", firstSp)
+	}
+	if lastSp <= firstSp {
+		t.Errorf("reduction speedup should grow with scale: %.2f → %.2f", firstSp, lastSp)
+	}
+	// Under vanilla Spark the reduction time grows as cores scale
+	// 8→960 (paper 26.36s → 111.26s).
+	if sparkRed[len(sparkRed)-1] <= sparkRed[0] {
+		t.Errorf("Spark reduction should grow with scale: %v", sparkRed)
+	}
+}
+
+func TestRunWorkloadValidation(t *testing.T) {
+	w, _ := WorkloadByName("LDA-E")
+	if _, err := RunWorkload(RunParams{Cluster: BIC(), Workload: w, Nodes: 99}); err == nil {
+		t.Error("too many nodes should fail")
+	}
+	if _, err := RunWorkload(RunParams{Cluster: BIC(), Workload: w, Strategy: AggStrategy(7)}); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestPhasesTotal(t *testing.T) {
+	p := Phases{AggCompute: 1, AggReduce: 2, NonAgg: 3, Driver: 4}
+	if p.Total() != 10 {
+		t.Fatalf("Total = %v", p.Total())
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := BIC()
+	if c.Executors() != 48 || c.TotalCores() != 192 {
+		t.Fatalf("BIC geometry wrong: %d executors, %d cores", c.Executors(), c.TotalCores())
+	}
+	a := AWS()
+	if a.Executors() != 120 || a.TotalCores() != 960 {
+		t.Fatalf("AWS geometry wrong: %d executors, %d cores", a.Executors(), a.TotalCores())
+	}
+	if c.WithNodes(3).Nodes != 3 {
+		t.Fatal("WithNodes failed")
+	}
+	if AggTree.String() != "tree" || AggSplit.String() != "split" || AggTreeIMM.String() != "tree+imm" {
+		t.Fatal("AggStrategy strings wrong")
+	}
+}
+
+func TestFigure2OrderingByAggregatorSize(t *testing.T) {
+	// Aggregation share must rank with aggregator size: kdd12 (417MB)
+	// above kdd10 (154MB) above criteo/avazu (7.6MB) — the paper's
+	// Figure-2 bar ordering.
+	share := func(name string) float64 {
+		w, err := WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph, err := RunWorkload(RunParams{Cluster: BIC(), Workload: w, Strategy: AggTree, Nodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(ph.AggCompute+ph.AggReduce) / float64(ph.Total())
+	}
+	k12, k10, cr := share("SVM-K12"), share("SVM-K"), share("SVM-C")
+	if !(k12 > k10 && k10 > cr) {
+		t.Errorf("aggregation share ordering broken: kdd12=%.2f kdd10=%.2f criteo=%.2f", k12, k10, cr)
+	}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sparker/internal/data"
+)
+
+// WorkloadSpec models one of the paper's nine workload combinations
+// (Table 2 datasets × Table 3 models). Compute costs are calibrated
+// core-seconds per iteration; LDA-N's are fitted to the paper's own
+// strong-scaling decompositions (Figures 3–4) and the others scale
+// from their dataset statistics.
+type WorkloadSpec struct {
+	// Name is the paper's label ("LDA-N", "SVM-K12", …).
+	Name string
+	// Model is "LDA", "LR" or "SVM".
+	Model string
+	// Dataset is the Table-2 profile.
+	Dataset data.Profile
+	// AggBytes is the per-iteration aggregator size.
+	AggBytes int64
+	// Iterations per cluster (the paper cut LDA from 40 to 15 on AWS).
+	IterationsBIC, IterationsAWS int
+	// ScalableCoreSec is the per-iteration compute in core-seconds
+	// (divides across all cores), per cluster.
+	ScalableCoreSecBIC, ScalableCoreSecAWS float64
+	// FixedCompSec is the per-iteration non-scalable compute tail
+	// (stragglers, skewed partitions), per cluster.
+	FixedCompSecBIC, FixedCompSecAWS float64
+	// DriverSec is per-iteration driver-only work (model update,
+	// broadcast bookkeeping).
+	DriverSec float64
+	// NonAggFrac is the scalable non-aggregation work as a fraction of
+	// ScalableCoreSec (sampling, lineage evaluation).
+	NonAggFrac float64
+}
+
+const ldaK = 100 // Table 3: LDA K=100
+
+// mustProfile panics on unknown dataset names (programmer error).
+func mustProfile(name string) data.Profile {
+	p, err := data.ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Workloads returns the nine Figure-1/2/17 workloads. Classification
+// compute is nnz-proportional (JVM sparse kernels ≈ 100ns per stored
+// value on BIC's E5-2680v4, ≈ 4× faster per core on AWS's 8175M with
+// fewer, wider executors); LDA compute is K·nnz-proportional, fitted to
+// Figures 3–4.
+func Workloads() []WorkloadSpec {
+	class := func(name, model, ds string, iters int) WorkloadSpec {
+		p := mustProfile(ds)
+		coreSec := float64(p.Samples) * float64(p.NNZPerSample) * 100e-9
+		return WorkloadSpec{
+			Name:               name,
+			Model:              model,
+			Dataset:            p,
+			AggBytes:           p.AggregatorBytes(ldaK),
+			IterationsBIC:      iters,
+			IterationsAWS:      iters,
+			ScalableCoreSecBIC: coreSec,
+			ScalableCoreSecAWS: coreSec / 4,
+			FixedCompSecBIC:    0.012 * coreSec,
+			FixedCompSecAWS:    0.006 * coreSec,
+			DriverSec:          0.35,
+			NonAggFrac:         0.25,
+		}
+	}
+	lda := func(name, ds string) WorkloadSpec {
+		p := mustProfile(ds)
+		// Fit LDA-N to Figures 3–4, scale LDA-E by token count.
+		tokens := float64(p.Samples) * float64(p.NNZPerSample)
+		const nTokens = 300_000.0 * 230.0 // LDA-N
+		return WorkloadSpec{
+			Name:               name,
+			Model:              "LDA",
+			Dataset:            p,
+			AggBytes:           p.AggregatorBytes(ldaK),
+			IterationsBIC:      40,
+			IterationsAWS:      15,
+			ScalableCoreSecBIC: 555 * tokens / nTokens,
+			ScalableCoreSecAWS: 115 * tokens / nTokens,
+			FixedCompSecBIC:    5.7 * tokens / nTokens,
+			FixedCompSecAWS:    3.7 * tokens / nTokens,
+			DriverSec:          3.0 * float64(p.AggregatorBytes(ldaK)) / float64(mustProfile("nytimes").AggregatorBytes(ldaK)),
+			NonAggFrac:         0.2,
+		}
+	}
+	return []WorkloadSpec{
+		lda("LDA-E", "enron"),
+		lda("LDA-N", "nytimes"),
+		class("LR-A", "LR", "avazu", 100),
+		class("LR-C", "LR", "criteo", 100),
+		class("LR-K", "LR", "kdd10", 100),
+		class("SVM-A", "SVM", "avazu", 100),
+		class("SVM-C", "SVM", "criteo", 100),
+		class("SVM-K", "SVM", "kdd10", 100),
+		class("SVM-K12", "SVM", "kdd12", 100),
+	}
+}
+
+// WorkloadByName looks a workload up.
+func WorkloadByName(name string) (WorkloadSpec, error) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return WorkloadSpec{}, fmt.Errorf("sim: unknown workload %q", name)
+}
+
+// Phases is a decomposed end-to-end time (the stacked bars of Figures
+// 2–4 and 18).
+type Phases struct {
+	AggCompute time.Duration
+	AggReduce  time.Duration
+	NonAgg     time.Duration
+	Driver     time.Duration
+}
+
+// Total sums the phases.
+func (p Phases) Total() time.Duration {
+	return p.AggCompute + p.AggReduce + p.NonAgg + p.Driver
+}
+
+// RunParams configures one simulated training run.
+type RunParams struct {
+	Cluster ClusterConfig
+	// Workload selects the model/dataset pair.
+	Workload WorkloadSpec
+	// Strategy is the aggregation implementation (AggTree = vanilla
+	// Spark; AggSplit = Sparker).
+	Strategy AggStrategy
+	// Nodes restricts to the first Nodes nodes (default: all).
+	Nodes int
+	// CoresPerExecutor overrides the cluster's (Figure 18 shrinks
+	// executors to 4 cores for small-core configs); 0 keeps default.
+	CoresPerExecutor int
+	// ExecutorsPerNode override; 0 keeps default.
+	ExecutorsPerNode int
+	// Parallelism is the split-aggregation PDR width (default 4).
+	Parallelism int
+}
+
+func (rp *RunParams) fill() error {
+	if rp.Nodes == 0 {
+		rp.Nodes = rp.Cluster.Nodes
+	}
+	if rp.Nodes < 1 || rp.Nodes > rp.Cluster.Nodes {
+		return fmt.Errorf("sim: nodes %d out of range", rp.Nodes)
+	}
+	if rp.CoresPerExecutor == 0 {
+		rp.CoresPerExecutor = rp.Cluster.CoresPerExecutor
+	}
+	if rp.ExecutorsPerNode == 0 {
+		rp.ExecutorsPerNode = rp.Cluster.ExecutorsPerNode
+	}
+	if rp.Parallelism == 0 {
+		rp.Parallelism = 4
+	}
+	return nil
+}
+
+// RunWorkload simulates a full training run and returns its
+// decomposed end-to-end time.
+func RunWorkload(rp RunParams) (Phases, error) {
+	if err := rp.fill(); err != nil {
+		return Phases{}, err
+	}
+	c := rp.Cluster
+	c.CoresPerExecutor = rp.CoresPerExecutor
+	c.ExecutorsPerNode = rp.ExecutorsPerNode
+	w := rp.Workload
+
+	iters := w.IterationsBIC
+	coreSec := w.ScalableCoreSecBIC
+	fixed := w.FixedCompSecBIC
+	if c.Name == "AWS" {
+		iters = w.IterationsAWS
+		coreSec = w.ScalableCoreSecAWS
+		fixed = w.FixedCompSecAWS
+	}
+
+	execs := rp.Nodes * c.ExecutorsPerNode
+	totalCores := execs * c.CoresPerExecutor
+	parts := totalCores // MLlib defaults spark.default.parallelism to the core count
+	m := w.AggBytes
+
+	secs := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+	// --- agg-compute: the first stage of the aggregation ---------------
+	perIterCompute := secs(coreSec/float64(totalCores)+fixed) + stageCost(c, parts)
+	switch rp.Strategy {
+	case AggTree:
+		// Each core serializes every task result it produces; the
+		// serialized bytes also churn the allocator (the overhead IMM
+		// removes, visible in Figure 18's compute bars).
+		tasksPerCore := (parts + totalCores - 1) / totalCores
+		perIterCompute += time.Duration(tasksPerCore) * seconds(m, c.SerRate) * 2
+	case AggTreeIMM:
+		perIterCompute += immMergeTime(c)(m) + seconds(m, c.SerRate)
+	case AggSplit:
+		perIterCompute += immMergeTime(c)(m)
+	}
+
+	// --- agg-reduce: every stage after the first ------------------------
+	ap := AggParams{Cluster: c, Nodes: rp.Nodes, MsgBytes: m, Parallelism: rp.Parallelism, TopoAware: true}
+	var perIterReduce time.Duration
+	var err error
+	switch rp.Strategy {
+	case AggTree:
+		perIterReduce, err = treeCombinePhases(ap, parts)
+	case AggTreeIMM:
+		perIterReduce, err = treeCombinePhases(ap, execs)
+	case AggSplit:
+		perIterReduce, err = splitReducePhase(ap)
+	default:
+		err = fmt.Errorf("sim: unknown strategy %d", int(rp.Strategy))
+	}
+	if err != nil {
+		return Phases{}, err
+	}
+
+	// --- non-agg & driver ----------------------------------------------
+	perIterNonAgg := secs(w.NonAggFrac*coreSec/float64(totalCores)) + stageCost(c, parts)
+	perIterDriver := secs(w.DriverSec)
+
+	return Phases{
+		AggCompute: time.Duration(iters) * perIterCompute,
+		AggReduce:  time.Duration(iters) * perIterReduce,
+		NonAgg:     time.Duration(iters) * perIterNonAgg,
+		Driver:     time.Duration(iters) * perIterDriver,
+	}, nil
+}
+
+// splitReducePhase is split aggregation's post-compute part: the
+// SpawnRDD reduce-scatter plus the segment gather (splitAggTime minus
+// the IMM merge, which is charged to agg-compute).
+func splitReducePhase(p AggParams) (time.Duration, error) {
+	full, err := splitAggTime(p)
+	if err != nil {
+		return 0, err
+	}
+	c := p.Cluster
+	imm := immMergeTime(c)(p.MsgBytes) + stageCost(c, p.Nodes*c.ExecutorsPerNode*c.CoresPerExecutor)
+	if full < imm {
+		return 0, nil
+	}
+	return full - imm, nil
+}

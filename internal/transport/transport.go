@@ -1,0 +1,242 @@
+// Package transport abstracts the byte-level network under the engine.
+//
+// Two implementations are provided: Mem, an in-process network built on
+// channels with optional latency/bandwidth shaping (the default for
+// tests and examples), and TCP, real loopback sockets via net (used by
+// integration tests to demonstrate the stack works over a real
+// network). The scalable communicator, the block manager and the rdd
+// driver/executor protocol all speak only through this interface, so
+// the two can be swapped freely — mirroring how Sparker swapped Spark's
+// BlockManager transport for ZeroMQ.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Addr names an endpoint within a Network.
+type Addr string
+
+// ErrClosed is returned by operations on closed connections, listeners
+// or networks.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is an ordered, reliable, message-framed point-to-point channel.
+// Send and Recv are each safe for one concurrent caller per direction.
+type Conn interface {
+	// Send transmits one message. The buffer is owned by the transport
+	// after Send returns.
+	Send(b []byte) error
+	// Recv blocks for the next message.
+	Recv() ([]byte, error)
+	Close() error
+}
+
+// Listener accepts incoming connections at an Addr.
+type Listener interface {
+	Accept() (Conn, error)
+	Addr() Addr
+	Close() error
+}
+
+// Network creates listeners and dials endpoints.
+type Network interface {
+	Listen(addr Addr) (Listener, error)
+	Dial(addr Addr) (Conn, error)
+	// Close tears down the network and all of its connections.
+	Close() error
+}
+
+// Shape describes optional traffic shaping for the Mem network: each
+// message is delayed by Latency plus len/BytesPerSec. Zero values mean
+// "no shaping". Shaping is applied on the receive path so concurrent
+// senders are not serialized artificially.
+type Shape struct {
+	Latency     time.Duration
+	BytesPerSec float64
+}
+
+func (s Shape) delay(n int) time.Duration {
+	d := s.Latency
+	if s.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / s.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+// --- in-memory network -------------------------------------------------
+
+// MemNetwork is a process-local Network. Connections are pairs of
+// buffered channels. It is safe for concurrent use.
+type MemNetwork struct {
+	shape Shape
+
+	mu        sync.Mutex
+	listeners map[Addr]*memListener
+	closed    bool
+}
+
+// NewMem returns an in-process network with no traffic shaping.
+func NewMem() *MemNetwork { return NewMemShaped(Shape{}) }
+
+// NewMemShaped returns an in-process network that delays each message
+// according to shape.
+func NewMemShaped(shape Shape) *MemNetwork {
+	return &MemNetwork{shape: shape, listeners: map[Addr]*memListener{}}
+}
+
+// Listen implements Network.
+func (n *MemNetwork) Listen(addr Addr) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already in use", addr)
+	}
+	l := &memListener{net: n, addr: addr, backlog: make(chan *memConn, 128)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Network.
+func (n *MemNetwork) Dial(addr Addr) (Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	link := &memLink{
+		a2b:  make(chan []byte, 1024),
+		b2a:  make(chan []byte, 1024),
+		done: make(chan struct{}),
+	}
+	client := &memConn{link: link, send: link.a2b, recv: link.b2a, shape: n.shape}
+	server := &memConn{link: link, send: link.b2a, recv: link.a2b, shape: n.shape}
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+// Close implements Network.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for _, l := range n.listeners {
+		l.closeLocked()
+	}
+	n.listeners = map[Addr]*memListener{}
+	return nil
+}
+
+type memListener struct {
+	net     *MemNetwork
+	addr    Addr
+	backlog chan *memConn
+
+	once   sync.Once
+	closed chan struct{}
+}
+
+func (l *memListener) done() chan struct{} {
+	l.once.Do(func() { l.closed = make(chan struct{}) })
+	return l.closed
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done():
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Addr() Addr { return l.addr }
+
+func (l *memListener) Close() error {
+	l.net.mu.Lock()
+	defer l.net.mu.Unlock()
+	l.closeLocked()
+	delete(l.net.listeners, l.addr)
+	return nil
+}
+
+func (l *memListener) closeLocked() {
+	select {
+	case <-l.done():
+	default:
+		close(l.done())
+	}
+}
+
+// memLink is the shared state of one connection. Closing either end
+// closes both directions; data channels are never closed, so Send can
+// never panic.
+type memLink struct {
+	a2b, b2a chan []byte
+	done     chan struct{}
+	once     sync.Once
+}
+
+func (l *memLink) close() { l.once.Do(func() { close(l.done) }) }
+
+type memConn struct {
+	link  *memLink
+	send  chan []byte
+	recv  chan []byte
+	shape Shape
+}
+
+func (c *memConn) Send(b []byte) error {
+	select {
+	case <-c.link.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.send <- b:
+		return nil
+	case <-c.link.done:
+		return ErrClosed
+	}
+}
+
+func (c *memConn) Recv() ([]byte, error) {
+	select {
+	case b := <-c.recv:
+		if d := c.shape.delay(len(b)); d > 0 {
+			time.Sleep(d)
+		}
+		return b, nil
+	case <-c.link.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case b := <-c.recv:
+			return b, nil
+		default:
+		}
+		return nil, ErrClosed
+	}
+}
+
+func (c *memConn) Close() error {
+	c.link.close()
+	return nil
+}

@@ -1,0 +1,360 @@
+// Package vclock is a process-oriented discrete-event simulation
+// engine: simulated processes run as goroutines against a virtual
+// clock, blocking on Sleep, mailbox receives and FIFO resources. The
+// engine advances time only when every live process is blocked, so
+// simulated time is deterministic regardless of host scheduling.
+//
+// The sim layer uses it to replay Sparker's communication schedules
+// (ring reduce-scatter on the PDR, treeAggregate's block fetches, MPI
+// collectives) at paper scale — 10 nodes × 960 cores — in milliseconds
+// of host time.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Engine owns the virtual clock and the run queue.
+type Engine struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Duration
+	runnable int
+	live     int
+	events   eventHeap
+	seq      int64
+	failure  error
+}
+
+// New returns a stopped engine at time zero.
+func New() *Engine {
+	e := &Engine{}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Proc is the handle a simulated process uses to interact with time.
+type Proc struct {
+	e *Engine
+}
+
+type event struct {
+	at   time.Duration
+	seq  int64
+	wake chan struct{}
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Go spawns a simulated process. It may be called before Run or from
+// inside another process. The new process does not start running
+// immediately: it is scheduled through the event queue, so exactly one
+// process executes at a time and every run of the same simulation is
+// deterministic.
+func (e *Engine) Go(f func(p *Proc)) {
+	start := make(chan struct{})
+	e.mu.Lock()
+	e.live++
+	e.seq++
+	heap.Push(&e.events, event{at: e.now, seq: e.seq, wake: start})
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	go func() {
+		<-start
+		defer func() {
+			e.mu.Lock()
+			e.live--
+			e.runnable--
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		}()
+		f(&Proc{e: e})
+	}()
+}
+
+// Run drives the simulation until every process has finished. It
+// returns the final virtual time, or an error on deadlock (all
+// processes blocked with no pending events).
+func (e *Engine) Run() (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for e.runnable > 0 {
+			e.cond.Wait()
+		}
+		if e.failure != nil {
+			return e.now, e.failure
+		}
+		if e.live == 0 {
+			return e.now, nil
+		}
+		if len(e.events) == 0 {
+			e.failure = fmt.Errorf("vclock: deadlock at %v: %d processes blocked with no pending events", e.now, e.live)
+			e.cond.Broadcast()
+			return e.now, e.failure
+		}
+		// Advance to the earliest event and wake exactly one process.
+		// Same-timestamp events wake in schedule order (seq), which
+		// keeps resource FIFO ordering — and therefore every simulated
+		// duration — deterministic across runs.
+		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		e.runnable++
+		close(ev.wake)
+	}
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration {
+	p.e.mu.Lock()
+	defer p.e.mu.Unlock()
+	return p.e.now
+}
+
+// Sleep suspends the process for virtual duration d (clamped at 0).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.mu.Lock()
+	wake := p.e.schedule(p.e.now + d)
+	p.e.block()
+	p.e.mu.Unlock()
+	<-wake
+}
+
+// sleepUntil suspends until absolute virtual time t.
+func (p *Proc) sleepUntil(t time.Duration) {
+	p.e.mu.Lock()
+	if t <= p.e.now {
+		p.e.mu.Unlock()
+		return
+	}
+	wake := p.e.schedule(t)
+	p.e.block()
+	p.e.mu.Unlock()
+	<-wake
+}
+
+// schedule registers a wake-up at time t. Caller holds e.mu.
+func (e *Engine) schedule(t time.Duration) chan struct{} {
+	wake := make(chan struct{})
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, wake: wake})
+	return wake
+}
+
+// block marks the calling process as no longer runnable. Caller holds
+// e.mu.
+func (e *Engine) block() {
+	e.runnable--
+	if e.runnable == 0 {
+		e.cond.Broadcast()
+	}
+}
+
+// wakeAtNow schedules w to be woken at the current virtual time,
+// through the event queue so wake order stays deterministic.
+func (e *Engine) wakeAtNow(w chan struct{}) {
+	e.mu.Lock()
+	e.seq++
+	heap.Push(&e.events, event{at: e.now, seq: e.seq, wake: w})
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// --- mailbox -----------------------------------------------------------
+
+// Mailbox is an unbounded point-to-point message queue between
+// simulated processes. Each message carries the virtual time at which
+// it becomes visible to the receiver.
+type Mailbox[T any] struct {
+	e    *Engine
+	mu   sync.Mutex
+	msgs []timedMsg[T]
+	wait chan struct{} // non-nil while a receiver is parked
+}
+
+type timedMsg[T any] struct {
+	at  time.Duration
+	val T
+}
+
+// NewMailbox creates a mailbox bound to the engine.
+func NewMailbox[T any](e *Engine) *Mailbox[T] {
+	return &Mailbox[T]{e: e}
+}
+
+// PutAt delivers val at virtual time `at` (which must not precede the
+// sender's current time; messages become receivable in insertion
+// order). It never blocks the sender.
+func (m *Mailbox[T]) PutAt(at time.Duration, val T) {
+	m.mu.Lock()
+	m.msgs = append(m.msgs, timedMsg[T]{at: at, val: val})
+	w := m.wait
+	m.wait = nil
+	m.mu.Unlock()
+	if w != nil {
+		m.e.wakeAtNow(w)
+	}
+}
+
+// Recv blocks the process until a message is available, then advances
+// the clock to the message's visibility time if needed and returns it.
+// One receiver at a time.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for {
+		m.mu.Lock()
+		if len(m.msgs) > 0 {
+			msg := m.msgs[0]
+			m.msgs = m.msgs[1:]
+			m.mu.Unlock()
+			p.sleepUntil(msg.at)
+			return msg.val
+		}
+		if m.wait != nil {
+			m.mu.Unlock()
+			panic("vclock: concurrent receivers on one mailbox")
+		}
+		w := make(chan struct{})
+		m.wait = w
+		m.mu.Unlock()
+
+		p.e.mu.Lock()
+		p.e.block()
+		p.e.mu.Unlock()
+		<-w
+	}
+}
+
+// --- FIFO resource -------------------------------------------------------
+
+// Resource models a serially shared facility with a rate — a NIC, a
+// disk, a driver thread. Acquisitions queue FIFO in virtual time: a
+// request of n units issued at time t completes at
+// max(t, previousFree) + n/rate.
+type Resource struct {
+	e    *Engine
+	mu   sync.Mutex
+	free time.Duration
+	rate float64 // units per second
+}
+
+// NewResource creates a resource processing rate units per second.
+func NewResource(e *Engine, rate float64) *Resource {
+	if rate <= 0 {
+		panic("vclock: resource rate must be positive")
+	}
+	return &Resource{e: e, rate: rate}
+}
+
+// Use blocks the process while the resource serves n units, FIFO
+// ordered. It returns the completion time.
+func (r *Resource) Use(p *Proc, n float64) time.Duration {
+	d := time.Duration(n / r.rate * float64(time.Second))
+	r.mu.Lock()
+	now := p.Now()
+	start := r.free
+	if now > start {
+		start = now
+	}
+	done := start + d
+	r.free = done
+	r.mu.Unlock()
+	p.sleepUntil(done)
+	return done
+}
+
+// ReserveAt books n units starting no earlier than t without blocking,
+// returning the completion time. Used to model store-and-forward hops
+// that the sending process does not wait for.
+func (r *Resource) ReserveAt(t time.Duration, n float64) time.Duration {
+	d := time.Duration(n / r.rate * float64(time.Second))
+	r.mu.Lock()
+	start := r.free
+	if t > start {
+		start = t
+	}
+	done := start + d
+	r.free = done
+	r.mu.Unlock()
+	return done
+}
+
+// --- WaitGroup ----------------------------------------------------------
+
+// Group waits for a set of spawned simulated processes, like
+// sync.WaitGroup but deadlock-aware: the waiting process blocks in
+// virtual time.
+type Group struct {
+	e    *Engine
+	mu   sync.Mutex
+	n    int
+	wait chan struct{}
+}
+
+// NewGroup creates an empty group.
+func NewGroup(e *Engine) *Group { return &Group{e: e} }
+
+// Go runs f as a new simulated process tracked by the group.
+func (g *Group) Go(f func(p *Proc)) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.e.Go(func(p *Proc) {
+		defer g.done()
+		f(p)
+	})
+}
+
+func (g *Group) done() {
+	g.mu.Lock()
+	g.n--
+	var w chan struct{}
+	if g.n == 0 {
+		w = g.wait
+		g.wait = nil
+	}
+	g.mu.Unlock()
+	if w != nil {
+		g.e.wakeAtNow(w)
+	}
+}
+
+// Wait blocks the calling process until every tracked process exits.
+func (g *Group) Wait(p *Proc) {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return
+	}
+	if g.wait != nil {
+		g.mu.Unlock()
+		panic("vclock: concurrent Group.Wait")
+	}
+	w := make(chan struct{})
+	g.wait = w
+	g.mu.Unlock()
+
+	p.e.mu.Lock()
+	p.e.block()
+	p.e.mu.Unlock()
+	<-w
+}

@@ -1,0 +1,271 @@
+package vclock
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	e := New()
+	var end time.Duration
+	e.Go(func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		p.Sleep(2 * time.Second)
+		end = p.Now()
+	})
+	final, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 5*time.Second || final != 5*time.Second {
+		t.Fatalf("end=%v final=%v, want 5s", end, final)
+	}
+}
+
+func TestSleepIsVirtualNotWall(t *testing.T) {
+	e := New()
+	e.Go(func(p *Proc) { p.Sleep(10 * time.Hour) })
+	start := time.Now()
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("10 simulated hours took %v wall time", wall)
+	}
+}
+
+func TestConcurrentProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []int {
+		e := New()
+		var order []int
+		for i := 0; i < 5; i++ {
+			i := i
+			e.Go(func(p *Proc) {
+				p.Sleep(time.Duration(5-i) * time.Millisecond)
+				order = append(order, i) // wakeups are serialized by the engine
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a := run()
+	// Distinct wake times, so append order equals wake order.
+	want := []int{4, 3, 2, 1, 0}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("order = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestMailboxDeliversAtTime(t *testing.T) {
+	e := New()
+	mb := NewMailbox[string](e)
+	var recvAt time.Duration
+	var got string
+	e.Go(func(p *Proc) {
+		got = mb.Recv(p)
+		recvAt = p.Now()
+	})
+	e.Go(func(p *Proc) {
+		p.Sleep(time.Second)
+		mb.PutAt(p.Now()+500*time.Millisecond, "msg") // in flight 500ms
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "msg" || recvAt != 1500*time.Millisecond {
+		t.Fatalf("got %q at %v, want msg at 1.5s", got, recvAt)
+	}
+}
+
+func TestMailboxOrdering(t *testing.T) {
+	e := New()
+	mb := NewMailbox[int](e)
+	var got []int
+	e.Go(func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	e.Go(func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			mb.PutAt(p.Now(), i)
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New()
+	mb := NewMailbox[int](e)
+	e.Go(func(p *Proc) { mb.Recv(p) }) // nobody sends
+	if _, err := e.Run(); err == nil {
+		t.Fatal("deadlock should be reported")
+	}
+}
+
+func TestResourceFIFOSerializes(t *testing.T) {
+	e := New()
+	r := NewResource(e, 100) // 100 units/sec
+	done := make([]time.Duration, 2)
+	g := NewGroup(e)
+	for i := 0; i < 2; i++ {
+		i := i
+		g.Go(func(p *Proc) {
+			done[i] = r.Use(p, 100) // 1 second each
+		})
+	}
+	e.Go(func(p *Proc) { g.Wait(p) })
+	final, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 1-second jobs through one resource: total 2s, one finishes at
+	// 1s and the other at 2s.
+	if final != 2*time.Second {
+		t.Fatalf("final = %v, want 2s", final)
+	}
+	lo, hi := done[0], done[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo != time.Second || hi != 2*time.Second {
+		t.Fatalf("completions %v, want 1s and 2s", done)
+	}
+}
+
+func TestResourceReserveAt(t *testing.T) {
+	e := New()
+	r := NewResource(e, 10)
+	// Reserve 20 units at t=0 → done 2s; next 10 units at t=1s queue
+	// behind → done 3s.
+	if got := r.ReserveAt(0, 20); got != 2*time.Second {
+		t.Fatalf("first reserve = %v", got)
+	}
+	if got := r.ReserveAt(time.Second, 10); got != 3*time.Second {
+		t.Fatalf("queued reserve = %v", got)
+	}
+	// Idle gap: reservation far in the future starts fresh.
+	if got := r.ReserveAt(10*time.Second, 10); got != 11*time.Second {
+		t.Fatalf("idle reserve = %v", got)
+	}
+}
+
+func TestGroupWait(t *testing.T) {
+	e := New()
+	var after time.Duration
+	e.Go(func(p *Proc) {
+		g := NewGroup(e)
+		for i := 1; i <= 3; i++ {
+			i := i
+			g.Go(func(q *Proc) { q.Sleep(time.Duration(i) * time.Second) })
+		}
+		g.Wait(p)
+		after = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if after != 3*time.Second {
+		t.Fatalf("Wait returned at %v, want 3s", after)
+	}
+}
+
+func TestGroupWaitEmpty(t *testing.T) {
+	e := New()
+	e.Go(func(p *Proc) {
+		g := NewGroup(e)
+		g.Wait(p) // must not block
+		p.Sleep(time.Millisecond)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickClockMonotonic(t *testing.T) {
+	// Property: however sleeps interleave, each process observes
+	// non-decreasing time and the final time equals the max end time.
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 12 {
+			delays = delays[:12]
+		}
+		e := New()
+		var max time.Duration
+		ok := atomic.Bool{}
+		ok.Store(true)
+		for _, d := range delays {
+			d := time.Duration(d) * time.Microsecond
+			if d > max {
+				max = d
+			}
+			e.Go(func(p *Proc) {
+				t0 := p.Now()
+				p.Sleep(d / 2)
+				t1 := p.Now()
+				p.Sleep(d - d/2)
+				t2 := p.Now()
+				if t1 < t0 || t2 < t1 || t2 != d {
+					ok.Store(false)
+				}
+			})
+		}
+		final, err := e.Run()
+		return err == nil && ok.Load() && final == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickResourceThroughput(t *testing.T) {
+	// Property: pushing total N units through a rate-R resource from
+	// concurrent processes takes exactly N/R once saturated.
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 10 {
+			sizes = sizes[:10]
+		}
+		e := New()
+		r := NewResource(e, 1000)
+		var total float64
+		g := NewGroup(e)
+		for _, s := range sizes {
+			n := float64(s) + 1
+			total += n
+			g.Go(func(p *Proc) { r.Use(p, n) })
+		}
+		e.Go(func(p *Proc) { g.Wait(p) })
+		final, err := e.Run()
+		if err != nil {
+			return false
+		}
+		want := time.Duration(total / 1000 * float64(time.Second))
+		diff := final - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Duration(len(sizes))*time.Nanosecond+time.Nanosecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
