@@ -1,0 +1,28 @@
+# Sparker build/test entry points. Tier-1 is `make test`; `make race`
+# runs the packages where pooled buffers and persistent senders could
+# hide data races under the race detector.
+
+GO ?= go
+
+.PHONY: build test race bench benchjson
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The reduction data plane (pooled wire buffers, persistent channel
+# senders, fused decode-reduce) plus the rdd engine that drives it.
+race:
+	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/transport
+
+# Hot-path microbenchmarks: the before/after evidence for the
+# zero-allocation reduction work (see DESIGN.md "Performance notes").
+bench:
+	$(GO) test -run xxx -bench 'RingReduceScatterHot|SerdeF64' -benchmem ./internal/collective
+	$(GO) test -run xxx -bench 'LinalgKernels' -benchmem ./internal/linalg
+
+# Machine-readable paper-reproduction results for perf tracking.
+benchjson:
+	$(GO) run ./cmd/sparkerbench -json > BENCH_reports.json

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +22,14 @@ func main() {
 	only := flag.String("only", "", "render a single report (e.g. fig16, table2)")
 	list := flag.Bool("list", false, "list available report ids")
 	format := flag.String("format", "text", "output format: text or md")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (reports or -verify claims)")
 	verify := flag.Bool("verify", false, "run the reproduction checklist: every headline paper claim, PASS/FAIL")
 	flag.Parse()
 
 	render := func(r *bench.Report) string {
+		if *jsonOut {
+			return r.RenderJSON()
+		}
 		if *format == "md" {
 			return r.RenderMarkdown()
 		}
@@ -37,7 +42,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Print(bench.RenderClaims(claims))
+		if *jsonOut {
+			b, err := json.MarshalIndent(claims, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(b))
+		} else {
+			fmt.Print(bench.RenderClaims(claims))
+		}
 		for _, c := range claims {
 			if !c.Pass {
 				os.Exit(1)
@@ -62,6 +76,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		// One well-formed JSON array, not concatenated objects.
+		fmt.Println(bench.RenderJSONReports(reports))
+		return
 	}
 	for _, r := range reports {
 		fmt.Println(render(r))

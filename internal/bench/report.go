@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -30,6 +31,28 @@ func (r *Report) AddRow(cells ...string) {
 // AddNote appends a note line.
 func (r *Report) AddNote(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// RenderJSON emits the report as an indented JSON object, the
+// machine-readable form `sparkerbench -json` writes so successive PRs
+// can diff perf trajectories (BENCH_*.json) without parsing tables.
+func (r *Report) RenderJSON() string {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		// Report holds only strings and string slices; marshaling can
+		// not fail, but never let a render path panic the bench tool.
+		return fmt.Sprintf("{\"error\": %q}", err.Error())
+	}
+	return string(b)
+}
+
+// RenderJSONReports emits a set of reports as one JSON array.
+func RenderJSONReports(reports []*Report) string {
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("[{\"error\": %q}]", err.Error())
+	}
+	return string(b)
 }
 
 // RenderMarkdown produces a GitHub-flavored markdown table, for

@@ -5,6 +5,10 @@ package collective
 // and the two MPICH reduce-scatter algorithms the paper's MPI reference
 // would have used (recursive halving for short messages and pairwise
 // exchange for long ones — Thakur, Rabenseifner & Gropp 2005).
+//
+// Like the ring collectives, the baselines encode into pooled wire
+// buffers, overlap sends through the persistent channel senders, and
+// release receive buffers once reduced.
 
 import (
 	"encoding/binary"
@@ -34,7 +38,7 @@ func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, erro
 		if vr%(2*dist) != 0 {
 			// Sender: transmit to vr-dist and exit.
 			dst := toReal(vr - dist)
-			wire := ops.Encode(nil, acc)
+			wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, 0, acc)), acc)
 			if err := e.SendTo(dst, treeChannel, wire); err != nil {
 				return zero, fmt.Errorf("collective: tree send: %w", err)
 			}
@@ -46,11 +50,14 @@ func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, erro
 			if err != nil {
 				return zero, fmt.Errorf("collective: tree recv: %w", err)
 			}
-			v, err := ops.Decode(in)
+			merged, release, err := decodeReduce(ops, acc, in)
 			if err != nil {
 				return zero, err
 			}
-			acc = ops.Reduce(acc, v)
+			acc = merged
+			if release {
+				comm.Release(in)
+			}
 		}
 	}
 	return acc, nil
@@ -69,6 +76,10 @@ const (
 // remaining data. It requires N to be a power of two (MPICH falls back
 // otherwise; callers should too). segs must have length N. The rank's
 // own fully reduced segment is returned.
+//
+// Each round's frame is count + (length, payload) per segment, so the
+// receive side can walk segment boundaries and reduce each payload in
+// place without the decode-re-encode size probing the seed used.
 func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
 	n := e.Size()
 	var zero V
@@ -85,6 +96,8 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 	cur := make([]V, n)
 	copy(cur, segs)
 
+	sendDone := make(chan error, 1)
+	hint := 0
 	lo, hi := 0, n // active segment range this rank still contributes to
 	for dist := n / 2; dist >= 1; dist /= 2 {
 		partner := r ^ dist
@@ -96,31 +109,55 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		var wire []byte
-		wire = binary.LittleEndian.AppendUint32(wire, uint32(sendHi-sendLo))
+		wire := comm.GetBuffer(hint)[:0]
+		wire = appendUint32(wire, uint32(sendHi-sendLo))
 		for i := sendLo; i < sendHi; i++ {
+			// Reserve a length slot, encode, then backfill the length.
+			slot := len(wire)
+			wire = appendUint32(wire, 0)
 			wire = ops.Encode(wire, cur[i])
+			putUint32(wire[slot:], uint32(len(wire)-slot-4))
 		}
-		sendDone := asyncSend(e, partner, halvingChannel, wire)
+		hint = len(wire)
+		e.SendToAsync(partner, halvingChannel, wire, sendDone)
 		in, err := e.RecvFrom(partner, halvingChannel)
 		if err != nil {
 			<-sendDone
 			return zero, fmt.Errorf("collective: halving recv: %w", err)
 		}
-		cnt := int(binary.LittleEndian.Uint32(in))
+		if len(in) < 4 {
+			<-sendDone
+			return zero, fmt.Errorf("collective: halving short frame")
+		}
+		cnt := int(uint32At(in, 0))
 		if cnt != keepHi-keepLo {
 			<-sendDone
 			return zero, fmt.Errorf("collective: halving count mismatch: got %d want %d", cnt, keepHi-keepLo)
 		}
 		off := 4
+		release := true
 		for i := keepLo; i < keepHi; i++ {
-			v, used, err := decodeWithSize(in[off:], ops)
+			if len(in) < off+4 {
+				<-sendDone
+				return zero, fmt.Errorf("collective: halving truncated frame")
+			}
+			segLen := int(uint32At(in, off))
+			off += 4
+			if segLen < 0 || len(in) < off+segLen {
+				<-sendDone
+				return zero, fmt.Errorf("collective: halving truncated segment %d", i)
+			}
+			acc, rel, err := decodeReduce(ops, cur[i], in[off:off+segLen])
 			if err != nil {
 				<-sendDone
 				return zero, err
 			}
-			off += used
-			cur[i] = ops.Reduce(cur[i], v)
+			cur[i] = acc
+			release = release && rel
+			off += segLen
+		}
+		if release && ops.DecodeReduceInto != nil {
+			comm.Release(in)
 		}
 		if err := <-sendDone; err != nil {
 			return zero, err
@@ -131,19 +168,6 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 		return zero, fmt.Errorf("collective: halving ended with range [%d,%d) at rank %d", lo, hi, r)
 	}
 	return cur[r], nil
-}
-
-// decodeWithSize decodes one value and reports bytes consumed by
-// re-encoding it (Ops.Decode does not report consumption; values are
-// self-delimiting for the encodings used here, so re-encoding length is
-// exact and cheap relative to network transfer).
-func decodeWithSize[V any](src []byte, ops Ops[V]) (V, int, error) {
-	v, err := ops.Decode(src)
-	if err != nil {
-		var zero V
-		return zero, 0, err
-	}
-	return v, len(ops.Encode(nil, v)), nil
 }
 
 // PairwiseReduceScatter implements the MPICH long-message
@@ -159,22 +183,28 @@ func PairwiseReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, er
 	}
 	r := e.Rank()
 	acc := segs[r]
+	sendDone := make(chan error, 1)
+	hint := 0
 	for k := 1; k < n; k++ {
 		dst := (r + k) % n
 		src := (r - k + n) % n
-		wire := ops.Encode(nil, segs[dst])
-		sendDone := asyncSend(e, dst, pairwiseChannel, wire)
+		wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, hint, segs[dst])), segs[dst])
+		hint = len(wire)
+		e.SendToAsync(dst, pairwiseChannel, wire, sendDone)
 		in, err := e.RecvFrom(src, pairwiseChannel)
 		if err != nil {
 			<-sendDone
 			return zero, fmt.Errorf("collective: pairwise recv: %w", err)
 		}
-		v, err := ops.Decode(in)
+		merged, release, err := decodeReduce(ops, acc, in)
 		if err != nil {
 			<-sendDone
 			return zero, err
 		}
-		acc = ops.Reduce(acc, v)
+		acc = merged
+		if release {
+			comm.Release(in)
+		}
 		if err := <-sendDone; err != nil {
 			return zero, err
 		}
@@ -189,8 +219,12 @@ func appendUint32(dst []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(dst, v)
 }
 
-func appendFloat64(dst []byte, f float64) []byte {
-	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+func putUint32(dst []byte, v uint32) {
+	binary.LittleEndian.PutUint32(dst, v)
+}
+
+func putFloat64(dst []byte, f float64) {
+	binary.LittleEndian.PutUint64(dst, math.Float64bits(f))
 }
 
 func uint32At(src []byte, i int) uint32 {

@@ -8,6 +8,13 @@
 // All algorithms are generic over the segment type V. Values cross
 // executor boundaries serialized via the Ops callbacks, mirroring the
 // paper's splitOp/reduceOp/concatOp callback design.
+//
+// The data plane is allocation-free at steady state: wire buffers come
+// from the shared pool (comm.GetBuffer), ownership flows with the
+// message through a persistent per-channel sender, and the receiver
+// reduces directly out of the wire bytes (Ops.DecodeReduceInto) before
+// releasing the buffer back to the pool. See DESIGN.md "Performance
+// notes" for the ownership contract.
 package collective
 
 import (
@@ -15,10 +22,13 @@ import (
 	"sync"
 
 	"sparker/internal/comm"
+	"sparker/internal/linalg"
 )
 
 // Ops supplies the type-specific callbacks for a collective over
-// segments of type V.
+// segments of type V. Reduce, Encode and Decode are required; the
+// remaining callbacks are optional fast paths the collectives use when
+// present.
 type Ops[V any] struct {
 	// Reduce merges b into a and returns the result. It may mutate and
 	// return a; b must not be retained.
@@ -27,56 +37,150 @@ type Ops[V any] struct {
 	Encode func(dst []byte, v V) []byte
 	// Decode parses one value from src.
 	Decode func(src []byte) (V, error)
+
+	// EncodeTo, when set, encodes v into dst reusing dst's capacity
+	// (dst's length is ignored) and returns the encoded slice, which
+	// may be a reallocation when dst is too small. Collectives call it
+	// with pooled scratch so steady-state encoding allocates nothing.
+	EncodeTo func(dst []byte, v V) []byte
+	// DecodeReduceInto, when set, fuses Decode and Reduce: it reduces
+	// the value encoded in wire directly into acc — no intermediate
+	// decoded value — and returns the updated accumulator. It must be
+	// elementwise-identical to Decode-then-Reduce (the property tests
+	// check bitwise equality) and must not retain wire. Setting it also
+	// asserts that Decode never retains its input, which lets the
+	// collectives release receive buffers back to the wire pool.
+	DecodeReduceInto func(acc V, wire []byte) (V, error)
+	// EncodedSize, when set, returns the exact wire size Encode would
+	// produce for v. The collectives use it to draw an exactly-sized
+	// pooled buffer before the very first encode of a loop, so even
+	// step 0 avoids a grow-and-copy.
+	EncodedSize func(v V) int
+}
+
+// sizeHint picks the pooled-buffer size for the next encode: the exact
+// encoded size when the ops can report it, otherwise the running size
+// of the previous step's wire.
+func sizeHint[V any](ops Ops[V], prev int, v V) int {
+	if ops.EncodedSize != nil {
+		return ops.EncodedSize(v)
+	}
+	return prev
+}
+
+// encodeInto encodes v reusing buf's capacity, via the EncodeTo fast
+// path when available.
+func encodeInto[V any](ops Ops[V], buf []byte, v V) []byte {
+	if ops.EncodeTo != nil {
+		return ops.EncodeTo(buf, v)
+	}
+	return ops.Encode(buf[:0], v)
 }
 
 // F64Ops returns elementwise-sum Ops for []float64 segments — the
-// aggregator shape of every MLlib workload in the paper.
+// aggregator shape of every MLlib workload in the paper — with all
+// fast paths populated.
 func F64Ops() Ops[[]float64] {
 	return Ops[[]float64]{
 		Reduce: func(a, b []float64) []float64 {
-			if len(a) != len(b) {
-				panic(fmt.Sprintf("collective: segment length mismatch %d vs %d", len(a), len(b)))
-			}
-			for i := range a {
-				a[i] += b[i]
-			}
+			linalg.AddAssign(a, b)
 			return a
 		},
-		Encode: encodeF64,
-		Decode: decodeF64,
+		Encode:           encodeF64,
+		Decode:           decodeF64,
+		EncodeTo:         func(dst []byte, v []float64) []byte { return encodeF64(dst[:0], v) },
+		DecodeReduceInto: decodeReduceIntoF64,
+		EncodedSize:      func(v []float64) int { return 4 + 8*len(v) },
 	}
 }
 
+// encodeF64 appends a length-prefixed []float64 to dst, growing dst at
+// most once to the exact 4+8·len size and then writing 8-byte words
+// directly — no grow-through-append on the hot path.
 func encodeF64(dst []byte, v []float64) []byte {
-	dst = appendUint32(dst, uint32(len(v)))
+	need := 4 + 8*len(v)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	off := len(dst)
+	dst = dst[:off+need]
+	putUint32(dst[off:], uint32(len(v)))
+	off += 4
 	for _, f := range v {
-		dst = appendFloat64(dst, f)
+		putFloat64(dst[off:], f)
+		off += 8
 	}
 	return dst
 }
 
+// decodeF64 parses a length-prefixed []float64. The prefix is validated
+// against len(src) before any allocation, so a corrupt prefix cannot
+// trigger a huge make.
 func decodeF64(src []byte) ([]float64, error) {
-	if len(src) < 4 {
-		return nil, fmt.Errorf("collective: short []float64")
-	}
-	n := int(uint32At(src, 0))
-	if len(src) < 4+8*n {
-		return nil, fmt.Errorf("collective: truncated []float64 (%d of %d)", len(src)-4, 8*n)
+	n, body, err := f64WireBody(src)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = float64At(src, 4+8*i)
+		out[i] = float64At(body, 8*i)
 	}
 	return out, nil
 }
 
-// asyncSend runs a ring send off the receive path so that send and
-// receive of one iteration overlap and large messages cannot deadlock
-// over real sockets.
-func asyncSend(e *comm.Endpoint, peer, channel int, b []byte) chan error {
-	done := make(chan error, 1)
-	go func() { done <- e.SendTo(peer, channel, b) }()
-	return done
+// f64WireBody validates a []float64 wire frame and returns its element
+// count and payload bytes.
+func f64WireBody(src []byte) (int, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, fmt.Errorf("collective: short []float64")
+	}
+	n := int(uint32At(src, 0))
+	if n < 0 || n > (len(src)-4)/8 {
+		return 0, nil, fmt.Errorf("collective: corrupt []float64 length prefix %d (%d payload bytes)", n, len(src)-4)
+	}
+	return n, src[4:], nil
+}
+
+// decodeReduceIntoF64 is the fused decode-reduce: acc[i] += wire[i]
+// straight out of the wire bytes, 4-wide unrolled, no intermediate
+// slice. Element adds are independent, so the result is bitwise
+// identical to decodeF64 followed by F64Ops().Reduce.
+func decodeReduceIntoF64(acc []float64, wire []byte) ([]float64, error) {
+	n, body, err := f64WireBody(wire)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(acc) {
+		panic(fmt.Sprintf("collective: segment length mismatch %d vs %d", len(acc), n))
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc[i] += float64At(body, 8*i)
+		acc[i+1] += float64At(body, 8*i+8)
+		acc[i+2] += float64At(body, 8*i+16)
+		acc[i+3] += float64At(body, 8*i+24)
+	}
+	for ; i < n; i++ {
+		acc[i] += float64At(body, 8*i)
+	}
+	return acc, nil
+}
+
+// decodeReduce applies the fused path when available, falling back to
+// Decode-then-Reduce. It reports whether the wire buffer is provably
+// unretained and may be released to the pool.
+func decodeReduce[V any](ops Ops[V], acc V, wire []byte) (V, bool, error) {
+	if ops.DecodeReduceInto != nil {
+		out, err := ops.DecodeReduceInto(acc, wire)
+		return out, err == nil, err
+	}
+	v, err := ops.Decode(wire)
+	if err != nil {
+		return acc, false, err
+	}
+	return ops.Reduce(acc, v), false, nil
 }
 
 // RingReduceScatter reduces P×N segments held by each of N ranks so
@@ -127,24 +231,33 @@ func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops O
 			block := segs[ch*n : (ch+1)*n]
 			cur := make([]V, n)
 			copy(cur, block)
+			// One completion channel and one wire-size hint per channel
+			// goroutine, reused every step: the k-step loop cycles
+			// pooled buffers instead of allocating N-1 times.
+			sendDone := make(chan error, 1)
+			hint := 0
 			for k := 0; k < n-1; k++ {
 				sendIdx := ((r-k)%n + n) % n
 				recvIdx := ((r-k-1)%n + n) % n
-				wire := ops.Encode(nil, cur[sendIdx])
-				sendDone := asyncSend(e, e.Next(), ch, wire)
+				wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, hint, cur[sendIdx])), cur[sendIdx])
+				hint = len(wire)
+				e.SendToAsync(e.Next(), ch, wire, sendDone)
 				in, err := e.RecvPrev(ch)
 				if err != nil {
 					setErr(fmt.Errorf("collective: rank %d ch %d step %d recv: %w", r, ch, k, err))
 					<-sendDone
 					return
 				}
-				v, err := ops.Decode(in)
+				acc, release, err := decodeReduce(ops, cur[recvIdx], in)
 				if err != nil {
 					setErr(fmt.Errorf("collective: rank %d ch %d step %d decode: %w", r, ch, k, err))
 					<-sendDone
 					return
 				}
-				cur[recvIdx] = ops.Reduce(cur[recvIdx], v)
+				cur[recvIdx] = acc
+				if release {
+					comm.Release(in)
+				}
 				if err := <-sendDone; err != nil {
 					setErr(fmt.Errorf("collective: rank %d ch %d step %d send: %w", r, ch, k, err))
 					return
@@ -194,6 +307,9 @@ func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, op
 		mu.Unlock()
 	}
 
+	// DecodeReduceInto doubles as the marker that Decode does not
+	// retain its input, so gathered receive buffers can be released.
+	releasable := ops.DecodeReduceInto != nil
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -201,11 +317,14 @@ func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, op
 			defer wg.Done()
 			// After reduce-scatter rank r owns block index (r+1)%n.
 			have := (r + 1) % n
+			sendDone := make(chan error, 1)
+			hint := 0
 			for k := 0; k < n-1; k++ {
 				sendIdx := ((have-k)%n + n) % n
 				recvIdx := ((have-k-1)%n + n) % n
-				wire := ops.Encode(nil, all[ch*n+sendIdx])
-				sendDone := asyncSend(e, e.Next(), ch, wire)
+				wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, hint, all[ch*n+sendIdx])), all[ch*n+sendIdx])
+				hint = len(wire)
+				e.SendToAsync(e.Next(), ch, wire, sendDone)
 				in, err := e.RecvPrev(ch)
 				if err != nil {
 					setErr(fmt.Errorf("collective: allgather rank %d ch %d step %d recv: %w", r, ch, k, err))
@@ -219,6 +338,9 @@ func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, op
 					return
 				}
 				all[ch*n+recvIdx] = v
+				if releasable {
+					comm.Release(in)
+				}
 				if err := <-sendDone; err != nil {
 					setErr(err)
 					return

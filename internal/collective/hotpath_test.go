@@ -1,0 +1,140 @@
+package collective
+
+// Tests for the zero-allocation hot path: the fused decode-reduce, the
+// presized F64 wire format, and allreduce across non-power-of-two rings
+// with multiple parallel channels.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparker/internal/comm"
+)
+
+// The fused DecodeReduceInto must be bitwise-identical to
+// decode-then-Reduce — the acceptance bar for fusing the hot path.
+func TestQuickFusedDecodeReduceBitwiseIdentical(t *testing.T) {
+	ops := F64Ops()
+	f := func(accRaw, inRaw []float64) bool {
+		n := len(accRaw)
+		if len(inRaw) < n {
+			n = len(inRaw)
+		}
+		acc := accRaw[:n]
+		in := inRaw[:n]
+		wire := encodeF64(nil, in)
+
+		want := make([]float64, n)
+		copy(want, acc)
+		dec, err := ops.Decode(wire)
+		if err != nil {
+			return false
+		}
+		want = ops.Reduce(want, dec)
+
+		got := make([]float64, n)
+		copy(got, acc)
+		got, err = ops.DecodeReduceInto(got, wire)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A corrupt length prefix must be rejected before any allocation
+// happens, in both the plain and the fused decoder.
+func TestDecodeF64CorruptPrefix(t *testing.T) {
+	wire := encodeF64(nil, []float64{1, 2, 3})
+	putUint32(wire, 1<<31) // claim ~2e9 elements in a 28-byte frame
+	if _, err := decodeF64(wire); err == nil {
+		t.Error("decodeF64 accepted a corrupt length prefix")
+	}
+	if _, err := decodeReduceIntoF64([]float64{0, 0, 0}, wire); err == nil {
+		t.Error("decodeReduceIntoF64 accepted a corrupt length prefix")
+	}
+	if _, err := decodeF64([]byte{1, 2}); err == nil {
+		t.Error("decodeF64 accepted a short frame")
+	}
+}
+
+// encodeF64 appends: mid-frame encodes (the halving baseline's frame
+// builder) and pre-sized scratch reuse must both work.
+func TestEncodeF64AppendsAndReusesCapacity(t *testing.T) {
+	prefix := []byte{9, 9}
+	wire := encodeF64(prefix, []float64{1.5, -2.5})
+	if wire[0] != 9 || wire[1] != 9 {
+		t.Fatalf("prefix clobbered: % x", wire[:2])
+	}
+	got, err := decodeF64(wire[2:])
+	if err != nil || got[0] != 1.5 || got[1] != -2.5 {
+		t.Fatalf("append-decode: %v %v", got, err)
+	}
+
+	scratch := make([]byte, 0, 4+8*4)
+	out := encodeF64(scratch, []float64{1, 2, 3, 4})
+	if &out[0] != &scratch[:1][0] {
+		t.Error("encodeF64 reallocated despite sufficient capacity")
+	}
+}
+
+func TestF64OpsEncodedSizeExact(t *testing.T) {
+	ops := F64Ops()
+	for _, n := range []int{0, 1, 3, 100} {
+		v := make([]float64, n)
+		if got, want := ops.EncodedSize(v), len(ops.Encode(nil, v)); got != want {
+			t.Errorf("EncodedSize(%d elems) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFusedDecodeReduceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("fused decode-reduce with mismatched lengths should panic, like Reduce")
+		}
+	}()
+	wire := encodeF64(nil, []float64{1, 2})
+	F64Ops().DecodeReduceInto([]float64{0}, wire)
+}
+
+// RingAllReduce across non-power-of-two rings with several parallel
+// channels — the PDR configurations the paper's Figure 14 sweeps and
+// the seed's tests skipped.
+func TestRingAllReduceNonPow2MultiChannel(t *testing.T) {
+	for _, n := range []int{3, 5, 7} {
+		for _, p := range []int{2, 3} {
+			t.Run(fmt.Sprintf("n=%d/p=%d", n, p), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(n*31 + p)))
+				inputs, want := makeInputs(rng, n, p*n, 24)
+				results := make([][][]float64, n)
+				runGroup(t, n, fmt.Sprintf("ar-np2-%d-%d", n, p), func(e *comm.Endpoint) error {
+					all, err := RingAllReduce(e, inputs[e.Rank()], p, F64Ops())
+					if err != nil {
+						return err
+					}
+					results[e.Rank()] = all
+					return nil
+				})
+				for r := 0; r < n; r++ {
+					for i := range want {
+						if !segsEqual(results[r][i], want[i], 1e-9) {
+							t.Errorf("rank %d segment %d: got %v want %v", r, i, results[r][i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -32,9 +32,11 @@ type Endpoint struct {
 	cond    *sync.Cond
 	inbound map[connKey]transport.Conn // accepted, keyed by (src, channel)
 	dialed  map[connKey]transport.Conn // dialed, keyed by (dst, channel)
+	senders map[connKey]*sender        // persistent sender goroutines
 	closed  bool
 
 	acceptDone chan struct{}
+	sendWG     sync.WaitGroup
 
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
@@ -89,6 +91,7 @@ func NewEndpoint(net transport.Network, group string, rank, size int) (*Endpoint
 		lis:        lis,
 		inbound:    map[connKey]transport.Conn{},
 		dialed:     map[connKey]transport.Conn{},
+		senders:    map[connKey]*sender{},
 		acceptDone: make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
@@ -195,21 +198,84 @@ func (e *Endpoint) accepted(peer, channel int) (transport.Conn, error) {
 	}
 }
 
-// SendTo transmits b to peer on the given parallel channel. Distinct
-// channels may be used concurrently; a single (peer, channel) pair must
-// be driven by one goroutine at a time.
-func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
+// senderFor returns (lazily creating) the persistent sender goroutine
+// for (peer, channel).
+func (e *Endpoint) senderFor(peer, channel int) (*sender, error) {
+	key := connKey{peer, channel}
+	e.mu.Lock()
+	if s, ok := e.senders[key]; ok {
+		e.mu.Unlock()
+		return s, nil
+	}
+	e.mu.Unlock()
+
 	c, err := e.dial(peer, channel)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, transport.ErrClosed
+	}
+	if s, ok := e.senders[key]; ok {
+		return s, nil
+	}
+	s := newSender(e, c)
+	e.senders[key] = s
+	e.sendWG.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// doneChans recycles the single-use completion channels SendTo waits
+// on, so synchronous sends stay allocation-free. Channels are
+// pointer-shaped, so boxing one in the pool's interface does not
+// allocate.
+var doneChans = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// SendTo transmits b to peer on the given parallel channel and waits
+// for the write to complete. Ownership of b transfers to the comm layer
+// (and on retaining transports, onward to the receiver): the caller
+// must not reuse or release it. Sends on the same (peer, channel) pair
+// are written in enqueue order; distinct pairs proceed concurrently on
+// their own persistent sender goroutines.
+func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
+	s, err := e.senderFor(peer, channel)
 	if err != nil {
 		return err
 	}
-	if err := c.Send(b); err != nil {
-		return err
-	}
-	e.bytesSent.Add(int64(len(b)))
-	e.msgsSent.Add(1)
-	return nil
+	done := doneChans.Get().(chan error)
+	s.enqueue(b, done)
+	err = <-done
+	doneChans.Put(done)
+	return err
 }
+
+// SendToAsync enqueues b on the (peer, channel) persistent sender and
+// returns immediately; exactly one result — including setup failures —
+// is later delivered on done, which must have capacity >= 1. Ownership
+// of b transfers to the comm layer at the call. Ring loops allocate one
+// done channel per channel goroutine and reuse it every step, which is
+// what keeps the steady-state hot path allocation-free.
+func (e *Endpoint) SendToAsync(peer, channel int, b []byte, done chan<- error) {
+	s, err := e.senderFor(peer, channel)
+	if err != nil {
+		done <- err
+		return
+	}
+	s.enqueue(b, done)
+}
+
+// GetBuffer returns a wire buffer of length n from the shared pool —
+// the encode side of the zero-allocation cycle. Pass the previous
+// step's wire size as n so the pooled capacity is right-sized.
+func GetBuffer(n int) []byte { return transport.GetBuf(n) }
+
+// Release returns a buffer obtained from RecvFrom/RecvPrev (or
+// GetBuffer) to the shared wire pool. Call it only when nothing decoded
+// from the buffer aliases it, and never touch the buffer afterwards.
+func Release(b []byte) { transport.PutBuf(b) }
 
 // RecvFrom blocks for the next message from peer on channel.
 func (e *Endpoint) RecvFrom(peer, channel int) ([]byte, error) {
@@ -268,12 +334,20 @@ func (e *Endpoint) Close() error {
 	for _, c := range e.dialed {
 		conns = append(conns, c)
 	}
+	senders := make([]*sender, 0, len(e.senders))
+	for _, s := range e.senders {
+		senders = append(senders, s)
+	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
+	for _, s := range senders {
+		s.close()
+	}
 	e.lis.Close()
 	for _, c := range conns {
 		c.Close()
 	}
+	e.sendWG.Wait()
 	<-e.acceptDone
 	return nil
 }

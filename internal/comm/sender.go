@@ -1,0 +1,112 @@
+package comm
+
+// Persistent channel senders. Instead of spawning a goroutine per send
+// (the seed's asyncSend pattern — one goroutine allocation plus one
+// result channel per ring step), each (peer, channel) pair owns one
+// long-lived sender goroutine with a mailbox queue, created lazily on
+// first use and torn down by Endpoint.Close. Callers overlap send with
+// receive by enqueueing with a completion channel they allocate once
+// and reuse for every step.
+
+import (
+	"sync"
+
+	"sparker/internal/transport"
+)
+
+type sendReq struct {
+	buf []byte
+	// done, when non-nil, receives exactly one send result. It must
+	// have capacity >= 1 so the sender never blocks delivering it.
+	done chan<- error
+}
+
+// sender owns the outbound connection for one (peer, channel) pair.
+type sender struct {
+	e    *Endpoint
+	conn transport.Conn
+	// recycle is true when the conn copies the buffer on Send (TCP), so
+	// the sender may return it to the wire pool itself. Retaining conns
+	// (mem) hand the buffer to the receiver, which releases it instead.
+	recycle bool
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []sendReq
+	closed bool
+}
+
+func newSender(e *Endpoint, conn transport.Conn) *sender {
+	recycle := false
+	if sr, ok := conn.(transport.SendRetainer); ok && !sr.SendRetainsBuffer() {
+		recycle = true
+	}
+	s := &sender{e: e, conn: conn, recycle: recycle}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue hands buf to the sender. Ownership of buf transfers to the
+// comm layer; the result is delivered on done (if non-nil), including
+// ErrClosed when the endpoint is already shut down.
+func (s *sender) enqueue(buf []byte, done chan<- error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if done != nil {
+			done <- transport.ErrClosed
+		}
+		return
+	}
+	s.queue = append(s.queue, sendReq{buf: buf, done: done})
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// run is the sender goroutine: drain the mailbox in batches, write each
+// message, report completions. The two batch slices ping-pong so the
+// steady state enqueue/drain cycle does not allocate.
+func (s *sender) run() {
+	defer s.e.sendWG.Done()
+	var batch []sendReq
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		closed := s.closed
+		batch, s.queue = s.queue, batch[:0]
+		s.mu.Unlock()
+
+		for i := range batch {
+			r := &batch[i]
+			var err error
+			if closed {
+				err = transport.ErrClosed
+			} else if err = s.conn.Send(r.buf); err == nil {
+				s.e.bytesSent.Add(int64(len(r.buf)))
+				s.e.msgsSent.Add(1)
+				if s.recycle {
+					transport.PutBuf(r.buf)
+				}
+			}
+			if r.done != nil {
+				r.done <- err
+			}
+			r.buf = nil
+			r.done = nil
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// close wakes the sender so it fails pending requests and exits. New
+// enqueues fail immediately afterwards.
+func (s *sender) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

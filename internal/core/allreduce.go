@@ -72,18 +72,7 @@ func SplitAllReduce[T, U, V any](
 
 	nExec := ctx.NumExecutors()
 	nSegs := par * nExec
-	ops := collective.Ops[V]{
-		Reduce: reduceOp,
-		Encode: func(dst []byte, v V) []byte { return serde.MustEncode(dst, v) },
-		Decode: func(src []byte) (V, error) {
-			val, _, err := serde.Decode(src)
-			if err != nil {
-				var z V
-				return z, err
-			}
-			return val.(V), nil
-		},
-	}
+	ops := serdeOps[V](reduceOp)
 	keepKey := opts.KeepKey
 	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
 		agg := sharedAgg(ec, prefix+"agg", zero)

@@ -215,18 +215,7 @@ func SplitAggregate[T, U, V any](
 	// its owned (globalIndex, segment) pairs.
 	nExec := ctx.NumExecutors()
 	nSegs := par * nExec
-	ops := collective.Ops[V]{
-		Reduce: reduceOp,
-		Encode: func(dst []byte, v V) []byte { return serde.MustEncode(dst, v) },
-		Decode: func(src []byte) (V, error) {
-			val, _, err := serde.Decode(src)
-			if err != nil {
-				var z V
-				return z, err
-			}
-			return val.(V), nil
-		},
-	}
+	ops := serdeOps[V](reduceOp)
 	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
 		agg := sharedAgg(ec, prefix+"agg", zero)
 		segs := splitParallel(agg, nSegs, ec.Cores, splitOp)
@@ -254,6 +243,28 @@ func SplitAggregate[T, U, V any](
 		}
 	}
 	return concatOp(segs), nil
+}
+
+// serdeOps builds the collective callbacks for a serde-encodable
+// segment type. EncodeTo reuses the pooled wire buffer's capacity, so
+// the ring loops avoid per-step encode allocations; Decode must stay
+// the generic framed path (the concrete codec may retain slices), so no
+// fused decode-reduce is offered here — F64-shaped aggregators that
+// want the fully fused path use collective.F64Ops directly.
+func serdeOps[V any](reduceOp func(V, V) V) collective.Ops[V] {
+	return collective.Ops[V]{
+		Reduce:   reduceOp,
+		Encode:   func(dst []byte, v V) []byte { return serde.MustEncode(dst, v) },
+		EncodeTo: func(dst []byte, v V) []byte { return serde.MustEncode(dst[:0], v) },
+		Decode: func(src []byte) (V, error) {
+			val, _, err := serde.Decode(src)
+			if err != nil {
+				var z V
+				return z, err
+			}
+			return val.(V), nil
+		},
+	}
 }
 
 // splitParallel applies splitOp across the executor's cores — the

@@ -1,0 +1,61 @@
+package linalg
+
+// BenchmarkLinalgKernels measures the dense BLAS-1 kernels MLlib's
+// gradient inner loop hits millions of times per pass. Run with
+//
+//	go test -bench LinalgKernels -benchmem ./internal/linalg
+
+import (
+	"testing"
+)
+
+func BenchmarkLinalgKernels(b *testing.B) {
+	const dim = 1 << 14 // 16384-dim weight vector
+	x := make([]float64, dim)
+	y := make([]float64, dim)
+	for i := range x {
+		x[i] = float64(i%13) * 0.5
+		y[i] = float64(i%7) * 0.25
+	}
+	b.Run("DotDense", func(b *testing.B) {
+		b.SetBytes(int64(16 * dim))
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += DotDense(x, y)
+		}
+		sinkF64 = s
+	})
+	b.Run("AxpyDense", func(b *testing.B) {
+		b.SetBytes(int64(16 * dim))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AxpyDense(1e-9, x, y)
+		}
+	})
+	b.Run("Scal", func(b *testing.B) {
+		b.SetBytes(int64(8 * dim))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Scal(1.0, x)
+		}
+	})
+	b.Run("AddAssign", func(b *testing.B) {
+		b.SetBytes(int64(16 * dim))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			AddAssign(y, x)
+		}
+	})
+	b.Run("Norm2", func(b *testing.B) {
+		b.SetBytes(int64(8 * dim))
+		b.ReportAllocs()
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += Norm2(x)
+		}
+		sinkF64 = s
+	})
+}
+
+var sinkF64 float64

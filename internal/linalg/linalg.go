@@ -81,39 +81,101 @@ func Axpy(alpha float64, x SparseVector, y []float64) {
 	}
 }
 
+// The dense BLAS-1 kernels below are unrolled 4-wide with a scalar
+// tail — the pattern the gradient inner loop hits millions of times per
+// pass. Reslicing y to len(x) after the length check lets the compiler
+// drop the per-element bounds checks inside the unrolled body.
+
 // AxpyDense performs y += alpha * x for dense x and y.
 func AxpyDense(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("linalg: AxpyDense length mismatch")
 	}
-	for i := range x {
+	y = y[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
 		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// AddAssign performs dst += src elementwise, in place — the reduction
+// kernel of F64 aggregators and the collective layer's fused
+// decode-reduce. Element adds are independent, so unrolling preserves
+// bitwise results.
+func AddAssign(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("linalg: AddAssign length mismatch %d vs %d", len(dst), len(src)))
+	}
+	src = src[:len(dst)]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		dst[i] += src[i]
+		dst[i+1] += src[i+1]
+		dst[i+2] += src[i+2]
+		dst[i+3] += src[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += src[i]
 	}
 }
 
 // Scal scales x in place.
 func Scal(alpha float64, x []float64) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x[i] *= alpha
+		x[i+1] *= alpha
+		x[i+2] *= alpha
+		x[i+3] *= alpha
+	}
+	for ; i < len(x); i++ {
 		x[i] *= alpha
 	}
 }
 
-// Norm2 returns the Euclidean norm of dense x.
+// Norm2 returns the Euclidean norm of dense x. Four independent
+// accumulators keep the multiply-add chains pipelined; the summation
+// order therefore differs from a serial loop by normal float
+// re-association.
 func Norm2(x []float64) float64 {
-	var s float64
-	for _, v := range x {
-		s += v * v
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * x[i]
+		s1 += x[i+1] * x[i+1]
+		s2 += x[i+2] * x[i+2]
+		s3 += x[i+3] * x[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * x[i]
 	}
 	return math.Sqrt(s)
 }
 
-// DotDense computes xᵀy for dense vectors.
+// DotDense computes xᵀy for dense vectors, with the same 4-accumulator
+// unroll as Norm2.
 func DotDense(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("linalg: DotDense length mismatch")
 	}
-	var s float64
-	for i := range x {
+	y = y[:len(x)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
 		s += x[i] * y[i]
 	}
 	return s
@@ -128,10 +190,7 @@ func (v SparseVector) MarshalBinaryTo(dst []byte) []byte {
 	for _, ix := range v.Indices {
 		dst = serde.AppendInt(dst, int(ix))
 	}
-	for _, f := range v.Values {
-		dst = serde.AppendFloat64(dst, f)
-	}
-	return dst
+	return serde.AppendFloat64s(dst, v.Values)
 }
 
 // UnmarshalBinaryFrom implements serde.Unmarshaler.

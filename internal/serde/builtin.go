@@ -133,10 +133,7 @@ type f64SliceCodec struct{}
 func (f64SliceCodec) Encode(dst []byte, v any) ([]byte, error) {
 	s := v.([]float64)
 	dst = appendUint32(dst, uint32(len(s)))
-	for _, f := range s {
-		dst = AppendFloat64(dst, f)
-	}
-	return dst, nil
+	return AppendFloat64s(dst, s), nil
 }
 
 func (f64SliceCodec) Decode(src []byte) (any, int, error) {
@@ -187,9 +184,7 @@ func (f64MatrixCodec) Encode(dst []byte, v any) ([]byte, error) {
 	dst = appendUint32(dst, uint32(len(m)))
 	for _, row := range m {
 		dst = appendUint32(dst, uint32(len(row)))
-		for _, f := range row {
-			dst = AppendFloat64(dst, f)
-		}
+		dst = AppendFloat64s(dst, row)
 	}
 	return dst, nil
 }

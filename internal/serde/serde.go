@@ -263,6 +263,25 @@ func AppendFloat64(dst []byte, f float64) []byte {
 	return appendUint64(dst, math.Float64bits(f))
 }
 
+// AppendFloat64s bulk-appends the IEEE-754 encodings of vals, growing
+// dst at most once to the exact 8·len size instead of amortized-append
+// per element — the aggregator-payload hot path.
+func AppendFloat64s(dst []byte, vals []float64) []byte {
+	need := 8 * len(vals)
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	off := len(dst)
+	dst = dst[:off+need]
+	for _, f := range vals {
+		binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(f))
+		off += 8
+	}
+	return dst
+}
+
 // Float64At reads a float64 at offset i.
 func Float64At(src []byte, i int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))

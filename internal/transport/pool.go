@@ -1,0 +1,100 @@
+package transport
+
+// Wire-buffer pool shared by the transports and the comm layer.
+//
+// The reduction hot path moves one wire buffer per ring step; without
+// recycling, every step allocates (and for the in-memory transport the
+// sender's buffer is handed to the receiver, so the sender can never
+// reuse it). The pool closes the loop: encoders take buffers with
+// GetBuf, ownership flows with the message, and whoever finishes with
+// the bytes calls PutBuf. At steady state a ring channel circulates a
+// couple of right-sized buffers with no allocation at all.
+//
+// Buffers are bucketed by power-of-two capacity. Buckets are bounded
+// channels rather than sync.Pools so that Get/Put never allocate the
+// interface box a sync.Pool of slices would; a full bucket drops the
+// buffer to the garbage collector, so parked memory stays bounded.
+
+const (
+	minBufBucket = 6  // 64 B
+	maxBufBucket = 26 // 64 MiB
+)
+
+var bufBuckets [maxBufBucket + 1]chan []byte
+
+func init() {
+	for b := minBufBucket; b <= maxBufBucket; b++ {
+		// Deep buckets for small buffers, shallower as sizes grow so a
+		// burst of huge buffers cannot park gigabytes. The mid tier
+		// still fits a P-channel ring's worth of MiB-scale segments
+		// (the paper's sweet spot) in circulation.
+		depth := 64
+		switch {
+		case b >= 24: // >= 16 MiB
+			depth = 4
+		case b >= 21: // 2–8 MiB
+			depth = 32
+		}
+		bufBuckets[b] = make(chan []byte, depth)
+	}
+}
+
+// ceilBucket returns the smallest bucket whose capacity covers n.
+func ceilBucket(n int) int {
+	b := minBufBucket
+	for b <= maxBufBucket && (1<<b) < n {
+		b++
+	}
+	return b
+}
+
+// GetBuf returns a buffer of length n, recycled from the pool when one
+// of sufficient capacity is parked, freshly allocated otherwise. The
+// contents are unspecified; callers that need zeroed memory must clear
+// it themselves.
+func GetBuf(n int) []byte {
+	b := ceilBucket(n)
+	if b > maxBufBucket {
+		return make([]byte, n)
+	}
+	select {
+	case buf := <-bufBuckets[b]:
+		return buf[:n]
+	default:
+	}
+	return make([]byte, n, 1<<b)
+}
+
+// PutBuf parks buf for reuse by a later GetBuf. Callers must not touch
+// buf afterwards: it may be handed out, resliced and overwritten at any
+// moment. Buffers outside the pooled size range, or whose bucket is
+// full, are dropped for the garbage collector to reclaim.
+func PutBuf(buf []byte) {
+	c := cap(buf)
+	if c < 1<<minBufBucket || c > 1<<maxBufBucket {
+		return
+	}
+	// File under the largest bucket the capacity fully covers, so a
+	// GetBuf from that bucket is guaranteed to fit.
+	b := ceilBucket(c)
+	if (1 << b) > c {
+		b--
+	}
+	if b < minBufBucket {
+		return
+	}
+	select {
+	case bufBuckets[b] <- buf[:cap(buf)]:
+	default:
+	}
+}
+
+// SendRetainer is implemented by Conns that report whether Send keeps a
+// reference to the caller's buffer after it returns. The in-memory
+// transport hands the very same slice to the receiver (retains); the
+// TCP transport copies into the socket before returning (does not).
+// Conns that do not implement the interface are assumed to retain, the
+// conservative default.
+type SendRetainer interface {
+	SendRetainsBuffer() bool
+}

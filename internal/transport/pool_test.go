@@ -1,0 +1,76 @@
+package transport
+
+import "testing"
+
+func TestGetBufSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1 << 20, 1<<20 + 4} {
+		b := GetBuf(n)
+		if len(b) != n {
+			t.Errorf("GetBuf(%d): len = %d", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("GetBuf(%d): cap = %d", n, cap(b))
+		}
+		PutBuf(b)
+	}
+}
+
+// A released buffer must satisfy the next request of any size its
+// bucket covers — this is what keeps the ring steady state at zero
+// allocations even when wire frames are a few bytes over a power of two.
+func TestPutBufReuseWithinBucket(t *testing.T) {
+	const n = 1<<20 + 4 // a ring wire frame: 4-byte count + 1 MiB payload
+	drain := drainBucket(t, n)
+	b := GetBuf(n)
+	p := &b[0]
+	PutBuf(b)
+	b2 := GetBuf(1<<20 + 1) // different size, same 2 MiB bucket
+	if &b2[0] != p {
+		t.Error("released buffer not reused for a smaller request in the same bucket")
+	}
+	PutBuf(b2)
+	undrain(drain)
+}
+
+// Oddly-sized capacities (e.g. from an append that outgrew a pooled
+// buffer) must be filed under a bucket they fully cover, so a later
+// GetBuf never receives a buffer with too little capacity.
+func TestPutBufOddCapacityNeverUndersized(t *testing.T) {
+	odd := make([]byte, 3000) // cap 3000 < 4096: must file under 2048
+	PutBuf(odd)
+	for i := 0; i < 70; i++ {
+		b := GetBuf(4096)
+		if cap(b) < 4096 {
+			t.Fatalf("GetBuf(4096) returned cap %d", cap(b))
+		}
+		PutBuf(b)
+	}
+}
+
+// Tiny and huge buffers are clamped/dropped without panicking.
+func TestPutBufExtremes(t *testing.T) {
+	PutBuf(nil)
+	PutBuf(make([]byte, 0, 8))       // below the smallest bucket: dropped
+	PutBuf(make([]byte, 1, 1<<27))   // above the largest bucket: dropped
+	b := GetBuf(1<<26 + 1)           // larger than any bucket: plain make
+	if len(b) != 1<<26+1 {
+		t.Fatalf("GetBuf over max bucket: len %d", len(b))
+	}
+}
+
+// drainBucket empties the bucket covering size-n requests (deepest
+// bucket is 64) so reuse assertions observe only this test's releases.
+func drainBucket(t *testing.T, n int) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for i := 0; i < 70; i++ {
+		out = append(out, GetBuf(n))
+	}
+	return out
+}
+
+func undrain(bufs [][]byte) {
+	for _, b := range bufs {
+		PutBuf(b)
+	}
+}

@@ -137,11 +137,17 @@ func (t *tcpConn) Recv() ([]byte, error) {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	buf := make([]byte, n)
+	buf := GetBuf(int(n))
 	if _, err := io.ReadFull(t.r, buf); err != nil {
+		PutBuf(buf)
 		return nil, err
 	}
 	return buf, nil
 }
+
+// SendRetainsBuffer implements SendRetainer: Send flushes the bytes
+// into the socket before returning, so the caller's buffer is free for
+// reuse (the comm layer recycles it through the pool).
+func (t *tcpConn) SendRetainsBuffer() bool { return false }
 
 func (t *tcpConn) Close() error { return t.c.Close() }

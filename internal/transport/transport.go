@@ -204,6 +204,11 @@ type memConn struct {
 	shape Shape
 }
 
+// SendRetainsBuffer implements SendRetainer: the receiver is handed the
+// sender's slice itself, so the sender must not reuse it. The buffer
+// re-enters circulation only when the receiver releases it.
+func (c *memConn) SendRetainsBuffer() bool { return true }
+
 func (c *memConn) Send(b []byte) error {
 	select {
 	case <-c.link.done:
