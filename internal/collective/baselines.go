@@ -36,10 +36,14 @@ func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, erro
 	acc := value
 	for dist := 1; dist < n; dist *= 2 {
 		if vr%(2*dist) != 0 {
-			// Sender: transmit to vr-dist and exit.
+			// Sender: transmit to vr-dist and exit. The wire buffer is a
+			// pool draw, so it goes through the recycling SendToAsync
+			// path rather than SendTo (which never recycles).
 			dst := toReal(vr - dist)
 			wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, 0, acc)), acc)
-			if err := e.SendTo(dst, treeChannel, wire); err != nil {
+			sendDone := make(chan error, 1)
+			e.SendToAsync(dst, treeChannel, wire, sendDone)
+			if err := <-sendDone; err != nil {
 				return zero, fmt.Errorf("collective: tree send: %w", err)
 			}
 			return zero, nil
@@ -51,13 +55,13 @@ func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, erro
 				return zero, fmt.Errorf("collective: tree recv: %w", err)
 			}
 			merged, release, err := decodeReduce(ops, acc, in)
+			if release {
+				comm.Release(in)
+			}
 			if err != nil {
 				return zero, err
 			}
 			acc = merged
-			if release {
-				comm.Release(in)
-			}
 		}
 	}
 	return acc, nil
@@ -97,6 +101,15 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 	copy(cur, segs)
 
 	sendDone := make(chan error, 1)
+	// discard drains the in-flight send and releases a received frame no
+	// decoded value can alias — the common exit for frame-error paths.
+	releasable := ops.DecodeReduceInto != nil
+	discard := func(in []byte) {
+		if releasable {
+			comm.Release(in)
+		}
+		<-sendDone
+	}
 	hint := 0
 	lo, hi := 0, n // active segment range this rank still contributes to
 	for dist := n / 2; dist >= 1; dist /= 2 {
@@ -109,8 +122,8 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		wire := comm.GetBuffer(hint)[:0]
-		wire = appendUint32(wire, uint32(sendHi-sendLo))
+		drawn := comm.GetBuffer(hint)
+		wire := appendUint32(drawn[:0], uint32(sendHi-sendLo))
 		for i := sendLo; i < sendHi; i++ {
 			// Reserve a length slot, encode, then backfill the length.
 			slot := len(wire)
@@ -118,6 +131,7 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 			wire = ops.Encode(wire, cur[i])
 			putUint32(wire[slot:], uint32(len(wire)-slot-4))
 		}
+		releaseIfAbandoned(drawn, wire)
 		hint = len(wire)
 		e.SendToAsync(partner, halvingChannel, wire, sendDone)
 		in, err := e.RecvFrom(partner, halvingChannel)
@@ -126,37 +140,37 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 			return zero, fmt.Errorf("collective: halving recv: %w", err)
 		}
 		if len(in) < 4 {
-			<-sendDone
+			discard(in)
 			return zero, fmt.Errorf("collective: halving short frame")
 		}
 		cnt := int(uint32At(in, 0))
 		if cnt != keepHi-keepLo {
-			<-sendDone
+			discard(in)
 			return zero, fmt.Errorf("collective: halving count mismatch: got %d want %d", cnt, keepHi-keepLo)
 		}
 		off := 4
 		release := true
 		for i := keepLo; i < keepHi; i++ {
 			if len(in) < off+4 {
-				<-sendDone
+				discard(in)
 				return zero, fmt.Errorf("collective: halving truncated frame")
 			}
 			segLen := int(uint32At(in, off))
 			off += 4
 			if segLen < 0 || len(in) < off+segLen {
-				<-sendDone
+				discard(in)
 				return zero, fmt.Errorf("collective: halving truncated segment %d", i)
 			}
 			acc, rel, err := decodeReduce(ops, cur[i], in[off:off+segLen])
 			if err != nil {
-				<-sendDone
+				discard(in)
 				return zero, err
 			}
 			cur[i] = acc
 			release = release && rel
 			off += segLen
 		}
-		if release && ops.DecodeReduceInto != nil {
+		if release && releasable {
 			comm.Release(in)
 		}
 		if err := <-sendDone; err != nil {
@@ -197,14 +211,14 @@ func PairwiseReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, er
 			return zero, fmt.Errorf("collective: pairwise recv: %w", err)
 		}
 		merged, release, err := decodeReduce(ops, acc, in)
+		if release {
+			comm.Release(in)
+		}
 		if err != nil {
 			<-sendDone
 			return zero, err
 		}
 		acc = merged
-		if release {
-			comm.Release(in)
-		}
 		if err := <-sendDone; err != nil {
 			return zero, err
 		}

@@ -69,12 +69,26 @@ func sizeHint[V any](ops Ops[V], prev int, v V) int {
 }
 
 // encodeInto encodes v reusing buf's capacity, via the EncodeTo fast
-// path when available.
+// path when available. buf must be an unaliased pool draw: when the
+// encoder outgrows it and reallocates, the abandoned draw goes back to
+// the pool instead of the garbage collector.
 func encodeInto[V any](ops Ops[V], buf []byte, v V) []byte {
+	var out []byte
 	if ops.EncodeTo != nil {
-		return ops.EncodeTo(buf, v)
+		out = ops.EncodeTo(buf, v)
+	} else {
+		out = ops.Encode(buf[:0], v)
 	}
-	return ops.Encode(buf[:0], v)
+	releaseIfAbandoned(buf, out)
+	return out
+}
+
+// releaseIfAbandoned returns the pooled draw to the pool when the
+// encoder reallocated and out no longer shares drawn's backing array.
+func releaseIfAbandoned(drawn, out []byte) {
+	if cap(drawn) > 0 && (cap(out) == 0 || &drawn[:1][0] != &out[:1][0]) {
+		comm.Release(drawn)
+	}
 }
 
 // F64Ops returns elementwise-sum Ops for []float64 segments — the
@@ -170,11 +184,15 @@ func decodeReduceIntoF64(acc []float64, wire []byte) ([]float64, error) {
 
 // decodeReduce applies the fused path when available, falling back to
 // Decode-then-Reduce. It reports whether the wire buffer is provably
-// unretained and may be released to the pool.
+// unretained and may be released to the pool — true for the fused path
+// even on error, since DecodeReduceInto never retains wire.
 func decodeReduce[V any](ops Ops[V], acc V, wire []byte) (V, bool, error) {
 	if ops.DecodeReduceInto != nil {
 		out, err := ops.DecodeReduceInto(acc, wire)
-		return out, err == nil, err
+		if err != nil {
+			return acc, true, err
+		}
+		return out, true, nil
 	}
 	v, err := ops.Decode(wire)
 	if err != nil {
@@ -249,15 +267,15 @@ func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops O
 					return
 				}
 				acc, release, err := decodeReduce(ops, cur[recvIdx], in)
+				if release {
+					comm.Release(in)
+				}
 				if err != nil {
 					setErr(fmt.Errorf("collective: rank %d ch %d step %d decode: %w", r, ch, k, err))
 					<-sendDone
 					return
 				}
 				cur[recvIdx] = acc
-				if release {
-					comm.Release(in)
-				}
 				if err := <-sendDone; err != nil {
 					setErr(fmt.Errorf("collective: rank %d ch %d step %d send: %w", r, ch, k, err))
 					return
@@ -333,6 +351,9 @@ func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, op
 				}
 				v, err := ops.Decode(in)
 				if err != nil {
+					if releasable {
+						comm.Release(in)
+					}
 					setErr(err)
 					<-sendDone
 					return

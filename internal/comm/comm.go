@@ -235,18 +235,21 @@ func (e *Endpoint) senderFor(peer, channel int) (*sender, error) {
 var doneChans = sync.Pool{New: func() any { return make(chan error, 1) }}
 
 // SendTo transmits b to peer on the given parallel channel and waits
-// for the write to complete. Ownership of b transfers to the comm layer
-// (and on retaining transports, onward to the receiver): the caller
-// must not reuse or release it. Sends on the same (peer, channel) pair
-// are written in enqueue order; distinct pairs proceed concurrently on
-// their own persistent sender goroutines.
+// for the write to complete. b is handed to the transport (on retaining
+// transports the receiver is given the very slice), so the caller must
+// not reuse or release it — but the comm layer never recycles b into
+// the shared wire pool, so a caller-owned buffer can never alias pooled
+// traffic even if the caller does reuse it. Hot paths that want the
+// buffer recycled draw it from GetBuffer and use SendToAsync. Sends on
+// the same (peer, channel) pair are written in enqueue order; distinct
+// pairs proceed concurrently on their own persistent sender goroutines.
 func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
 	s, err := e.senderFor(peer, channel)
 	if err != nil {
 		return err
 	}
 	done := doneChans.Get().(chan error)
-	s.enqueue(b, done)
+	s.enqueue(b, false, done)
 	err = <-done
 	doneChans.Put(done)
 	return err
@@ -254,17 +257,26 @@ func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
 
 // SendToAsync enqueues b on the (peer, channel) persistent sender and
 // returns immediately; exactly one result — including setup failures —
-// is later delivered on done, which must have capacity >= 1. Ownership
-// of b transfers to the comm layer at the call. Ring loops allocate one
-// done channel per channel goroutine and reuse it every step, which is
-// what keeps the steady-state hot path allocation-free.
+// is later delivered on done, which must have capacity >= 1.
+//
+// This is the pool-recycling path: b must be exclusively owned by the
+// caller — drawn from GetBuffer, or a private allocation nothing else
+// references — because ownership transfers to the comm layer at the
+// call and b re-enters the shared wire pool once the transport is done
+// with it (after the write on non-retaining transports such as TCP; on
+// retaining transports the receiver assumes ownership and Releases it).
+// Passing a buffer that anything else aliases would poison the pool.
+// Ring loops allocate one done channel per channel goroutine and reuse
+// it every step, which is what keeps the steady-state hot path
+// allocation-free.
 func (e *Endpoint) SendToAsync(peer, channel int, b []byte, done chan<- error) {
 	s, err := e.senderFor(peer, channel)
 	if err != nil {
+		transport.PutBuf(b)
 		done <- err
 		return
 	}
-	s.enqueue(b, done)
+	s.enqueue(b, true, done)
 }
 
 // GetBuffer returns a wire buffer of length n from the shared pool —

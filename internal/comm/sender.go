@@ -16,6 +16,11 @@ import (
 
 type sendReq struct {
 	buf []byte
+	// recycle marks buf as pool-owned: drawn from the wire pool with no
+	// other references, so the sender may return it to the pool once the
+	// transport is done with it. Caller-owned buffers (SendTo) are never
+	// recycled — an aliased buffer must not re-enter the shared pool.
+	recycle bool
 	// done, when non-nil, receives exactly one send result. It must
 	// have capacity >= 1 so the sender never blocks delivering it.
 	done chan<- error
@@ -25,10 +30,11 @@ type sendReq struct {
 type sender struct {
 	e    *Endpoint
 	conn transport.Conn
-	// recycle is true when the conn copies the buffer on Send (TCP), so
-	// the sender may return it to the wire pool itself. Retaining conns
-	// (mem) hand the buffer to the receiver, which releases it instead.
-	recycle bool
+	// copies is true when the conn copies the buffer on Send (TCP), so
+	// a pool-owned buffer may be recycled right after the write.
+	// Retaining conns (mem) hand the buffer to the receiver, which
+	// releases it instead.
+	copies bool
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -37,28 +43,32 @@ type sender struct {
 }
 
 func newSender(e *Endpoint, conn transport.Conn) *sender {
-	recycle := false
+	copies := false
 	if sr, ok := conn.(transport.SendRetainer); ok && !sr.SendRetainsBuffer() {
-		recycle = true
+		copies = true
 	}
-	s := &sender{e: e, conn: conn, recycle: recycle}
+	s := &sender{e: e, conn: conn, copies: copies}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
 // enqueue hands buf to the sender. Ownership of buf transfers to the
 // comm layer; the result is delivered on done (if non-nil), including
-// ErrClosed when the endpoint is already shut down.
-func (s *sender) enqueue(buf []byte, done chan<- error) {
+// ErrClosed when the endpoint is already shut down (in which case a
+// pool-owned buf goes straight back to the pool).
+func (s *sender) enqueue(buf []byte, recycle bool, done chan<- error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		if recycle {
+			transport.PutBuf(buf)
+		}
 		if done != nil {
 			done <- transport.ErrClosed
 		}
 		return
 	}
-	s.queue = append(s.queue, sendReq{buf: buf, done: done})
+	s.queue = append(s.queue, sendReq{buf: buf, recycle: recycle, done: done})
 	s.cond.Signal()
 	s.mu.Unlock()
 }
@@ -78,17 +88,22 @@ func (s *sender) run() {
 		batch, s.queue = s.queue, batch[:0]
 		s.mu.Unlock()
 
+		// Everything drained here was enqueued before close (enqueue
+		// rejects afterwards), so the writes are attempted even during
+		// shutdown: Endpoint.Close closes the conns, so a flush that can
+		// no longer complete fails promptly instead of blocking teardown.
 		for i := range batch {
 			r := &batch[i]
-			var err error
-			if closed {
-				err = transport.ErrClosed
-			} else if err = s.conn.Send(r.buf); err == nil {
+			err := s.conn.Send(r.buf)
+			if err == nil {
 				s.e.bytesSent.Add(int64(len(r.buf)))
 				s.e.msgsSent.Add(1)
-				if s.recycle {
-					transport.PutBuf(r.buf)
-				}
+			}
+			// Pool-owned buffers re-enter the pool once the transport is
+			// done with them: after the write on copying conns, and on
+			// every failure path (a failed Send retains nothing).
+			if r.recycle && (err != nil || s.copies) {
+				transport.PutBuf(r.buf)
 			}
 			if r.done != nil {
 				r.done <- err
@@ -102,8 +117,8 @@ func (s *sender) run() {
 	}
 }
 
-// close wakes the sender so it fails pending requests and exits. New
-// enqueues fail immediately afterwards.
+// close wakes the sender so it flushes the already-enqueued backlog
+// best-effort and exits. New enqueues fail immediately afterwards.
 func (s *sender) close() {
 	s.mu.Lock()
 	s.closed = true

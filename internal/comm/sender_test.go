@@ -61,7 +61,7 @@ func TestSendToAsyncAfterCloseFails(t *testing.T) {
 	}
 	eps[0].Close()
 	done := make(chan error, 1)
-	eps[0].SendToAsync(1, 0, []byte{1}, done)
+	eps[0].SendToAsync(1, 0, GetBuffer(1), done)
 	if err := <-done; err == nil {
 		t.Fatal("SendToAsync after Close should report an error")
 	}
@@ -93,6 +93,46 @@ func TestGetBufferReleaseReuses(t *testing.T) {
 	}
 }
 
+// SendTo must never recycle the caller's buffer into the wire pool: a
+// caller that reuses its own allocation between synchronous sends must
+// not alias pooled traffic (TCP Recv draws from the pool concurrently).
+// Regression test for the Fig13-bench pool poisoning; the -race build's
+// pool guard and race detector back up the direct assertion.
+func TestSendToDoesNotRecycleCallerBuffer(t *testing.T) {
+	n := transport.NewTCP()
+	defer n.Close()
+	eps, err := NewGroup(n, "sendto-borrow", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			b, err := eps[1].RecvFrom(0, 0)
+			if err != nil {
+				return
+			}
+			Release(b)
+		}
+	}()
+	buf := make([]byte, 4096)
+	p := &buf[0]
+	for i := 0; i < 64; i++ {
+		buf[0] = byte(i) // caller keeps ownership between sends
+		if err := eps[0].SendTo(1, 0, buf); err != nil {
+			t.Fatal(err)
+		}
+		got := GetBuffer(4096)
+		if &got[0] == p {
+			t.Fatal("SendTo recycled the caller's buffer into the wire pool")
+		}
+		Release(got)
+	}
+	CloseGroup(eps)
+	<-recvDone
+}
+
 // Concurrent SendTo and SendToAsync across channels while the peer is
 // torn down mid-stream: nothing may deadlock or panic, and every
 // completion channel must fire. Run under -race via `make race`.
@@ -121,7 +161,7 @@ func TestSendersSurviveConcurrentClose(t *testing.T) {
 		sendWG.Add(1)
 		go func() {
 			defer sendWG.Done()
-			eps[0].SendToAsync(1, 0, []byte("x"), done)
+			eps[0].SendToAsync(1, 0, GetBuffer(1), done)
 		}()
 	}
 	sendWG.Wait()

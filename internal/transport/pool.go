@@ -59,6 +59,7 @@ func GetBuf(n int) []byte {
 	}
 	select {
 	case buf := <-bufBuckets[b]:
+		guardUnpark(buf)
 		return buf[:n]
 	default:
 	}
@@ -68,7 +69,10 @@ func GetBuf(n int) []byte {
 // PutBuf parks buf for reuse by a later GetBuf. Callers must not touch
 // buf afterwards: it may be handed out, resliced and overwritten at any
 // moment. Buffers outside the pooled size range, or whose bucket is
-// full, are dropped for the garbage collector to reclaim.
+// full, are dropped for the garbage collector to reclaim. Under -race
+// builds, parking the same backing array twice — the signature of a
+// double release or of releasing a buffer something else still aliases
+// — panics instead of poisoning the pool.
 func PutBuf(buf []byte) {
 	c := cap(buf)
 	if c < 1<<minBufBucket || c > 1<<maxBufBucket {
@@ -83,9 +87,11 @@ func PutBuf(buf []byte) {
 	if b < minBufBucket {
 		return
 	}
+	guardPark(buf)
 	select {
 	case bufBuckets[b] <- buf[:cap(buf)]:
 	default:
+		guardUnpark(buf)
 	}
 }
 

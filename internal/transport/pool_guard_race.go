@@ -1,0 +1,31 @@
+//go:build race
+
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"unsafe"
+)
+
+// Under the race detector the pool tracks the backing array of every
+// parked buffer and panics when the same array would be parked twice —
+// the poisoning signature of an ownership-contract violation (a double
+// PutBuf, or a PutBuf of a buffer something else still aliases). Only
+// parked buffers are tracked, so the guard pins no memory beyond what
+// the bucket channels already hold; non-race builds compile it away
+// entirely (pool_guard.go).
+var parkedBufs sync.Map // *byte (backing array) -> struct{}
+
+func guardPark(buf []byte) {
+	if _, dup := parkedBufs.LoadOrStore(unsafe.SliceData(buf), struct{}{}); dup {
+		panic(fmt.Sprintf(
+			"transport: wire buffer (cap %d) parked in the pool twice — "+
+				"double PutBuf/Release, or a released buffer is still aliased; "+
+				"see the ownership contract in DESIGN.md §8", cap(buf)))
+	}
+}
+
+func guardUnpark(buf []byte) {
+	parkedBufs.Delete(unsafe.SliceData(buf))
+}

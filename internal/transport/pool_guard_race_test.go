@@ -1,0 +1,36 @@
+//go:build race
+
+package transport
+
+import "testing"
+
+// Parking the same backing array twice must panic under the race
+// detector instead of silently poisoning the pool (two GetBuf callers
+// would be handed the same memory).
+func TestPutBufDoubleParkPanicsUnderRace(t *testing.T) {
+	// Drain the bucket so the first park below is guaranteed to succeed
+	// (a full bucket drops the buffer, which would legitimize the second
+	// put); the held buffers go back at the end.
+	const size = 3 << 12
+	var held [][]byte
+	for i := 0; i < 128; i++ {
+		held = append(held, GetBuf(size))
+	}
+	buf := GetBuf(size)
+	PutBuf(buf)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second PutBuf of a parked buffer did not panic")
+			}
+		}()
+		PutBuf(buf)
+	}()
+	// Remove our parked buffer again and restore the drained ones.
+	if got := GetBuf(size); &got[0] != &buf[0] {
+		t.Error("parked buffer was not first in its bucket after drain")
+	}
+	for _, h := range held {
+		PutBuf(h)
+	}
+}
