@@ -1,13 +1,17 @@
 # Sparker build/test entry points. Tier-1 is `make test`; `make race`
 # runs the packages where pooled buffers and persistent senders could
-# hide data races under the race detector.
+# hide data races under the race detector; `make check` is the full
+# pre-merge gate (vet + tests + race + chaos).
 
 GO ?= go
 
-.PHONY: build test race bench benchjson
+.PHONY: build vet test race test-chaos check bench benchjson
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test: build
 	$(GO) test ./...
@@ -16,6 +20,14 @@ test: build
 # senders, fused decode-reduce) plus the rdd engine that drives it.
 race:
 	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/transport
+
+# Fault-injection suites (see DESIGN.md "Fault model"): kill/drop/delay
+# matrices over the raw collectives and end-to-end core.Aggregate,
+# always under the race detector.
+test-chaos:
+	$(GO) test -race -run Chaos ./internal/collective ./internal/core
+
+check: vet test race test-chaos
 
 # Hot-path microbenchmarks: the before/after evidence for the
 # zero-allocation reduction work (see DESIGN.md "Performance notes").

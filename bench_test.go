@@ -9,6 +9,7 @@
 package sparker
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -310,7 +311,7 @@ func benchRingReduceScatter(b *testing.B, ranks, par, dim int) {
 				for s, seg := range inputs[ep.Rank()] {
 					segs[s] = append([]float64(nil), seg...)
 				}
-				if _, err := collective.RingReduceScatter(ep, segs, par, collective.F64Ops()); err != nil {
+				if _, err := collective.RingReduceScatter(context.Background(), ep, segs, par, collective.F64Ops()); err != nil {
 					b.Error(err)
 				}
 			}(ep)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -68,7 +69,7 @@ func main() {
 		wg.Add(1)
 		go func(ep *comm.Endpoint) {
 			defer wg.Done()
-			out, err := collective.RingAllReduce(ep, inputs[ep.Rank()], parallelism, collective.F64Ops())
+			out, err := collective.RingAllReduce(context.Background(), ep, inputs[ep.Rank()], parallelism, collective.F64Ops())
 			if err != nil {
 				log.Fatalf("rank %d: %v", ep.Rank(), err)
 			}

@@ -1,14 +1,16 @@
 // Quickstart: the split aggregation interface in five minutes.
 //
 // Builds an RDD of samples on a 4-executor in-process cluster, then
-// aggregates a 64k-dimension vector three ways — Spark's
-// treeAggregate, tree aggregation with in-memory merge, and Sparker's
-// splitAggregate — verifying all three agree and printing their times.
+// aggregates a 64k-dimension vector through the unified core.Aggregate
+// entry point three ways — Spark's treeAggregate, tree aggregation
+// with in-memory merge, and Sparker's splitAggregate — verifying all
+// three agree and printing their times.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -44,15 +46,23 @@ func main() {
 	}
 
 	// The aggregation everyone writes: fold samples into a big vector.
-	zero := func() []float64 { return make([]float64, dim) }
-	seqOp := func(acc []float64, v int64) []float64 {
-		acc[int(v)%dim] += float64(v % 97)
-		return acc
+	// One callback bundle serves every strategy; SplitOp/ReduceOp/
+	// ConcatOp are only exercised by the ring-based strategies.
+	fns := core.AggFuncs[int64, []float64, []float64]{
+		Zero: func() []float64 { return make([]float64, dim) },
+		SeqOp: func(acc []float64, v int64) []float64 {
+			acc[int(v)%dim] += float64(v % 97)
+			return acc
+		},
+		MergeOp:  core.AddF64,
+		SplitOp:  core.SplitSliceCopy[float64],
+		ReduceOp: core.AddF64,
+		ConcatOp: core.ConcatSlices[float64],
 	}
 
-	run := func(name string, f func() ([]float64, error)) []float64 {
+	run := func(name string, opts ...core.AggOption) []float64 {
 		start := time.Now()
-		out, err := f()
+		out, err := core.Aggregate(context.Background(), samples, fns, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,19 +70,13 @@ func main() {
 		return out
 	}
 
-	tree := run("treeAggregate", func() ([]float64, error) {
-		return core.TreeAggregate(samples, zero, seqOp, core.AddF64, 2)
-	})
-	imm := run("treeAggregate + IMM", func() ([]float64, error) {
-		return core.TreeAggregateIMM(samples, zero, seqOp, core.AddF64)
-	})
-	// splitAggregate needs two more callbacks: how to slice an
-	// aggregator (splitOp) and how to reassemble slices (concatOp).
-	split := run("splitAggregate", func() ([]float64, error) {
-		return core.SplitAggregate(samples, zero, seqOp, core.AddF64,
-			core.SplitSliceCopy[float64], core.AddF64, core.ConcatSlices[float64],
-			core.Options{Parallelism: 4})
-	})
+	tree := run("treeAggregate", core.WithStrategy(core.StrategyTree), core.WithDepth(2))
+	imm := run("treeAggregate + IMM", core.WithStrategy(core.StrategyIMM))
+	// The default strategy is splitAggregate; a per-step deadline turns
+	// a hung peer into a classified error (and, unless disabled with
+	// WithFallback(false), an automatic tree fallback) instead of a hang.
+	split := run("splitAggregate",
+		core.WithParallelism(4), core.WithDeadline(30*time.Second))
 
 	if !equal(tree, imm) || !equal(tree, split) {
 		log.Fatal("strategies disagree!")

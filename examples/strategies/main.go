@@ -1,17 +1,19 @@
 // Strategy shoot-out: all four aggregation strategies (tree, tree+IMM,
 // split, allreduce) measured live on the in-process engine across
 // three aggregator sizes — a functional miniature of the paper's
-// Figure 16 plus this repo's allreduce extension.
+// Figure 16 plus this repo's allreduce extension. Every strategy is
+// dispatched through the unified core.Aggregate entry point.
 //
 //	go run ./examples/strategies
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"sparker/internal/mllib"
+	"sparker/internal/core"
 	"sparker/internal/rdd"
 )
 
@@ -37,9 +39,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	strategies := []mllib.Strategy{
-		mllib.StrategyTree, mllib.StrategyTreeIMM,
-		mllib.StrategySplit, mllib.StrategyAllReduce,
+	strategies := []core.Strategy{
+		core.StrategyTree, core.StrategyIMM,
+		core.StrategySplit, core.StrategyAllReduce,
 	}
 	fmt.Printf("%-12s", "aggregator")
 	for _, s := range strategies {
@@ -49,21 +51,32 @@ func main() {
 
 	for _, dim := range []int{1 << 12, 1 << 17, 1 << 20} { // 32KB, 1MB, 8MB
 		fmt.Printf("%-12s", fmtBytes(dim*8))
-		var reference []float64
-		for _, s := range strategies {
-			seqOp := func(acc []float64, v int64) []float64 {
+		fns := core.AggFuncs[int64, []float64, []float64]{
+			Zero: func() []float64 { return make([]float64, dim) },
+			SeqOp: func(acc []float64, v int64) []float64 {
 				acc[int(v)%dim]++
 				return acc
+			},
+			MergeOp:  core.AddF64,
+			SplitOp:  core.SplitSliceCopy[float64],
+			ReduceOp: core.AddF64,
+			ConcatOp: core.ConcatSlices[float64],
+		}
+		var reference []float64
+		for _, s := range strategies {
+			agg := func() ([]float64, error) {
+				return core.Aggregate(context.Background(), samples, fns,
+					core.WithStrategy(s), core.WithDepth(2), core.WithParallelism(4))
 			}
 			// Warm, then best-of-3.
-			if _, err := mllib.AggregateF64(samples, dim, seqOp, s, 2, 4); err != nil {
+			if _, err := agg(); err != nil {
 				log.Fatal(err)
 			}
 			best := time.Hour
 			var out []float64
 			for i := 0; i < 3; i++ {
 				start := time.Now()
-				out, err = mllib.AggregateF64(samples, dim, seqOp, s, 2, 4)
+				out, err = agg()
 				if err != nil {
 					log.Fatal(err)
 				}

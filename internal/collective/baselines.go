@@ -11,6 +11,7 @@ package collective
 // release receive buffers once reduced.
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -22,8 +23,9 @@ import (
 // binomial tree: in round k, rank r with the low k bits zero receives
 // from r + 2^k (if alive) and merges. Non-root ranks return the zero V.
 // This treats the value as an unsplittable object — exactly the
-// restriction the paper's Figure 5 (left) illustrates.
-func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, error) {
+// restriction the paper's Figure 5 (left) illustrates. ctx bounds the
+// collective; WithStepDeadline bounds each round's send or receive.
+func TreeReduce[V any](ctx context.Context, e *comm.Endpoint, root int, value V, ops Ops[V]) (V, error) {
 	n := e.Size()
 	var zero V
 	if n == 1 {
@@ -40,17 +42,22 @@ func TreeReduce[V any](e *comm.Endpoint, root int, value V, ops Ops[V]) (V, erro
 			// pool draw, so it goes through the recycling SendToAsync
 			// path rather than SendTo (which never recycles).
 			dst := toReal(vr - dist)
+			sctx, cancel := stepContext(ctx)
 			wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, 0, acc)), acc)
 			sendDone := make(chan error, 1)
 			e.SendToAsync(dst, treeChannel, wire, sendDone)
-			if err := <-sendDone; err != nil {
+			err := e.WaitSend(sctx, dst, sendDone)
+			cancel()
+			if err != nil {
 				return zero, fmt.Errorf("collective: tree send: %w", err)
 			}
 			return zero, nil
 		}
 		src := vr + dist
 		if src < n {
-			in, err := e.RecvFrom(toReal(src), treeChannel)
+			sctx, cancel := stepContext(ctx)
+			in, err := e.RecvFromCtx(sctx, toReal(src), treeChannel)
+			cancel()
 			if err != nil {
 				return zero, fmt.Errorf("collective: tree recv: %w", err)
 			}
@@ -84,7 +91,7 @@ const (
 // Each round's frame is count + (length, payload) per segment, so the
 // receive side can walk segment boundaries and reduce each payload in
 // place without the decode-re-encode size probing the seed used.
-func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
+func RecursiveHalvingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
 	n := e.Size()
 	var zero V
 	if len(segs) != n {
@@ -101,18 +108,20 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 	copy(cur, segs)
 
 	sendDone := make(chan error, 1)
-	// discard drains the in-flight send and releases a received frame no
-	// decoded value can alias — the common exit for frame-error paths.
 	releasable := ops.DecodeReduceInto != nil
-	discard := func(in []byte) {
-		if releasable {
-			comm.Release(in)
-		}
-		<-sendDone
-	}
 	hint := 0
 	lo, hi := 0, n // active segment range this rank still contributes to
-	for dist := n / 2; dist >= 1; dist /= 2 {
+	round := func(dist int) error {
+		sctx, cancel := stepContext(ctx)
+		defer cancel()
+		// discard drains the in-flight send and releases a received frame
+		// no decoded value can alias — the common exit for frame errors.
+		discard := func(in []byte) {
+			if releasable {
+				comm.Release(in)
+			}
+			drainSend(sctx, sendDone)
+		}
 		partner := r ^ dist
 		mid := lo + (hi-lo)/2
 		var sendLo, sendHi, keepLo, keepHi int
@@ -134,37 +143,37 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 		releaseIfAbandoned(drawn, wire)
 		hint = len(wire)
 		e.SendToAsync(partner, halvingChannel, wire, sendDone)
-		in, err := e.RecvFrom(partner, halvingChannel)
+		in, err := e.RecvFromCtx(sctx, partner, halvingChannel)
 		if err != nil {
-			<-sendDone
-			return zero, fmt.Errorf("collective: halving recv: %w", err)
+			drainSend(sctx, sendDone)
+			return fmt.Errorf("collective: halving recv: %w", err)
 		}
 		if len(in) < 4 {
 			discard(in)
-			return zero, fmt.Errorf("collective: halving short frame")
+			return fmt.Errorf("collective: halving short frame")
 		}
 		cnt := int(uint32At(in, 0))
 		if cnt != keepHi-keepLo {
 			discard(in)
-			return zero, fmt.Errorf("collective: halving count mismatch: got %d want %d", cnt, keepHi-keepLo)
+			return fmt.Errorf("collective: halving count mismatch: got %d want %d", cnt, keepHi-keepLo)
 		}
 		off := 4
 		release := true
 		for i := keepLo; i < keepHi; i++ {
 			if len(in) < off+4 {
 				discard(in)
-				return zero, fmt.Errorf("collective: halving truncated frame")
+				return fmt.Errorf("collective: halving truncated frame")
 			}
 			segLen := int(uint32At(in, off))
 			off += 4
 			if segLen < 0 || len(in) < off+segLen {
 				discard(in)
-				return zero, fmt.Errorf("collective: halving truncated segment %d", i)
+				return fmt.Errorf("collective: halving truncated segment %d", i)
 			}
 			acc, rel, err := decodeReduce(ops, cur[i], in[off:off+segLen])
 			if err != nil {
 				discard(in)
-				return zero, err
+				return err
 			}
 			cur[i] = acc
 			release = release && rel
@@ -173,10 +182,16 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 		if release && releasable {
 			comm.Release(in)
 		}
-		if err := <-sendDone; err != nil {
-			return zero, err
+		if err := e.WaitSend(sctx, partner, sendDone); err != nil {
+			return fmt.Errorf("collective: halving send: %w", err)
 		}
 		lo, hi = keepLo, keepHi
+		return nil
+	}
+	for dist := n / 2; dist >= 1; dist /= 2 {
+		if err := round(dist); err != nil {
+			return zero, err
+		}
 	}
 	if hi-lo != 1 || lo != r {
 		return zero, fmt.Errorf("collective: halving ended with range [%d,%d) at rank %d", lo, hi, r)
@@ -189,7 +204,7 @@ func RecursiveHalvingReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]
 // (r+k) mod N directly to its final owner and receives its own segment
 // slice from rank (r-k+N) mod N. Works for any N. Returns the rank's
 // fully reduced segment.
-func PairwiseReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
+func PairwiseReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, ops Ops[V]) (V, error) {
 	n := e.Size()
 	var zero V
 	if len(segs) != n {
@@ -199,27 +214,35 @@ func PairwiseReduceScatter[V any](e *comm.Endpoint, segs []V, ops Ops[V]) (V, er
 	acc := segs[r]
 	sendDone := make(chan error, 1)
 	hint := 0
-	for k := 1; k < n; k++ {
+	round := func(k int) error {
+		sctx, cancel := stepContext(ctx)
+		defer cancel()
 		dst := (r + k) % n
 		src := (r - k + n) % n
 		wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, hint, segs[dst])), segs[dst])
 		hint = len(wire)
 		e.SendToAsync(dst, pairwiseChannel, wire, sendDone)
-		in, err := e.RecvFrom(src, pairwiseChannel)
+		in, err := e.RecvFromCtx(sctx, src, pairwiseChannel)
 		if err != nil {
-			<-sendDone
-			return zero, fmt.Errorf("collective: pairwise recv: %w", err)
+			drainSend(sctx, sendDone)
+			return fmt.Errorf("collective: pairwise recv: %w", err)
 		}
 		merged, release, err := decodeReduce(ops, acc, in)
 		if release {
 			comm.Release(in)
 		}
 		if err != nil {
-			<-sendDone
-			return zero, err
+			drainSend(sctx, sendDone)
+			return err
 		}
 		acc = merged
-		if err := <-sendDone; err != nil {
+		if err := e.WaitSend(sctx, dst, sendDone); err != nil {
+			return fmt.Errorf("collective: pairwise send: %w", err)
+		}
+		return nil
+	}
+	for k := 1; k < n; k++ {
+		if err := round(k); err != nil {
 			return zero, err
 		}
 	}

@@ -1,0 +1,189 @@
+package collective
+
+// Chaos suite: ring collectives over a fault-injecting transport. Every
+// case must end in bounded time with either the correct result (faults
+// the ring can ride out, like delay) or a classified error
+// (comm.ErrPeerTimeout / comm.ErrPeerDown) — never a hang, never an
+// unclassified failure, never a leaked goroutine.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparker/internal/comm"
+	"sparker/internal/transport"
+)
+
+// chaosSettle waits for the goroutine count to drop back to want.
+func chaosSettle(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		now = runtime.NumGoroutine()
+		if now <= want {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d, want <= %d", now, want)
+}
+
+// ringMatch matches every ring listener of the named group.
+func ringMatch(group string) func(transport.Addr) bool {
+	prefix := "comm/" + group + "/"
+	return func(a transport.Addr) bool { return strings.HasPrefix(string(a), prefix) }
+}
+
+// runChaosGroup builds n endpoints over a faulty network, runs body on
+// each concurrently, and returns the per-rank errors and wall time.
+func runChaosGroup(t *testing.T, net transport.Network, n int, name string, body func(e *comm.Endpoint) error) ([]error, time.Duration) {
+	t.Helper()
+	eps, err := comm.NewGroup(net, name, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer comm.CloseGroup(eps)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := time.Now()
+	for i, e := range eps {
+		wg.Add(1)
+		go func(i int, e *comm.Endpoint) {
+			defer wg.Done()
+			errs[i] = body(e)
+		}(i, e)
+	}
+	wg.Wait()
+	return errs, time.Since(start)
+}
+
+// classified reports whether err carries one of the peer-failure
+// sentinels the fallback logic dispatches on.
+func classified(err error) bool {
+	return errors.Is(err, comm.ErrPeerTimeout) || errors.Is(err, comm.ErrPeerDown)
+}
+
+// TestChaosRingAllReduce is the fault × parallelism table of the ring
+// collectives:
+//
+//   - delay: every message 10× slower than the healthy baseline — the
+//     ring must still produce the correct sums.
+//   - drop-all: 100% message loss after connection setup — every rank
+//     must return comm.ErrPeerTimeout within 2× the step deadline.
+//   - kill: one rank's inbound ring links severed mid-collective —
+//     every rank must return a classified error in bounded time.
+func TestChaosRingAllReduce(t *testing.T) {
+	const n = 4
+	const stepDeadline = 500 * time.Millisecond
+	for _, p := range []int{1, 4} {
+		p := p
+		t.Run(fmt.Sprintf("delay/p=%d", p), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			group := fmt.Sprintf("chaos-delay-%d", p)
+			net := transport.NewFaulty(transport.NewMem(), 1, &transport.FaultRule{
+				Match: ringMatch(group),
+				Kind:  transport.FaultDelay,
+				Delay: 10 * time.Millisecond, // ~10× an in-memory hop
+			})
+			defer net.Close()
+			rng := rand.New(rand.NewSource(int64(p)))
+			inputs, want := makeInputs(rng, n, p*n, 8)
+			var mu sync.Mutex
+			results := make([][][]float64, n)
+			errs, _ := runChaosGroup(t, net, n, group, func(e *comm.Endpoint) error {
+				ctx := WithStepDeadline(context.Background(), stepDeadline)
+				all, err := RingAllReduce(ctx, e, inputs[e.Rank()], p, F64Ops())
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				results[e.Rank()] = all
+				mu.Unlock()
+				return nil
+			})
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: delayed ring should still succeed: %v", r, err)
+				}
+				for i := range want {
+					if !segsEqual(results[r][i], want[i], 1e-9) {
+						t.Fatalf("rank %d segment %d: wrong sum under delay", r, i)
+					}
+				}
+			}
+			chaosSettle(t, before)
+		})
+		t.Run(fmt.Sprintf("drop-all/p=%d", p), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			group := fmt.Sprintf("chaos-drop-%d", p)
+			net := transport.NewFaulty(transport.NewMem(), 1, &transport.FaultRule{
+				Match:     ringMatch(group),
+				Kind:      transport.FaultDrop,
+				AfterMsgs: 1, // let the connection handshake through
+			})
+			defer net.Close()
+			rng := rand.New(rand.NewSource(int64(p)))
+			inputs, _ := makeInputs(rng, n, p*n, 8)
+			errs, elapsed := runChaosGroup(t, net, n, group, func(e *comm.Endpoint) error {
+				ctx := WithStepDeadline(context.Background(), stepDeadline)
+				_, err := RingAllReduce(ctx, e, inputs[e.Rank()], p, F64Ops())
+				return err
+			})
+			for r, err := range errs {
+				if err == nil {
+					t.Fatalf("rank %d: 100%% drop must fail", r)
+				}
+				if !errors.Is(err, comm.ErrPeerTimeout) {
+					t.Fatalf("rank %d: want ErrPeerTimeout, got %v", r, err)
+				}
+			}
+			// Every rank stalls on its first receive, so the whole
+			// collective must classify within 2× the step deadline.
+			if elapsed > 2*stepDeadline {
+				t.Fatalf("classification took %v, want <= %v", elapsed, 2*stepDeadline)
+			}
+			chaosSettle(t, before)
+		})
+		t.Run(fmt.Sprintf("kill/p=%d", p), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			group := fmt.Sprintf("chaos-kill-%d", p)
+			victim := transport.Addr(fmt.Sprintf("comm/%s/%d", group, 1))
+			net := transport.NewFaulty(transport.NewMem(), 1, &transport.FaultRule{
+				Match:     func(a transport.Addr) bool { return a == victim },
+				Kind:      transport.FaultKill,
+				AfterMsgs: 1, // let each conn's handshake through, kill on first data
+			})
+			defer net.Close()
+			rng := rand.New(rand.NewSource(int64(p)))
+			inputs, _ := makeInputs(rng, n, p*n, 8)
+			errs, elapsed := runChaosGroup(t, net, n, group, func(e *comm.Endpoint) error {
+				ctx := WithStepDeadline(context.Background(), stepDeadline)
+				_, err := RingAllReduce(ctx, e, inputs[e.Rank()], p, F64Ops())
+				return err
+			})
+			for r, err := range errs {
+				if err == nil {
+					t.Fatalf("rank %d: killed peer must fail the collective", r)
+				}
+				if !classified(err) {
+					t.Fatalf("rank %d: unclassified error %v", r, err)
+				}
+			}
+			// Failure ripples at most one step deadline per ring hop.
+			limit := time.Duration(2*(n-1)+2) * stepDeadline
+			if elapsed > limit {
+				t.Fatalf("classification took %v, want <= %v", elapsed, limit)
+			}
+			chaosSettle(t, before)
+		})
+	}
+}

@@ -18,12 +18,122 @@
 package collective
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"sparker/internal/comm"
 	"sparker/internal/linalg"
 )
+
+// stepDeadlineKey carries the per-step deadline through a context.
+type stepDeadlineKey struct{}
+
+// WithStepDeadline returns a context instructing every collective
+// running under it to bound each communication step (one pipelined
+// send+receive) by d, so a silent peer surfaces as comm.ErrPeerTimeout
+// after d instead of hanging the ring. d <= 0 disables the bound.
+func WithStepDeadline(ctx context.Context, d time.Duration) context.Context {
+	return context.WithValue(ctx, stepDeadlineKey{}, d)
+}
+
+// StepDeadlineFrom reports the per-step deadline carried by ctx, or 0.
+func StepDeadlineFrom(ctx context.Context) time.Duration {
+	d, _ := ctx.Value(stepDeadlineKey{}).(time.Duration)
+	return d
+}
+
+// stepContext derives the context bounding one collective step. With no
+// step deadline the parent is returned as-is, preserving the
+// zero-overhead direct receive path.
+func stepContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if d := StepDeadlineFrom(ctx); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// epochKey carries the collective epoch through a context.
+type epochKey struct{}
+
+// WithEpoch tags every ring message of collectives run under ctx with
+// epoch, and makes their receives discard frames from older epochs.
+// An aborted collective (timeout, dead peer) can leave undelivered
+// frames buffered in its neighbors; without the tag the next collective
+// on the same channels would consume them as its own and silently
+// reduce stale data. Epochs must increase across collectives sharing an
+// endpoint (the core layer derives them from the op id).
+func WithEpoch(ctx context.Context, epoch uint32) context.Context {
+	return context.WithValue(ctx, epochKey{}, epoch)
+}
+
+// EpochFrom reports the epoch carried by ctx, or 0 (untagged).
+func EpochFrom(ctx context.Context) uint32 {
+	e, _ := ctx.Value(epochKey{}).(uint32)
+	return e
+}
+
+// epochHeaderSize prefixes every ring frame: 4 bytes of epoch.
+const epochHeaderSize = 4
+
+// encodeFrame builds a ring frame — epoch header plus the encoded
+// segment — into buf, a pooled draw whose capacity is reused. The
+// returned slice may be a reallocation; the abandoned draw goes back to
+// the pool.
+func encodeFrame[V any](ops Ops[V], epoch uint32, buf []byte, v V) []byte {
+	hdr := buf
+	if cap(hdr) < epochHeaderSize {
+		hdr = make([]byte, epochHeaderSize)
+		releaseIfAbandoned(buf, hdr)
+	} else {
+		hdr = hdr[:epochHeaderSize]
+	}
+	out := ops.Encode(hdr, v)
+	releaseIfAbandoned(hdr, out)
+	putUint32(out, epoch)
+	return out
+}
+
+// recvFrame receives the next frame for epoch on channel ch. Frames
+// from older epochs are residue of an aborted collective: they are
+// dropped (released when the ops mark buffers unretained) and the
+// receive retried under the same step context. A frame from a newer
+// epoch means this collective has been superseded and cannot complete.
+// On success it returns the payload and the full wire buffer the
+// payload aliases (the caller releases the latter).
+func recvFrame(sctx context.Context, e *comm.Endpoint, ch int, epoch uint32, releasable bool) (payload, wire []byte, err error) {
+	for {
+		in, err := e.RecvPrevCtx(sctx, ch)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(in) < epochHeaderSize {
+			return nil, nil, fmt.Errorf("collective: frame shorter than epoch header (%d bytes)", len(in))
+		}
+		got := uint32At(in, 0)
+		if got == epoch {
+			return in[epochHeaderSize:], in, nil
+		}
+		if releasable {
+			comm.Release(in)
+		}
+		if int32(got-epoch) > 0 {
+			return nil, nil, fmt.Errorf("collective: epoch %d superseded by in-flight epoch %d", epoch, got)
+		}
+	}
+}
+
+// drainSend waits, bounded by ctx, for an in-flight async send that an
+// aborting error path can no longer use. Abandoning the completion on
+// context expiry is safe: the channel is buffered and its owning loop
+// is exiting.
+func drainSend(ctx context.Context, done chan error) {
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
 
 // Ops supplies the type-specific callbacks for a collective over
 // segments of type V. Reduce, Encode and Decode are required; the
@@ -167,7 +277,9 @@ func decodeReduceIntoF64(acc []float64, wire []byte) ([]float64, error) {
 		return nil, err
 	}
 	if n != len(acc) {
-		panic(fmt.Sprintf("collective: segment length mismatch %d vs %d", len(acc), n))
+		// A mismatched frame is a data-plane fault (corrupt or misrouted
+		// message), so it must fail the step, not kill the process.
+		return nil, fmt.Errorf("collective: segment length mismatch %d vs %d", len(acc), n)
 	}
 	i := 0
 	for ; i+4 <= n; i += 4 {
@@ -209,7 +321,11 @@ func decodeReduce[V any](ops Ops[V], acc V, wire []byte) (V, bool, error) {
 // The returned map is globalSegmentIndex -> reduced value. Rank r ends
 // up owning, for each channel p, global segment p*N + (r+1)%N — the
 // paper's Figure 11 schedule, run P-way in parallel over the PDR.
-func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops Ops[V]) (map[int]V, error) {
+//
+// ctx bounds the whole collective; wrap it with WithStepDeadline to
+// additionally bound each pipelined step, classifying a silent peer as
+// comm.ErrPeerTimeout and a dead one as comm.ErrPeerDown.
+func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, parallelism int, ops Ops[V]) (map[int]V, error) {
 	n := e.Size()
 	p := parallelism
 	if p <= 0 {
@@ -241,11 +357,20 @@ func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops O
 		mu.Unlock()
 	}
 
+	epoch := EpochFrom(ctx)
+	releasable := ops.DecodeReduceInto != nil
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
 		go func(ch int) {
 			defer wg.Done()
+			// A panic in a reduce callback (e.g. on corrupt or misrouted
+			// data) must fail the collective, not kill the process.
+			defer func() {
+				if p := recover(); p != nil {
+					setErr(fmt.Errorf("collective: rank %d ch %d panic: %v", r, ch, p))
+				}
+			}()
 			block := segs[ch*n : (ch+1)*n]
 			cur := make([]V, n)
 			copy(cur, block)
@@ -254,30 +379,37 @@ func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops O
 			// pooled buffers instead of allocating N-1 times.
 			sendDone := make(chan error, 1)
 			hint := 0
-			for k := 0; k < n-1; k++ {
+			step := func(k int) error {
+				sctx, cancel := stepContext(ctx)
+				defer cancel()
 				sendIdx := ((r-k)%n + n) % n
 				recvIdx := ((r-k-1)%n + n) % n
-				wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, hint, cur[sendIdx])), cur[sendIdx])
+				buf := comm.GetBuffer(sizeHint(ops, hint, cur[sendIdx]) + epochHeaderSize)
+				wire := encodeFrame(ops, epoch, buf, cur[sendIdx])
 				hint = len(wire)
 				e.SendToAsync(e.Next(), ch, wire, sendDone)
-				in, err := e.RecvPrev(ch)
+				payload, in, err := recvFrame(sctx, e, ch, epoch, releasable)
 				if err != nil {
-					setErr(fmt.Errorf("collective: rank %d ch %d step %d recv: %w", r, ch, k, err))
-					<-sendDone
-					return
+					drainSend(sctx, sendDone)
+					return fmt.Errorf("collective: rank %d ch %d step %d recv: %w", r, ch, k, err)
 				}
-				acc, release, err := decodeReduce(ops, cur[recvIdx], in)
+				acc, release, err := decodeReduce(ops, cur[recvIdx], payload)
 				if release {
 					comm.Release(in)
 				}
 				if err != nil {
-					setErr(fmt.Errorf("collective: rank %d ch %d step %d decode: %w", r, ch, k, err))
-					<-sendDone
-					return
+					drainSend(sctx, sendDone)
+					return fmt.Errorf("collective: rank %d ch %d step %d decode: %w", r, ch, k, err)
 				}
 				cur[recvIdx] = acc
-				if err := <-sendDone; err != nil {
-					setErr(fmt.Errorf("collective: rank %d ch %d step %d send: %w", r, ch, k, err))
+				if err := e.WaitSend(sctx, e.Next(), sendDone); err != nil {
+					return fmt.Errorf("collective: rank %d ch %d step %d send: %w", r, ch, k, err)
+				}
+				return nil
+			}
+			for k := 0; k < n-1; k++ {
+				if err := step(k); err != nil {
+					setErr(err)
 					return
 				}
 			}
@@ -297,8 +429,9 @@ func RingReduceScatter[V any](e *comm.Endpoint, segs []V, parallelism int, ops O
 // RingAllGather circulates each rank's owned segments around the ring
 // until every rank holds all N segments of every channel. owned is the
 // result of RingReduceScatter; the returned slice has length P×N with
-// every entry populated identically on all ranks.
-func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, ops Ops[V]) ([]V, error) {
+// every entry populated identically on all ranks. ctx bounds the
+// collective exactly as in RingReduceScatter.
+func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V, parallelism int, ops Ops[V]) ([]V, error) {
 	n := e.Size()
 	p := parallelism
 	all := make([]V, p*n)
@@ -328,41 +461,51 @@ func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, op
 	// DecodeReduceInto doubles as the marker that Decode does not
 	// retain its input, so gathered receive buffers can be released.
 	releasable := ops.DecodeReduceInto != nil
+	epoch := EpochFrom(ctx)
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
 		go func(ch int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					setErr(fmt.Errorf("collective: allgather rank %d ch %d panic: %v", r, ch, p))
+				}
+			}()
 			// After reduce-scatter rank r owns block index (r+1)%n.
 			have := (r + 1) % n
 			sendDone := make(chan error, 1)
 			hint := 0
-			for k := 0; k < n-1; k++ {
+			step := func(k int) error {
+				sctx, cancel := stepContext(ctx)
+				defer cancel()
 				sendIdx := ((have-k)%n + n) % n
 				recvIdx := ((have-k-1)%n + n) % n
-				wire := encodeInto(ops, comm.GetBuffer(sizeHint(ops, hint, all[ch*n+sendIdx])), all[ch*n+sendIdx])
+				buf := comm.GetBuffer(sizeHint(ops, hint, all[ch*n+sendIdx]) + epochHeaderSize)
+				wire := encodeFrame(ops, epoch, buf, all[ch*n+sendIdx])
 				hint = len(wire)
 				e.SendToAsync(e.Next(), ch, wire, sendDone)
-				in, err := e.RecvPrev(ch)
+				payload, in, err := recvFrame(sctx, e, ch, epoch, releasable)
 				if err != nil {
-					setErr(fmt.Errorf("collective: allgather rank %d ch %d step %d recv: %w", r, ch, k, err))
-					<-sendDone
-					return
+					drainSend(sctx, sendDone)
+					return fmt.Errorf("collective: allgather rank %d ch %d step %d recv: %w", r, ch, k, err)
 				}
-				v, err := ops.Decode(in)
+				v, err := ops.Decode(payload)
 				if err != nil {
 					if releasable {
 						comm.Release(in)
 					}
-					setErr(err)
-					<-sendDone
-					return
+					drainSend(sctx, sendDone)
+					return err
 				}
 				all[ch*n+recvIdx] = v
 				if releasable {
 					comm.Release(in)
 				}
-				if err := <-sendDone; err != nil {
+				return e.WaitSend(sctx, e.Next(), sendDone)
+			}
+			for k := 0; k < n-1; k++ {
+				if err := step(k); err != nil {
 					setErr(err)
 					return
 				}
@@ -380,10 +523,10 @@ func RingAllGather[V any](e *comm.Endpoint, owned map[int]V, parallelism int, op
 // ends with the fully reduced P×N segments. This is the
 // bandwidth-optimal allreduce Sparker's interface enables (listed as an
 // enabled algorithm, §7 "fast reduction algorithms").
-func RingAllReduce[V any](e *comm.Endpoint, segs []V, parallelism int, ops Ops[V]) ([]V, error) {
-	owned, err := RingReduceScatter(e, segs, parallelism, ops)
+func RingAllReduce[V any](ctx context.Context, e *comm.Endpoint, segs []V, parallelism int, ops Ops[V]) ([]V, error) {
+	owned, err := RingReduceScatter(ctx, e, segs, parallelism, ops)
 	if err != nil {
 		return nil, err
 	}
-	return RingAllGather(e, owned, parallelism, ops)
+	return RingAllGather(ctx, e, owned, parallelism, ops)
 }

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -81,7 +82,7 @@ func TestRingReduceScatter(t *testing.T) {
 				var mu sync.Mutex
 				got := map[int][]float64{}
 				runGroup(t, n, fmt.Sprintf("rs-%d-%d", n, p), func(e *comm.Endpoint) error {
-					owned, err := RingReduceScatter(e, inputs[e.Rank()], p, F64Ops())
+					owned, err := RingReduceScatter(context.Background(), e, inputs[e.Rank()], p, F64Ops())
 					if err != nil {
 						return err
 					}
@@ -116,10 +117,10 @@ func TestRingReduceScatter(t *testing.T) {
 
 func TestRingReduceScatterBadArgs(t *testing.T) {
 	runGroup(t, 2, "rs-bad", func(e *comm.Endpoint) error {
-		if _, err := RingReduceScatter(e, [][]float64{{1}}, 1, F64Ops()); err == nil {
+		if _, err := RingReduceScatter(context.Background(), e, [][]float64{{1}}, 1, F64Ops()); err == nil {
 			return fmt.Errorf("wrong segment count should fail")
 		}
-		if _, err := RingReduceScatter(e, nil, 0, F64Ops()); err == nil {
+		if _, err := RingReduceScatter(context.Background(), e, nil, 0, F64Ops()); err == nil {
 			return fmt.Errorf("zero parallelism should fail")
 		}
 		return nil
@@ -134,7 +135,7 @@ func TestRingAllReduce(t *testing.T) {
 			inputs, want := makeInputs(rng, n, p*n, 8)
 			results := make([][][]float64, n)
 			runGroup(t, n, fmt.Sprintf("ar-%d", n), func(e *comm.Endpoint) error {
-				all, err := RingAllReduce(e, inputs[e.Rank()], p, F64Ops())
+				all, err := RingAllReduce(context.Background(), e, inputs[e.Rank()], p, F64Ops())
 				if err != nil {
 					return err
 				}
@@ -160,7 +161,7 @@ func TestTreeReduce(t *testing.T) {
 				inputs, want := makeInputs(rng, n, 1, 12)
 				var got []float64
 				runGroup(t, n, fmt.Sprintf("tr-%d-%d", n, root), func(e *comm.Endpoint) error {
-					v, err := TreeReduce(e, root, inputs[e.Rank()][0], F64Ops())
+					v, err := TreeReduce(context.Background(), e, root, inputs[e.Rank()][0], F64Ops())
 					if err != nil {
 						return err
 					}
@@ -186,7 +187,7 @@ func TestRecursiveHalvingReduceScatter(t *testing.T) {
 			inputs, want := makeInputs(rng, n, n, 8)
 			got := make([][]float64, n)
 			runGroup(t, n, fmt.Sprintf("rh-%d", n), func(e *comm.Endpoint) error {
-				v, err := RecursiveHalvingReduceScatter(e, inputs[e.Rank()], F64Ops())
+				v, err := RecursiveHalvingReduceScatter(context.Background(), e, inputs[e.Rank()], F64Ops())
 				if err != nil {
 					return err
 				}
@@ -205,7 +206,7 @@ func TestRecursiveHalvingReduceScatter(t *testing.T) {
 func TestRecursiveHalvingRejectsNonPow2(t *testing.T) {
 	runGroup(t, 3, "rh-bad", func(e *comm.Endpoint) error {
 		segs := [][]float64{{1}, {2}, {3}}
-		if _, err := RecursiveHalvingReduceScatter(e, segs, F64Ops()); err == nil {
+		if _, err := RecursiveHalvingReduceScatter(context.Background(), e, segs, F64Ops()); err == nil {
 			return fmt.Errorf("non-power-of-two size should fail")
 		}
 		return nil
@@ -219,7 +220,7 @@ func TestPairwiseReduceScatter(t *testing.T) {
 			inputs, want := makeInputs(rng, n, n, 8)
 			got := make([][]float64, n)
 			runGroup(t, n, fmt.Sprintf("pw-%d", n), func(e *comm.Endpoint) error {
-				v, err := PairwiseReduceScatter(e, inputs[e.Rank()], F64Ops())
+				v, err := PairwiseReduceScatter(context.Background(), e, inputs[e.Rank()], F64Ops())
 				if err != nil {
 					return err
 				}
@@ -255,7 +256,7 @@ func TestRingReduceScatterOverTCP(t *testing.T) {
 		wg.Add(1)
 		go func(e *comm.Endpoint) {
 			defer wg.Done()
-			owned, err := RingReduceScatter(e, inputs[e.Rank()], p, F64Ops())
+			owned, err := RingReduceScatter(context.Background(), e, inputs[e.Rank()], p, F64Ops())
 			if err != nil {
 				t.Errorf("rank %d: %v", e.Rank(), err)
 				return
@@ -302,7 +303,7 @@ func TestQuickRingReduceScatterEqualsSerial(t *testing.T) {
 			wg.Add(1)
 			go func(e *comm.Endpoint) {
 				defer wg.Done()
-				owned, err := RingReduceScatter(e, inputs[e.Rank()], p, F64Ops())
+				owned, err := RingReduceScatter(context.Background(), e, inputs[e.Rank()], p, F64Ops())
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
@@ -380,7 +381,7 @@ func TestRingReduceScatterTrafficIsBandwidthOptimal(t *testing.T) {
 		wg.Add(1)
 		go func(e *comm.Endpoint) {
 			defer wg.Done()
-			if _, err := RingReduceScatter(e, inputs[e.Rank()], p, F64Ops()); err != nil {
+			if _, err := RingReduceScatter(context.Background(), e, inputs[e.Rank()], p, F64Ops()); err != nil {
 				t.Errorf("rank %d: %v", e.Rank(), err)
 			}
 		}(e)
@@ -389,9 +390,9 @@ func TestRingReduceScatterTrafficIsBandwidthOptimal(t *testing.T) {
 
 	// Payload per rank: full vector = p*n segments × segLen floats.
 	// Ring sends (n-1) steps × p channels × one segment of
-	// (4 + 8·segLen) wire bytes.
+	// (4 + 8·segLen) wire bytes, each framed by the 4-byte epoch header.
 	wantMsgs := int64((n - 1) * p)
-	wantBytes := wantMsgs * int64(4+8*segLen)
+	wantBytes := wantMsgs * int64(epochHeaderSize+4+8*segLen)
 	for _, e := range eps {
 		st := e.Stats()
 		if st.MsgsSent != wantMsgs || st.MsgsReceived != wantMsgs {
@@ -415,20 +416,20 @@ func TestDecodeErrorPropagates(t *testing.T) {
 	}
 	runGroup(t, 2, "bad-decode-rs", func(e *comm.Endpoint) error {
 		segs := [][]float64{{1}, {2}}
-		if _, err := RingReduceScatter(e, segs, 1, badOps); err == nil {
+		if _, err := RingReduceScatter(context.Background(), e, segs, 1, badOps); err == nil {
 			return fmt.Errorf("reduce-scatter should surface decode errors")
 		}
 		return nil
 	})
 	runGroup(t, 2, "bad-decode-pw", func(e *comm.Endpoint) error {
 		segs := [][]float64{{1}, {2}}
-		if _, err := PairwiseReduceScatter(e, segs, badOps); err == nil {
+		if _, err := PairwiseReduceScatter(context.Background(), e, segs, badOps); err == nil {
 			return fmt.Errorf("pairwise should surface decode errors")
 		}
 		return nil
 	})
 	runGroup(t, 2, "bad-decode-tr", func(e *comm.Endpoint) error {
-		if _, err := TreeReduce(e, 0, []float64{1}, badOps); err == nil && e.Rank() == 0 {
+		if _, err := TreeReduce(context.Background(), e, 0, []float64{1}, badOps); err == nil && e.Rank() == 0 {
 			return fmt.Errorf("tree reduce root should surface decode errors")
 		}
 		return nil
@@ -438,7 +439,7 @@ func TestDecodeErrorPropagates(t *testing.T) {
 func TestRingAllGatherBadIndex(t *testing.T) {
 	runGroup(t, 2, "ag-bad", func(e *comm.Endpoint) error {
 		owned := map[int][]float64{99: {1}}
-		if _, err := RingAllGather(e, owned, 1, F64Ops()); err == nil {
+		if _, err := RingAllGather(context.Background(), e, owned, 1, F64Ops()); err == nil {
 			return fmt.Errorf("out-of-range owned index should fail")
 		}
 		return nil
@@ -447,7 +448,7 @@ func TestRingAllGatherBadIndex(t *testing.T) {
 
 func TestPairwiseWrongSegmentCount(t *testing.T) {
 	runGroup(t, 3, "pw-bad", func(e *comm.Endpoint) error {
-		if _, err := PairwiseReduceScatter(e, [][]float64{{1}}, F64Ops()); err == nil {
+		if _, err := PairwiseReduceScatter(context.Background(), e, [][]float64{{1}}, F64Ops()); err == nil {
 			return fmt.Errorf("wrong segment count should fail")
 		}
 		return nil

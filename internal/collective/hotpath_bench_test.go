@@ -9,6 +9,7 @@ package collective
 // ("Performance notes").
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -56,7 +57,7 @@ func BenchmarkRingReduceScatterHot(b *testing.B) {
 					wg.Add(1)
 					go func(e *comm.Endpoint) {
 						defer wg.Done()
-						if _, err := RingReduceScatter(e, inputs[e.Rank()], p, F64Ops()); err != nil {
+						if _, err := RingReduceScatter(context.Background(), e, inputs[e.Rank()], p, F64Ops()); err != nil {
 							b.Error(err)
 						}
 					}(e)

@@ -5,6 +5,7 @@ package collective
 // with multiple parallel channels.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -99,14 +100,11 @@ func TestF64OpsEncodedSizeExact(t *testing.T) {
 	}
 }
 
-func TestFusedDecodeReduceLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("fused decode-reduce with mismatched lengths should panic, like Reduce")
-		}
-	}()
+func TestFusedDecodeReduceLengthMismatchErrors(t *testing.T) {
 	wire := encodeF64(nil, []float64{1, 2})
-	F64Ops().DecodeReduceInto([]float64{0}, wire)
+	if _, err := F64Ops().DecodeReduceInto([]float64{0}, wire); err == nil {
+		t.Error("fused decode-reduce with mismatched lengths should error — a corrupt frame must fail the step, not kill the process")
+	}
 }
 
 // RingAllReduce across non-power-of-two rings with several parallel
@@ -120,7 +118,7 @@ func TestRingAllReduceNonPow2MultiChannel(t *testing.T) {
 				inputs, want := makeInputs(rng, n, p*n, 24)
 				results := make([][][]float64, n)
 				runGroup(t, n, fmt.Sprintf("ar-np2-%d-%d", n, p), func(e *comm.Endpoint) error {
-					all, err := RingAllReduce(e, inputs[e.Rank()], p, F64Ops())
+					all, err := RingAllReduce(context.Background(), e, inputs[e.Rank()], p, F64Ops())
 					if err != nil {
 						return err
 					}

@@ -12,6 +12,7 @@
 package comm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -28,15 +29,19 @@ type Endpoint struct {
 	net   transport.Network
 	lis   transport.Listener
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	inbound map[connKey]transport.Conn // accepted, keyed by (src, channel)
-	dialed  map[connKey]transport.Conn // dialed, keyed by (dst, channel)
-	senders map[connKey]*sender        // persistent sender goroutines
-	closed  bool
+	mu         sync.Mutex
+	cond       *sync.Cond
+	inbound    map[connKey]transport.Conn  // accepted, keyed by (src, channel)
+	dialed     map[connKey]transport.Conn  // dialed, keyed by (dst, channel)
+	senders    map[connKey]*sender         // persistent sender goroutines
+	receivers  map[connKey]*receiver       // cancellable-receive state
+	handshakes map[transport.Conn]struct{} // accepted, header not yet read
+	closed     bool
 
 	acceptDone chan struct{}
+	closeCh    chan struct{} // closed by Close; unblocks receiver pumps
 	sendWG     sync.WaitGroup
+	recvWG     sync.WaitGroup
 
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
@@ -92,7 +97,10 @@ func NewEndpoint(net transport.Network, group string, rank, size int) (*Endpoint
 		inbound:    map[connKey]transport.Conn{},
 		dialed:     map[connKey]transport.Conn{},
 		senders:    map[connKey]*sender{},
+		receivers:  map[connKey]*receiver{},
+		handshakes: map[transport.Conn]struct{}{},
 		acceptDone: make(chan struct{}),
+		closeCh:    make(chan struct{}),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	go e.acceptLoop()
@@ -119,19 +127,27 @@ func (e *Endpoint) acceptLoop() {
 			return
 		}
 		go func(c transport.Conn) {
-			hdr, err := c.Recv()
-			if err != nil || len(hdr) < 8 {
-				c.Close()
-				return
-			}
-			src := int(int32(binary.LittleEndian.Uint32(hdr)))
-			ch := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
+			// Track the conn until its header arrives so Close can sever
+			// a handshake that never completes (a peer that dials and then
+			// dies would otherwise pin this goroutine in Recv forever).
 			e.mu.Lock()
 			if e.closed {
 				e.mu.Unlock()
 				c.Close()
 				return
 			}
+			e.handshakes[c] = struct{}{}
+			e.mu.Unlock()
+			hdr, err := c.Recv()
+			e.mu.Lock()
+			delete(e.handshakes, c)
+			if err != nil || len(hdr) < 8 || e.closed {
+				e.mu.Unlock()
+				c.Close()
+				return
+			}
+			src := int(int32(binary.LittleEndian.Uint32(hdr)))
+			ch := int(int32(binary.LittleEndian.Uint32(hdr[4:])))
 			e.inbound[connKey{src, ch}] = c
 			e.cond.Broadcast()
 			e.mu.Unlock()
@@ -179,23 +195,6 @@ func (e *Endpoint) dial(peer, channel int) (transport.Conn, error) {
 	}
 	e.dialed[key] = c
 	return c, nil
-}
-
-// accepted blocks until the inbound connection from peer on channel
-// exists, then returns it.
-func (e *Endpoint) accepted(peer, channel int) (transport.Conn, error) {
-	key := connKey{peer, channel}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if c, ok := e.inbound[key]; ok {
-			return c, nil
-		}
-		if e.closed {
-			return nil, transport.ErrClosed
-		}
-		e.cond.Wait()
-	}
 }
 
 // senderFor returns (lazily creating) the persistent sender goroutine
@@ -246,13 +245,13 @@ var doneChans = sync.Pool{New: func() any { return make(chan error, 1) }}
 func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
 	s, err := e.senderFor(peer, channel)
 	if err != nil {
-		return err
+		return e.peerError("send", peer, err)
 	}
 	done := doneChans.Get().(chan error)
 	s.enqueue(b, false, done)
 	err = <-done
 	doneChans.Put(done)
-	return err
+	return e.peerError("send", peer, err)
 }
 
 // SendToAsync enqueues b on the (peer, channel) persistent sender and
@@ -289,19 +288,10 @@ func GetBuffer(n int) []byte { return transport.GetBuf(n) }
 // from the buffer aliases it, and never touch the buffer afterwards.
 func Release(b []byte) { transport.PutBuf(b) }
 
-// RecvFrom blocks for the next message from peer on channel.
+// RecvFrom blocks for the next message from peer on channel. Failures
+// are classified like RecvFromCtx, minus ErrPeerTimeout (no deadline).
 func (e *Endpoint) RecvFrom(peer, channel int) ([]byte, error) {
-	c, err := e.accepted(peer, channel)
-	if err != nil {
-		return nil, err
-	}
-	b, err := c.Recv()
-	if err != nil {
-		return nil, err
-	}
-	e.bytesReceived.Add(int64(len(b)))
-	e.msgsReceived.Add(1)
-	return b, nil
+	return e.RecvFromCtx(context.Background(), peer, channel)
 }
 
 // SendNext sends on the directed ring.
@@ -339,11 +329,15 @@ func (e *Endpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	conns := make([]transport.Conn, 0, len(e.inbound)+len(e.dialed))
+	close(e.closeCh)
+	conns := make([]transport.Conn, 0, len(e.inbound)+len(e.dialed)+len(e.handshakes))
 	for _, c := range e.inbound {
 		conns = append(conns, c)
 	}
 	for _, c := range e.dialed {
+		conns = append(conns, c)
+	}
+	for c := range e.handshakes {
 		conns = append(conns, c)
 	}
 	senders := make([]*sender, 0, len(e.senders))
@@ -360,6 +354,7 @@ func (e *Endpoint) Close() error {
 		c.Close()
 	}
 	e.sendWG.Wait()
+	e.recvWG.Wait()
 	<-e.acceptDone
 	return nil
 }

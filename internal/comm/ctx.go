@@ -1,0 +1,266 @@
+package comm
+
+// Context-aware communication surface and failure classification.
+//
+// The plain RecvFrom/SendTo paths block indefinitely, which is correct
+// on a healthy cluster but turns a dead or silent peer into a hung
+// collective. The *Ctx variants below accept a context whose deadline
+// or cancellation bounds every wait, and every failure is classified
+// into one of three exported sentinels so callers can decide between
+// retry, fallback and abort with errors.Is instead of string matching:
+//
+//   - ErrClosed:      this endpoint was shut down locally.
+//   - ErrPeerDown:    the connection to the peer failed — the peer
+//                     process died or its transport was severed.
+//   - ErrPeerTimeout: the peer is silent — the context deadline expired
+//                     while waiting for it.
+//
+// Cancellable receives are served by a per-connection "receiver pump":
+// transport.Conn.Recv cannot be interrupted, so the first deadline-
+// bearing receive on a connection hands ownership of all its reads to a
+// pump goroutine and consumers select on the pump's delivery channel
+// versus the context. A message that arrives after its consumer gave up
+// stays buffered for the next receive, so an early timeout never loses
+// data. Connections that only ever see background-context receives keep
+// the direct zero-overhead read path.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sparker/internal/transport"
+)
+
+// Sentinel errors for the comm layer. ErrClosed aliases
+// transport.ErrClosed so the two layers agree on what "locally shut
+// down" means; errors.Is matches either spelling.
+var (
+	ErrClosed      = transport.ErrClosed
+	ErrPeerDown    = errors.New("comm: peer down")
+	ErrPeerTimeout = errors.New("comm: peer timeout")
+)
+
+// peerError classifies a transport-level failure talking to peer. A
+// failure observed after the local endpoint closed is our own shutdown
+// (ErrClosed); anything else means the peer side is gone (ErrPeerDown).
+// The underlying error is flattened with %v in the peer-down case so a
+// transport "closed" does not also satisfy errors.Is(err, ErrClosed).
+func (e *Endpoint) peerError(op string, peer int, err error) error {
+	if err == nil {
+		return nil
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		if errors.Is(err, transport.ErrClosed) {
+			return fmt.Errorf("comm: %s rank %d: %w", op, peer, ErrClosed)
+		}
+		return fmt.Errorf("comm: %s rank %d: %v: %w", op, peer, err, ErrClosed)
+	}
+	return fmt.Errorf("comm: %s rank %d: %w (%v)", op, peer, ErrPeerDown, err)
+}
+
+// ctxError classifies a context expiry while waiting on peer: a missed
+// deadline means the peer is silent (ErrPeerTimeout); an explicit
+// cancellation is propagated as-is.
+func (e *Endpoint) ctxError(ctx context.Context, op string, peer int) error {
+	err := ctx.Err()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("comm: %s rank %d: %w: %w", op, peer, ErrPeerTimeout, err)
+	}
+	return fmt.Errorf("comm: %s rank %d: %w", op, peer, err)
+}
+
+// recvResult is one delivery from a receiver pump.
+type recvResult struct {
+	buf []byte
+	err error
+}
+
+// receiver tracks the cancellable-receive state of one inbound
+// connection. pumping flips true at most once (guarded by Endpoint.mu);
+// termErr is written strictly before dead is closed and read strictly
+// after it, so the close is its memory barrier.
+type receiver struct {
+	conn    transport.Conn
+	pending chan recvResult // capacity 1: at most one undelivered message
+	dead    chan struct{}   // closed when the pump has exited
+	pumping bool            // guarded by Endpoint.mu
+	termErr error
+}
+
+// receiverFor returns (lazily creating) the receiver for key.
+func (e *Endpoint) receiverFor(key connKey, conn transport.Conn) *receiver {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.receivers[key]
+	if !ok {
+		r = &receiver{
+			conn:    conn,
+			pending: make(chan recvResult, 1),
+			dead:    make(chan struct{}),
+		}
+		e.receivers[key] = r
+	}
+	return r
+}
+
+// startPump transfers ownership of r.conn's reads to a pump goroutine,
+// once. On an already-closed endpoint the receiver is marked dead
+// directly — the conn is closed anyway and Close may already be waiting
+// on recvWG.
+func (e *Endpoint) startPump(r *receiver) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if r.pumping {
+		return
+	}
+	r.pumping = true
+	if e.closed {
+		r.termErr = transport.ErrClosed
+		close(r.dead)
+		return
+	}
+	e.recvWG.Add(1)
+	go e.pump(r)
+}
+
+// pump owns all reads on r.conn: it forwards each message into
+// r.pending (blocking — capacity 1 provides the backpressure the direct
+// path had) and exits on the first connection error or endpoint close.
+func (e *Endpoint) pump(r *receiver) {
+	defer e.recvWG.Done()
+	for {
+		b, err := r.conn.Recv()
+		if err != nil {
+			r.termErr = err
+			select {
+			case r.pending <- recvResult{err: err}:
+			default: // a data message is still buffered; termErr covers the rest
+			}
+			close(r.dead)
+			return
+		}
+		e.bytesReceived.Add(int64(len(b)))
+		e.msgsReceived.Add(1)
+		select {
+		case r.pending <- recvResult{buf: b}:
+		case <-e.closeCh:
+			// Shutdown with no consumer: drop the message (pool buffers
+			// are simply never recycled — safe) and exit.
+			r.termErr = transport.ErrClosed
+			close(r.dead)
+			return
+		}
+	}
+}
+
+// RecvFromCtx blocks for the next message from peer on channel, bounded
+// by ctx. On failure the error matches exactly one of ErrPeerTimeout
+// (deadline expired), ErrPeerDown (connection to the peer failed) or
+// ErrClosed (local shutdown) under errors.Is.
+func (e *Endpoint) RecvFromCtx(ctx context.Context, peer, channel int) ([]byte, error) {
+	c, err := e.acceptedCtx(ctx, peer, channel)
+	if err != nil {
+		return nil, err
+	}
+	r := e.receiverFor(connKey{peer, channel}, c)
+	e.mu.Lock()
+	pumping := r.pumping
+	e.mu.Unlock()
+	if !pumping && ctx.Done() == nil {
+		// Uncancellable context and no pump: keep the direct read path.
+		b, err := c.Recv()
+		if err != nil {
+			return nil, e.peerError("recv", peer, err)
+		}
+		e.bytesReceived.Add(int64(len(b)))
+		e.msgsReceived.Add(1)
+		return b, nil
+	}
+	e.startPump(r)
+	select {
+	case res := <-r.pending:
+		if res.err != nil {
+			return nil, e.peerError("recv", peer, res.err)
+		}
+		return res.buf, nil
+	case <-r.dead:
+		// The pump exited; drain the final buffered delivery if any.
+		select {
+		case res := <-r.pending:
+			if res.err != nil {
+				return nil, e.peerError("recv", peer, res.err)
+			}
+			return res.buf, nil
+		default:
+			return nil, e.peerError("recv", peer, r.termErr)
+		}
+	case <-ctx.Done():
+		return nil, e.ctxError(ctx, "recv", peer)
+	}
+}
+
+// RecvPrevCtx receives on the directed ring, bounded by ctx.
+func (e *Endpoint) RecvPrevCtx(ctx context.Context, channel int) ([]byte, error) {
+	return e.RecvFromCtx(ctx, e.Prev(), channel)
+}
+
+// SendToCtx transmits b to peer like SendTo, but bounds the completion
+// wait by ctx. Ownership of b transfers to the comm layer either way;
+// on a context expiry the write may still complete in the background.
+func (e *Endpoint) SendToCtx(ctx context.Context, peer, channel int, b []byte) error {
+	s, err := e.senderFor(peer, channel)
+	if err != nil {
+		return e.peerError("send", peer, err)
+	}
+	// Not the pooled channel: an abandoned wait must not poison the pool.
+	done := make(chan error, 1)
+	s.enqueue(b, false, done)
+	return e.WaitSend(ctx, peer, done)
+}
+
+// WaitSend waits for one completion from done (as delivered by
+// SendToAsync), bounded by ctx, and classifies the outcome. Abandoning
+// the wait on expiry is safe — completion channels have capacity >= 1 —
+// but the caller must not reuse done for another send afterwards, since
+// the stale completion may still arrive.
+func (e *Endpoint) WaitSend(ctx context.Context, peer int, done <-chan error) error {
+	select {
+	case err := <-done:
+		return e.peerError("send", peer, err)
+	case <-ctx.Done():
+		return e.ctxError(ctx, "send", peer)
+	}
+}
+
+// acceptedCtx blocks until the inbound connection from peer on channel
+// exists, bounded by ctx.
+func (e *Endpoint) acceptedCtx(ctx context.Context, peer, channel int) (transport.Conn, error) {
+	key := connKey{peer, channel}
+	if done := ctx.Done(); done != nil {
+		// Wake the cond wait below when the context fires.
+		stop := context.AfterFunc(ctx, func() {
+			e.mu.Lock()
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		})
+		defer stop()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if c, ok := e.inbound[key]; ok {
+			return c, nil
+		}
+		if e.closed {
+			return nil, fmt.Errorf("comm: recv rank %d: %w", peer, ErrClosed)
+		}
+		if ctx.Err() != nil {
+			return nil, e.ctxError(ctx, "recv", peer)
+		}
+		e.cond.Wait()
+	}
+}

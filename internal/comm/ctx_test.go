@@ -1,0 +1,237 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"sparker/internal/transport"
+)
+
+// A silent peer must produce ErrPeerTimeout within ~2x the deadline,
+// not a hang.
+func TestRecvFromCtxTimeout(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	eps, err := NewGroup(n, "timeout", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	// Establish the conn so the wait is on data, not on the handshake.
+	if err := eps[0].SendTo(1, 0, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := eps[1].RecvFromCtx(context.Background(), 0, 0); err != nil || string(b) != "hello" {
+		t.Fatalf("warmup recv: %q, %v", b, err)
+	}
+	const deadline = 100 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, err = eps[1].RecvFromCtx(ctx, 0, 0)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("got %v, want ErrPeerTimeout", err)
+	}
+	if errors.Is(err, ErrPeerDown) || errors.Is(err, ErrClosed) {
+		t.Fatalf("timeout error matches more than one sentinel: %v", err)
+	}
+	if elapsed > 2*deadline {
+		t.Fatalf("timeout took %v, want <= %v", elapsed, 2*deadline)
+	}
+}
+
+// The handshake wait must also observe the deadline: a peer that never
+// comes up yields ErrPeerTimeout, not a cond-wait hang.
+func TestRecvFromCtxTimeoutBeforeHandshake(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	e, err := NewEndpoint(n, "noshake", 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := e.RecvFromCtx(ctx, 1, 0); !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("got %v, want ErrPeerTimeout", err)
+	}
+}
+
+// A message that arrives after its receive timed out must be delivered
+// to the next receive, not lost.
+func TestRecvFromCtxLateMessageNotLost(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	eps, err := NewGroup(n, "late", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	if err := eps[0].SendTo(1, 0, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[1].RecvFrom(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := eps[1].RecvFromCtx(ctx, 0, 0); !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("got %v, want ErrPeerTimeout", err)
+	}
+	if err := eps[0].SendTo(1, 0, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := eps[1].RecvFromCtx(context.Background(), 0, 0)
+	if err != nil || string(b) != "late" {
+		t.Fatalf("late message: %q, %v", b, err)
+	}
+}
+
+// A dead peer (transport severed underneath us) classifies as
+// ErrPeerDown — and only ErrPeerDown.
+func TestRecvClassifiesPeerDown(t *testing.T) {
+	inner := transport.NewMem()
+	n := transport.NewFaulty(inner, 1)
+	defer n.Close()
+	eps, err := NewGroup(n, "down", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	if err := eps[0].SendTo(1, 0, []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eps[1].RecvFrom(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill severs conns by listener address: matching rank 1's address
+	// cuts the inbound link 0 -> 1, which from rank 1's (not closed)
+	// point of view is the peer disappearing.
+	n.Kill(func(a transport.Addr) bool { return a == "comm/down/1" })
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err = eps[1].RecvFromCtx(ctx, 0, 0)
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("recv from dead link: got %v, want ErrPeerDown", err)
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("peer-down error matches more than one sentinel: %v", err)
+	}
+	// Send side: rank 0's dialed conn into rank 1 died with the same
+	// kill, so its next send classifies as peer down too.
+	err = eps[0].SendTo(1, 0, []byte("x"))
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send to dead link: got %v, want ErrPeerDown", err)
+	}
+}
+
+// Local shutdown classifies as ErrClosed on every surface.
+func TestCloseClassifiesErrClosed(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	eps, err := NewGroup(n, "closecls", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := eps[1].RecvFromCtx(context.Background(), 0, 0)
+		recvErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	CloseGroup(eps)
+	select {
+	case err := <-recvErr:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("recv after close: got %v, want ErrClosed", err)
+		}
+		if errors.Is(err, ErrPeerDown) {
+			t.Fatalf("local close misclassified as peer down: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv did not observe Close")
+	}
+	if err := eps[0].SendTo(1, 0, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: got %v, want ErrClosed", err)
+	}
+}
+
+// WaitSend classifies an expired deadline as ErrPeerTimeout without
+// consuming the (possibly still outstanding) completion.
+func TestWaitSendTimeout(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	eps, err := NewGroup(n, "waitsend", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+	done := make(chan error, 1) // never delivered to: simulate a stuck write
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := eps[0].WaitSend(ctx, 1, done); !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("got %v, want ErrPeerTimeout", err)
+	}
+}
+
+// settleGoroutines waits for the goroutine count to drop back to at
+// most want, tolerating runtime background noise via a settle loop.
+func settleGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		now = runtime.NumGoroutine()
+		if now <= want {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d, want <= %d", now, want)
+}
+
+// Close must reap every goroutine the endpoint spawned: accept loop,
+// handshake readers (including ones whose header never arrives),
+// persistent senders and receiver pumps.
+func TestCloseLeaksNoGoroutines(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	before := runtime.NumGoroutine()
+	eps, err := NewGroup(n, "leak", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise senders, direct receives and ctx receives (pumps).
+	for i := range eps {
+		next := (i + 1) % len(eps)
+		if err := eps[i].SendTo(next, 0, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range eps {
+		prev := (i + 2) % len(eps)
+		if _, err := eps[i].RecvFrom(prev, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if _, err := eps[0].RecvFromCtx(ctx, 1, 0); !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("pump recv: %v", err)
+	}
+	cancel()
+	// A handshake that never completes: dial the listener raw and send
+	// nothing. Close must reap the header-reader goroutine.
+	raw, err := n.Dial("comm/leak/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the accept loop pick it up
+	CloseGroup(eps)
+	raw.Close()
+	settleGoroutines(t, before)
+}

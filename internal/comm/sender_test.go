@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -62,8 +63,15 @@ func TestSendToAsyncAfterCloseFails(t *testing.T) {
 	eps[0].Close()
 	done := make(chan error, 1)
 	eps[0].SendToAsync(1, 0, GetBuffer(1), done)
-	if err := <-done; err == nil {
+	err = <-done
+	if err == nil {
 		t.Fatal("SendToAsync after Close should report an error")
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("SendToAsync after Close: got %v, want ErrClosed", err)
+	}
+	if errors.Is(err, ErrPeerDown) || errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("local close matched a peer sentinel: %v", err)
 	}
 	eps[1].Close()
 }

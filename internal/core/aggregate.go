@@ -1,0 +1,453 @@
+package core
+
+// Aggregate is the unified aggregation entry point: one call that
+// selects the reduction strategy (tree, tree+IMM, split, allreduce),
+// carries per-step communication deadlines into the ring collectives,
+// and — when a ring collective fails with a classified peer error —
+// automatically degrades to a tree-shaped gather over the surviving
+// block-manager paths. The legacy entry points (TreeAggregate,
+// TreeAggregateIMM, SplitAggregate, SplitAllReduce, AutoSplitAggregate)
+// are thin deprecated wrappers over it.
+//
+// Fault model. The ring stage runs with MaxAttempts=1: resubmitting one
+// ring member alone cannot succeed, so the classified failure
+// (comm.ErrPeerTimeout, comm.ErrPeerDown) is surfaced promptly instead
+// of burning the retry budget. Because the IMM stage has already left
+// one merged aggregator per executor in the mutable object manager, the
+// fallback needs no recompute: each executor republishes its aggregator
+// as a block, and the driver performs the same serial merge
+// TreeAggregateIMM would — correct whenever the task transport and
+// block manager survive the ring fault (e.g. a severed or silent PDR
+// link). Degradations are observable: the metrics counters
+// metrics.CounterPeerFailure and metrics.CounterRingFallback are bumped
+// and a marker event is written to the history log.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sparker/internal/collective"
+	"sparker/internal/comm"
+	"sparker/internal/metrics"
+	"sparker/internal/rdd"
+	"sparker/internal/serde"
+)
+
+// Strategy selects the reduction an Aggregate call runs.
+type Strategy int
+
+const (
+	// StrategySplit is Sparker's split aggregation over the parallel
+	// directed ring (§3.1) — the default.
+	StrategySplit Strategy = iota
+	// StrategyTree is vanilla Spark treeAggregate: combiner stages and a
+	// serial driver merge, every hop serialized.
+	StrategyTree
+	// StrategyIMM is tree aggregation with in-memory merge: one
+	// serialized aggregator per executor, serial driver merge (§3.2).
+	StrategyIMM
+	// StrategyAllReduce is split aggregation ending in an allgather, so
+	// the reduced aggregate stays resident on every executor (§6).
+	StrategyAllReduce
+	// StrategyAuto picks a strategy from cluster geometry: StrategyIMM on
+	// a single executor (a ring of one reduces nothing), StrategySplit
+	// otherwise.
+	StrategyAuto
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySplit:
+		return "split"
+	case StrategyTree:
+		return "tree"
+	case StrategyIMM:
+		return "imm"
+	case StrategyAllReduce:
+		return "allreduce"
+	case StrategyAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// DefaultStepDeadline bounds each ring collective step when the caller
+// does not choose a deadline. Generous enough for any healthy step, yet
+// it converts a silent peer into a classified error instead of a hang.
+const DefaultStepDeadline = 60 * time.Second
+
+// AggOptions tunes Aggregate. Build it with the With* functional
+// options; the zero value of each field selects the documented default.
+type AggOptions struct {
+	// Strategy picks the reduction (default StrategySplit).
+	Strategy Strategy
+	// Depth is the tree depth for StrategyTree (default 2).
+	Depth int
+	// Parallelism is the PDR channel count for the ring strategies
+	// (default: the context's RingParallelism).
+	Parallelism int
+	// StepDeadline bounds each ring collective step. Zero selects
+	// DefaultStepDeadline; a negative value disables the deadline
+	// (restoring the hang-on-silent-peer behaviour of the seed).
+	StepDeadline time.Duration
+	// NoFallback disables the automatic ring→tree degradation on a
+	// classified peer failure, surfacing the error instead.
+	NoFallback bool
+	// KeepKey, for StrategyAllReduce, stores the reduced result in every
+	// executor's mutable object manager under this key.
+	KeepKey string
+}
+
+// AggOption mutates AggOptions.
+type AggOption func(*AggOptions)
+
+// WithStrategy selects the reduction strategy.
+func WithStrategy(s Strategy) AggOption {
+	return func(o *AggOptions) { o.Strategy = s }
+}
+
+// WithDepth sets the tree depth for StrategyTree. Non-positive values
+// select the default (2).
+func WithDepth(depth int) AggOption {
+	return func(o *AggOptions) { o.Depth = depth }
+}
+
+// WithParallelism sets the PDR channel count for the ring strategies.
+// Zero selects the context's RingParallelism; negative values are
+// rejected by Aggregate.
+func WithParallelism(p int) AggOption {
+	return func(o *AggOptions) { o.Parallelism = p }
+}
+
+// WithDeadline sets the per-step communication deadline for the ring
+// strategies. Zero selects DefaultStepDeadline; negative disables.
+func WithDeadline(d time.Duration) AggOption {
+	return func(o *AggOptions) { o.StepDeadline = d }
+}
+
+// WithFallback enables or disables the automatic ring→tree fallback on
+// a classified peer failure (enabled by default).
+func WithFallback(enabled bool) AggOption {
+	return func(o *AggOptions) { o.NoFallback = !enabled }
+}
+
+// WithKeepKey keeps the StrategyAllReduce result resident on every
+// executor under key.
+func WithKeepKey(key string) AggOption {
+	return func(o *AggOptions) { o.KeepKey = key }
+}
+
+// AggFuncs carries the user callbacks of the split aggregation
+// interface (Figure 6). T is the element type, U the aggregator, V the
+// aggregator segment; U and V must be serde-encodable where they cross
+// executor boundaries.
+type AggFuncs[T, U, V any] struct {
+	// Zero returns a fresh aggregator (must not alias previous calls).
+	Zero func() U
+	// SeqOp folds one element into an aggregator.
+	SeqOp func(U, T) U
+	// MergeOp merges two aggregators (IMM intra-executor merge, driver
+	// merge of the tree strategies and of the fallback gather).
+	MergeOp func(U, U) U
+	// SplitOp returns segment i of n from an aggregator; all ranks must
+	// agree on the segmentation, and SplitOp(u, 0, 1) must be the whole
+	// aggregator viewed as a segment (how the tree strategies and the
+	// fallback convert U to V).
+	SplitOp func(u U, i, n int) V
+	// ReduceOp merges two aggregator segments.
+	ReduceOp func(V, V) V
+	// ConcatOp reassembles the ordered reduced segments.
+	ConcatOp func([]V) V
+}
+
+func (f *AggFuncs[T, U, V]) validate(s Strategy) error {
+	if f.Zero == nil || f.SeqOp == nil || f.MergeOp == nil {
+		return fmt.Errorf("core: Aggregate(%v) requires Zero, SeqOp and MergeOp", s)
+	}
+	if f.SplitOp == nil {
+		return fmt.Errorf("core: Aggregate(%v) requires SplitOp", s)
+	}
+	if s == StrategySplit || s == StrategyAllReduce {
+		if f.ReduceOp == nil || f.ConcatOp == nil {
+			return fmt.Errorf("core: Aggregate(%v) requires ReduceOp and ConcatOp", s)
+		}
+	}
+	return nil
+}
+
+// Aggregate reduces r with fns under the chosen options and returns the
+// final aggregate as a segment-typed value (for the tree strategies and
+// the fallback path this is SplitOp(result, 0, 1)).
+//
+// ctx bounds the communication of the ring strategies: it is the parent
+// of every per-step deadline context, so cancelling it aborts in-flight
+// collectives with a classified error. It does not preempt executor
+// compute.
+func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, U, V], opts ...AggOption) (V, error) {
+	var zv V
+	rc := r.Context()
+	o := AggOptions{}
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.Depth <= 0 {
+		o.Depth = 2
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = rc.RingParallelism()
+	}
+	if o.Parallelism < 1 {
+		return zv, fmt.Errorf("core: Parallelism must be >= 1, got %d", o.Parallelism)
+	}
+	if o.StepDeadline == 0 {
+		o.StepDeadline = DefaultStepDeadline
+	}
+	strategy := o.Strategy
+	if strategy == StrategyAuto {
+		if rc.NumExecutors() == 1 {
+			strategy = StrategyIMM
+		} else {
+			strategy = StrategySplit
+		}
+	}
+	if err := fns.validate(strategy); err != nil {
+		return zv, err
+	}
+
+	switch strategy {
+	case StrategyTree:
+		u, err := rdd.TreeAggregate(r, fns.Zero, fns.SeqOp, fns.MergeOp, rdd.AggregateOptions{Depth: o.Depth})
+		if err != nil {
+			return zv, err
+		}
+		return fns.SplitOp(u, 0, 1), nil
+	case StrategyIMM:
+		u, err := treeAggregateIMM(r, fns.Zero, fns.SeqOp, fns.MergeOp)
+		if err != nil {
+			return zv, err
+		}
+		return fns.SplitOp(u, 0, 1), nil
+	case StrategySplit:
+		return ringAggregate(ctx, r, fns, o, false)
+	case StrategyAllReduce:
+		return ringAggregate(ctx, r, fns, o, true)
+	default:
+		return zv, fmt.Errorf("core: unknown strategy %v", o.Strategy)
+	}
+}
+
+// isPeerFailure reports whether err is a classified collective failure
+// the fallback path can recover from.
+func isPeerFailure(err error) bool {
+	return errors.Is(err, comm.ErrPeerTimeout) || errors.Is(err, comm.ErrPeerDown)
+}
+
+// ringAggregate runs the split (and, with allGather, allreduce)
+// strategy: IMM stage, then a statically placed ring stage, then either
+// the driver gather (split) or the rank-0 copy (allreduce). On a
+// classified ring failure with fallback enabled it degrades to
+// fallbackGather.
+func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, U, V], o AggOptions, allGather bool) (V, error) {
+	var zv V
+	rc := r.Context()
+	kind := "split"
+	if allGather {
+		kind = "allreduce"
+	}
+	opID := rc.NewOpID()
+	prefix := fmt.Sprintf("%s/%d/", kind, opID)
+	if o.KeepKey == "" {
+		defer cleanupIMM(rc, prefix)
+	} else {
+		// Keep the result objects; clean only the aggregation state.
+		defer cleanupIMM(rc, prefix+"agg")
+	}
+
+	// Stage 1: reduced-result stage (IMM) → one aggregator per executor.
+	start := time.Now()
+	if err := runIMMStage(r, prefix, fns.Zero, fns.SeqOp, fns.MergeOp); err != nil {
+		return zv, err
+	}
+	rc.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
+
+	start = time.Now()
+	defer func() { rc.RecordPhase(metrics.PhaseAggReduce, time.Since(start), kind+" reduce stage") }()
+
+	// Stage 2: SpawnRDD — exactly one task per executor, statically
+	// placed, running the ring collective with per-step deadlines.
+	out, ringErr := runRingStage(ctx, rc, opID, prefix, fns, o, allGather)
+	if ringErr == nil {
+		return out, nil
+	}
+	if o.NoFallback || !isPeerFailure(ringErr) {
+		return zv, ringErr
+	}
+
+	// Ring→tree degradation: the IMM aggregators are still resident, so
+	// gather them over the block manager and merge serially like
+	// TreeAggregateIMM — no recompute, survives a dead PDR link.
+	rc.RecordMarker(metrics.CounterPeerFailure, ringErr.Error())
+	rc.RecordMarker(metrics.CounterRingFallback,
+		fmt.Sprintf("%s aggregation degraded to tree gather: %v", kind, ringErr))
+	acc, err := fallbackGather(rc, prefix, fns.Zero, fns.MergeOp)
+	if err != nil {
+		return zv, fmt.Errorf("core: tree fallback after ring failure (%v): %w", ringErr, err)
+	}
+	result := fns.SplitOp(acc, 0, 1)
+	if allGather && o.KeepKey != "" {
+		if err := replicateResult(rc, o.KeepKey, result); err != nil {
+			return zv, fmt.Errorf("core: tree fallback after ring failure (%v): %w", ringErr, err)
+		}
+	}
+	return result, nil
+}
+
+// runRingStage submits the collective stage: one task per executor on
+// its own executor (identity placement), MaxAttempts=1 with WaitAll
+// (resubmitting one ring member cannot succeed, and recovery must not
+// start while peers still drive the ring), each task splitting the
+// shared IMM aggregator and running ring reduce-scatter (plus allgather
+// for allreduce) under the configured per-step deadline. The op id
+// tags every ring frame as this collective's epoch, so residue from an
+// earlier aborted collective is discarded instead of reduced.
+func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64, prefix string, fns AggFuncs[T, U, V], o AggOptions, allGather bool) (V, error) {
+	var zv V
+	sctx := collective.WithEpoch(ctx, uint32(opID))
+	if o.StepDeadline > 0 {
+		sctx = collective.WithStepDeadline(sctx, o.StepDeadline)
+	}
+	nExec := rc.NumExecutors()
+	nSegs := o.Parallelism * nExec
+	ops := serdeOps[V](fns.ReduceOp)
+	keepKey := o.KeepKey
+	placement := make([]int, nExec)
+	for i := range placement {
+		placement[i] = i
+	}
+	payloads, err := rc.RunJob(rdd.JobSpec{
+		Tasks:       nExec,
+		Placement:   placement,
+		MaxAttempts: 1,
+		WaitAll:     true,
+		Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+			agg := sharedAgg(ec, prefix+"agg", fns.Zero)
+			segs := splitParallel(agg, nSegs, ec.Cores, fns.SplitOp)
+			owned, err := collective.RingReduceScatter(sctx, ec.Comm, segs, o.Parallelism, ops)
+			if err != nil {
+				return nil, err
+			}
+			if !allGather {
+				return encodeOwned(owned, ops)
+			}
+			all, err := collective.RingAllGather(sctx, ec.Comm, owned, o.Parallelism, ops)
+			if err != nil {
+				return nil, err
+			}
+			result := fns.ConcatOp(all)
+			if keepKey != "" {
+				ec.MutObjs.GetOrCreate(keepKey, func() any { return result }).
+					Update(func(any) any { return result })
+			}
+			// Only ring rank 0 returns the payload; everyone else acks.
+			if ec.Rank != 0 {
+				return nil, nil
+			}
+			return serde.Encode(nil, result)
+		},
+	})
+	if err != nil {
+		return zv, err
+	}
+
+	if allGather {
+		for _, p := range payloads {
+			if len(p) == 0 {
+				continue
+			}
+			v, _, err := serde.Decode(p)
+			if err != nil {
+				return zv, err
+			}
+			return v.(V), nil
+		}
+		return zv, fmt.Errorf("core: allreduce produced no driver copy")
+	}
+
+	// Gather: order the segments by global index and concatenate.
+	segs := make([]V, nSegs)
+	seen := make([]bool, nSegs)
+	for _, p := range payloads {
+		if err := decodeOwned(p, segs, seen, ops); err != nil {
+			return zv, err
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return zv, fmt.Errorf("core: segment %d missing after reduce-scatter", i)
+		}
+	}
+	return fns.ConcatOp(segs), nil
+}
+
+// fallbackGather is the surviving-path tree reduction: every executor
+// republishes its resident IMM aggregator as a block, and the driver
+// fetches and merges them serially in executor order — the exact merge
+// TreeAggregateIMM performs, so the degraded result is identical to the
+// tree result.
+func fallbackGather[U any](rc *rdd.Context, prefix string, zero func() U, mergeOp func(U, U) U) (U, error) {
+	var zu U
+	blockID := prefix + "fallback"
+	_, err := rc.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		wire, err := serde.Encode(nil, sharedAgg(ec, prefix+"agg", zero))
+		if err != nil {
+			return nil, err
+		}
+		ec.Store.PutLocal(blockID, wire)
+		return nil, nil
+	})
+	if err != nil {
+		return zu, err
+	}
+	defer rc.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		ec.Store.DeletePrefix(blockID)
+		return nil, nil
+	})
+	acc := zero()
+	for i := 0; i < rc.NumExecutors(); i++ {
+		wire, err := rc.DriverStore().FetchFrom(rc.ExecutorStoreName(i), blockID)
+		if err != nil {
+			return zu, err
+		}
+		v, _, err := serde.Decode(wire)
+		if err != nil {
+			return zu, err
+		}
+		acc = mergeOp(acc, v.(U))
+	}
+	rc.DriverStore().DeletePrefix(blockID)
+	return acc, nil
+}
+
+// replicateResult pushes the fallback allreduce result back onto every
+// executor under key, round-tripping through serde so executors do not
+// alias one value.
+func replicateResult[V any](rc *rdd.Context, key string, result V) error {
+	wire, err := serde.Encode(nil, result)
+	if err != nil {
+		return err
+	}
+	_, err = rc.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		v, _, err := serde.Decode(wire)
+		if err != nil {
+			return nil, err
+		}
+		ec.MutObjs.GetOrCreate(key, func() any { return v }).
+			Update(func(any) any { return v })
+		return nil, nil
+	})
+	return err
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sparker/internal/rdd"
+)
+
+func vecFuncs(dim int) AggFuncs[int64, []float64, []float64] {
+	return AggFuncs[int64, []float64, []float64]{
+		Zero:     vecZero(dim),
+		SeqOp:    vecSeqOp,
+		MergeOp:  AddF64,
+		SplitOp:  SplitSliceCopy[float64],
+		ReduceOp: AddF64,
+		ConcatOp: ConcatSlices[float64],
+	}
+}
+
+// TestAggregateStrategiesAgree runs every strategy through the unified
+// entry point and checks they all produce the same vector sum.
+func TestAggregateStrategiesAgree(t *testing.T) {
+	const samples, dim = 300, 97
+	ctx := testContext(t, 3, 2)
+	r := vectorRDD(ctx, samples, 6)
+	want := expectedVector(samples, dim)
+
+	for _, s := range []Strategy{StrategySplit, StrategyTree, StrategyIMM, StrategyAllReduce, StrategyAuto} {
+		got, err := Aggregate(context.Background(), r, vecFuncs(dim), WithStrategy(s))
+		if err != nil {
+			t.Fatalf("strategy %v: %v", s, err)
+		}
+		if !vecsClose(got, want, 1e-9) {
+			t.Fatalf("strategy %v: wrong vector sum", s)
+		}
+	}
+}
+
+// TestAggregateDefaultIsSplit checks the zero-option call matches the
+// deprecated SplitAggregate wrapper bit for bit.
+func TestAggregateDefaultIsSplit(t *testing.T) {
+	const samples, dim = 200, 64
+	ctx := testContext(t, 2, 2)
+	r := vectorRDD(ctx, samples, 4)
+
+	unified, err := Aggregate(context.Background(), r, vecFuncs(dim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := SplitAggregate(r, vecZero(dim), vecSeqOp, AddF64,
+		SplitSliceCopy[float64], AddF64, ConcatSlices[float64], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unified) != len(legacy) {
+		t.Fatalf("length mismatch: %d vs %d", len(unified), len(legacy))
+	}
+	for i := range unified {
+		if unified[i] != legacy[i] {
+			t.Fatalf("element %d: unified %v != legacy %v", i, unified[i], legacy[i])
+		}
+	}
+}
+
+// TestAggregateAutoSingleExecutor: a ring of one reduces nothing, so
+// Auto must pick IMM and still produce the right answer.
+func TestAggregateAutoSingleExecutor(t *testing.T) {
+	const samples, dim = 100, 16
+	ctx := testContext(t, 1, 2)
+	r := vectorRDD(ctx, samples, 3)
+	got, err := Aggregate(context.Background(), r, vecFuncs(dim), WithStrategy(StrategyAuto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsClose(got, expectedVector(samples, dim), 1e-9) {
+		t.Fatal("wrong vector sum")
+	}
+}
+
+// TestAggregateValidation covers option and callback validation.
+func TestAggregateValidation(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	r := vectorRDD(ctx, 10, 2)
+
+	if _, err := Aggregate(context.Background(), r, vecFuncs(8), WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism should fail")
+	}
+	fns := vecFuncs(8)
+	fns.ReduceOp = nil
+	if _, err := Aggregate(context.Background(), r, fns); err == nil {
+		t.Fatal("missing ReduceOp should fail for split")
+	}
+	if _, err := Aggregate(context.Background(), r, AggFuncs[int64, []float64, []float64]{}); err == nil {
+		t.Fatal("empty AggFuncs should fail")
+	}
+}
+
+// TestAggregateKeepKey checks the allreduce result stays resident on
+// every executor under the chosen key.
+func TestAggregateKeepKey(t *testing.T) {
+	const samples, dim = 120, 24
+	ctx := testContext(t, 2, 2)
+	r := vectorRDD(ctx, samples, 4)
+	want := expectedVector(samples, dim)
+
+	got, err := Aggregate(context.Background(), r, vecFuncs(dim),
+		WithStrategy(StrategyAllReduce), WithKeepKey("model/latest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsClose(got, want, 1e-9) {
+		t.Fatal("wrong driver copy")
+	}
+	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		obj := ec.MutObjs.Get("model/latest")
+		if obj == nil {
+			return []byte{0}, nil
+		}
+		var resident []float64
+		obj.Read(func(v any) { resident, _ = v.([]float64) })
+		if vecsClose(resident, want, 1e-9) {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		if len(p) != 1 || p[0] != 1 {
+			t.Fatalf("executor %d: resident result missing or wrong", i)
+		}
+	}
+}
+
+// TestAggregateDeadlineOptionHarmless: an explicit short deadline on a
+// healthy ring must not break anything.
+func TestAggregateDeadlineOptionHarmless(t *testing.T) {
+	const samples, dim = 200, 48
+	ctx := testContext(t, 3, 2)
+	r := vectorRDD(ctx, samples, 6)
+	got, err := Aggregate(context.Background(), r, vecFuncs(dim), WithDeadline(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsClose(got, expectedVector(samples, dim), 1e-9) {
+		t.Fatal("wrong vector sum")
+	}
+}

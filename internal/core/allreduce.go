@@ -12,16 +12,15 @@ package core
 // of round-tripping it through the driver.
 
 import (
-	"fmt"
-	"time"
+	"context"
 
-	"sparker/internal/collective"
-	"sparker/internal/metrics"
 	"sparker/internal/rdd"
-	"sparker/internal/serde"
 )
 
 // AllReduceOptions tunes SplitAllReduce.
+//
+// Deprecated: use the AggOption functional options of Aggregate
+// (WithParallelism, WithKeepKey).
 type AllReduceOptions struct {
 	// Parallelism is the PDR channel count (default: context setting).
 	Parallelism int
@@ -34,6 +33,8 @@ type AllReduceOptions struct {
 // SplitAllReduce aggregates like SplitAggregate but ends with every
 // executor holding concatOp of the fully reduced segments. The driver
 // receives the copy returned by ring rank 0.
+//
+// Deprecated: use Aggregate with WithStrategy(StrategyAllReduce).
 func SplitAllReduce[T, U, V any](
 	r *rdd.RDD[T],
 	zero func() U,
@@ -44,70 +45,12 @@ func SplitAllReduce[T, U, V any](
 	concatOp func([]V) V,
 	opts AllReduceOptions,
 ) (V, error) {
-	var zv V
-	ctx := r.Context()
-	par := opts.Parallelism
-	if par == 0 {
-		par = ctx.RingParallelism()
-	}
-	if par < 1 {
-		return zv, fmt.Errorf("core: Parallelism must be >= 1, got %d", par)
-	}
-	prefix := fmt.Sprintf("allreduce/%d/", ctx.NewOpID())
-	if opts.KeepKey == "" {
-		defer cleanupIMM(ctx, prefix)
-	} else {
-		// Keep the result objects; clean only the aggregation state.
-		defer cleanupIMM(ctx, prefix+"agg")
-	}
-
-	start := time.Now()
-	if err := runIMMStage(r, prefix, zero, seqOp, mergeOp); err != nil {
-		return zv, err
-	}
-	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
-
-	start = time.Now()
-	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "allreduce stage") }()
-
-	nExec := ctx.NumExecutors()
-	nSegs := par * nExec
-	ops := serdeOps[V](reduceOp)
-	keepKey := opts.KeepKey
-	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
-		agg := sharedAgg(ec, prefix+"agg", zero)
-		segs := splitParallel(agg, nSegs, ec.Cores, splitOp)
-		owned, err := collective.RingReduceScatter(ec.Comm, segs, par, ops)
-		if err != nil {
-			return nil, err
-		}
-		all, err := collective.RingAllGather(ec.Comm, owned, par, ops)
-		if err != nil {
-			return nil, err
-		}
-		result := concatOp(all)
-		if keepKey != "" {
-			ec.MutObjs.GetOrCreate(keepKey, func() any { return result }).
-				Update(func(any) any { return result })
-		}
-		// Only ring rank 0 returns the payload; everyone else acks.
-		if ec.Rank != 0 {
-			return nil, nil
-		}
-		return serde.Encode(nil, result)
-	})
-	if err != nil {
-		return zv, err
-	}
-	for _, p := range payloads {
-		if len(p) == 0 {
-			continue
-		}
-		v, _, err := serde.Decode(p)
-		if err != nil {
-			return zv, err
-		}
-		return v.(V), nil
-	}
-	return zv, fmt.Errorf("core: allreduce produced no driver copy")
+	return Aggregate(context.Background(), r, AggFuncs[T, U, V]{
+		Zero:     zero,
+		SeqOp:    seqOp,
+		MergeOp:  mergeOp,
+		SplitOp:  splitOp,
+		ReduceOp: reduceOp,
+		ConcatOp: concatOp,
+	}, WithStrategy(StrategyAllReduce), WithParallelism(opts.Parallelism), WithKeepKey(opts.KeepKey))
 }

@@ -11,6 +11,7 @@ package core
 // struct of two float64 arrays).
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 
@@ -342,15 +343,36 @@ func appendSliceSegment(seg *AutoSegment, v reflect.Value, kind fieldKind, i, n 
 // aggregation comes for free. This realizes the paper's §6 vision of
 // removing the extra programming effort the interface trades for
 // performance.
+//
+// Deprecated: use Aggregate with DerivedFuncs, or keep this wrapper for
+// the common flat-aggregator case.
 func AutoSplitAggregate[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, opts Options) (U, error) {
 	var zu U
+	fns, rebuild, err := DerivedFuncs[T](zero, seqOp)
+	if err != nil {
+		return zu, err
+	}
+	seg, err := Aggregate(context.Background(), r, fns, WithParallelism(opts.Parallelism))
+	if err != nil {
+		return zu, err
+	}
+	return rebuild(seg), nil
+}
+
+// DerivedFuncs builds the AggFuncs for Aggregate from U's structure the
+// way AutoSplitAggregate does, returning the callback set plus the
+// rebuild function that converts the final AutoSegment back into a U.
+func DerivedFuncs[T, U any](zero func() U, seqOp func(U, T) U) (AggFuncs[T, U, AutoSegment], func(AutoSegment) U, error) {
 	ops, err := Derive(zero)
 	if err != nil {
-		return zu, err
+		return AggFuncs[T, U, AutoSegment]{}, nil, err
 	}
-	seg, err := SplitAggregate(r, zero, seqOp, ops.Merge, ops.Split, ops.Reduce, ops.Concat, opts)
-	if err != nil {
-		return zu, err
-	}
-	return ops.Rebuild(seg), nil
+	return AggFuncs[T, U, AutoSegment]{
+		Zero:     zero,
+		SeqOp:    seqOp,
+		MergeOp:  ops.Merge,
+		SplitOp:  ops.Split,
+		ReduceOp: ops.Reduce,
+		ConcatOp: ops.Concat,
+	}, ops.Rebuild, nil
 }

@@ -1,0 +1,240 @@
+package core
+
+// Chaos suite for the unified aggregation API: split aggregation over a
+// fault-injecting transport must either ride the fault out (delay) or
+// degrade to the tree fallback and still return the exact aggregate —
+// and with fallback disabled, surface a classified error instead of
+// hanging.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"sparker/internal/comm"
+	"sparker/internal/metrics"
+	"sparker/internal/rdd"
+	"sparker/internal/transport"
+)
+
+// chaosContext boots a cluster whose transport injects the given
+// faults. The ring listeners of context name live at
+// comm/<name>/ring/<rank>, so rules can target the PDR while leaving
+// task dispatch and the block manager healthy — the paper's fault
+// argument: Spark survives what MPI cannot.
+func chaosContext(t *testing.T, name string, execs, cores, par int, rules ...*transport.FaultRule) *rdd.Context {
+	t.Helper()
+	net := transport.NewFaulty(transport.NewMem(), 7, rules...)
+	ctx, err := rdd.NewContext(rdd.Config{
+		Name:             name,
+		NumExecutors:     execs,
+		CoresPerExecutor: cores,
+		RingParallelism:  par,
+		Network:          net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ctx.Close() })
+	return ctx
+}
+
+func ringPrefixMatch(name string) func(transport.Addr) bool {
+	prefix := "comm/" + name + "/ring/"
+	return func(a transport.Addr) bool { return strings.HasPrefix(string(a), prefix) }
+}
+
+// requireExact fails unless got equals want bit for bit — the data is
+// integer-valued, so every merge order yields the identical float64s.
+func requireExact(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length mismatch: got %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChaosSplitAggregateKillFallsBack kills one executor's inbound
+// ring links on the first data message: the collective fails with a
+// classified error, the fallback gathers the resident IMM aggregators
+// over the block manager, and the result is exact. A second aggregation
+// on the now-degraded ring must also come back exact.
+func TestChaosSplitAggregateKillFallsBack(t *testing.T) {
+	const samples, dim = 300, 97
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("p=%d", par), func(t *testing.T) {
+			name := fmt.Sprintf("chaos-kill-%d", par)
+			victim := transport.Addr(fmt.Sprintf("comm/%s/ring/%d", name, 1))
+			ctx := chaosContext(t, name, 3, 2, par, &transport.FaultRule{
+				Match:     func(a transport.Addr) bool { return a == victim },
+				Kind:      transport.FaultKill,
+				AfterMsgs: 1, // ring handshakes pass at boot; first step dies
+			})
+			r := vectorRDD(ctx, samples, 6)
+			want := expectedVector(samples, dim)
+
+			for round := 1; round <= 2; round++ {
+				got, err := Aggregate(context.Background(), r, vecFuncs(dim),
+					WithDeadline(500*time.Millisecond))
+				if err != nil {
+					t.Fatalf("round %d: fallback should mask the kill: %v", round, err)
+				}
+				requireExact(t, got, want)
+				if n := ctx.Metrics().Count(metrics.CounterRingFallback); n != int64(round) {
+					t.Fatalf("round %d: ring-fallback counter = %d, want %d", round, n, round)
+				}
+			}
+			if n := ctx.Metrics().Count(metrics.CounterPeerFailure); n < 2 {
+				t.Fatalf("peer-failure counter = %d, want >= 2", n)
+			}
+		})
+	}
+}
+
+// TestChaosSplitAggregateDropFallsBack drops 100% of ring data: every
+// ring task classifies a timeout within the step deadline, and the
+// fallback still produces the exact aggregate.
+func TestChaosSplitAggregateDropFallsBack(t *testing.T) {
+	const samples, dim = 300, 97
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("p=%d", par), func(t *testing.T) {
+			name := fmt.Sprintf("chaos-drop-%d", par)
+			ctx := chaosContext(t, name, 3, 2, par, &transport.FaultRule{
+				Match:     ringPrefixMatch(name),
+				Kind:      transport.FaultDrop,
+				AfterMsgs: 1, // handshakes pass, all data vanishes
+			})
+			r := vectorRDD(ctx, samples, 6)
+
+			start := time.Now()
+			got, err := Aggregate(context.Background(), r, vecFuncs(dim),
+				WithDeadline(300*time.Millisecond))
+			if err != nil {
+				t.Fatalf("fallback should mask total message loss: %v", err)
+			}
+			requireExact(t, got, expectedVector(samples, dim))
+			if ctx.Metrics().Count(metrics.CounterRingFallback) == 0 {
+				t.Fatal("expected a recorded ring fallback")
+			}
+			// IMM + classification + fallback must stay well under the
+			// no-deadline hang this suite exists to prevent.
+			if elapsed := time.Since(start); elapsed > 10*time.Second {
+				t.Fatalf("aggregation took %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestChaosSplitAggregateDelaySucceeds slows every ring message down
+// 10×: the ring is still healthy, so no fallback may trigger and the
+// result is exact.
+func TestChaosSplitAggregateDelaySucceeds(t *testing.T) {
+	const samples, dim = 300, 97
+	for _, par := range []int{1, 4} {
+		par := par
+		t.Run(fmt.Sprintf("p=%d", par), func(t *testing.T) {
+			name := fmt.Sprintf("chaos-delay-%d", par)
+			ctx := chaosContext(t, name, 3, 2, par, &transport.FaultRule{
+				Match: ringPrefixMatch(name),
+				Kind:  transport.FaultDelay,
+				Delay: 10 * time.Millisecond,
+			})
+			r := vectorRDD(ctx, samples, 6)
+			got, err := Aggregate(context.Background(), r, vecFuncs(dim),
+				WithDeadline(2*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireExact(t, got, expectedVector(samples, dim))
+			if n := ctx.Metrics().Count(metrics.CounterRingFallback); n != 0 {
+				t.Fatalf("delay must not trigger fallback, counter = %d", n)
+			}
+		})
+	}
+}
+
+// TestChaosNoFallbackSurfacesClassifiedError: with WithFallback(false)
+// the classified error must cross the executor→driver wire intact so
+// callers can dispatch on errors.Is.
+func TestChaosNoFallbackSurfacesClassifiedError(t *testing.T) {
+	const samples, dim = 120, 32
+	name := "chaos-nofb"
+	ctx := chaosContext(t, name, 3, 2, 2, &transport.FaultRule{
+		Match:     ringPrefixMatch(name),
+		Kind:      transport.FaultDrop,
+		AfterMsgs: 1,
+	})
+	r := vectorRDD(ctx, samples, 4)
+	_, err := Aggregate(context.Background(), r, vecFuncs(dim),
+		WithFallback(false), WithDeadline(250*time.Millisecond))
+	if err == nil {
+		t.Fatal("expected a classified failure with fallback disabled")
+	}
+	if !errors.Is(err, comm.ErrPeerTimeout) {
+		t.Fatalf("want ErrPeerTimeout through the task wire, got %v", err)
+	}
+	if n := ctx.Metrics().Count(metrics.CounterRingFallback); n != 0 {
+		t.Fatalf("fallback disabled but counter = %d", n)
+	}
+}
+
+// TestChaosAllReduceKillFallsBack: the allreduce strategy degrades the
+// same way, and the KeepKey result replicated by the fallback matches
+// the driver copy on every executor.
+func TestChaosAllReduceKillFallsBack(t *testing.T) {
+	const samples, dim = 200, 48
+	name := "chaos-ar-kill"
+	victim := transport.Addr(fmt.Sprintf("comm/%s/ring/%d", name, 2))
+	ctx := chaosContext(t, name, 3, 2, 2, &transport.FaultRule{
+		Match:     func(a transport.Addr) bool { return a == victim },
+		Kind:      transport.FaultKill,
+		AfterMsgs: 1,
+	})
+	r := vectorRDD(ctx, samples, 6)
+	want := expectedVector(samples, dim)
+
+	got, err := Aggregate(context.Background(), r, vecFuncs(dim),
+		WithStrategy(StrategyAllReduce), WithKeepKey("model/chaos"),
+		WithDeadline(500*time.Millisecond))
+	if err != nil {
+		t.Fatalf("fallback should mask the kill: %v", err)
+	}
+	requireExact(t, got, want)
+	if ctx.Metrics().Count(metrics.CounterRingFallback) == 0 {
+		t.Fatal("expected a recorded ring fallback")
+	}
+	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+		obj := ec.MutObjs.Get("model/chaos")
+		if obj == nil {
+			return []byte{0}, nil
+		}
+		var resident []float64
+		obj.Read(func(v any) { resident, _ = v.([]float64) })
+		if len(resident) != len(want) {
+			return []byte{0}, nil
+		}
+		for i := range resident {
+			if resident[i] != want[i] {
+				return []byte{0}, nil
+			}
+		}
+		return []byte{1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		if len(p) != 1 || p[0] != 1 {
+			t.Fatalf("executor %d: replicated KeepKey result missing or wrong", i)
+		}
+	}
+}

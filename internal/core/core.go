@@ -32,6 +32,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -45,6 +46,9 @@ import (
 )
 
 // Options tunes split aggregation.
+//
+// Deprecated: use the AggOption functional options of Aggregate
+// (WithParallelism). Retained so existing call sites keep compiling.
 type Options struct {
 	// Parallelism is the number of PDR channels (and reduce-scatter
 	// threads) per executor. Defaults to the context's RingParallelism
@@ -52,9 +56,31 @@ type Options struct {
 	Parallelism int
 }
 
+// identityFuncs adapts a (zero, seqOp, mergeOp) triple to AggFuncs for
+// the strategies that never split: the aggregator doubles as the sole
+// segment. SplitOp is only ever invoked as SplitOp(u, 0, 1).
+func identityFuncs[T, U any](zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) AggFuncs[T, U, U] {
+	return AggFuncs[T, U, U]{
+		Zero:    zero,
+		SeqOp:   seqOp,
+		MergeOp: mergeOp,
+		SplitOp: func(u U, i, n int) U {
+			if i != 0 || n != 1 {
+				panic(fmt.Sprintf("core: identity SplitOp called with (%d, %d)", i, n))
+			}
+			return u
+		},
+		ReduceOp: mergeOp,
+		ConcatOp: func(vs []U) U { return vs[0] },
+	}
+}
+
 // TreeAggregate is the Spark baseline. See rdd.TreeAggregate.
+//
+// Deprecated: use Aggregate with WithStrategy(StrategyTree).
 func TreeAggregate[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, reduceOp func(U, U) U, depth int) (U, error) {
-	return rdd.TreeAggregate(r, zero, seqOp, reduceOp, rdd.AggregateOptions{Depth: depth})
+	return Aggregate(context.Background(), r, identityFuncs(zero, seqOp, reduceOp),
+		WithStrategy(StrategyTree), WithDepth(depth))
 }
 
 // immState is the per-executor shared aggregator for one aggregation.
@@ -130,7 +156,16 @@ func sharedAgg[U any](ec *rdd.ExecContext, key string, zero func() U) U {
 // second stage serializes each of those for a serial driver merge. The
 // reduction remains tree-shaped (driver-bound); only the serialization
 // volume shrinks from one result per task to one per executor.
+//
+// Deprecated: use Aggregate with WithStrategy(StrategyIMM).
 func TreeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
+	return Aggregate(context.Background(), r, identityFuncs(zero, seqOp, mergeOp),
+		WithStrategy(StrategyIMM))
+}
+
+// treeAggregateIMM is the StrategyIMM implementation shared by
+// Aggregate and the deprecated TreeAggregateIMM wrapper.
+func treeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
 	var zu U
 	ctx := r.Context()
 	prefix := fmt.Sprintf("imm/%d/", ctx.NewOpID())
@@ -178,6 +213,8 @@ func TreeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U
 // opts.Parallelism channels, then the driver collects each executor's
 // owned segments (the "gather via collect" of §4.2) and applies
 // concatOp.
+//
+// Deprecated: use Aggregate, whose default strategy is StrategySplit.
 func SplitAggregate[T, U, V any](
 	r *rdd.RDD[T],
 	zero func() U,
@@ -188,61 +225,14 @@ func SplitAggregate[T, U, V any](
 	concatOp func([]V) V,
 	opts Options,
 ) (V, error) {
-	var zv V
-	ctx := r.Context()
-	par := opts.Parallelism
-	if par == 0 {
-		par = ctx.RingParallelism()
-	}
-	if par < 1 {
-		return zv, fmt.Errorf("core: Parallelism must be >= 1, got %d", par)
-	}
-	prefix := fmt.Sprintf("split/%d/", ctx.NewOpID())
-	defer cleanupIMM(ctx, prefix)
-
-	// Stage 1: reduced-result stage (IMM) → one aggregator per executor.
-	start := time.Now()
-	if err := runIMMStage(r, prefix, zero, seqOp, mergeOp); err != nil {
-		return zv, err
-	}
-	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
-
-	start = time.Now()
-	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "reduce stage") }()
-
-	// Stage 2: SpawnRDD — exactly one task per executor, statically
-	// placed, running reduce-scatter over the ring. Each task returns
-	// its owned (globalIndex, segment) pairs.
-	nExec := ctx.NumExecutors()
-	nSegs := par * nExec
-	ops := serdeOps[V](reduceOp)
-	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
-		agg := sharedAgg(ec, prefix+"agg", zero)
-		segs := splitParallel(agg, nSegs, ec.Cores, splitOp)
-		owned, err := collective.RingReduceScatter(ec.Comm, segs, par, ops)
-		if err != nil {
-			return nil, err
-		}
-		return encodeOwned(owned, ops)
-	})
-	if err != nil {
-		return zv, err
-	}
-
-	// Gather: order the segments by global index and concatenate.
-	segs := make([]V, nSegs)
-	seen := make([]bool, nSegs)
-	for _, p := range payloads {
-		if err := decodeOwned(p, segs, seen, ops); err != nil {
-			return zv, err
-		}
-	}
-	for i, ok := range seen {
-		if !ok {
-			return zv, fmt.Errorf("core: segment %d missing after reduce-scatter", i)
-		}
-	}
-	return concatOp(segs), nil
+	return Aggregate(context.Background(), r, AggFuncs[T, U, V]{
+		Zero:     zero,
+		SeqOp:    seqOp,
+		MergeOp:  mergeOp,
+		SplitOp:  splitOp,
+		ReduceOp: reduceOp,
+		ConcatOp: concatOp,
+	}, WithParallelism(opts.Parallelism))
 }
 
 // serdeOps builds the collective callbacks for a serde-encodable

@@ -67,6 +67,13 @@ func (l *Logger) Phase(name string, d time.Duration, detail string) {
 	l.Log("phase", name, d, detail)
 }
 
+// Marker records a durationless event — a mode change, degradation or
+// recovery the analysis should see in the timeline (e.g. a ring
+// collective falling back to tree aggregation).
+func (l *Logger) Marker(name, detail string) {
+	l.Log("marker", name, 0, detail)
+}
+
 // Flush drains buffered events.
 func (l *Logger) Flush() error {
 	if l == nil {

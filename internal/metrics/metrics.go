@@ -20,15 +20,52 @@ const (
 	PhaseAggReduce  = "agg-reduce"
 )
 
-// Recorder accumulates named durations. It is safe for concurrent use.
+// Canonical counter names used by the engine.
+const (
+	// CounterRingFallback counts split aggregations that degraded to the
+	// tree fallback after a classified collective failure.
+	CounterRingFallback = "ring-fallback"
+	// CounterPeerFailure counts classified peer failures (timeouts and
+	// severed connections) observed by aggregation stages.
+	CounterPeerFailure = "peer-failure"
+)
+
+// Recorder accumulates named durations and event counters. It is safe
+// for concurrent use.
 type Recorder struct {
 	mu sync.Mutex
 	m  map[string]time.Duration
+	c  map[string]int64
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{m: map[string]time.Duration{}}
+	return &Recorder{m: map[string]time.Duration{}, c: map[string]int64{}}
+}
+
+// Inc increments the named counter by one.
+func (r *Recorder) Inc(counter string) {
+	r.mu.Lock()
+	r.c[counter]++
+	r.mu.Unlock()
+}
+
+// Count returns the value of the named counter.
+func (r *Recorder) Count(counter string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.c[counter]
+}
+
+// Counters returns a copy of the counter map.
+func (r *Recorder) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.c))
+	for k, v := range r.c {
+		out[k] = v
+	}
+	return out
 }
 
 // Add accumulates d into the named phase.
@@ -74,14 +111,16 @@ func (r *Recorder) Snapshot() map[string]time.Duration {
 	return out
 }
 
-// Reset clears all phases.
+// Reset clears all phases and counters.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.m = map[string]time.Duration{}
+	r.c = map[string]int64{}
 	r.mu.Unlock()
 }
 
-// String renders phases sorted by name, for logs and test output.
+// String renders phases then counters, each sorted by name, for logs
+// and test output.
 func (r *Recorder) String() string {
 	snap := r.Snapshot()
 	keys := make([]string, 0, len(snap))
@@ -95,6 +134,18 @@ func (r *Recorder) String() string {
 			b.WriteString(" ")
 		}
 		fmt.Fprintf(&b, "%s=%v", k, snap[k])
+	}
+	counts := r.Counters()
+	ckeys := make([]string, 0, len(counts))
+	for k := range counts {
+		ckeys = append(ckeys, k)
+	}
+	sort.Strings(ckeys)
+	for _, k := range ckeys {
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, counts[k])
 	}
 	return b.String()
 }

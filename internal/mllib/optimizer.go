@@ -1,6 +1,7 @@
 package mllib
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -62,29 +63,43 @@ func (s Strategy) String() string {
 	}
 }
 
+// CoreStrategy maps an mllib strategy to the unified core.Aggregate
+// strategy.
+func (s Strategy) CoreStrategy() (core.Strategy, error) {
+	switch s {
+	case StrategyTree:
+		return core.StrategyTree, nil
+	case StrategyTreeIMM:
+		return core.StrategyIMM, nil
+	case StrategySplit:
+		return core.StrategySplit, nil
+	case StrategyAllReduce:
+		return core.StrategyAllReduce, nil
+	default:
+		return 0, fmt.Errorf("mllib: unknown strategy %d", int(s))
+	}
+}
+
 // AggregateF64 reduces a flattened []float64 aggregator over an RDD
 // using the chosen strategy. It is the shared plumbing of all three
 // models: each builds its per-iteration sufficient statistics as one
 // flat vector, which is exactly the shape that makes splitOp/concatOp
-// trivial (Figure 7's splitA/concatA).
+// trivial (Figure 7's splitA/concatA). All strategies route through the
+// unified core.Aggregate, so training inherits its per-step deadlines
+// and ring→tree fallback.
 func AggregateF64[T any](r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int) ([]float64, error) {
-	zero := func() []float64 { return make([]float64, dim) }
-	switch s {
-	case StrategyTree:
-		return core.TreeAggregate(r, zero, seqOp, core.AddF64, depth)
-	case StrategyTreeIMM:
-		return core.TreeAggregateIMM(r, zero, seqOp, core.AddF64)
-	case StrategySplit:
-		return core.SplitAggregate(r, zero, seqOp, core.AddF64,
-			core.SplitSliceCopy[float64], core.AddF64, core.ConcatSlices[float64],
-			core.Options{Parallelism: parallelism})
-	case StrategyAllReduce:
-		return core.SplitAllReduce(r, zero, seqOp, core.AddF64,
-			core.SplitSliceCopy[float64], core.AddF64, core.ConcatSlices[float64],
-			core.AllReduceOptions{Parallelism: parallelism})
-	default:
-		return nil, fmt.Errorf("mllib: unknown strategy %d", int(s))
+	cs, err := s.CoreStrategy()
+	if err != nil {
+		return nil, err
 	}
+	return core.Aggregate(context.Background(), r, core.AggFuncs[T, []float64, []float64]{
+		Zero:     func() []float64 { return make([]float64, dim) },
+		SeqOp:    seqOp,
+		MergeOp:  core.AddF64,
+		SplitOp:  core.SplitSliceCopy[float64],
+		ReduceOp: core.AddF64,
+		ConcatOp: core.ConcatSlices[float64],
+	}, core.WithStrategy(cs), core.WithDepth(depth), core.WithParallelism(parallelism))
 }
 
 // GDConfig configures RunGradientDescent.

@@ -145,7 +145,10 @@ func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 	return acc, nil
 }
 
-// AggregateOptions tunes TreeAggregate.
+// AggregateOptions tunes TreeAggregate. Most callers should use
+// core.Aggregate, the unified aggregation entry point, which dispatches
+// here for StrategyTree; this type remains for the engine-level
+// primitive itself.
 type AggregateOptions struct {
 	// Depth is the aggregation tree depth (Spark default 2). Depth 1
 	// sends every partition aggregator straight to the driver.

@@ -204,6 +204,14 @@ func (ctx *Context) RecordPhase(name string, d time.Duration, detail string) {
 	ctx.conf.EventLog.Phase(name, d, detail)
 }
 
+// RecordMarker bumps the named counter and emits a durationless marker
+// event — how the engine records degradations like a ring collective
+// falling back to tree aggregation.
+func (ctx *Context) RecordMarker(name, detail string) {
+	ctx.rec.Inc(name)
+	ctx.conf.EventLog.Marker(name, detail)
+}
+
 // DriverStore returns the driver-side block store, used to fetch final
 // aggregators from executors.
 func (ctx *Context) DriverStore() *blockmanager.Store { return ctx.driverStore }

@@ -5,14 +5,67 @@ import (
 	"errors"
 	"fmt"
 
+	"sparker/internal/comm"
 	"sparker/internal/transport"
 )
 
 // --- wire frames -------------------------------------------------------
 //
 // task frame:    jobID int64 | task int32 | attempt int32
-// result frame:  jobID int64 | task int32 | attempt int32 | ok byte | body
-//                body = payload bytes (ok=1) or error string (ok=0)
+// result frame:  jobID int64 | task int32 | attempt int32 | status byte | body
+//                body = payload bytes (status=resultOK) or error string
+//
+// Task errors cross the wire as strings, which would strip the error
+// class a driver-side errors.Is needs to pick between retry and
+// fallback. The status byte therefore encodes the classification: the
+// executor maps comm sentinels to a status before serializing, and the
+// driver re-attaches the matching sentinel when it reconstructs the
+// error.
+
+// Result frame status bytes. resultErr/resultOK keep the seed's 0/1
+// encoding; classified failures extend it.
+const (
+	resultErr         = 0 // unclassified failure, message only
+	resultOK          = 1
+	resultPeerTimeout = 2 // comm.ErrPeerTimeout
+	resultPeerDown    = 3 // comm.ErrPeerDown
+)
+
+// resultStatus classifies a task error for the wire.
+func resultStatus(err error) byte {
+	switch {
+	case err == nil:
+		return resultOK
+	case errors.Is(err, comm.ErrPeerTimeout):
+		return resultPeerTimeout
+	case errors.Is(err, comm.ErrPeerDown):
+		return resultPeerDown
+	default:
+		return resultErr
+	}
+}
+
+// wireError is a task failure reconstructed driver-side: the original
+// message with the classified sentinel re-attached for errors.Is.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// decodeWireError rebuilds the executor-side error from its wire form.
+func decodeWireError(status byte, msg string) error {
+	switch status {
+	case resultPeerTimeout:
+		return &wireError{msg: msg, sentinel: comm.ErrPeerTimeout}
+	case resultPeerDown:
+		return &wireError{msg: msg, sentinel: comm.ErrPeerDown}
+	default:
+		return errors.New(msg)
+	}
+}
 
 func encodeTaskFrame(jobID int64, task, attempt int) []byte {
 	b := make([]byte, 16)
@@ -32,37 +85,42 @@ func decodeTaskFrame(b []byte) (jobID int64, task, attempt int, err error) {
 	return jobID, task, attempt, nil
 }
 
-func encodeResultFrame(jobID int64, task, attempt int, payload []byte, errStr string) []byte {
+func encodeResultFrame(jobID int64, task, attempt int, payload []byte, taskErr error) []byte {
+	status := resultStatus(taskErr)
+	var errStr string
+	if taskErr != nil {
+		errStr = taskErr.Error()
+	}
 	b := make([]byte, 0, 17+len(payload)+len(errStr))
 	b = binary.LittleEndian.AppendUint64(b, uint64(jobID))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(task)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(attempt)))
-	if errStr == "" {
-		b = append(b, 1)
+	b = append(b, status)
+	if status == resultOK {
 		b = append(b, payload...)
 	} else {
-		b = append(b, 0)
 		b = append(b, errStr...)
 	}
 	return b
 }
 
-func decodeResultFrame(b []byte) (jobID int64, task, attempt int, payload []byte, errStr string, err error) {
+func decodeResultFrame(b []byte) (jobID int64, task, attempt int, payload []byte, taskErr, err error) {
 	if len(b) < 17 {
-		return 0, 0, 0, nil, "", fmt.Errorf("rdd: short result frame (%d bytes)", len(b))
+		return 0, 0, 0, nil, nil, fmt.Errorf("rdd: short result frame (%d bytes)", len(b))
 	}
 	jobID = int64(binary.LittleEndian.Uint64(b))
 	task = int(int32(binary.LittleEndian.Uint32(b[8:])))
 	attempt = int(int32(binary.LittleEndian.Uint32(b[12:])))
-	if b[16] == 1 {
+	if b[16] == resultOK {
 		payload = b[17:]
 	} else {
-		errStr = string(b[17:])
-		if errStr == "" {
-			errStr = "rdd: task failed without message"
+		msg := string(b[17:])
+		if msg == "" {
+			msg = "rdd: task failed without message"
 		}
+		taskErr = decodeWireError(b[16], msg)
 	}
-	return jobID, task, attempt, payload, errStr, nil
+	return jobID, task, attempt, payload, taskErr, nil
 }
 
 // --- job bookkeeping ---------------------------------------------------
@@ -71,7 +129,7 @@ type taskResult struct {
 	task    int
 	attempt int
 	payload []byte
-	errStr  string
+	err     error
 }
 
 type job struct {
@@ -98,6 +156,19 @@ type JobSpec struct {
 	// nil, failed tasks are retried individually (plain RDD semantics,
 	// which require independent tasks).
 	StageCleanup func(ec *ExecContext) error
+	// MaxAttempts, when positive, overrides the configured retry budget
+	// for this stage (MaxTaskAttempts, or MaxStageAttempts with
+	// StageCleanup set). Collective stages set it to 1: resubmitting one
+	// ring member alone cannot succeed, and the caller wants the
+	// classified failure promptly to decide on fallback.
+	MaxAttempts int
+	// WaitAll delays the stage's error return until every in-flight task
+	// has reported, instead of aborting on the first terminal failure.
+	// Collective stages set it so that no task of a failed stage is
+	// still driving the comm ring when the caller starts recovery (its
+	// peers classify within their step deadline, so the wait is
+	// bounded). Stages with StageCleanup always behave this way.
+	WaitAll bool
 }
 
 // ErrJobFailed wraps the terminal failure of a job after retries.
@@ -132,7 +203,7 @@ func (ctx *Context) readResults(c transport.Conn) {
 		if err != nil {
 			return
 		}
-		jobID, task, attempt, payload, errStr, err := decodeResultFrame(b)
+		jobID, task, attempt, payload, taskErr, err := decodeResultFrame(b)
 		if err != nil {
 			continue
 		}
@@ -146,7 +217,7 @@ func (ctx *Context) readResults(c transport.Conn) {
 			p = append([]byte(nil), payload...)
 		}
 		select {
-		case j.(*job).results <- taskResult{task: task, attempt: attempt, payload: p, errStr: errStr}:
+		case j.(*job).results <- taskResult{task: task, attempt: attempt, payload: p, err: taskErr}:
 		default:
 			// Result channel full implies a protocol bug; drop rather
 			// than deadlock the reader.
@@ -186,8 +257,12 @@ func (ctx *Context) RunJob(spec JobSpec) ([][]byte, error) {
 
 // runStageTaskRetry retries failed tasks individually.
 func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, error) {
+	maxAttempts := ctx.conf.MaxTaskAttempts
+	if spec.MaxAttempts > 0 {
+		maxAttempts = spec.MaxAttempts
+	}
 	id := ctx.newJobID()
-	j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks*ctx.conf.MaxTaskAttempts+1)}
+	j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks*maxAttempts+1)}
 	ctx.jobs.Store(id, j)
 	defer ctx.jobs.Delete(id)
 
@@ -207,25 +282,44 @@ func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, 
 	done := make([]bool, spec.Tasks)
 	attempts := make([]int, spec.Tasks)
 	remaining := spec.Tasks
-	for remaining > 0 {
+	inflight := spec.Tasks
+	var finalErr error
+	for remaining > 0 && inflight > 0 {
 		r := <-j.results
 		if r.task < 0 || r.task >= spec.Tasks || done[r.task] {
 			continue
 		}
-		if r.errStr == "" {
+		inflight--
+		if r.err == nil {
 			out[r.task] = r.payload
 			done[r.task] = true
 			remaining--
 			continue
 		}
 		attempts[r.task]++
-		if attempts[r.task] >= ctx.conf.MaxTaskAttempts {
-			return nil, fmt.Errorf("%w: task %d failed %d times, last: %s",
-				ErrJobFailed, r.task, attempts[r.task], r.errStr)
+		if attempts[r.task] >= maxAttempts {
+			err := fmt.Errorf("%w: task %d failed %d times, last: %w",
+				ErrJobFailed, r.task, attempts[r.task], r.err)
+			if !spec.WaitAll {
+				return nil, err
+			}
+			// Keep draining the other in-flight tasks; report the first
+			// terminal failure once they have all come home.
+			if finalErr == nil {
+				finalErr = err
+			}
+			continue
 		}
-		if err := submit(r.task, attempts[r.task]); err != nil {
-			return nil, err
+		// Once the stage is doomed there is no point resubmitting.
+		if finalErr == nil {
+			if err := submit(r.task, attempts[r.task]); err != nil {
+				return nil, err
+			}
+			inflight++
 		}
+	}
+	if finalErr != nil {
+		return nil, finalErr
 	}
 	return out, nil
 }
@@ -233,8 +327,12 @@ func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, 
 // runStageWholeRetry implements reduced-result stage recovery: abort on
 // first failure, clean every executor's shared state, resubmit.
 func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte, error) {
-	var lastErr string
-	for stageAttempt := 0; stageAttempt < ctx.conf.MaxStageAttempts; stageAttempt++ {
+	maxAttempts := ctx.conf.MaxStageAttempts
+	if spec.MaxAttempts > 0 {
+		maxAttempts = spec.MaxAttempts
+	}
+	var lastErr error
+	for stageAttempt := 0; stageAttempt < maxAttempts; stageAttempt++ {
 		id := ctx.newJobID()
 		j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks+1)}
 		ctx.jobs.Store(id, j)
@@ -257,9 +355,9 @@ func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte,
 		// cleanup runs.
 		for seen := 0; seen < spec.Tasks; seen++ {
 			r := <-j.results
-			if r.errStr != "" {
+			if r.err != nil {
 				failed = true
-				lastErr = r.errStr
+				lastErr = r.err
 				continue
 			}
 			if r.task >= 0 && r.task < spec.Tasks {
@@ -274,8 +372,8 @@ func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte,
 			return nil, fmt.Errorf("rdd: stage cleanup failed: %w", err)
 		}
 	}
-	return nil, fmt.Errorf("%w: reduced-result stage failed %d attempts, last: %s",
-		ErrJobFailed, ctx.conf.MaxStageAttempts, lastErr)
+	return nil, fmt.Errorf("%w: reduced-result stage failed %d attempts, last: %w",
+		ErrJobFailed, maxAttempts, lastErr)
 }
 
 // runCleanup runs cleanup once on every executor.

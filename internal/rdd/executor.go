@@ -139,8 +139,8 @@ func (e *Executor) worker() {
 	for {
 		select {
 		case tm := <-e.queue:
-			payload, errStr := e.runTask(ec, tm)
-			frame := encodeResultFrame(tm.jobID, tm.task, tm.attempt, payload, errStr)
+			payload, taskErr := e.runTask(ec, tm)
+			frame := encodeResultFrame(tm.jobID, tm.task, tm.attempt, payload, taskErr)
 			tm.conn.send(frame)
 		case <-e.quit:
 			return
@@ -150,22 +150,18 @@ func (e *Executor) worker() {
 
 // runTask executes one task, converting panics into task failures —
 // the engine must survive user-code bugs the way Spark does.
-func (e *Executor) runTask(ec *ExecContext, tm taskMsg) (payload []byte, errStr string) {
+func (e *Executor) runTask(ec *ExecContext, tm taskMsg) (payload []byte, taskErr error) {
 	j, ok := e.ctx.jobs.Load(tm.jobID)
 	if !ok {
-		return nil, fmt.Sprintf("rdd: unknown job %d", tm.jobID)
+		return nil, fmt.Errorf("rdd: unknown job %d", tm.jobID)
 	}
 	defer func() {
 		if r := recover(); r != nil {
 			payload = nil
-			errStr = fmt.Sprintf("rdd: task %d/%d panicked: %v\n%s", tm.jobID, tm.task, r, debug.Stack())
+			taskErr = fmt.Errorf("rdd: task %d/%d panicked: %v\n%s", tm.jobID, tm.task, r, debug.Stack())
 		}
 	}()
-	out, err := j.(*job).fn(ec, tm.task, tm.attempt)
-	if err != nil {
-		return nil, err.Error()
-	}
-	return out, ""
+	return j.(*job).fn(ec, tm.task, tm.attempt)
 }
 
 func (e *Executor) close() {

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dialPair sets up a listener at addr and returns the dialed conn and
+// the accepted conn.
+func dialPair(t *testing.T, n Network, addr Addr) (Conn, Conn) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan Conn, 1)
+	errs := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errs <- err
+			return
+		}
+		accepted <- c
+	}()
+	dialed, err := n.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-accepted:
+		return dialed, c
+	case err := <-errs:
+		t.Fatal(err)
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	return nil, nil
+}
+
+func TestFaultDropAfterK(t *testing.T) {
+	n := NewFaulty(NewMem(), 1, &FaultRule{
+		Match:     func(a Addr) bool { return a == "victim" },
+		Kind:      FaultDrop,
+		AfterMsgs: 2,
+	})
+	defer n.Close()
+	d, a := dialPair(t, n, "victim")
+	for i := 0; i < 5; i++ {
+		if err := d.Send([]byte{byte(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Only the first two messages arrive; the rest were dropped silently.
+	for i := 0; i < 2; i++ {
+		b, err := a.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b[0] != byte(i) {
+			t.Fatalf("got message %d, want %d", b[0], i)
+		}
+	}
+	got := make(chan []byte, 1)
+	go func() {
+		if b, err := a.Recv(); err == nil {
+			got <- b
+		}
+	}()
+	select {
+	case b := <-got:
+		t.Fatalf("message %d should have been dropped", b[0])
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestFaultDropDoesNotAffectOtherAddrs(t *testing.T) {
+	n := NewFaulty(NewMem(), 1, &FaultRule{
+		Match: func(a Addr) bool { return strings.HasPrefix(string(a), "comm/") },
+		Kind:  FaultDrop,
+	})
+	defer n.Close()
+	d, a := dialPair(t, n, "blockmanager/0")
+	if err := d.Send([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Recv()
+	if err != nil || string(b) != "ok" {
+		t.Fatalf("unmatched addr was faulted: %q, %v", b, err)
+	}
+}
+
+func TestFaultDelay(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	n := NewFaulty(NewMem(), 1, &FaultRule{Kind: FaultDelay, Delay: delay})
+	defer n.Close()
+	d, a := dialPair(t, n, "x")
+	start := time.Now()
+	if err := d.Send([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < delay {
+		t.Fatalf("delayed send arrived in %v, want >= %v", e, delay)
+	}
+}
+
+func TestFaultDuplicate(t *testing.T) {
+	n := NewFaulty(NewMem(), 1, &FaultRule{Kind: FaultDuplicate})
+	defer n.Close()
+	d, a := dialPair(t, n, "x")
+	if err := d.Send([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		b, err := a.Recv()
+		if err != nil {
+			t.Fatalf("copy %d: %v", i, err)
+		}
+		if string(b) != "m" {
+			t.Fatalf("copy %d corrupted: %q", i, b)
+		}
+	}
+}
+
+func TestFaultKillAfterK(t *testing.T) {
+	n := NewFaulty(NewMem(), 1, &FaultRule{
+		Match:     func(a Addr) bool { return a == "victim" },
+		Kind:      FaultKill,
+		AfterMsgs: 1,
+	})
+	defer n.Close()
+	d, _ := dialPair(t, n, "victim")
+	if err := d.Send([]byte("first")); err != nil {
+		t.Fatalf("send before kill threshold: %v", err)
+	}
+	err := d.Send([]byte("second"))
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("send past kill threshold: got %v, want ErrClosed", err)
+	}
+	// The peer is gone for good: dialing it again fails too.
+	if _, err := n.Dial("victim"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dial of killed peer: got %v, want ErrClosed", err)
+	}
+	if _, err := n.Listen("victim"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("listen at killed addr: got %v, want ErrClosed", err)
+	}
+	// Unmatched addrs still work.
+	d2, a2 := dialPair(t, n, "healthy")
+	if err := d2.Send([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultKillSeversLiveConns(t *testing.T) {
+	n := NewFaulty(NewMem(), 1)
+	defer n.Close()
+	d, a := dialPair(t, n, "victim")
+	recvErr := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		recvErr <- err
+	}()
+	n.Kill(func(addr Addr) bool { return addr == "victim" })
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("Recv on killed conn returned a message")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not observe the kill")
+	}
+	if err := d.Send([]byte("m")); err == nil {
+		// mem conns may accept one buffered send; the peer is still dead.
+		if _, err := n.Dial("victim"); err == nil {
+			t.Fatal("dial of killed peer succeeded")
+		}
+	}
+}
+
+func TestFaultDeterministicProb(t *testing.T) {
+	run := func() []int {
+		n := NewFaulty(NewMem(), 42, &FaultRule{Kind: FaultDrop, Prob: 0.5})
+		defer n.Close()
+		d, a := dialPair(t, n, "x")
+		for i := 0; i < 32; i++ {
+			if err := d.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Close()
+		var got []int
+		for {
+			b, err := a.Recv()
+			if err != nil {
+				return got
+			}
+			got = append(got, int(b[0]))
+		}
+	}
+	first := run()
+	second := run()
+	if len(first) == 0 || len(first) == 32 {
+		t.Fatalf("Prob=0.5 dropped %d/32 — rule not engaging", 32-len(first))
+	}
+	if len(first) != len(second) {
+		t.Fatalf("same seed produced different schedules: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed produced different schedules: %v vs %v", first, second)
+		}
+	}
+}
+
+// The wrapper must preserve the inner transport's buffer-ownership
+// contract so comm's pool recycling stays sound under injection.
+func TestFaultSendRetainsBufferPassthrough(t *testing.T) {
+	mem := NewFaulty(NewMem(), 1)
+	defer mem.Close()
+	d, _ := dialPair(t, mem, "x")
+	if sr, ok := d.(SendRetainer); !ok || !sr.SendRetainsBuffer() {
+		t.Fatal("faulty mem conn should retain buffers like memConn")
+	}
+	tcp := NewFaulty(NewTCP(), 1)
+	defer tcp.Close()
+	d2, _ := dialPair(t, tcp, "t")
+	if sr, ok := d2.(SendRetainer); !ok || sr.SendRetainsBuffer() {
+		t.Fatal("faulty tcp conn should copy buffers like tcpConn")
+	}
+}

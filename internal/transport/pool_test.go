@@ -50,9 +50,9 @@ func TestPutBufOddCapacityNeverUndersized(t *testing.T) {
 // Tiny and huge buffers are clamped/dropped without panicking.
 func TestPutBufExtremes(t *testing.T) {
 	PutBuf(nil)
-	PutBuf(make([]byte, 0, 8))       // below the smallest bucket: dropped
-	PutBuf(make([]byte, 1, 1<<27))   // above the largest bucket: dropped
-	b := GetBuf(1<<26 + 1)           // larger than any bucket: plain make
+	PutBuf(make([]byte, 0, 8))     // below the smallest bucket: dropped
+	PutBuf(make([]byte, 1, 1<<27)) // above the largest bucket: dropped
+	b := GetBuf(1<<26 + 1)         // larger than any bucket: plain make
 	if len(b) != 1<<26+1 {
 		t.Fatalf("GetBuf over max bucket: len %d", len(b))
 	}
