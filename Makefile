@@ -1,11 +1,12 @@
 # Sparker build/test entry points. Tier-1 is `make test`; `make race`
 # runs the packages where pooled buffers and persistent senders could
 # hide data races under the race detector; `make check` is the full
-# pre-merge gate (vet + tests + race + chaos).
+# pre-merge gate (vet + tests + race + chaos + telemetry overhead +
+# traced-run demo).
 
 GO ?= go
 
-.PHONY: build vet test race test-chaos check bench benchjson
+.PHONY: build vet test race test-chaos overhead trace-demo check bench benchjson
 
 build:
 	$(GO) build ./...
@@ -17,9 +18,10 @@ test: build
 	$(GO) test ./...
 
 # The reduction data plane (pooled wire buffers, persistent channel
-# senders, fused decode-reduce) plus the rdd engine that drives it.
+# senders, fused decode-reduce) plus the rdd engine that drives it, the
+# telemetry instruments, and the span exporters.
 race:
-	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/transport
+	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/transport ./internal/metrics ./internal/trace
 
 # Fault-injection suites (see DESIGN.md "Fault model"): kill/drop/delay
 # matrices over the raw collectives and end-to-end core.Aggregate,
@@ -27,7 +29,23 @@ race:
 test-chaos:
 	$(GO) test -race -run Chaos ./internal/collective ./internal/core
 
-check: vet test race test-chaos
+# Telemetry overhead gate (see DESIGN.md "Observability"): with tracing
+# off the ring hot path must allocate no more per op than the PR 1
+# baselines. Fails the build if disabled telemetry stops being free.
+overhead:
+	$(GO) test -run TelemetryOverhead -v ./internal/collective
+
+# End-to-end tracing demo: a traced LR run whose event log must convert
+# to a Perfetto-loadable Chrome trace with >= 2 executor tracks,
+# ring-step spans, and cross-track parent stitches.
+trace-demo:
+	$(GO) run ./cmd/sparker-train -model lr -profile avazu -scale 100000 -iters 3 \
+		-executors 4 -cores 2 -strategy split -eventlog /tmp/sparker-trace-demo.log -trace
+	$(GO) run ./cmd/sparker-analyze -percentiles -chrome-trace /tmp/sparker-trace-demo.json \
+		-validate /tmp/sparker-trace-demo.log
+	@echo "load /tmp/sparker-trace-demo.json in ui.perfetto.dev"
+
+check: vet test race test-chaos overhead trace-demo
 
 # Hot-path microbenchmarks: the before/after evidence for the
 # zero-allocation reduction work (see DESIGN.md "Performance notes").
@@ -37,4 +55,4 @@ bench:
 
 # Machine-readable paper-reproduction results for perf tracking.
 benchjson:
-	$(GO) run ./cmd/sparkerbench -json > BENCH_reports.json
+	$(GO) run ./cmd/sparkerbench -json > BENCH_PR3.json

@@ -4,38 +4,62 @@
 // phase decomposition and hot-spot — the analysis that revealed tree
 // aggregation as MLlib's bottleneck.
 //
+// Traced runs (sparker-train -trace) add span records to the log,
+// which this command can roll up and export:
+//
+//	-percentiles        per-span-name duration p50/p95/p99 table
+//	-chrome-trace FILE  Chrome trace-event JSON for Perfetto
+//	                    (load at ui.perfetto.dev)
+//	-validate           fail unless the trace has executor tracks,
+//	                    ring-step spans and cross-track stitches
+//
 // Usage:
 //
-//	sparker-train -model lr -eventlog run.log
-//	sparker-analyze run.log
+//	sparker-train -model lr -eventlog run.log -trace
+//	sparker-analyze -percentiles -chrome-trace run.json run.log
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"time"
 
 	"sparker/internal/eventlog"
+	"sparker/internal/metrics"
+	"sparker/internal/trace"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: sparker-analyze <history-log>")
+	chromePath := flag.String("chrome-trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	percentiles := flag.Bool("percentiles", false, "print per-span-name duration percentiles")
+	validate := flag.Bool("validate", false, "exit non-zero unless the trace stitches driver and >=2 executors with ring-step spans")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sparker-analyze [-percentiles] [-chrome-trace out.json] [-validate] <history-log>")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sparker-analyze:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	defer f.Close()
 
 	events, err := eventlog.Read(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sparker-analyze:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	phaseReport(events)
+	if *percentiles {
+		percentileReport(events)
+	}
+	if *chromePath != "" || *validate {
+		chromeReport(events, *chromePath, *validate)
+	}
+}
+
+func phaseReport(events []eventlog.Event) {
 	b := eventlog.Analyze(events)
 	if b.Total == 0 {
 		fmt.Println("no phase events in log")
@@ -58,4 +82,97 @@ func main() {
 	fmt.Printf("\nhot-spot: %s (%v)\n", hot, d.Round(time.Millisecond))
 	aggShare := b.Share("agg-compute", "agg-reduce")
 	fmt.Printf("aggregation share: %.1f%% (the paper measured 67.69%% geomean across MLlib workloads)\n", 100*aggShare)
+}
+
+// percentileReport rolls span durations up per span name into log₂
+// histograms and prints the latency table — the ring-step line is the
+// per-step latency distribution the paper's Figure 13 discussion needs.
+func percentileReport(events []eventlog.Event) {
+	hists := map[string]*metrics.Histogram{}
+	for _, e := range events {
+		s, ok := trace.SpanFromEvent(e)
+		if !ok {
+			continue
+		}
+		h := hists[s.Name]
+		if h == nil {
+			h = metrics.NewHistogram()
+			hists[s.Name] = h
+		}
+		h.Observe(s.Duration().Nanoseconds())
+	}
+	if len(hists) == 0 {
+		fmt.Println("\nno span records in log (run sparker-train with -trace)")
+		return
+	}
+	names := make([]string, 0, len(hists))
+	for n := range hists {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return hists[names[i]].Sum() > hists[names[j]].Sum() })
+
+	fmt.Printf("\n%-14s %8s %12s %12s %12s %12s\n", "span", "count", "p50", "p95", "p99", "total")
+	for _, n := range names {
+		s := hists[n].Snapshot()
+		fmt.Printf("%-14s %8d %12v %12v %12v %12v\n", n, s.Count,
+			time.Duration(s.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(s.Quantile(0.99)).Round(time.Microsecond),
+			time.Duration(s.Sum).Round(time.Millisecond))
+	}
+}
+
+// chromeReport exports the trace (when path is non-empty) and checks
+// the stitching invariants (when validate is set).
+func chromeReport(events []eventlog.Event, path string, validate bool) {
+	var out *os.File
+	if path != "" {
+		var err error
+		out, err = os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+	} else {
+		var err error
+		out, err = os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+	}
+	sum, err := trace.WriteChromeTrace(out, events)
+	if err != nil {
+		fail(err)
+	}
+	execTracks := len(sum.Tracks) - 1 // minus the driver track
+	fmt.Printf("\ntrace: %d spans, %d traces, %d executor tracks, %d ring-steps, %d cross-track stitches, %d orphans\n",
+		sum.Spans, sum.Traces, execTracks, sum.RingSteps, sum.CrossTrackParents, sum.Orphans)
+	if path != "" {
+		fmt.Printf("chrome trace written to %s (load at ui.perfetto.dev)\n", path)
+	}
+	if validate {
+		var problems []string
+		if execTracks < 2 {
+			problems = append(problems, fmt.Sprintf("expected >=2 executor tracks, got %d", execTracks))
+		}
+		if sum.RingSteps == 0 {
+			problems = append(problems, "no ring-step spans (strategy without a ring, or tracing broken)")
+		}
+		if sum.CrossTrackParents == 0 {
+			problems = append(problems, "no cross-track parent links — span propagation across the transport failed")
+		}
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "sparker-analyze: validate:", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("validate: OK")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sparker-analyze:", err)
+	os.Exit(1)
 }

@@ -8,6 +8,7 @@
 //	sparker-train -model lr  -profile avazu -scale 20000 -strategy split
 //	sparker-train -model svm -data mydata.libsvm -strategy tree
 //	sparker-train -model lda -profile nytimes -scale 2000 -topics 10
+//	sparker-train -model lr -eventlog run.log -trace   # span records too
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"sparker/internal/metrics"
 	"sparker/internal/mllib"
 	"sparker/internal/rdd"
+	"sparker/internal/trace"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	parallelism := flag.Int("parallelism", 4, "split-aggregation ring parallelism")
 	seed := flag.Int64("seed", 1, "seed")
 	eventLogPath := flag.String("eventlog", "", "write a history log (JSON lines) to this file")
+	traceRun := flag.Bool("trace", false, "record spans to the event log (requires -eventlog); analyze with sparker-analyze -chrome-trace")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9091) while training")
 	flag.Parse()
 
 	strat, err := mllib.ParseStrategy(*strategy)
@@ -53,17 +57,41 @@ func main() {
 		logger = eventlog.New(f)
 		defer logger.Flush()
 	}
+	var tracer *trace.Tracer
+	if *traceRun {
+		if logger == nil {
+			fail(fmt.Errorf("-trace requires -eventlog (spans are log records)"))
+		}
+		// Span export goes through the async exporter so span-heavy runs
+		// never block a hot path on log I/O. Closed (drained) before the
+		// logger flushes.
+		exp := trace.NewAsyncExporter(trace.NewLogExporter(logger), 0)
+		defer exp.Close()
+		tracer = trace.New(exp)
+	}
 	ctx, err := rdd.NewContext(rdd.Config{
 		Name:             "train",
 		NumExecutors:     *executors,
 		CoresPerExecutor: *cores,
 		RingParallelism:  *parallelism,
 		EventLog:         logger,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		fail(err)
 	}
 	defer ctx.Close()
+
+	if *metricsAddr != "" {
+		srv, err := metrics.NewServer(*metricsAddr, func() (*metrics.Registry, *metrics.Recorder) {
+			return ctx.MergedMetrics(), ctx.Metrics()
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr())
+	}
 
 	start := time.Now()
 	switch *model {
@@ -80,6 +108,13 @@ func main() {
 	fmt.Printf("\nwall time           %v\n", time.Since(start).Round(time.Millisecond))
 	fmt.Printf("agg-compute         %v\n", rec.Get(metrics.PhaseAggCompute).Round(time.Millisecond))
 	fmt.Printf("agg-reduce          %v\n", rec.Get(metrics.PhaseAggReduce).Round(time.Millisecond))
+	if hs := ctx.MergedMetrics().Histogram(metrics.HistRingStepNS).Snapshot(); hs.Count > 0 {
+		fmt.Printf("ring-step latency   p50 %v  p95 %v  p99 %v  (%d steps)\n",
+			time.Duration(hs.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(hs.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(hs.Quantile(0.99)).Round(time.Microsecond),
+			hs.Count)
+	}
 }
 
 func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters int, strat mllib.Strategy, seed int64) {

@@ -26,8 +26,8 @@ func TestAllReportsRender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 17 {
-		t.Fatalf("got %d reports, want 17 (3 tables + 11 figures + 3 ablations)", len(reports))
+	if len(reports) != 18 {
+		t.Fatalf("got %d reports, want 18 (3 tables + 11 figures + 3 ablations + engine metrics)", len(reports))
 	}
 	for _, r := range reports {
 		out := r.Render()

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sparker/internal/data"
+	"sparker/internal/metrics"
+	"sparker/internal/mllib"
+	"sparker/internal/rdd"
+)
+
+// EngineMetrics runs a small real-engine training (not the calibrated
+// simulation) and reports the raw phase breakdown, full counter map and
+// the typed-instrument percentiles — the engine-health baseline
+// successive PRs diff through BENCH_*.json. The workload is fixed
+// (seeded data, fixed iterations) so only code changes move it; times
+// remain machine-dependent, but counters and distribution shapes are
+// comparable.
+func EngineMetrics() (*Report, error) {
+	ctx, err := rdd.NewContext(rdd.Config{
+		Name:             "bench-engine",
+		NumExecutors:     4,
+		CoresPerExecutor: 2,
+		RingParallelism:  4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Close()
+
+	p, err := data.ProfileByName("avazu")
+	if err != nil {
+		return nil, err
+	}
+	sp := p.Scaled(200_000)
+	points := data.GenClassification(sp.ClassificationSpec(1))
+	train := rdd.FromSlice(ctx, points, ctx.TotalCores()).Cache()
+	if _, err := mllib.TrainLogisticRegression(train, mllib.LogisticRegressionConfig{
+		NumFeatures: sp.Features,
+		GD: mllib.GDConfig{
+			Iterations: 5,
+			Strategy:   mllib.StrategySplit,
+		},
+	}); err != nil {
+		return nil, err
+	}
+
+	rec := ctx.Metrics()
+	reg := ctx.MergedMetrics()
+	// The counter map is full, not sparse: every known counter appears
+	// even at zero, so cross-PR diffs see "fallbacks: 0 → 2" rather
+	// than a key popping into existence.
+	counterMap := rec.Counters()
+	for _, c := range []string{metrics.CounterRingFallback, metrics.CounterPeerFailure} {
+		if _, ok := counterMap[c]; !ok {
+			counterMap[c] = 0
+		}
+	}
+	r := &Report{
+		Title:     "Engine metrics: LR × split, 4 executors × 2 cores, 5 iterations",
+		Header:    []string{"instrument", "count", "p50", "p95", "p99", "sum"},
+		PhasesSec: map[string]float64{},
+		Counters:  counterMap,
+		Quantiles: map[string]int64{},
+	}
+	for phase, d := range rec.Snapshot() {
+		r.PhasesSec[phase] = d.Seconds()
+	}
+
+	for _, name := range reg.HistogramNames() {
+		s := reg.Histogram(name).Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+		r.Quantiles[name+"/p50"] = p50
+		r.Quantiles[name+"/p95"] = p95
+		r.Quantiles[name+"/p99"] = p99
+		r.AddRow(name, fmt.Sprint(s.Count),
+			fmtSample(name, p50), fmtSample(name, p95), fmtSample(name, p99),
+			fmtSample(name, s.Sum))
+	}
+	counters := make([]string, 0, len(r.Counters))
+	for c := range r.Counters {
+		counters = append(counters, c)
+	}
+	sort.Strings(counters)
+	for _, c := range counters {
+		r.AddNote("counter %s = %d", c, r.Counters[c])
+	}
+	r.AddNote("agg-compute %.3fs, agg-reduce %.3fs (absolute times are machine-dependent; diff counters and shapes)",
+		r.PhasesSec[metrics.PhaseAggCompute], r.PhasesSec[metrics.PhaseAggReduce])
+	return r, nil
+}
+
+// fmtSample renders a histogram sample in its native unit: durations
+// for *.ns instruments, byte sizes otherwise.
+func fmtSample(hist string, v int64) string {
+	if len(hist) > 3 && hist[len(hist)-3:] == ".ns" {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmtBytes(v)
+}

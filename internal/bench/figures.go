@@ -406,6 +406,7 @@ func All() ([]*Report, error) {
 		Fig1, Fig2, Fig3, Fig4,
 		Fig12, Fig13, Fig14, Fig15, Fig16, Fig17, Fig18,
 		AblationIMM, AblationAlgorithms, AblationAllReduce,
+		EngineMetrics,
 	}
 	var out []*Report
 	for _, f := range runners {
@@ -428,10 +429,11 @@ func ByID(id string) (*Report, error) {
 		"fig12-aws": Fig12AWS, "fig13-aws": Fig13AWS, "fig16-aws": Fig16AWS,
 		"ablation-imm": AblationIMM, "ablation-algos": AblationAlgorithms,
 		"ablation-allreduce": AblationAllReduce,
+		"engine-metrics":     EngineMetrics,
 	}
 	f, ok := m[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce)", id)
+		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics)", id)
 	}
 	return f()
 }

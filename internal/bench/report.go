@@ -21,6 +21,18 @@ type Report struct {
 	Rows [][]string
 	// Notes carry paper-reference values and caveats.
 	Notes []string
+
+	// The raw maps below are populated by engine-backed reports (not the
+	// calibrated simulation) so `sparkerbench -json` output can be diffed
+	// numerically across PRs without parsing formatted cells.
+
+	// PhasesSec maps engine phase name to accumulated seconds.
+	PhasesSec map[string]float64 `json:",omitempty"`
+	// Counters maps engine counter name to its value.
+	Counters map[string]int64 `json:",omitempty"`
+	// Quantiles maps "<histogram>/<quantile>" (e.g. "ring.step.ns/p95")
+	// to the raw sample value.
+	Quantiles map[string]int64 `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -16,8 +16,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"sparker/internal/metrics"
 	"sparker/internal/transport"
 )
 
@@ -212,6 +214,34 @@ type Store struct {
 
 	peerMu    sync.Mutex
 	peerConns map[string]*peerConn
+
+	// inst, when set, carries the put/get histograms of the owning
+	// executor's registry. Atomic pointer so SetMetrics is safe against
+	// in-flight block traffic; nil keeps the store uninstrumented (one
+	// pointer load per operation, no clock reads).
+	inst atomic.Pointer[storeInstruments]
+}
+
+// storeInstruments bundles the block-I/O histograms resolved once at
+// SetMetrics time so the data path never takes the registry lock.
+type storeInstruments struct {
+	putNS, putBytes *metrics.Histogram
+	getNS, getBytes *metrics.Histogram
+}
+
+// SetMetrics wires block put/get latency and size histograms into reg.
+// Nil reg disables instrumentation.
+func (s *Store) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.inst.Store(nil)
+		return
+	}
+	s.inst.Store(&storeInstruments{
+		putNS:    reg.Histogram(metrics.HistBlockPutNS),
+		putBytes: reg.Histogram(metrics.HistBlockPutBytes),
+		getNS:    reg.Histogram(metrics.HistBlockGetNS),
+		getBytes: reg.Histogram(metrics.HistBlockGetBytes),
+	})
 }
 
 type peerConn struct {
@@ -345,6 +375,13 @@ func (s *Store) peer(name string, req []byte) ([]byte, error) {
 // Put stores a block locally and registers its location with the
 // master.
 func (s *Store) Put(id string, payload []byte) error {
+	if inst := s.inst.Load(); inst != nil {
+		start := time.Now()
+		defer func() {
+			inst.putNS.Observe(time.Since(start).Nanoseconds())
+			inst.putBytes.Observe(int64(len(payload)))
+		}()
+	}
 	s.mu.Lock()
 	s.blocks[id] = payload
 	s.mu.Unlock()
@@ -361,6 +398,13 @@ func (s *Store) Put(id string, payload []byte) error {
 // PutLocal stores a block without registering it (used for blocks whose
 // location the scheduler already knows, e.g. shuffle outputs).
 func (s *Store) PutLocal(id string, payload []byte) {
+	if inst := s.inst.Load(); inst != nil {
+		start := time.Now()
+		defer func() {
+			inst.putNS.Observe(time.Since(start).Nanoseconds())
+			inst.putBytes.Observe(int64(len(payload)))
+		}()
+	}
 	s.mu.Lock()
 	s.blocks[id] = payload
 	s.mu.Unlock()
@@ -398,7 +442,16 @@ func (s *Store) DeletePrefix(prefix string) int {
 }
 
 // FetchFrom retrieves a block directly from the named store.
-func (s *Store) FetchFrom(owner, id string) ([]byte, error) {
+func (s *Store) FetchFrom(owner, id string) (block []byte, err error) {
+	if inst := s.inst.Load(); inst != nil {
+		start := time.Now()
+		defer func() {
+			inst.getNS.Observe(time.Since(start).Nanoseconds())
+			if err == nil {
+				inst.getBytes.Observe(int64(len(block)))
+			}
+		}()
+	}
 	if owner == s.name {
 		b, ok := s.GetLocal(id)
 		if !ok {

@@ -1,0 +1,68 @@
+package blockmanager
+
+import (
+	"testing"
+
+	"sparker/internal/metrics"
+)
+
+// TestStoreInstruments verifies the put/get histograms: puts observe
+// latency and payload size, remote fetches observe on the fetching
+// store, and failed fetches count latency without bytes.
+func TestStoreInstruments(t *testing.T) {
+	_, ss, done := setup(t, 2)
+	defer done()
+
+	reg0 := metrics.NewRegistry()
+	reg1 := metrics.NewRegistry()
+	ss[0].SetMetrics(reg0)
+	ss[1].SetMetrics(reg1)
+
+	payload := []byte("0123456789")
+	if err := ss[0].Put("blk", payload); err != nil {
+		t.Fatal(err)
+	}
+	putNS := reg0.Histogram(metrics.HistBlockPutNS).Snapshot()
+	putBytes := reg0.Histogram(metrics.HistBlockPutBytes).Snapshot()
+	if putNS.Count != 1 || putBytes.Count != 1 {
+		t.Fatalf("put observed %d/%d samples, want 1/1", putNS.Count, putBytes.Count)
+	}
+	if putBytes.Sum != int64(len(payload)) {
+		t.Fatalf("put bytes sum = %d, want %d", putBytes.Sum, len(payload))
+	}
+
+	if _, err := ss[1].FetchFrom("exec-0", "blk"); err != nil {
+		t.Fatal(err)
+	}
+	getNS := reg1.Histogram(metrics.HistBlockGetNS).Snapshot()
+	getBytes := reg1.Histogram(metrics.HistBlockGetBytes).Snapshot()
+	if getNS.Count != 1 || getBytes.Count != 1 {
+		t.Fatalf("get observed %d/%d samples, want 1/1", getNS.Count, getBytes.Count)
+	}
+	if getBytes.Sum != int64(len(payload)) {
+		t.Fatalf("get bytes sum = %d, want %d", getBytes.Sum, len(payload))
+	}
+
+	// A failed fetch times the attempt but records no bytes.
+	if _, err := ss[1].FetchFrom("exec-0", "missing"); err == nil {
+		t.Fatal("fetch of a missing block succeeded")
+	}
+	if got := reg1.Histogram(metrics.HistBlockGetNS).Count(); got != 2 {
+		t.Fatalf("failed fetch not timed: count = %d, want 2", got)
+	}
+	if got := reg1.Histogram(metrics.HistBlockGetBytes).Count(); got != 1 {
+		t.Fatalf("failed fetch recorded bytes: count = %d, want 1", got)
+	}
+}
+
+func TestStoreWithoutMetrics(t *testing.T) {
+	_, ss, done := setup(t, 1)
+	defer done()
+	ss[0].SetMetrics(nil) // explicit nil: instruments stay off
+	if err := ss[0].Put("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := ss[0].GetLocal("a"); !ok || string(b) != "x" {
+		t.Fatalf("GetLocal = %q, %v", b, ok)
+	}
+}

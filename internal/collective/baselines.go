@@ -268,6 +268,14 @@ func uint32At(src []byte, i int) uint32 {
 	return binary.LittleEndian.Uint32(src[i:])
 }
 
+func putUint64(dst []byte, v uint64) {
+	binary.LittleEndian.PutUint64(dst, v)
+}
+
+func uint64At(src []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(src[i:])
+}
+
 func float64At(src []byte, i int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
 }

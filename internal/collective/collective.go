@@ -25,6 +25,8 @@ import (
 
 	"sparker/internal/comm"
 	"sparker/internal/linalg"
+	"sparker/internal/metrics"
+	"sparker/internal/trace"
 )
 
 // stepDeadlineKey carries the per-step deadline through a context.
@@ -77,21 +79,47 @@ func EpochFrom(ctx context.Context) uint32 {
 // epochHeaderSize prefixes every ring frame: 4 bytes of epoch.
 const epochHeaderSize = 4
 
-// encodeFrame builds a ring frame — epoch header plus the encoded
-// segment — into buf, a pooled draw whose capacity is reused. The
-// returned slice may be a reallocation; the abandoned draw goes back to
-// the pool.
-func encodeFrame[V any](ops Ops[V], epoch uint32, buf []byte, v V) []byte {
+// spanFlag marks a traced frame: when set on the epoch word, an 8-byte
+// sender span ID follows the epoch header. Epoch values are masked to
+// the low 31 bits on both encode and compare, so untraced frames keep
+// the exact PR 2 wire format and traced/untraced endpoints interoperate
+// (the extension is backward-compatible — see DESIGN.md §10).
+const (
+	spanFlag   = uint32(1) << 31
+	epochMask  = ^spanFlag
+	spanIDSize = 8
+)
+
+// frameHeaderSize is the ring-frame header length: the epoch word plus,
+// for traced frames (span != 0), the sender span ID.
+func frameHeaderSize(span uint64) int {
+	if span != 0 {
+		return epochHeaderSize + spanIDSize
+	}
+	return epochHeaderSize
+}
+
+// encodeFrame builds a ring frame — epoch header, optional sender span
+// ID, then the encoded segment — into buf, a pooled draw whose capacity
+// is reused. The returned slice may be a reallocation; the abandoned
+// draw goes back to the pool.
+func encodeFrame[V any](ops Ops[V], epoch uint32, span uint64, buf []byte, v V) []byte {
+	hs := frameHeaderSize(span)
 	hdr := buf
-	if cap(hdr) < epochHeaderSize {
-		hdr = make([]byte, epochHeaderSize)
+	if cap(hdr) < hs {
+		hdr = make([]byte, hs)
 		releaseIfAbandoned(buf, hdr)
 	} else {
-		hdr = hdr[:epochHeaderSize]
+		hdr = hdr[:hs]
 	}
 	out := ops.Encode(hdr, v)
 	releaseIfAbandoned(hdr, out)
-	putUint32(out, epoch)
+	word := epoch & epochMask
+	if span != 0 {
+		word |= spanFlag
+		putUint64(out[epochHeaderSize:], span)
+	}
+	putUint32(out, word)
 	return out
 }
 
@@ -100,28 +128,82 @@ func encodeFrame[V any](ops Ops[V], epoch uint32, buf []byte, v V) []byte {
 // dropped (released when the ops mark buffers unretained) and the
 // receive retried under the same step context. A frame from a newer
 // epoch means this collective has been superseded and cannot complete.
-// On success it returns the payload and the full wire buffer the
-// payload aliases (the caller releases the latter).
-func recvFrame(sctx context.Context, e *comm.Endpoint, ch int, epoch uint32, releasable bool) (payload, wire []byte, err error) {
+// On success it returns the payload, the full wire buffer the payload
+// aliases (the caller releases the latter), and the sender's step span
+// ID when the frame was traced (0 otherwise).
+func recvFrame(sctx context.Context, e *comm.Endpoint, ch int, epoch uint32, releasable bool) (payload, wire []byte, remoteSpan uint64, err error) {
+	want := epoch & epochMask
 	for {
 		in, err := e.RecvPrevCtx(sctx, ch)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
 		if len(in) < epochHeaderSize {
-			return nil, nil, fmt.Errorf("collective: frame shorter than epoch header (%d bytes)", len(in))
+			return nil, nil, 0, fmt.Errorf("collective: frame shorter than epoch header (%d bytes)", len(in))
 		}
-		got := uint32At(in, 0)
-		if got == epoch {
-			return in[epochHeaderSize:], in, nil
+		word := uint32At(in, 0)
+		got := word & epochMask
+		hs := epochHeaderSize
+		var span uint64
+		if word&spanFlag != 0 {
+			if len(in) < epochHeaderSize+spanIDSize {
+				return nil, nil, 0, fmt.Errorf("collective: traced frame shorter than span header (%d bytes)", len(in))
+			}
+			span = uint64At(in, epochHeaderSize)
+			hs += spanIDSize
+		}
+		if got == want {
+			return in[hs:], in, span, nil
 		}
 		if releasable {
 			comm.Release(in)
 		}
-		if int32(got-epoch) > 0 {
-			return nil, nil, fmt.Errorf("collective: epoch %d superseded by in-flight epoch %d", epoch, got)
+		if int32(got-want) > 0 {
+			return nil, nil, 0, fmt.Errorf("collective: epoch %d superseded by in-flight epoch %d", want, got)
 		}
 	}
+}
+
+// telemetry bundles the per-step observability handles of one
+// collective: the tracer + parent span (usually the executor task span,
+// propagated through the dispatch context) and the ring-step
+// histograms of the executor's registry. Resolved once per collective
+// so the step loop pays a single `on` branch when everything is
+// disabled.
+type telemetry struct {
+	on        bool
+	tr        *trace.Tracer
+	parent    trace.SpanContext
+	stepNS    *metrics.Histogram
+	stepBytes *metrics.Histogram
+}
+
+func telemetryFrom(ctx context.Context) telemetry {
+	var tel telemetry
+	tel.tr, tel.parent = trace.FromContext(ctx)
+	if reg := metrics.FromContext(ctx); reg != nil {
+		tel.stepNS = reg.Histogram(metrics.HistRingStepNS)
+		tel.stepBytes = reg.Histogram(metrics.HistRingStepBytes)
+	}
+	tel.on = tel.tr != nil || tel.stepNS != nil
+	return tel
+}
+
+// startStep opens one ring-step span (nil when tracing is off). The
+// step's own span ID rides in the outgoing frame header so the
+// receiving rank can link the matching step on the neighbor's track.
+// Value receiver on purpose: a pointer receiver would force the
+// caller's telemetry struct to escape, costing a heap allocation per
+// collective even with telemetry disabled.
+func (tel telemetry) startStep(op string, ch, k int, epoch uint32) *trace.ActiveSpan {
+	span := tel.tr.StartSpan("ring-step", tel.parent)
+	if span != nil {
+		span.SetAttr("op", op)
+		span.SetInt("channel", int64(ch))
+		span.SetInt("step", int64(k))
+		span.SetInt("epoch", int64(epoch))
+	}
+	return span
 }
 
 // drainSend waits, bounded by ctx, for an in-flight async send that an
@@ -359,6 +441,10 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 
 	epoch := EpochFrom(ctx)
 	releasable := ops.DecodeReduceInto != nil
+	// Telemetry handles resolved once per collective: with neither a
+	// tracer nor a registry in ctx the per-step cost is one branch and
+	// no time syscalls, keeping the PR 1 zero-allocation path intact.
+	tel := telemetryFrom(ctx)
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -379,20 +465,35 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 			// pooled buffers instead of allocating N-1 times.
 			sendDone := make(chan error, 1)
 			hint := 0
-			step := func(k int) error {
+			step := func(k int) (err error) {
+				var span *trace.ActiveSpan
+				if tel.on {
+					start := time.Now()
+					span = tel.startStep("reduce-scatter", ch, k, epoch)
+					defer func() {
+						tel.stepNS.Observe(time.Since(start).Nanoseconds())
+						span.EndErr(err)
+					}()
+				}
 				sctx, cancel := stepContext(ctx)
 				defer cancel()
 				sendIdx := ((r-k)%n + n) % n
 				recvIdx := ((r-k-1)%n + n) % n
-				buf := comm.GetBuffer(sizeHint(ops, hint, cur[sendIdx]) + epochHeaderSize)
-				wire := encodeFrame(ops, epoch, buf, cur[sendIdx])
+				spanID := span.ID()
+				buf := comm.GetBuffer(sizeHint(ops, hint, cur[sendIdx]) + frameHeaderSize(spanID))
+				wire := encodeFrame(ops, epoch, spanID, buf, cur[sendIdx])
 				hint = len(wire)
+				if tel.on {
+					tel.stepBytes.Observe(int64(len(wire)))
+					span.SetInt("bytes", int64(len(wire)))
+				}
 				e.SendToAsync(e.Next(), ch, wire, sendDone)
-				payload, in, err := recvFrame(sctx, e, ch, epoch, releasable)
+				payload, in, peerSpan, err := recvFrame(sctx, e, ch, epoch, releasable)
 				if err != nil {
 					drainSend(sctx, sendDone)
 					return fmt.Errorf("collective: rank %d ch %d step %d recv: %w", r, ch, k, err)
 				}
+				span.SetHex("peer_span", peerSpan)
 				acc, release, err := decodeReduce(ops, cur[recvIdx], payload)
 				if release {
 					comm.Release(in)
@@ -462,6 +563,7 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 	// retain its input, so gathered receive buffers can be released.
 	releasable := ops.DecodeReduceInto != nil
 	epoch := EpochFrom(ctx)
+	tel := telemetryFrom(ctx)
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -476,20 +578,35 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 			have := (r + 1) % n
 			sendDone := make(chan error, 1)
 			hint := 0
-			step := func(k int) error {
+			step := func(k int) (err error) {
+				var span *trace.ActiveSpan
+				if tel.on {
+					start := time.Now()
+					span = tel.startStep("allgather", ch, k, epoch)
+					defer func() {
+						tel.stepNS.Observe(time.Since(start).Nanoseconds())
+						span.EndErr(err)
+					}()
+				}
 				sctx, cancel := stepContext(ctx)
 				defer cancel()
 				sendIdx := ((have-k)%n + n) % n
 				recvIdx := ((have-k-1)%n + n) % n
-				buf := comm.GetBuffer(sizeHint(ops, hint, all[ch*n+sendIdx]) + epochHeaderSize)
-				wire := encodeFrame(ops, epoch, buf, all[ch*n+sendIdx])
+				spanID := span.ID()
+				buf := comm.GetBuffer(sizeHint(ops, hint, all[ch*n+sendIdx]) + frameHeaderSize(spanID))
+				wire := encodeFrame(ops, epoch, spanID, buf, all[ch*n+sendIdx])
 				hint = len(wire)
+				if tel.on {
+					tel.stepBytes.Observe(int64(len(wire)))
+					span.SetInt("bytes", int64(len(wire)))
+				}
 				e.SendToAsync(e.Next(), ch, wire, sendDone)
-				payload, in, err := recvFrame(sctx, e, ch, epoch, releasable)
+				payload, in, peerSpan, err := recvFrame(sctx, e, ch, epoch, releasable)
 				if err != nil {
 					drainSend(sctx, sendDone)
 					return fmt.Errorf("collective: allgather rank %d ch %d step %d recv: %w", r, ch, k, err)
 				}
+				span.SetHex("peer_span", peerSpan)
 				v, err := ops.Decode(payload)
 				if err != nil {
 					if releasable {

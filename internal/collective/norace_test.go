@@ -1,0 +1,5 @@
+//go:build !race
+
+package collective
+
+const raceEnabled = false

@@ -1,0 +1,132 @@
+package collective
+
+// Telemetry overhead gate for the PR 1 zero-allocation hot path: with
+// neither a tracer nor a metrics registry in the context, the ring
+// reduce-scatter must allocate no more per op than the pre-telemetry
+// baselines recorded in DESIGN.md ("Performance notes"). Allocation
+// counts are machine-stable, so they are the hard gate; wall-clock is
+// reported for the log but not asserted (cross-machine time
+// comparisons are meaningless). Run via `make overhead`.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sparker/internal/comm"
+	"sparker/internal/metrics"
+	"sparker/internal/trace"
+	"sparker/internal/transport"
+)
+
+// benchHotRing runs the BenchmarkRingReduceScatterHot body (N=4 ranks,
+// 1 MiB segments) with the collective context built by ctxFor, and
+// returns the measured result.
+func benchHotRing(t *testing.T, p int, name string, ctxFor func(rank int) context.Context) testing.BenchmarkResult {
+	t.Helper()
+	const (
+		n      = 4
+		segLen = 1 << 17
+	)
+	var failed error
+	res := testing.Benchmark(func(b *testing.B) {
+		net := transport.NewMem()
+		defer net.Close()
+		eps, err := comm.NewGroup(net, fmt.Sprintf("overhead-%s-%d", name, p), n)
+		if err != nil {
+			failed = err
+			b.Skip(err)
+		}
+		defer comm.CloseGroup(eps)
+		inputs := make([][][]float64, n)
+		for r := range inputs {
+			inputs[r] = make([][]float64, p*n)
+			for i := range inputs[r] {
+				seg := make([]float64, segLen)
+				for j := range seg {
+					seg[j] = float64(j%17) * 0.25
+				}
+				inputs[r][i] = seg
+			}
+		}
+		ctxs := make([]context.Context, n)
+		for r := range ctxs {
+			ctxs[r] = ctxFor(r)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, e := range eps {
+				wg.Add(1)
+				go func(e *comm.Endpoint) {
+					defer wg.Done()
+					if _, err := RingReduceScatter(ctxs[e.Rank()], e, inputs[e.Rank()], p, F64Ops()); err != nil {
+						b.Error(err)
+					}
+				}(e)
+			}
+			wg.Wait()
+		}
+	})
+	if failed != nil {
+		t.Fatal(failed)
+	}
+	return res
+}
+
+// TestTelemetryOverheadOff asserts the telemetry-off allocation budget:
+// the per-op allocation count of the hot ring must stay at the PR 1
+// baselines (53 at P=1, 119 at P=4, re-measured at the pre-telemetry
+// commit on this machine) plus a small scheduler-noise slack. A failure
+// here means the disabled telemetry path started allocating — most
+// likely something in the step closure now escapes.
+func TestTelemetryOverheadOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocs; gate runs without -race (make overhead)")
+	}
+	baselines := map[int]int64{1: 53, 4: 119}
+	const slack = 3
+	for _, p := range []int{1, 4} {
+		off := benchHotRing(t, p, "off", func(int) context.Context {
+			return context.Background()
+		})
+		allocs := off.AllocsPerOp()
+		t.Logf("P=%d tracing off: %v/op, %d allocs/op (baseline %d)",
+			p, off.NsPerOp(), allocs, baselines[p])
+		if allocs > baselines[p]+slack {
+			t.Errorf("P=%d: telemetry-off path allocates %d/op, baseline %d (+%d slack): disabled telemetry is no longer free",
+				p, allocs, baselines[p], slack)
+		}
+	}
+}
+
+// TestTelemetryOverheadTracedReport measures the fully-traced ring
+// (span per step, histograms recording) against the off path and logs
+// the ratio. Informational only: tracing-on overhead is allowed to be
+// real, it just has to be visible.
+func TestTelemetryOverheadTracedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead report skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the comparison; run without -race")
+	}
+	tr := trace.New(nil) // times spans, drops them: isolates span-path cost
+	const p = 1
+	off := benchHotRing(t, p, "off2", func(int) context.Context {
+		return context.Background()
+	})
+	traced := benchHotRing(t, p, "on", func(rank int) context.Context {
+		root := tr.StartRoot("overhead-task")
+		ctx := trace.WithSpan(context.Background(), root)
+		return metrics.NewContext(ctx, metrics.NewRegistry())
+	})
+	ratio := float64(traced.NsPerOp()) / float64(off.NsPerOp())
+	t.Logf("P=%d traced: %v/op vs off %v/op (%.2fx), traced allocs %d/op",
+		p, traced.NsPerOp(), off.NsPerOp(), ratio, traced.AllocsPerOp())
+}

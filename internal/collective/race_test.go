@@ -1,0 +1,8 @@
+//go:build race
+
+package collective
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation inflates allocation counts and invalidates the
+// telemetry overhead gate's baselines.
+const raceEnabled = true

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sparker/internal/metrics"
 	"sparker/internal/transport"
 )
 
@@ -47,6 +48,19 @@ type Endpoint struct {
 	bytesReceived atomic.Int64
 	msgsSent      atomic.Int64
 	msgsReceived  atomic.Int64
+
+	// queueGauge, when set, tracks the total mailbox depth across this
+	// endpoint's senders (messages enqueued, not yet written). Atomic so
+	// SetMetrics is safe against concurrent traffic; nil means
+	// uninstrumented and costs one pointer load per enqueue.
+	queueGauge atomic.Pointer[metrics.Gauge]
+}
+
+// SetMetrics wires the endpoint's instruments into reg (the owning
+// executor's registry): the sender queue-depth gauge. Safe to call at
+// any time; nil reg disables.
+func (e *Endpoint) SetMetrics(reg *metrics.Registry) {
+	e.queueGauge.Store(reg.Gauge(metrics.GaugeSendQueue))
 }
 
 // Stats is a snapshot of an endpoint's traffic counters.

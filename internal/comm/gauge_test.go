@@ -1,0 +1,79 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sparker/internal/metrics"
+	"sparker/internal/transport"
+)
+
+// TestSendQueueGauge verifies the queue-depth gauge: sends raise it,
+// the sender goroutine drains it back to zero, and a nil registry keeps
+// the whole path inert.
+func TestSendQueueGauge(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	eps, err := NewGroup(n, "gauge", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+
+	reg := metrics.NewRegistry()
+	eps[0].SetMetrics(reg)
+	g := reg.Gauge(metrics.GaugeSendQueue)
+
+	const msgs = 50
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			if _, err := eps[1].RecvFrom(0, 0); err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < msgs; i++ {
+		if err := eps[0].SendTo(1, 0, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	// Every enqueued message was drained; the gauge must settle at 0.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if g.Value() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("send queue gauge stuck at %d after drain", g.Value())
+}
+
+func TestSetMetricsNilRegistry(t *testing.T) {
+	n := transport.NewMem()
+	defer n.Close()
+	eps, err := NewGroup(n, "gauge-nil", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+
+	eps[0].SetMetrics(nil) // must not panic, sends must still work
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].RecvFrom(0, 0)
+		done <- err
+	}()
+	if err := eps[0].SendTo(1, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

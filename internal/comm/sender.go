@@ -71,6 +71,7 @@ func (s *sender) enqueue(buf []byte, recycle bool, done chan<- error) {
 	s.queue = append(s.queue, sendReq{buf: buf, recycle: recycle, done: done})
 	s.cond.Signal()
 	s.mu.Unlock()
+	s.e.queueGauge.Load().Add(1)
 }
 
 // run is the sender goroutine: drain the mailbox in batches, write each
@@ -110,6 +111,7 @@ func (s *sender) run() {
 			}
 			r.buf = nil
 			r.done = nil
+			s.e.queueGauge.Load().Add(-1)
 		}
 		if closed {
 			return

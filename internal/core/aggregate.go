@@ -33,6 +33,7 @@ import (
 	"sparker/internal/metrics"
 	"sparker/internal/rdd"
 	"sparker/internal/serde"
+	"sparker/internal/trace"
 )
 
 // Strategy selects the reduction an Aggregate call runs.
@@ -187,7 +188,7 @@ func (f *AggFuncs[T, U, V]) validate(s Strategy) error {
 // of every per-step deadline context, so cancelling it aborts in-flight
 // collectives with a classified error. It does not preempt executor
 // compute.
-func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, U, V], opts ...AggOption) (V, error) {
+func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, U, V], opts ...AggOption) (res V, retErr error) {
 	var zv V
 	rc := r.Context()
 	o := AggOptions{}
@@ -218,6 +219,16 @@ func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, 
 		return zv, err
 	}
 
+	// One "aggregate" span per call, parenting every stage it submits
+	// (and the fallback span on degradation). Parent comes from ctx so
+	// mllib iteration spans stitch above it.
+	tr := rc.Tracer()
+	_, parentSC := trace.FromContext(ctx)
+	span := tr.StartSpan("aggregate", parentSC)
+	span.SetAttr("strategy", strategy.String())
+	defer func() { span.EndErr(retErr) }()
+	ctx = trace.WithSpan(ctx, span)
+
 	switch strategy {
 	case StrategyTree:
 		u, err := rdd.TreeAggregate(r, fns.Zero, fns.SeqOp, fns.MergeOp, rdd.AggregateOptions{Depth: o.Depth})
@@ -226,7 +237,7 @@ func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, 
 		}
 		return fns.SplitOp(u, 0, 1), nil
 	case StrategyIMM:
-		u, err := treeAggregateIMM(r, fns.Zero, fns.SeqOp, fns.MergeOp)
+		u, err := treeAggregateIMM(ctx, r, fns.Zero, fns.SeqOp, fns.MergeOp)
 		if err != nil {
 			return zv, err
 		}
@@ -267,9 +278,11 @@ func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs
 		defer cleanupIMM(rc, prefix+"agg")
 	}
 
+	tr, aggSC := trace.FromContext(ctx)
+
 	// Stage 1: reduced-result stage (IMM) → one aggregator per executor.
 	start := time.Now()
-	if err := runIMMStage(r, prefix, fns.Zero, fns.SeqOp, fns.MergeOp); err != nil {
+	if err := runIMMStage(r, prefix, aggSC, fns.Zero, fns.SeqOp, fns.MergeOp); err != nil {
 		return zv, err
 	}
 	rc.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
@@ -293,16 +306,28 @@ func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs
 	rc.RecordMarker(metrics.CounterPeerFailure, ringErr.Error())
 	rc.RecordMarker(metrics.CounterRingFallback,
 		fmt.Sprintf("%s aggregation degraded to tree gather: %v", kind, ringErr))
+	// The degradation itself is a span: its duration is the measured
+	// recovery cost and its attrs carry the classified cause — the
+	// trace-level view the chaos suites assert on.
+	fb := tr.StartSpan("ring-fallback", aggSC)
+	fb.SetAttr("strategy", kind)
+	fb.SetAttr("cause", ringErr.Error())
 	acc, err := fallbackGather(rc, prefix, fns.Zero, fns.MergeOp)
 	if err != nil {
-		return zv, fmt.Errorf("core: tree fallback after ring failure (%v): %w", ringErr, err)
+		wrapped := fmt.Errorf("core: tree fallback after ring failure (%v): %w", ringErr, err)
+		fb.EndErr(wrapped)
+		return zv, wrapped
 	}
 	result := fns.SplitOp(acc, 0, 1)
 	if allGather && o.KeepKey != "" {
 		if err := replicateResult(rc, o.KeepKey, result); err != nil {
-			return zv, fmt.Errorf("core: tree fallback after ring failure (%v): %w", ringErr, err)
+			wrapped := fmt.Errorf("core: tree fallback after ring failure (%v): %w", ringErr, err)
+			fb.EndErr(wrapped)
+			return zv, wrapped
 		}
 	}
+	fb.SetAttr("recovered", "true")
+	fb.End()
 	return result, nil
 }
 
@@ -328,22 +353,28 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 	for i := range placement {
 		placement[i] = i
 	}
+	_, aggSC := trace.FromContext(ctx)
 	payloads, err := rc.RunJob(rdd.JobSpec{
 		Tasks:       nExec,
 		Placement:   placement,
 		MaxAttempts: 1,
 		WaitAll:     true,
+		TraceParent: aggSC,
 		Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+			// Re-root the collective's telemetry under this task's span and
+			// this executor's registry: ring-step spans nest under the task,
+			// step histograms land executor-locally.
+			cctx := ec.Instrument(sctx)
 			agg := sharedAgg(ec, prefix+"agg", fns.Zero)
 			segs := splitParallel(agg, nSegs, ec.Cores, fns.SplitOp)
-			owned, err := collective.RingReduceScatter(sctx, ec.Comm, segs, o.Parallelism, ops)
+			owned, err := collective.RingReduceScatter(cctx, ec.Comm, segs, o.Parallelism, ops)
 			if err != nil {
 				return nil, err
 			}
 			if !allGather {
 				return encodeOwned(owned, ops)
 			}
-			all, err := collective.RingAllGather(sctx, ec.Comm, owned, o.Parallelism, ops)
+			all, err := collective.RingAllGather(cctx, ec.Comm, owned, o.Parallelism, ops)
 			if err != nil {
 				return nil, err
 			}

@@ -17,6 +17,7 @@ import (
 	"sparker/internal/comm"
 	"sparker/internal/metrics"
 	"sparker/internal/rdd"
+	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
 
@@ -184,6 +185,88 @@ func TestChaosNoFallbackSurfacesClassifiedError(t *testing.T) {
 	}
 	if n := ctx.Metrics().Count(metrics.CounterRingFallback); n != 0 {
 		t.Fatalf("fallback disabled but counter = %d", n)
+	}
+}
+
+// TestChaosFallbackSpan ties the chaos suite to the trace tentpole:
+// a fault-triggered degradation must appear in the trace as a
+// "ring-fallback" span parented on the aggregate span, annotated with
+// the classified cause, and its duration is the measured cost of the
+// degradation (classification + block-manager gather).
+func TestChaosFallbackSpan(t *testing.T) {
+	const samples, dim = 300, 97
+	scenarios := []struct {
+		kind transport.FaultKind
+		tag  string
+	}{
+		{transport.FaultKill, "kill"},
+		{transport.FaultDrop, "drop"},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.tag, func(t *testing.T) {
+			name := "chaos-span-" + sc.tag
+			rule := &transport.FaultRule{
+				Match:     ringPrefixMatch(name),
+				Kind:      sc.kind,
+				AfterMsgs: 1,
+			}
+			if sc.kind == transport.FaultKill {
+				victim := transport.Addr(fmt.Sprintf("comm/%s/ring/%d", name, 1))
+				rule.Match = func(a transport.Addr) bool { return a == victim }
+			}
+			exp := &trace.MemExporter{}
+			net := transport.NewFaulty(transport.NewMem(), 7, rule)
+			ctx, err := rdd.NewContext(rdd.Config{
+				Name:             name,
+				NumExecutors:     3,
+				CoresPerExecutor: 2,
+				RingParallelism:  2,
+				Network:          net,
+				Tracer:           trace.New(exp),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ctx.Close()
+			r := vectorRDD(ctx, samples, 6)
+
+			got, err := Aggregate(context.Background(), r, vecFuncs(dim),
+				WithDeadline(400*time.Millisecond))
+			if err != nil {
+				t.Fatalf("fallback should mask the %s: %v", sc.tag, err)
+			}
+			requireExact(t, got, expectedVector(samples, dim))
+
+			aggs := exp.Named("aggregate")
+			if len(aggs) != 1 {
+				t.Fatalf("%d aggregate spans, want 1", len(aggs))
+			}
+			fbs := exp.Named("ring-fallback")
+			if len(fbs) != 1 {
+				t.Fatalf("%d ring-fallback spans, want 1", len(fbs))
+			}
+			fb := fbs[0]
+			if fb.ParentID != aggs[0].SpanID || fb.TraceID != aggs[0].TraceID {
+				t.Errorf("fallback span parent %x/trace %x, want under aggregate %x/%x",
+					fb.ParentID, fb.TraceID, aggs[0].SpanID, aggs[0].TraceID)
+			}
+			if fb.Duration() <= 0 {
+				t.Error("fallback span has no measured degradation duration")
+			}
+			if cause, ok := fb.Attr("cause"); !ok || cause == "" {
+				t.Error("fallback span missing the classified cause attr")
+			}
+			if rec, _ := fb.Attr("recovered"); rec != "true" {
+				t.Errorf("fallback span recovered attr = %q, want true", rec)
+			}
+			// The degradation happened mid-aggregate: its duration is a
+			// sub-interval of the aggregate span.
+			if fb.Duration() > aggs[0].Duration() {
+				t.Errorf("fallback lasted %v, longer than its aggregate %v",
+					fb.Duration(), aggs[0].Duration())
+			}
+		})
 	}
 }
 

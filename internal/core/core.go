@@ -43,6 +43,7 @@ import (
 	"sparker/internal/metrics"
 	"sparker/internal/rdd"
 	"sparker/internal/serde"
+	"sparker/internal/trace"
 )
 
 // Options tunes split aggregation.
@@ -95,11 +96,12 @@ type immState[U any] struct {
 // cleared on every executor and the whole stage re-submitted (§3.2).
 // Afterwards each executor holds exactly one aggregator under
 // prefix+"agg".
-func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) error {
+func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, parent trace.SpanContext, zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) error {
 	ctx := r.Context()
 	key := prefix + "agg"
 	_, err := ctx.RunJob(rdd.JobSpec{
-		Tasks: r.NumPartitions(),
+		Tasks:       r.NumPartitions(),
+		TraceParent: parent,
 		Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
 			data, err := r.Materialize(ec, task)
 			if err != nil {
@@ -165,14 +167,15 @@ func TreeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U
 
 // treeAggregateIMM is the StrategyIMM implementation shared by
 // Aggregate and the deprecated TreeAggregateIMM wrapper.
-func treeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
+func treeAggregateIMM[T, U any](cctx context.Context, r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
 	var zu U
 	ctx := r.Context()
 	prefix := fmt.Sprintf("imm/%d/", ctx.NewOpID())
 	defer cleanupIMM(ctx, prefix)
 
+	_, parent := trace.FromContext(cctx)
 	start := time.Now()
-	if err := runIMMStage(r, prefix, zero, seqOp, mergeOp); err != nil {
+	if err := runIMMStage(r, prefix, parent, zero, seqOp, mergeOp); err != nil {
 		return zu, err
 	}
 	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")

@@ -16,18 +16,33 @@ import (
 	"time"
 )
 
+// KindSpan marks trace-span records (see internal/trace): the
+// fine-grained refinement of phase events that carries causal identity
+// across driver, executors and ring steps.
+const KindSpan = "span"
+
 // Event is one history-log record.
 type Event struct {
-	// Time is the wall-clock timestamp, nanoseconds.
+	// Time is the wall-clock timestamp, nanoseconds. For spans this is
+	// the span start.
 	Time int64 `json:"time"`
-	// Kind is "phase", "job" or "marker".
+	// Kind is "phase", "job", "marker" or "span".
 	Kind string `json:"kind"`
-	// Name is the phase name (metrics.Phase*) or job label.
+	// Name is the phase name (metrics.Phase*), job label or span name.
 	Name string `json:"name"`
 	// DurationNS is the elapsed time attributed to the event.
 	DurationNS int64 `json:"duration_ns"`
 	// Detail carries free-form context (workload name, message size…).
 	Detail string `json:"detail,omitempty"`
+	// TraceID/SpanID/ParentID identify span events. They are 64-bit IDs
+	// rendered as fixed-width hex, not numbers, so JSON tooling cannot
+	// lose low bits to float64 rounding.
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+	ParentID string `json:"parent_id,omitempty"`
+	// Attrs carries span annotations (executor ID, ring channel, epoch,
+	// byte counts, error text…).
+	Attrs map[string]string `json:"attrs,omitempty"`
 }
 
 // Logger serializes events to an io.Writer as JSON lines. Safe for
@@ -51,15 +66,27 @@ func (l *Logger) Log(kind, name string, d time.Duration, detail string) {
 	if l == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.enc.Encode(Event{
-		Time:       l.now().UnixNano(),
+	l.Emit(Event{
+		Time:       0, // stamped under the lock
 		Kind:       kind,
 		Name:       name,
 		DurationNS: d.Nanoseconds(),
 		Detail:     detail,
 	})
+}
+
+// Emit records a fully-formed event. A zero Time is stamped with the
+// logger's clock; span emitters pass their own start timestamps.
+func (l *Logger) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Time == 0 {
+		e.Time = l.now().UnixNano()
+	}
+	l.enc.Encode(e)
 }
 
 // Phase records a named phase duration.

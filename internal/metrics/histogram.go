@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log₂-bucket histogram of non-negative int64
+// samples (latencies in nanoseconds, sizes in bytes). Bucket i holds
+// values whose bit length is i, i.e. the range [2^(i-1), 2^i); bucket 0
+// holds zero and negative samples. 64 value buckets cover the full
+// int64 range, so Observe never branches on overflow.
+//
+// Observe is a few atomic adds — cheap enough for the per-ring-step
+// hot path — and quantiles are estimated by linear interpolation
+// inside the target bucket, clamped to the observed min/max. A nil
+// *Histogram no-ops, so disabled instrumentation costs one nil check.
+type Histogram struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0
+	max     atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one sample. Safe for concurrent use; no-op on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all samples (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by interpolating
+// within the covering log₂ bucket. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram for
+// reporting and merging. Fields are plain values; safe to serialize.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     int64     `json:"sum"`
+	Min     int64     `json:"min"`
+	Max     int64     `json:"max"`
+	Buckets [65]int64 `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent observes
+// may straddle the copy; totals stay within one in-flight sample of
+// exact, which is fine for reporting. Safe on nil (returns zero).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Merge folds a snapshot into h — how per-executor registries combine
+// at the driver. Safe for concurrent use with Observe.
+func (h *Histogram) Merge(s HistSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	for i, c := range s.Buckets {
+		if c != 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for {
+		cur := h.min.Load()
+		if s.Min >= cur || h.min.CompareAndSwap(cur, s.Min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if s.Max <= cur || h.max.CompareAndSwap(cur, s.Max) {
+			break
+		}
+	}
+}
+
+// Mean returns the arithmetic mean of the snapshot (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-th quantile of the snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based.
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		// Bucket b covers [lo, hi); interpolate by rank position.
+		var lo, hi int64
+		if b == 0 {
+			lo, hi = 0, 1
+		} else {
+			lo = int64(1) << (b - 1)
+			hi = lo * 2
+		}
+		frac := float64(rank-cum) / float64(c)
+		v := lo + int64(frac*float64(hi-lo))
+		// Clamp to observed extremes so tiny sample counts don't report
+		// values outside the data.
+		if v < s.Min {
+			v = s.Min
+		}
+		if v > s.Max {
+			v = s.Max
+		}
+		return v
+	}
+	return s.Max
+}
+
+// Gauge is an instantaneous value (queue depth, in-flight count). Safe
+// for concurrent use; a nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge returns a zeroed gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}

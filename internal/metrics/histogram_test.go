@@ -1,0 +1,250 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimePanicStillCharges(t *testing.T) {
+	r := NewRecorder()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate through Time")
+			}
+		}()
+		r.Time("work", func() {
+			time.Sleep(5 * time.Millisecond)
+			panic("user code bug")
+		})
+	}()
+	if got := r.Get("work"); got < 5*time.Millisecond {
+		t.Fatalf("panicking f charged only %v", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Sum() != 1106 {
+		t.Fatalf("Sum = %d", h.Sum())
+	}
+	s := h.Snapshot()
+	if s.Min != 1 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if q := h.Quantile(0); q < 1 || q > 2 {
+		t.Errorf("p0 = %d, want within the lowest sample's bucket [1,2]", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Errorf("p100 = %d, want clamped to max 1000", q)
+	}
+	med := h.Quantile(0.5)
+	if med < 2 || med > 4 {
+		t.Errorf("p50 = %d, want ~3", med)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram not zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	e := NewHistogram().Snapshot()
+	if e.Min != 0 || e.Max != 0 {
+		t.Fatalf("empty snapshot min/max = %d/%d", e.Min, e.Max)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(-5)
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// Both land in bucket 0; quantiles clamp to observed extremes.
+	if q := h.Quantile(0.5); q != 0 && q != -5 {
+		t.Fatalf("p50 = %d", q)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform samples 1..1000: log₂ interpolation must land within the
+	// covering power-of-two bucket of the true quantile.
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.95, 950}, {0.99, 990},
+	} {
+		got := float64(h.Quantile(tc.q))
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("p%.0f = %.0f, want within 2x of %.0f", tc.q*100, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(10)
+	a.Observe(20)
+	b.Observe(1)
+	b.Observe(1 << 40)
+	a.Merge(b.Snapshot())
+	s := a.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("merged count = %d", s.Count)
+	}
+	if s.Min != 1 || s.Max != 1<<40 {
+		t.Fatalf("merged min/max = %d/%d", s.Min, s.Max)
+	}
+	if s.Sum != 10+20+1+(1<<40) {
+		t.Fatalf("merged sum = %d", s.Sum)
+	}
+	// Merging an empty snapshot is a no-op (must not clobber min/max).
+	a.Merge(NewHistogram().Snapshot())
+	if got := a.Snapshot(); got.Min != 1 || got.Max != 1<<40 {
+		t.Fatalf("empty merge moved min/max: %d/%d", got.Min, got.Max)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewGauge()
+	g.Add(5)
+	g.Add(-2)
+	if g.Value() != 3 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("Value = %d", g.Value())
+	}
+	var ng *Gauge
+	ng.Add(1)
+	ng.Set(1)
+	if ng.Value() != 0 {
+		t.Fatal("nil gauge not zero")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram(HistRingStepNS)
+	h2 := r.Histogram(HistRingStepNS)
+	if h1 != h2 {
+		t.Fatal("Histogram returned distinct instruments for one name")
+	}
+	if r.Gauge(GaugeSendQueue) != r.Gauge(GaugeSendQueue) {
+		t.Fatal("Gauge returned distinct instruments for one name")
+	}
+	var nr *Registry
+	if nr.Histogram("x") != nil || nr.Gauge("y") != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+}
+
+// TestRegistryConcurrentMerge exercises the per-executor → driver merge
+// path under concurrency: executor registries observe while the driver
+// merges. Run under -race (make race includes this package).
+func TestRegistryConcurrentMerge(t *testing.T) {
+	const executors = 4
+	const samples = 1000
+	execRegs := make([]*Registry, executors)
+	for i := range execRegs {
+		execRegs[i] = NewRegistry()
+	}
+
+	var wg sync.WaitGroup
+	for i, reg := range execRegs {
+		wg.Add(1)
+		go func(i int, reg *Registry) {
+			defer wg.Done()
+			h := reg.Histogram(HistRingStepNS)
+			g := reg.Gauge(GaugeSendQueue)
+			for s := 0; s < samples; s++ {
+				h.Observe(int64(s + 1))
+				g.Add(1)
+			}
+		}(i, reg)
+	}
+
+	// Merge concurrently with the observers: totals of in-progress
+	// merges are indeterminate, but nothing may race or tear.
+	stop := make(chan struct{})
+	var mwg sync.WaitGroup
+	mwg.Add(1)
+	go func() {
+		defer mwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				mid := NewRegistry()
+				for _, reg := range execRegs {
+					mid.Merge(reg)
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	mwg.Wait()
+
+	// Quiesced: the final merge must be exact.
+	final := NewRegistry()
+	for _, reg := range execRegs {
+		final.Merge(reg)
+	}
+	h := final.Histogram(HistRingStepNS)
+	if h.Count() != executors*samples {
+		t.Fatalf("merged count = %d, want %d", h.Count(), executors*samples)
+	}
+	if g := final.Gauge(GaugeSendQueue); g.Value() != executors*samples {
+		t.Fatalf("merged gauge = %d, want %d", g.Value(), executors*samples)
+	}
+	if min := h.Snapshot().Min; min != 1 {
+		t.Fatalf("merged min = %d", min)
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("b")
+	r.Histogram("a")
+	r.Gauge("z")
+	hn := r.HistogramNames()
+	if len(hn) != 2 || hn[0] != "a" || hn[1] != "b" {
+		t.Fatalf("HistogramNames = %v", hn)
+	}
+	if gn := r.GaugeNames(); len(gn) != 1 || gn[0] != "z" {
+		t.Fatalf("GaugeNames = %v", gn)
+	}
+}
+
+func TestQuantileNaNSafe(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(7)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		v := h.Quantile(q) // must not panic; NaN clamps somewhere sane
+		if v < 0 || v > 7 {
+			t.Fatalf("Quantile(%v) = %d out of range", q, v)
+		}
+	}
+}

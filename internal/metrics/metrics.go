@@ -75,11 +75,13 @@ func (r *Recorder) Add(phase string, d time.Duration) {
 	r.mu.Unlock()
 }
 
-// Time runs f, charging its wall time to phase.
+// Time runs f, charging its wall time to phase. The charge happens in
+// a defer so a panicking f still records the time it consumed before
+// unwinding (the panic itself propagates unchanged).
 func (r *Recorder) Time(phase string, f func()) {
 	start := time.Now()
+	defer func() { r.Add(phase, time.Since(start)) }()
 	f()
-	r.Add(phase, time.Since(start))
 }
 
 // Get returns the accumulated duration of a phase.

@@ -120,12 +120,16 @@ func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMean
 	// Aggregator layout: [k*dim) sums, [k*dim, k*dim+k) counts, last cost.
 	aggDim := k*dim + k + 1
 
+	tr, root, tctx := startTrainSpan(points.Context(), "kmeans", cfg.Strategy)
+	defer func() { root.End() }()
+
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		snapshot := make([][]float64, k)
 		for i, c := range centers {
 			snapshot[i] = append([]float64(nil), c...)
 		}
-		agg, err := AggregateF64(points, aggDim, func(acc []float64, x linalg.SparseVector) []float64 {
+		it, ictx := startIteration(tr, root, tctx, iter+1)
+		agg, err := AggregateF64Ctx(ictx, points, aggDim, func(acc []float64, x linalg.SparseVector) []float64 {
 			best, bestDist := 0, math.Inf(1)
 			for c, center := range snapshot {
 				if d := sqDist(center, x); d < bestDist {
@@ -138,8 +142,11 @@ func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMean
 			return acc
 		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
 		if err != nil {
+			it.EndErr(err)
+			root.SetAttr("error", err.Error())
 			return nil, fmt.Errorf("mllib: kmeans iteration %d: %w", iter, err)
 		}
+		it.End()
 		model.CostHistory = append(model.CostHistory, agg[k*dim+k])
 
 		moved := 0.0

@@ -1,6 +1,7 @@
 package mllib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -50,17 +51,22 @@ func (c *LBFGSConfig) fill() {
 // RunLBFGS minimizes the regularized empirical loss with limited-memory
 // BFGS, evaluating cost and gradient with one distributed aggregation
 // per probe. Returns the weights and the per-iteration loss history.
-func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg LBFGSConfig) ([]float64, []float64, error) {
+func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg LBFGSConfig) (finalW []float64, lossHist []float64, retErr error) {
 	cfg.fill()
 	dim := len(initial)
 	if dim == 0 {
 		return nil, nil, fmt.Errorf("mllib: empty initial weights")
 	}
 
-	// costAt evaluates (loss, gradient) at w with one aggregation.
-	costAt := func(w []float64) (float64, []float64, error) {
+	tr, root, tctx := startTrainSpan(data.Context(), "lbfgs", cfg.Strategy)
+	defer func() { root.EndErr(retErr) }()
+
+	// costAt evaluates (loss, gradient) at w with one aggregation,
+	// parented under the caller's span (line-search probes share their
+	// iteration's span).
+	costAt := func(ictx context.Context, w []float64) (float64, []float64, error) {
 		snapshot := append([]float64(nil), w...)
-		agg, err := AggregateF64(data, dim+2, func(acc []float64, p LabeledPoint) []float64 {
+		agg, err := AggregateF64Ctx(ictx, data, dim+2, func(acc []float64, p LabeledPoint) []float64 {
 			loss := grad.Compute(p.Features, p.Label, snapshot, acc[:dim])
 			acc[dim] += loss
 			acc[dim+1]++
@@ -83,7 +89,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 	}
 
 	w := append([]float64(nil), initial...)
-	loss, g, err := costAt(w)
+	loss, g, err := costAt(tctx, w)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -93,6 +99,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 	var rhoHist []float64
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		it, ictx := startIteration(tr, root, tctx, iter+1)
 		dir := twoLoop(g, sHist, yHist, rhoHist)
 		for i := range dir {
 			dir[i] = -dir[i]
@@ -122,8 +129,9 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 			for i := range cand {
 				cand[i] = w[i] + step*dir[i]
 			}
-			l, gg, err := costAt(cand)
+			l, gg, err := costAt(ictx, cand)
 			if err != nil {
+				it.EndErr(err)
 				return nil, nil, err
 			}
 			if l <= loss+1e-4*step*gd {
@@ -133,6 +141,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 			step /= 2
 		}
 		if !ok {
+			it.End()
 			break // line search failed: converged as far as we can go
 		}
 
@@ -155,6 +164,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 		improvement := (loss - newLoss) / math.Max(math.Abs(loss), 1)
 		w, loss, g = newW, newLoss, newG
 		losses = append(losses, loss)
+		it.End()
 		if improvement < cfg.ConvergenceTol {
 			break
 		}

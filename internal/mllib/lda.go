@@ -153,18 +153,25 @@ func TrainLDA(docs *rdd.RDD[Document], cfg LDAConfig) (*LDAModel, error) {
 	// Aggregator layout: K*V sstats, then [K*V] loglik, [K*V+1] tokens.
 	dim := k*v + 2
 
+	tr, root, tctx := startTrainSpan(docs.Context(), "lda", cfg.Strategy)
+	defer func() { root.End() }()
+
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		expElogBeta := expDirichletExpectation(lambda)
 		flatBeta := flatten(expElogBeta, v)
 		alpha, inner := cfg.Alpha, cfg.InnerIters
 
-		agg, err := AggregateF64(docs, dim, func(acc []float64, d Document) []float64 {
+		it, ictx := startIteration(tr, root, tctx, iter+1)
+		agg, err := AggregateF64Ctx(ictx, docs, dim, func(acc []float64, d Document) []float64 {
 			docEStep(d, flatBeta, acc, k, v, alpha, inner)
 			return acc
 		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
 		if err != nil {
+			it.EndErr(err)
+			root.SetAttr("error", err.Error())
 			return nil, fmt.Errorf("mllib: LDA iteration %d: %w", iter, err)
 		}
+		it.End()
 
 		// M-step: lambda = eta + sstats (sstats already include the
 		// expElogBeta factor, Hoffman-style).

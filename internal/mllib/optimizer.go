@@ -8,6 +8,7 @@ import (
 
 	"sparker/internal/core"
 	"sparker/internal/rdd"
+	"sparker/internal/trace"
 )
 
 // Strategy selects the aggregation implementation a training run uses —
@@ -88,11 +89,19 @@ func (s Strategy) CoreStrategy() (core.Strategy, error) {
 // unified core.Aggregate, so training inherits its per-step deadlines
 // and ring→tree fallback.
 func AggregateF64[T any](r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int) ([]float64, error) {
+	return AggregateF64Ctx(context.Background(), r, dim, seqOp, s, depth, parallelism)
+}
+
+// AggregateF64Ctx is AggregateF64 with an explicit context: cancellation
+// bounds the ring collectives, and a trace span carried in ctx (an
+// iteration span, typically) becomes the parent of the per-call
+// "aggregate" span so whole training runs stitch into one timeline.
+func AggregateF64Ctx[T any](ctx context.Context, r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int) ([]float64, error) {
 	cs, err := s.CoreStrategy()
 	if err != nil {
 		return nil, err
 	}
-	return core.Aggregate(context.Background(), r, core.AggFuncs[T, []float64, []float64]{
+	return core.Aggregate(ctx, r, core.AggFuncs[T, []float64, []float64]{
 		Zero:     func() []float64 { return make([]float64, dim) },
 		SeqOp:    seqOp,
 		MergeOp:  core.AddF64,
@@ -100,6 +109,24 @@ func AggregateF64[T any](r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) 
 		ReduceOp: core.AddF64,
 		ConcatOp: core.ConcatSlices[float64],
 	}, core.WithStrategy(cs), core.WithDepth(depth), core.WithParallelism(parallelism))
+}
+
+// startTrainSpan opens the root "train" span for one optimizer run and
+// returns the context iteration spans derive from. Everything no-ops
+// (and the context stays bare) when the rdd context has no tracer.
+func startTrainSpan(rc *rdd.Context, model string, s Strategy) (*trace.Tracer, *trace.ActiveSpan, context.Context) {
+	tr := rc.Tracer()
+	root := tr.StartRoot("train")
+	root.SetAttr("model", model)
+	root.SetAttr("strategy", s.String())
+	return tr, root, trace.WithSpan(context.Background(), root)
+}
+
+// startIteration opens one per-iteration span under the train root.
+func startIteration(tr *trace.Tracer, root *trace.ActiveSpan, tctx context.Context, iter int) (*trace.ActiveSpan, context.Context) {
+	it := tr.StartSpan("iteration", root.Context())
+	it.SetInt("iter", int64(iter))
+	return it, trace.WithSpan(tctx, it)
 }
 
 // GDConfig configures RunGradientDescent.
@@ -147,7 +174,7 @@ func (c *GDConfig) fill() {
 // the (sampled) data against the current weights, then the updater
 // steps. It returns the final weights and the per-iteration loss
 // history.
-func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, initial []float64, cfg GDConfig) ([]float64, []float64, error) {
+func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, initial []float64, cfg GDConfig) (finalW []float64, lossHist []float64, retErr error) {
 	cfg.fill()
 	dim := len(initial)
 	if dim == 0 {
@@ -157,6 +184,9 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 	copy(weights, initial)
 	losses := make([]float64, 0, cfg.Iterations)
 
+	tr, root, tctx := startTrainSpan(data.Context(), "gradient-descent", cfg.Strategy)
+	defer func() { root.EndErr(retErr) }()
+
 	for iter := 1; iter <= cfg.Iterations; iter++ {
 		w := make([]float64, dim)
 		copy(w, weights) // snapshot captured by this iteration's tasks
@@ -165,20 +195,23 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		if cfg.MiniBatchFraction < 1.0 {
 			batch = sampleRDD(data, cfg.MiniBatchFraction, cfg.Seed, iter)
 		}
+		it, ictx := startIteration(tr, root, tctx, iter)
 		// Aggregator layout: [0,dim) gradient sum, [dim] loss sum,
 		// [dim+1] sample count.
-		agg, err := AggregateF64(batch, dim+2, func(acc []float64, p LabeledPoint) []float64 {
+		agg, err := AggregateF64Ctx(ictx, batch, dim+2, func(acc []float64, p LabeledPoint) []float64 {
 			loss := grad.Compute(p.Features, p.Label, w, acc[:dim])
 			acc[dim] += loss
 			acc[dim+1]++
 			return acc
 		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
 		if err != nil {
+			it.EndErr(err)
 			return nil, nil, fmt.Errorf("mllib: iteration %d: %w", iter, err)
 		}
 		count := agg[dim+1]
 		if count == 0 {
 			losses = append(losses, math.NaN())
+			it.End()
 			continue
 		}
 		gradient := agg[:dim]
@@ -187,6 +220,7 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		}
 		newW, regVal := up.Update(weights, gradient, cfg.StepSize, iter, cfg.RegParam)
 		losses = append(losses, agg[dim]/count+regVal)
+		it.End()
 
 		if cfg.ConvergenceTol > 0 && converged(weights, newW, cfg.ConvergenceTol) {
 			weights = newW

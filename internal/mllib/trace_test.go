@@ -1,0 +1,202 @@
+package mllib
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"sparker/internal/eventlog"
+	"sparker/internal/rdd"
+	"sparker/internal/trace"
+)
+
+// TestTracedTrainingEndToEnd is the tentpole's integration check on the
+// real training stack: one traced logistic-regression run on a
+// 3-executor cluster must produce a single trace whose span chain runs
+// train → iteration → aggregate → stage → task → ring-step, with the
+// executor-side spans stitched to the driver side purely by the span
+// IDs propagated through the task and ring wire formats.
+func TestTracedTrainingEndToEnd(t *testing.T) {
+	exp := &trace.MemExporter{}
+	ctx, err := rdd.NewContext(rdd.Config{
+		Name:             "ml-traced",
+		NumExecutors:     3,
+		CoresPerExecutor: 2,
+		RingParallelism:  2,
+		Tracer:           trace.New(exp),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	const iters = 3
+	train := trainingSet(ctx, 300, 2, 6)
+	if _, err := TrainLogisticRegression(train, LogisticRegressionConfig{
+		NumFeatures: 2,
+		GD:          GDConfig{Iterations: iters, StepSize: 2, Strategy: StrategySplit},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := exp.Spans()
+	byID := map[uint64]trace.Span{}
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+
+	trains := exp.Named("train")
+	if len(trains) != 1 {
+		t.Fatalf("%d train spans, want 1", len(trains))
+	}
+	root := trains[0]
+	if m, _ := root.Attr("model"); m != "gradient-descent" {
+		t.Errorf("train model attr = %q", m)
+	}
+	if s, _ := root.Attr("strategy"); s != "split" {
+		t.Errorf("train strategy attr = %q", s)
+	}
+
+	iterations := exp.Named("iteration")
+	if len(iterations) != iters {
+		t.Fatalf("%d iteration spans, want %d", len(iterations), iters)
+	}
+	for _, it := range iterations {
+		if it.ParentID != root.SpanID {
+			t.Errorf("iteration parented on %x, want train %x", it.ParentID, root.SpanID)
+		}
+	}
+
+	// Walk each ring-step's ancestry to the root and record the chain of
+	// span names. Every hop must exist (no orphans) and stay inside the
+	// train's trace.
+	steps := exp.Named("ring-step")
+	if len(steps) == 0 {
+		t.Fatal("no ring-step spans")
+	}
+	wantChain := "ring-step<task<stage<aggregate<iteration<train"
+	for _, s := range steps {
+		if s.TraceID != root.TraceID {
+			t.Fatalf("ring-step escaped the train trace: %x vs %x", s.TraceID, root.TraceID)
+		}
+		chain := s.Name
+		cur := s
+		for cur.ParentID != 0 {
+			p, ok := byID[cur.ParentID]
+			if !ok {
+				t.Fatalf("span %s has unknown parent %x (chain so far %q)",
+					cur.Name, cur.ParentID, chain)
+			}
+			chain += "<" + p.Name
+			cur = p
+		}
+		if chain != wantChain {
+			t.Fatalf("ring-step ancestry %q, want %q", chain, wantChain)
+		}
+	}
+
+	// Task spans must span at least 2 executors (the exec attr drives
+	// the Chrome track assignment).
+	execs := map[string]bool{}
+	for _, ts := range exp.Named("task") {
+		if v, ok := ts.Attr("exec"); ok {
+			execs[v] = true
+		}
+	}
+	if len(execs) < 2 {
+		t.Fatalf("task spans landed on %d executors, want >= 2", len(execs))
+	}
+
+	// The Chrome export of this run must show the cross-track stitches:
+	// driver stage → executor task parents prove the ID propagation
+	// crossed the transport.
+	events := make([]eventlog.Event, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, trace.SpanToEvent(s))
+	}
+	sum, err := trace.WriteChromeTrace(io.Discard, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Orphans != 0 {
+		t.Errorf("chrome export found %d orphan spans", sum.Orphans)
+	}
+	if sum.CrossTrackParents == 0 {
+		t.Error("no cross-track parent stitches in the chrome export")
+	}
+	if sum.RingSteps != len(steps) {
+		t.Errorf("chrome export saw %d ring-steps, exporter saw %d", sum.RingSteps, len(steps))
+	}
+	execTracks := 0
+	for _, track := range sum.Tracks {
+		if track != "driver" {
+			execTracks++
+		}
+	}
+	if execTracks < 2 {
+		t.Errorf("chrome export has %d executor tracks, want >= 2 (tracks %v)",
+			execTracks, sum.Tracks)
+	}
+
+	// Ring-step latency histograms merged from the executors must have
+	// observed exactly the exported steps.
+	if got := ctx.MergedMetrics().Histogram("ring.step.ns").Count(); got != int64(len(steps)) {
+		t.Errorf("merged ring-step histogram has %d samples, exporter saw %d spans",
+			got, len(steps))
+	}
+}
+
+// TestUntracedTrainingStaysSilent pins the disabled default: the same
+// training run with no tracer emits nothing and still converges.
+func TestUntracedTrainingStaysSilent(t *testing.T) {
+	ctx := testContext(t, 2, 2)
+	train := trainingSet(ctx, 200, 2, 4)
+	m, err := TrainLogisticRegression(train, LogisticRegressionConfig{
+		NumFeatures: 2,
+		GD:          GDConfig{Iterations: 5, StepSize: 2, Strategy: StrategySplit},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Losses) != 5 {
+		t.Fatalf("%d losses", len(m.Losses))
+	}
+}
+
+// TestTracedStrategiesMatchUntraced guards against instrumentation
+// perturbing the math: traced and untraced runs of every strategy must
+// produce bit-identical weights.
+func TestTracedStrategiesMatchUntraced(t *testing.T) {
+	for _, s := range []Strategy{StrategyTree, StrategyTreeIMM, StrategySplit} {
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := LogisticRegressionConfig{
+				NumFeatures: 2,
+				GD:          GDConfig{Iterations: 5, StepSize: 2, Strategy: s},
+			}
+			run := func(tr *trace.Tracer) []float64 {
+				rc, err := rdd.NewContext(rdd.Config{
+					Name:             fmt.Sprintf("ml-parity-%v-%v", s, tr.Enabled()),
+					NumExecutors:     3,
+					CoresPerExecutor: 2,
+					Tracer:           tr,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer rc.Close()
+				m, err := TrainLogisticRegression(trainingSet(rc, 200, 2, 4), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return m.Weights
+			}
+			plain := run(nil)
+			traced := run(trace.New(&trace.MemExporter{}))
+			for i := range plain {
+				if plain[i] != traced[i] {
+					t.Fatalf("weight %d: untraced %v, traced %v", i, plain[i], traced[i])
+				}
+			}
+		})
+	}
+}

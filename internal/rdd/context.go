@@ -23,6 +23,7 @@ import (
 	"sparker/internal/comm"
 	"sparker/internal/eventlog"
 	"sparker/internal/metrics"
+	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// (phase timings) the way Spark's history server does — the data
 	// source of the paper's Section-2 bottleneck analysis.
 	EventLog *eventlog.Logger
+	// Tracer, when non-nil, records distributed spans for every job:
+	// driver stages, executor tasks and collective ring steps, stitched
+	// by span IDs propagated through task envelopes and ring frames.
+	// Nil (the default) disables tracing at true zero overhead.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() error {
@@ -119,6 +125,7 @@ type Context struct {
 	conns  []*lockedConn // driver -> executor task connections
 
 	rec *metrics.Recorder
+	reg *metrics.Registry // driver-side instruments (driver store I/O)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -131,7 +138,7 @@ func NewContext(conf Config) (*Context, error) {
 	if err := conf.fill(); err != nil {
 		return nil, err
 	}
-	ctx := &Context{conf: conf, rec: metrics.NewRecorder()}
+	ctx := &Context{conf: conf, rec: metrics.NewRecorder(), reg: metrics.NewRegistry()}
 	if conf.Network != nil {
 		ctx.net = conf.Network
 	} else {
@@ -149,6 +156,7 @@ func NewContext(conf Config) (*Context, error) {
 		ctx.Close()
 		return nil, fmt.Errorf("rdd: starting driver store: %w", err)
 	}
+	ctx.driverStore.SetMetrics(ctx.reg)
 
 	// Ring rank assignment: topology-aware sorts by hostname.
 	if *conf.TopologyAware {
@@ -196,6 +204,27 @@ func (ctx *Context) RingParallelism() int { return ctx.conf.RingParallelism }
 
 // Metrics returns the context's phase recorder.
 func (ctx *Context) Metrics() *metrics.Recorder { return ctx.rec }
+
+// Tracer returns the configured span tracer (nil when tracing is off).
+func (ctx *Context) Tracer() *trace.Tracer { return ctx.conf.Tracer }
+
+// Registry returns the driver-side instrument registry.
+func (ctx *Context) Registry() *metrics.Registry { return ctx.reg }
+
+// MergedMetrics folds the driver's and every executor's instrument
+// registry into one fresh registry — the cluster-wide view a metrics
+// scrape or end-of-run report wants. Safe to call while jobs are
+// running; each instrument contributes a point-in-time snapshot.
+func (ctx *Context) MergedMetrics() *metrics.Registry {
+	out := metrics.NewRegistry()
+	out.Merge(ctx.reg)
+	for _, e := range ctx.executors {
+		if e != nil {
+			out.Merge(e.reg)
+		}
+	}
+	return out
+}
 
 // RecordPhase charges d to the named phase in the metrics recorder and
 // emits a history-log event when event logging is enabled.

@@ -6,14 +6,20 @@ import (
 	"fmt"
 
 	"sparker/internal/comm"
+	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
 
 // --- wire frames -------------------------------------------------------
 //
 // task frame:    jobID int64 | task int32 | attempt int32
+//                [| traceID uint64 | parentSpanID uint64]   (traced jobs)
 // result frame:  jobID int64 | task int32 | attempt int32 | status byte | body
 //                body = payload bytes (status=resultOK) or error string
+//
+// The trailing trace identifiers are appended only when the stage runs
+// under a tracer, and decodeTaskFrame accepts both lengths, so untraced
+// deployments keep the exact 16-byte seed format.
 //
 // Task errors cross the wire as strings, which would strip the error
 // class a driver-side errors.Is needs to pick between retry and
@@ -67,22 +73,41 @@ func decodeWireError(status byte, msg string) error {
 	}
 }
 
-func encodeTaskFrame(jobID int64, task, attempt int) []byte {
-	b := make([]byte, 16)
+// Task frame sizes: the seed's 16-byte form and the traced 32-byte
+// extension carrying traceID + parent (stage) span ID.
+const (
+	taskFrameSize       = 16
+	taskFrameTracedSize = taskFrameSize + 16
+)
+
+func encodeTaskFrame(jobID int64, task, attempt int, tc trace.SpanContext) []byte {
+	n := taskFrameSize
+	if tc.Valid() {
+		n = taskFrameTracedSize
+	}
+	b := make([]byte, n)
 	binary.LittleEndian.PutUint64(b, uint64(jobID))
 	binary.LittleEndian.PutUint32(b[8:], uint32(int32(task)))
 	binary.LittleEndian.PutUint32(b[12:], uint32(int32(attempt)))
+	if tc.Valid() {
+		binary.LittleEndian.PutUint64(b[16:], tc.TraceID)
+		binary.LittleEndian.PutUint64(b[24:], tc.SpanID)
+	}
 	return b
 }
 
-func decodeTaskFrame(b []byte) (jobID int64, task, attempt int, err error) {
-	if len(b) < 16 {
-		return 0, 0, 0, fmt.Errorf("rdd: short task frame (%d bytes)", len(b))
+func decodeTaskFrame(b []byte) (jobID int64, task, attempt int, tc trace.SpanContext, err error) {
+	if len(b) < taskFrameSize {
+		return 0, 0, 0, tc, fmt.Errorf("rdd: short task frame (%d bytes)", len(b))
 	}
 	jobID = int64(binary.LittleEndian.Uint64(b))
 	task = int(int32(binary.LittleEndian.Uint32(b[8:])))
 	attempt = int(int32(binary.LittleEndian.Uint32(b[12:])))
-	return jobID, task, attempt, nil
+	if len(b) >= taskFrameTracedSize {
+		tc.TraceID = binary.LittleEndian.Uint64(b[16:])
+		tc.SpanID = binary.LittleEndian.Uint64(b[24:])
+	}
+	return jobID, task, attempt, tc, nil
 }
 
 func encodeResultFrame(jobID int64, task, attempt int, payload []byte, taskErr error) []byte {
@@ -169,6 +194,10 @@ type JobSpec struct {
 	// peers classify within their step deadline, so the wait is
 	// bounded). Stages with StageCleanup always behave this way.
 	WaitAll bool
+	// TraceParent, when valid, makes this stage's span a child of the
+	// given span (e.g. the enclosing aggregate). With a tracer
+	// configured but no parent, the stage roots its own trace.
+	TraceParent trace.SpanContext
 }
 
 // ErrJobFailed wraps the terminal failure of a job after retries.
@@ -256,7 +285,7 @@ func (ctx *Context) RunJob(spec JobSpec) ([][]byte, error) {
 }
 
 // runStageTaskRetry retries failed tasks individually.
-func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, error) {
+func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) (out [][]byte, retErr error) {
 	maxAttempts := ctx.conf.MaxTaskAttempts
 	if spec.MaxAttempts > 0 {
 		maxAttempts = spec.MaxAttempts
@@ -266,19 +295,25 @@ func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, 
 	ctx.jobs.Store(id, j)
 	defer ctx.jobs.Delete(id)
 
+	stage := ctx.conf.Tracer.StartSpan("stage", spec.TraceParent)
+	stage.SetInt("job", id)
+	stage.SetInt("tasks", int64(spec.Tasks))
+	defer func() { stage.EndErr(retErr) }()
+	tc := stage.Context()
+
 	submit := func(task, attempt int) error {
 		lc, err := ctx.executorConn(placement[task])
 		if err != nil {
 			return err
 		}
-		return lc.send(encodeTaskFrame(id, task, attempt))
+		return lc.send(encodeTaskFrame(id, task, attempt, tc))
 	}
 	for t := 0; t < spec.Tasks; t++ {
 		if err := submit(t, 0); err != nil {
 			return nil, err
 		}
 	}
-	out := make([][]byte, spec.Tasks)
+	out = make([][]byte, spec.Tasks)
 	done := make([]bool, spec.Tasks)
 	attempts := make([]int, spec.Tasks)
 	remaining := spec.Tasks
@@ -326,11 +361,19 @@ func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) ([][]byte, 
 
 // runStageWholeRetry implements reduced-result stage recovery: abort on
 // first failure, clean every executor's shared state, resubmit.
-func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte, error) {
+func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) (result [][]byte, retErr error) {
 	maxAttempts := ctx.conf.MaxStageAttempts
 	if spec.MaxAttempts > 0 {
 		maxAttempts = spec.MaxAttempts
 	}
+	// One stage span covers every whole-stage attempt: resubmissions are
+	// the stage's recovery behaviour, not new stages.
+	stage := ctx.conf.Tracer.StartSpan("stage", spec.TraceParent)
+	stage.SetInt("tasks", int64(spec.Tasks))
+	stage.SetAttr("kind", "reduced-result")
+	defer func() { stage.EndErr(retErr) }()
+	tc := stage.Context()
+
 	var lastErr error
 	for stageAttempt := 0; stageAttempt < maxAttempts; stageAttempt++ {
 		id := ctx.newJobID()
@@ -344,7 +387,7 @@ func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte,
 				ctx.jobs.Delete(id)
 				return nil, err
 			}
-			if err := lc.send(encodeTaskFrame(id, t, stageAttempt)); err != nil {
+			if err := lc.send(encodeTaskFrame(id, t, stageAttempt, tc)); err != nil {
 				ctx.jobs.Delete(id)
 				return nil, err
 			}
@@ -366,12 +409,14 @@ func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) ([][]byte,
 		}
 		ctx.jobs.Delete(id)
 		if !failed {
+			stage.SetInt("attempts", int64(stageAttempt+1))
 			return out, nil
 		}
 		if err := ctx.runCleanup(spec.StageCleanup); err != nil {
 			return nil, fmt.Errorf("rdd: stage cleanup failed: %w", err)
 		}
 	}
+	stage.SetInt("attempts", int64(maxAttempts))
 	return nil, fmt.Errorf("%w: reduced-result stage failed %d attempts, last: %w",
 		ErrJobFailed, maxAttempts, lastErr)
 }

@@ -1,13 +1,16 @@
 package rdd
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
 
 	"sparker/internal/blockmanager"
 	"sparker/internal/comm"
+	"sparker/internal/metrics"
 	"sparker/internal/mutobj"
+	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
 
@@ -24,7 +27,8 @@ type Executor struct {
 	store *blockmanager.Store
 	mut   *mutobj.Manager
 	comm  *comm.Endpoint
-	cache sync.Map // "rdd/<id>/<part>" -> materialized partition
+	reg   *metrics.Registry // this executor's instruments
+	cache sync.Map          // "rdd/<id>/<part>" -> materialized partition
 
 	lis   transport.Listener
 	queue chan taskMsg
@@ -39,6 +43,9 @@ type taskMsg struct {
 	jobID   int64
 	task    int
 	attempt int
+	// trace is the stage span propagated in the task envelope; invalid
+	// for untraced jobs.
+	trace trace.SpanContext
 }
 
 // lockedConn serializes concurrent result writes from worker slots.
@@ -81,10 +88,13 @@ func newExecutor(ctx *Context, id int, host string, rank int) (*Executor, error)
 		store: store,
 		mut:   mutobj.NewManager(),
 		comm:  ep,
+		reg:   metrics.NewRegistry(),
 		lis:   lis,
 		queue: make(chan taskMsg, 4096),
 		quit:  make(chan struct{}),
 	}
+	store.SetMetrics(e.reg)
+	ep.SetMetrics(e.reg)
 	for c := 0; c < ctx.conf.CoresPerExecutor; c++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -111,12 +121,12 @@ func (e *Executor) readTasks(lc *lockedConn) {
 		if err != nil {
 			return
 		}
-		jobID, task, attempt, err := decodeTaskFrame(b)
+		jobID, task, attempt, tc, err := decodeTaskFrame(b)
 		if err != nil {
 			continue
 		}
 		select {
-		case e.queue <- taskMsg{conn: lc, jobID: jobID, task: task, attempt: attempt}:
+		case e.queue <- taskMsg{conn: lc, jobID: jobID, task: task, attempt: attempt, trace: tc}:
 		case <-e.quit:
 			return
 		}
@@ -127,14 +137,15 @@ func (e *Executor) readTasks(lc *lockedConn) {
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	ec := &ExecContext{
-		ID:      e.id,
-		Host:    e.host,
-		Rank:    e.rank,
-		Cores:   e.ctx.conf.CoresPerExecutor,
-		Store:   e.store,
-		MutObjs: e.mut,
-		Comm:    e.comm,
-		exec:    e,
+		ID:       e.id,
+		Host:     e.host,
+		Rank:     e.rank,
+		Cores:    e.ctx.conf.CoresPerExecutor,
+		Store:    e.store,
+		MutObjs:  e.mut,
+		Comm:     e.comm,
+		Registry: e.reg,
+		exec:     e,
 	}
 	for {
 		select {
@@ -154,6 +165,21 @@ func (e *Executor) runTask(ec *ExecContext, tm taskMsg) (payload []byte, taskErr
 	j, ok := e.ctx.jobs.Load(tm.jobID)
 	if !ok {
 		return nil, fmt.Errorf("rdd: unknown job %d", tm.jobID)
+	}
+	if tr := e.ctx.conf.Tracer; tr != nil && tm.trace.Valid() {
+		span := tr.StartSpan("task", tm.trace)
+		span.SetInt("exec", int64(e.id))
+		span.SetAttr("host", e.host)
+		span.SetInt("job", tm.jobID)
+		span.SetInt("task", int64(tm.task))
+		span.SetInt("attempt", int64(tm.attempt))
+		// ec is owned by this worker for the task's duration, so the
+		// current task span can live on it for Instrument to pick up.
+		ec.span = span.Context()
+		defer func() {
+			ec.span = trace.SpanContext{}
+			span.EndErr(taskErr)
+		}()
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -190,13 +216,37 @@ type ExecContext struct {
 	MutObjs *mutobj.Manager
 	// Comm is the executor's scalable-communicator endpoint.
 	Comm *comm.Endpoint
+	// Registry is the executor's instrument registry; hot paths observe
+	// into it contention-free and the driver merges on demand
+	// (Context.MergedMetrics).
+	Registry *metrics.Registry
 
 	exec *Executor
+	// span is the current task's span, set by runTask for the task's
+	// duration. Each worker owns its ExecContext, so no lock is needed.
+	span trace.SpanContext
 }
 
 // Context returns the driver context. Task closures use it only for
 // cluster geometry (executor counts, store names), never to schedule.
 func (ec *ExecContext) Context() *Context { return ec.exec.ctx }
+
+// TaskSpan returns the running task's span context (invalid when the
+// job is untraced).
+func (ec *ExecContext) TaskSpan() trace.SpanContext { return ec.span }
+
+// Instrument returns ctx carrying the executor's metrics registry and,
+// when tracing is on, the tracer + current task span — the context
+// shape the collectives read their telemetry handles from. Task
+// closures wrap the context they pass to collective/core calls with
+// this so ring-step spans nest under the task.
+func (ec *ExecContext) Instrument(ctx context.Context) context.Context {
+	ctx = metrics.NewContext(ctx, ec.Registry)
+	if tr := ec.exec.ctx.conf.Tracer; tr != nil {
+		ctx = trace.NewContext(ctx, tr, ec.span)
+	}
+	return ctx
+}
 
 // CacheGet returns a cached partition.
 func (ec *ExecContext) CacheGet(key string) (any, bool) {

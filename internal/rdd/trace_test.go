@@ -1,0 +1,218 @@
+package rdd
+
+import (
+	"testing"
+
+	"sparker/internal/trace"
+)
+
+func TestTaskFrameRoundTrip(t *testing.T) {
+	// Untraced frames stay at the 16-byte seed format.
+	b := encodeTaskFrame(7, 3, 1, trace.SpanContext{})
+	if len(b) != taskFrameSize {
+		t.Fatalf("untraced frame is %d bytes, want %d", len(b), taskFrameSize)
+	}
+	jobID, task, attempt, tc, err := decodeTaskFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobID != 7 || task != 3 || attempt != 1 || tc.Valid() {
+		t.Fatalf("decoded %d/%d/%d tc=%+v", jobID, task, attempt, tc)
+	}
+
+	// Traced frames append the 16-byte span context.
+	want := trace.SpanContext{TraceID: 0xAAAA, SpanID: 0xBBBB}
+	b = encodeTaskFrame(9, 0, 2, want)
+	if len(b) != taskFrameTracedSize {
+		t.Fatalf("traced frame is %d bytes, want %d", len(b), taskFrameTracedSize)
+	}
+	jobID, task, attempt, tc, err = decodeTaskFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobID != 9 || task != 0 || attempt != 2 || tc != want {
+		t.Fatalf("decoded %d/%d/%d tc=%+v", jobID, task, attempt, tc)
+	}
+
+	if _, _, _, _, err := decodeTaskFrame(b[:10]); err == nil {
+		t.Fatal("short frame decoded without error")
+	}
+}
+
+// TestJobSpansParentTasks runs a traced job and verifies the span tree:
+// one stage span per job, task spans on each executor parenting on the
+// stage, all in the trace the TraceParent joined.
+func TestJobSpansParentTasks(t *testing.T) {
+	exp := &trace.MemExporter{}
+	tr := trace.New(exp)
+	ctx, err := NewContext(Config{
+		Name:             "trace-job",
+		NumExecutors:     3,
+		CoresPerExecutor: 2,
+		Tracer:           tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	root := tr.StartRoot("test-root")
+	const tasks = 6
+	if _, err := ctx.RunJob(JobSpec{
+		Tasks:       tasks,
+		TraceParent: root.Context(),
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			if !ec.TaskSpan().Valid() {
+				t.Error("task closure sees no task span")
+			}
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	stages := exp.Named("stage")
+	if len(stages) != 1 {
+		t.Fatalf("%d stage spans, want 1", len(stages))
+	}
+	stage := stages[0]
+	if stage.ParentID != root.Context().SpanID {
+		t.Errorf("stage parent %x, want root %x", stage.ParentID, root.Context().SpanID)
+	}
+	if stage.TraceID != root.Context().TraceID {
+		t.Errorf("stage trace %x, want root trace %x", stage.TraceID, root.Context().TraceID)
+	}
+	taskSpans := exp.Named("task")
+	if len(taskSpans) != tasks {
+		t.Fatalf("%d task spans, want %d", len(taskSpans), tasks)
+	}
+	execs := map[string]bool{}
+	for _, ts := range taskSpans {
+		if ts.ParentID != stage.SpanID {
+			t.Errorf("task parent %x, want stage %x", ts.ParentID, stage.SpanID)
+		}
+		if ts.TraceID != root.Context().TraceID {
+			t.Errorf("task trace %x escaped the root trace", ts.TraceID)
+		}
+		if v, ok := ts.Attr("exec"); ok {
+			execs[v] = true
+		} else {
+			t.Error("task span missing exec attr")
+		}
+	}
+	if len(execs) < 2 {
+		t.Errorf("task spans landed on %d executors, want >= 2", len(execs))
+	}
+}
+
+// TestUntracedJobEmitsNoSpans guards the disabled path: no tracer in
+// the config means no spans anywhere, even with a TraceParent set.
+func TestUntracedJobEmitsNoSpans(t *testing.T) {
+	ctx, err := NewContext(Config{
+		Name:             "untraced-job",
+		NumExecutors:     2,
+		CoresPerExecutor: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	if _, err := ctx.RunJob(JobSpec{
+		Tasks: 2,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			if ec.TaskSpan().Valid() {
+				t.Error("untraced task has a span")
+			}
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskSpanRecordsFailure checks that a failing task's span carries
+// the error and that retries produce one task span per attempt.
+func TestTaskSpanRecordsFailure(t *testing.T) {
+	exp := &trace.MemExporter{}
+	tr := trace.New(exp)
+	ctx, err := NewContext(Config{
+		Name:             "trace-fail",
+		NumExecutors:     2,
+		CoresPerExecutor: 1,
+		Tracer:           tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	root := tr.StartRoot("r")
+	attempts := 0
+	if _, err := ctx.RunJob(JobSpec{
+		Tasks:       1,
+		TraceParent: root.Context(),
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			attempts++
+			if attempt == 0 {
+				panic("first attempt dies")
+			}
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	taskSpans := exp.Named("task")
+	if len(taskSpans) != attempts {
+		t.Fatalf("%d task spans for %d attempts", len(taskSpans), attempts)
+	}
+	var failed int
+	for _, ts := range taskSpans {
+		if _, ok := ts.Attr("error"); ok {
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d task spans carry an error, want 1 (the panicking attempt)", failed)
+	}
+}
+
+func TestMergedMetrics(t *testing.T) {
+	ctx, err := NewContext(Config{
+		Name:             "merged-metrics",
+		NumExecutors:     3,
+		CoresPerExecutor: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	// Each executor observes into its own registry from a task.
+	if _, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		ec.Registry.Histogram("test.hist").Observe(int64(ec.ID + 1))
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	merged := ctx.MergedMetrics()
+	s := merged.Histogram("test.hist").Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", s.Count)
+	}
+	if s.Min != 1 || s.Max != 3 {
+		t.Fatalf("merged min/max = %d/%d", s.Min, s.Max)
+	}
+	// The merge is a snapshot: a fresh merge after more observes grows.
+	if _, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		ec.Registry.Histogram("test.hist").Observe(10)
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.MergedMetrics().Histogram("test.hist").Count(); got != 6 {
+		t.Fatalf("re-merged count = %d, want 6", got)
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"sparker/internal/eventlog"
+)
+
+// Chrome trace-event export: converts the span records of a history
+// log into the Chrome trace-event JSON format, which Perfetto
+// (ui.perfetto.dev) and chrome://tracing load directly. Spans land on
+// one track ("thread") per executor plus a driver track; Perfetto
+// nests same-track "X" events by time containment, which reproduces
+// the job → stage → task → ring-step hierarchy visually, while the
+// args carry the exact trace/span/parent IDs for cross-track stitches.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// ChromeSummary describes an exported trace — the validation side of
+// `sparker-analyze -chrome-trace`.
+type ChromeSummary struct {
+	// Spans is the number of span records converted.
+	Spans int
+	// Traces is the number of distinct trace IDs.
+	Traces int
+	// Tracks lists the track names in tid order (driver first).
+	Tracks []string
+	// SpansPerTrack maps track name to span count.
+	SpansPerTrack map[string]int
+	// RingSteps counts "ring-step" spans.
+	RingSteps int
+	// CrossTrackParents counts spans whose parent lives on a different
+	// track — the driver→executor and executor→executor stitches that
+	// prove cross-transport propagation worked.
+	CrossTrackParents int
+	// Orphans counts spans with a parent ID that is absent from the log
+	// (expected only for dropped/async-lost spans).
+	Orphans int
+}
+
+// trackOf returns the track name for a span: executors get one track
+// each (from the "exec" attribute stamped on task spans and everything
+// under them); spans without an executor are driver-side.
+func trackOf(s *Span) string {
+	if v, ok := s.Attr("exec"); ok {
+		return "executor " + v
+	}
+	return "driver"
+}
+
+// WriteChromeTrace converts the span records of events into Chrome
+// trace-event JSON on w and returns a summary for validation.
+func WriteChromeTrace(w io.Writer, events []eventlog.Event) (*ChromeSummary, error) {
+	var spans []Span
+	for _, e := range events {
+		if s, ok := SpanFromEvent(e); ok {
+			spans = append(spans, s)
+		}
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("trace: no span records in log (run with tracing enabled)")
+	}
+
+	// Stable ordering: by start time, then span id.
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+	base := spans[0].Start
+
+	// Assign tids: driver is 0, executor tracks in sorted name order.
+	trackSet := map[string]bool{}
+	byID := map[uint64]*Span{}
+	for i := range spans {
+		trackSet[trackOf(&spans[i])] = true
+		byID[spans[i].SpanID] = &spans[i]
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for t := range trackSet {
+		if t != "driver" {
+			tracks = append(tracks, t)
+		}
+	}
+	sort.Strings(tracks)
+	tracks = append([]string{"driver"}, tracks...)
+	tid := map[string]int{}
+	for i, t := range tracks {
+		tid[t] = i
+	}
+
+	sum := &ChromeSummary{
+		Spans:         len(spans),
+		Tracks:        tracks,
+		SpansPerTrack: map[string]int{},
+	}
+	traceIDs := map[uint64]bool{}
+
+	out := chromeFile{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 0,
+		Args: map[string]any{"name": "sparker"},
+	})
+	for _, t := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: tid[t],
+			Args: map[string]any{"name": t},
+		})
+	}
+
+	for i := range spans {
+		s := &spans[i]
+		track := trackOf(s)
+		sum.SpansPerTrack[track]++
+		traceIDs[s.TraceID] = true
+		if s.Name == "ring-step" {
+			sum.RingSteps++
+		}
+		if s.ParentID != 0 {
+			if p, ok := byID[s.ParentID]; !ok {
+				sum.Orphans++
+			} else if trackOf(p) != track {
+				sum.CrossTrackParents++
+			}
+		}
+		args := map[string]any{
+			"trace": FormatID(s.TraceID),
+			"span":  FormatID(s.SpanID),
+		}
+		if s.ParentID != 0 {
+			args["parent"] = FormatID(s.ParentID)
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		dur := float64(s.End-s.Start) / 1e3
+		if dur <= 0 {
+			dur = 0.001 // keep instant spans visible
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			PID:  0,
+			TID:  tid[track],
+			TS:   float64(s.Start-base) / 1e3,
+			Dur:  dur,
+			Args: args,
+		})
+	}
+	sum.Traces = len(traceIDs)
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return nil, fmt.Errorf("trace: writing chrome trace: %w", err)
+	}
+	return sum, nil
+}

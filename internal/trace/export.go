@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sparker/internal/eventlog"
+)
+
+// MemExporter buffers spans in memory — the assertion target for tests
+// (including the chaos suites, which check fallback spans on it).
+type MemExporter struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// ExportSpan implements Exporter.
+func (m *MemExporter) ExportSpan(s Span) {
+	m.mu.Lock()
+	m.spans = append(m.spans, s)
+	m.mu.Unlock()
+}
+
+// Spans returns a snapshot of everything exported so far.
+func (m *MemExporter) Spans() []Span {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Span(nil), m.spans...)
+}
+
+// Named returns the exported spans with the given name.
+func (m *MemExporter) Named(name string) []Span {
+	var out []Span
+	for _, s := range m.Spans() {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LogExporter writes spans into the history log as "span" events, so
+// one JSON-lines file holds both the coarse phase decomposition and
+// the causal timeline sparker-analyze turns into a Perfetto trace.
+type LogExporter struct {
+	l *eventlog.Logger
+}
+
+// NewLogExporter wraps an event logger. The logger's own mutex makes
+// this exporter concurrency-safe.
+func NewLogExporter(l *eventlog.Logger) *LogExporter { return &LogExporter{l: l} }
+
+// ExportSpan implements Exporter.
+func (e *LogExporter) ExportSpan(s Span) {
+	e.l.Emit(SpanToEvent(s))
+}
+
+// SpanToEvent converts a span to its history-log record.
+func SpanToEvent(s Span) eventlog.Event {
+	ev := eventlog.Event{
+		Time:       s.Start,
+		Kind:       eventlog.KindSpan,
+		Name:       s.Name,
+		DurationNS: s.End - s.Start,
+		TraceID:    FormatID(s.TraceID),
+		SpanID:     FormatID(s.SpanID),
+	}
+	if s.ParentID != 0 {
+		ev.ParentID = FormatID(s.ParentID)
+	}
+	if len(s.Attrs) > 0 {
+		ev.Attrs = make(map[string]string, len(s.Attrs))
+		for _, a := range s.Attrs {
+			ev.Attrs[a.Key] = a.Val
+		}
+	}
+	return ev
+}
+
+// SpanFromEvent recovers a span from a history-log record. ok is false
+// for non-span events and records with mangled IDs.
+func SpanFromEvent(e eventlog.Event) (Span, bool) {
+	if e.Kind != eventlog.KindSpan {
+		return Span{}, false
+	}
+	s := Span{
+		TraceID:  ParseID(e.TraceID),
+		SpanID:   ParseID(e.SpanID),
+		ParentID: ParseID(e.ParentID),
+		Name:     e.Name,
+		Start:    e.Time,
+		End:      e.Time + e.DurationNS,
+	}
+	if s.TraceID == 0 || s.SpanID == 0 {
+		return Span{}, false
+	}
+	for k, v := range e.Attrs {
+		s.Attrs = append(s.Attrs, Attr{Key: k, Val: v})
+	}
+	return s, true
+}
+
+// AsyncExporter decouples span export from the instrumented path: spans
+// are handed to a buffered channel and a single goroutine forwards them
+// to the wrapped exporter. When the buffer is full spans are dropped
+// (and counted) rather than blocking a ring step. Close drains the
+// buffer and stops the goroutine; the goroutine-leak tests gate this.
+type AsyncExporter struct {
+	next    Exporter
+	ch      chan Span
+	quit    chan struct{}
+	done    chan struct{}
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// NewAsyncExporter starts the forwarding goroutine. buf <= 0 gets a
+// reasonable default.
+func NewAsyncExporter(next Exporter, buf int) *AsyncExporter {
+	if buf <= 0 {
+		buf = 1024
+	}
+	a := &AsyncExporter{
+		next: next,
+		ch:   make(chan Span, buf),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go a.run()
+	return a
+}
+
+func (a *AsyncExporter) run() {
+	defer close(a.done)
+	for {
+		select {
+		case s := <-a.ch:
+			a.next.ExportSpan(s)
+		case <-a.quit:
+			// Drain whatever made it into the buffer before quit.
+			for {
+				select {
+				case s := <-a.ch:
+					a.next.ExportSpan(s)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// ExportSpan implements Exporter. Never blocks and never panics after
+// Close — a closed exporter just counts the span as dropped.
+func (a *AsyncExporter) ExportSpan(s Span) {
+	select {
+	case <-a.quit:
+		a.dropped.Add(1)
+	default:
+		select {
+		case a.ch <- s:
+		default:
+			a.dropped.Add(1)
+		}
+	}
+}
+
+// Dropped reports how many spans were discarded due to backpressure or
+// post-Close export.
+func (a *AsyncExporter) Dropped() int64 { return a.dropped.Load() }
+
+// Close drains buffered spans into the wrapped exporter and stops the
+// forwarding goroutine. Idempotent; returns after the goroutine exits.
+func (a *AsyncExporter) Close() {
+	a.once.Do(func() { close(a.quit) })
+	<-a.done
+}

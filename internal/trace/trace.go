@@ -1,0 +1,248 @@
+// Package trace is Sparker's low-overhead distributed span tracer: the
+// per-task / per-ring-step refinement of the coarse phase accounting in
+// internal/metrics. The paper's methodology starts from history-log
+// analysis (Section 2); spans extend that log from four phase sums to a
+// causal timeline — driver job → stage → executor task → collective
+// ring step — stitched across the transport by propagated span IDs
+// (task envelopes carry the stage span, ring frames the sender's step
+// span).
+//
+// Everything is nil-safe: a nil *Tracer and the nil *ActiveSpan it
+// returns are true no-ops, so instrumented hot paths pay one pointer
+// check when tracing is off (the PR 1 zero-allocation benchmarks gate
+// this — see DESIGN.md §10).
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies a span inside a trace — the part of a span
+// that crosses process and transport boundaries.
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether sc identifies a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// Attr is one key/value annotation on a span. Values are strings so
+// spans serialize losslessly through the JSON-lines history log.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// Span is one finished timed operation.
+type Span struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64
+	Name     string
+	// Start and End are wall-clock UnixNano timestamps.
+	Start int64
+	End   int64
+	Attrs []Attr
+}
+
+// Duration returns the span's elapsed time.
+func (s *Span) Duration() time.Duration { return time.Duration(s.End - s.Start) }
+
+// Attr returns the value of the named attribute.
+func (s *Span) Attr(key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Context returns the span's SpanContext.
+func (s *Span) Context() SpanContext { return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID} }
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use: driver and every executor goroutine export through
+// the same exporter.
+type Exporter interface {
+	ExportSpan(s Span)
+}
+
+// idCounter seeds span/trace IDs process-wide. The golden-ratio stride
+// keeps successive IDs well spread without a lock or an RNG in the
+// span-start path.
+var idCounter atomic.Uint64
+
+func init() { idCounter.Store(uint64(time.Now().UnixNano()) | 1) }
+
+func nextID() uint64 {
+	for {
+		if id := idCounter.Add(0x9E3779B97F4A7C15); id != 0 {
+			return id
+		}
+	}
+}
+
+// Tracer creates spans and hands finished ones to its exporter. A nil
+// *Tracer is a valid disabled tracer: every method no-ops.
+type Tracer struct {
+	exp Exporter
+}
+
+// New returns a tracer exporting to exp. A nil exp yields a tracer
+// whose spans are timed but dropped (useful for overhead measurement).
+func New(exp Exporter) *Tracer { return &Tracer{exp: exp} }
+
+// Enabled reports whether spans will actually be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartRoot opens a span beginning a fresh trace.
+func (t *Tracer) StartRoot(name string) *ActiveSpan {
+	return t.StartSpan(name, SpanContext{})
+}
+
+// StartSpan opens a span. With a valid parent the span joins the
+// parent's trace; otherwise it roots a new one. Returns nil (a no-op
+// handle) when t is nil.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	a := &ActiveSpan{t: t}
+	a.s.Name = name
+	a.s.SpanID = nextID()
+	if parent.Valid() {
+		a.s.TraceID = parent.TraceID
+		a.s.ParentID = parent.SpanID
+	} else {
+		a.s.TraceID = nextID()
+	}
+	a.s.Start = time.Now().UnixNano()
+	return a
+}
+
+// ActiveSpan is an in-flight span. It is owned by the goroutine that
+// started it; Context() may be shared (it is an immutable value), but
+// SetAttr/End must stay on the owner. A nil *ActiveSpan no-ops.
+type ActiveSpan struct {
+	t     *Tracer
+	s     Span
+	ended atomic.Bool
+}
+
+// Context returns the span's identity for propagation.
+func (a *ActiveSpan) Context() SpanContext {
+	if a == nil {
+		return SpanContext{}
+	}
+	return a.s.Context()
+}
+
+// ID returns the span's own ID (0 on a nil span) — the value embedded
+// in ring frames.
+func (a *ActiveSpan) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.s.SpanID
+}
+
+// SetAttr annotates the span.
+func (a *ActiveSpan) SetAttr(key, val string) {
+	if a == nil {
+		return
+	}
+	a.s.Attrs = append(a.s.Attrs, Attr{Key: key, Val: val})
+}
+
+// SetInt annotates the span with an integer value.
+func (a *ActiveSpan) SetInt(key string, val int64) {
+	if a == nil {
+		return
+	}
+	a.SetAttr(key, fmt.Sprintf("%d", val))
+}
+
+// SetHex annotates the span with a 64-bit ID in the same hex form the
+// history log uses for span IDs (so remote-span links grep cleanly).
+func (a *ActiveSpan) SetHex(key string, val uint64) {
+	if a == nil || val == 0 {
+		return
+	}
+	a.SetAttr(key, FormatID(val))
+}
+
+// End closes the span and exports it. Idempotent; safe on nil.
+func (a *ActiveSpan) End() {
+	if a == nil || a.ended.Swap(true) {
+		return
+	}
+	a.s.End = time.Now().UnixNano()
+	if a.t.exp != nil {
+		a.t.exp.ExportSpan(a.s)
+	}
+}
+
+// EndErr records err (when non-nil) as the span's "error" attribute,
+// then ends it.
+func (a *ActiveSpan) EndErr(err error) {
+	if a == nil {
+		return
+	}
+	if err != nil {
+		a.SetAttr("error", err.Error())
+	}
+	a.End()
+}
+
+// FormatID renders a span/trace ID the way the history log stores it.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseID parses FormatID output; 0 means absent/invalid.
+func ParseID(s string) uint64 {
+	var id uint64
+	if _, err := fmt.Sscanf(s, "%016x", &id); err != nil {
+		return 0
+	}
+	return id
+}
+
+// --- context propagation ----------------------------------------------
+
+type ctxKey struct{}
+
+type carrier struct {
+	t  *Tracer
+	sc SpanContext
+}
+
+// NewContext returns ctx carrying tracer t and current span sc, the
+// form instrumented layers (collectives, stages) read back with
+// FromContext. With a nil tracer and invalid span, ctx is returned
+// unchanged so the disabled path adds no context allocation.
+func NewContext(ctx context.Context, t *Tracer, sc SpanContext) context.Context {
+	if t == nil && !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, carrier{t: t, sc: sc})
+}
+
+// WithSpan rebinds the current span of a context that already carries a
+// tracer (keeping that tracer), or installs a's own tracer.
+func WithSpan(ctx context.Context, a *ActiveSpan) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return NewContext(ctx, a.t, a.Context())
+}
+
+// FromContext extracts the tracer and current span from ctx. Both are
+// zero when the context is uninstrumented.
+func FromContext(ctx context.Context) (*Tracer, SpanContext) {
+	c, _ := ctx.Value(ctxKey{}).(carrier)
+	return c.t, c.sc
+}

@@ -1,0 +1,323 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparker/internal/eventlog"
+)
+
+func TestSpanBasics(t *testing.T) {
+	exp := &MemExporter{}
+	tr := New(exp)
+	root := tr.StartRoot("job")
+	root.SetAttr("k", "v")
+	root.SetInt("n", 42)
+	child := tr.StartSpan("stage", root.Context())
+	child.End()
+	root.End()
+
+	spans := exp.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("exported %d spans, want 2", len(spans))
+	}
+	// Export order is end order: child first.
+	c, r := spans[0], spans[1]
+	if c.Name != "stage" || r.Name != "job" {
+		t.Fatalf("span names: %q, %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Errorf("child trace %x != root trace %x", c.TraceID, r.TraceID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Errorf("child parent %x != root span %x", c.ParentID, r.SpanID)
+	}
+	if r.ParentID != 0 {
+		t.Errorf("root has parent %x", r.ParentID)
+	}
+	if v, ok := r.Attr("k"); !ok || v != "v" {
+		t.Errorf("attr k = %q, %v", v, ok)
+	}
+	if v, ok := r.Attr("n"); !ok || v != "42" {
+		t.Errorf("attr n = %q, %v", v, ok)
+	}
+	if r.End < r.Start {
+		t.Errorf("end %d before start %d", r.End, r.Start)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	exp := &MemExporter{}
+	tr := New(exp)
+	s := tr.StartRoot("once")
+	s.End()
+	s.End()
+	s.EndErr(errors.New("late"))
+	if n := len(exp.Spans()); n != 1 {
+		t.Fatalf("exported %d spans, want 1", n)
+	}
+}
+
+func TestEndErrRecordsError(t *testing.T) {
+	exp := &MemExporter{}
+	tr := New(exp)
+	s := tr.StartRoot("fail")
+	s.EndErr(errors.New("boom"))
+	got := exp.Spans()[0]
+	if v, ok := got.Attr("error"); !ok || v != "boom" {
+		t.Fatalf("error attr = %q, %v", v, ok)
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	s := tr.StartRoot("x")
+	if s != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	// Every method must be callable on the nil span.
+	s.SetAttr("a", "b")
+	s.SetInt("c", 1)
+	s.SetHex("d", 2)
+	s.End()
+	s.EndErr(errors.New("e"))
+	if s.ID() != 0 {
+		t.Fatal("nil span has an ID")
+	}
+	if s.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0)} {
+		s := FormatID(id)
+		if len(s) != 16 {
+			t.Errorf("FormatID(%x) = %q, want 16 chars", id, s)
+		}
+		if got := ParseID(s); got != id {
+			t.Errorf("ParseID(FormatID(%x)) = %x", id, got)
+		}
+	}
+	if ParseID("not-hex") != 0 {
+		t.Error("ParseID accepted garbage")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := New(&MemExporter{})
+	s := tr.StartRoot("root")
+	ctx := NewContext(context.Background(), tr, s.Context())
+	gt, gsc := FromContext(ctx)
+	if gt != tr || gsc != s.Context() {
+		t.Fatal("context round-trip lost tracer or span")
+	}
+
+	// WithSpan rebinds the current span.
+	s2 := tr.StartSpan("child", s.Context())
+	ctx2 := WithSpan(ctx, s2)
+	_, gsc2 := FromContext(ctx2)
+	if gsc2 != s2.Context() {
+		t.Fatal("WithSpan did not rebind the span")
+	}
+
+	// Uninstrumented context yields zeros, and installing nothing
+	// returns the same context.
+	bg := context.Background()
+	if nt, nsc := FromContext(bg); nt != nil || nsc.Valid() {
+		t.Fatal("background context carries trace state")
+	}
+	if NewContext(bg, nil, SpanContext{}) != bg {
+		t.Fatal("empty NewContext allocated a new context")
+	}
+}
+
+func TestSpanEventRoundTrip(t *testing.T) {
+	s := Span{
+		TraceID:  0x1111,
+		SpanID:   0x2222,
+		ParentID: 0x3333,
+		Name:     "task",
+		Start:    1000,
+		End:      5000,
+		Attrs:    []Attr{{Key: "exec", Val: "2"}},
+	}
+	e := SpanToEvent(s)
+	if e.Kind != eventlog.KindSpan {
+		t.Fatalf("event kind %q", e.Kind)
+	}
+	got, ok := SpanFromEvent(e)
+	if !ok {
+		t.Fatal("SpanFromEvent rejected its own encoding")
+	}
+	if got.TraceID != s.TraceID || got.SpanID != s.SpanID || got.ParentID != s.ParentID ||
+		got.Name != s.Name || got.Start != s.Start || got.End != s.End {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+	}
+	if v, _ := got.Attr("exec"); v != "2" {
+		t.Fatalf("attr lost: %+v", got.Attrs)
+	}
+	if _, ok := SpanFromEvent(eventlog.Event{Kind: "phase"}); ok {
+		t.Fatal("non-span event decoded as span")
+	}
+}
+
+func TestLogExporterWritesSpans(t *testing.T) {
+	var buf bytes.Buffer
+	l := eventlog.New(&buf)
+	tr := New(NewLogExporter(l))
+	s := tr.StartRoot("op")
+	s.End()
+	l.Flush()
+
+	events, err := eventlog.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, e := range events {
+		if _, ok := SpanFromEvent(e); ok {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("log contains %d span records, want 1", n)
+	}
+}
+
+func TestAsyncExporterDeliversAndCloses(t *testing.T) {
+	mem := &MemExporter{}
+	a := NewAsyncExporter(mem, 16)
+	tr := New(a)
+	const n = 50
+	for i := 0; i < n; i++ {
+		tr.StartRoot(fmt.Sprint("s", i)).End()
+	}
+	a.Close()
+	if got := len(mem.Spans()) + int(a.Dropped()); got != n {
+		t.Fatalf("delivered+dropped = %d, want %d", got, n)
+	}
+	// Post-close exports must neither panic nor deliver.
+	before := len(mem.Spans())
+	a.ExportSpan(Span{TraceID: 1, SpanID: 1, Name: "late"})
+	if len(mem.Spans()) != before {
+		t.Fatal("export after Close delivered a span")
+	}
+	a.Close() // idempotent
+}
+
+// TestAsyncExporterNoGoroutineLeak verifies Close tears the forwarding
+// goroutine down — the exporter-shutdown leak check of the PR's test
+// checklist.
+func TestAsyncExporterNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		a := NewAsyncExporter(&MemExporter{}, 4)
+		a.ExportSpan(Span{TraceID: 1, SpanID: 1})
+		a.Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after 20 exporter open/close cycles",
+		base, runtime.NumGoroutine())
+}
+
+func TestAsyncExporterConcurrent(t *testing.T) {
+	mem := &MemExporter{}
+	a := NewAsyncExporter(mem, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				a.ExportSpan(Span{TraceID: uint64(g + 1), SpanID: uint64(i + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	a.Close()
+	if got := int64(len(mem.Spans())) + a.Dropped(); got != 800 {
+		t.Fatalf("delivered+dropped = %d, want 800", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New(&MemExporter{})
+	exp := tr.exp.(*MemExporter)
+
+	// driver: stage → two executor tasks → one ring-step each.
+	stage := tr.StartSpan("stage", SpanContext{})
+	for e := 0; e < 2; e++ {
+		task := tr.StartSpan("task", stage.Context())
+		task.SetInt("exec", int64(e))
+		step := tr.StartSpan("ring-step", task.Context())
+		step.SetInt("exec", int64(e))
+		step.End()
+		task.End()
+	}
+	stage.End()
+
+	var events []eventlog.Event
+	for _, s := range exp.Spans() {
+		events = append(events, SpanToEvent(s))
+	}
+	var buf bytes.Buffer
+	sum, err := WriteChromeTrace(&buf, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Spans != 5 {
+		t.Errorf("Spans = %d, want 5", sum.Spans)
+	}
+	if sum.Traces != 1 {
+		t.Errorf("Traces = %d, want 1", sum.Traces)
+	}
+	wantTracks := []string{"driver", "executor 0", "executor 1"}
+	if len(sum.Tracks) != len(wantTracks) {
+		t.Fatalf("Tracks = %v, want %v", sum.Tracks, wantTracks)
+	}
+	for i, w := range wantTracks {
+		if sum.Tracks[i] != w {
+			t.Fatalf("Tracks = %v, want %v", sum.Tracks, wantTracks)
+		}
+	}
+	if sum.RingSteps != 2 {
+		t.Errorf("RingSteps = %d, want 2", sum.RingSteps)
+	}
+	// The two tasks parent on the driver-track stage: 2 stitches.
+	if sum.CrossTrackParents != 2 {
+		t.Errorf("CrossTrackParents = %d, want 2", sum.CrossTrackParents)
+	}
+	if sum.Orphans != 0 {
+		t.Errorf("Orphans = %d, want 0", sum.Orphans)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph":"X"`, `"ph":"M"`, "ring-step"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome JSON missing %s", want)
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteChromeTrace(&buf, []eventlog.Event{{Kind: "phase"}}); err == nil {
+		t.Fatal("expected an error for a span-free log")
+	}
+}
