@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race test-chaos overhead trace-demo check bench benchjson
+.PHONY: build vet test race test-chaos overhead trace-demo check bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,11 @@ test-chaos:
 
 # Telemetry overhead gate (see DESIGN.md "Observability"): with tracing
 # off the ring hot path must allocate no more per op than the PR 1
-# baselines. Fails the build if disabled telemetry stops being free.
+# baselines — both the default path and the chunked pipelined path with
+# chunking pinned on. Fails the build if disabled telemetry (or the
+# chunk pipeline) stops being allocation-free.
 overhead:
-	$(GO) test -run TelemetryOverhead -v ./internal/collective
+	$(GO) test -run 'TelemetryOverhead|PipelineOverhead' -v ./internal/collective
 
 # End-to-end tracing demo: a traced LR run whose event log must convert
 # to a Perfetto-loadable Chrome trace with >= 2 executor tracks,
@@ -56,3 +58,11 @@ bench:
 # Machine-readable paper-reproduction results for perf tracking.
 benchjson:
 	$(GO) run ./cmd/sparkerbench -json > BENCH_PR3.json
+
+# Pipelined-ring before/after evidence (DESIGN.md "Pipelined ring
+# collectives"): segment-size sweep 1KB->154MB over real TCP loopback,
+# chunking off vs on — step p50/p95, wall-clock speedup, overlap ratio.
+# Minutes of runtime at the large sizes.
+bench-compare:
+	$(GO) run ./cmd/sparkerbench -only pipeline -json > BENCH_PR4.json
+	@cat BENCH_PR4.json

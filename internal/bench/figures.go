@@ -430,10 +430,11 @@ func ByID(id string) (*Report, error) {
 		"ablation-imm": AblationIMM, "ablation-algos": AblationAlgorithms,
 		"ablation-allreduce": AblationAllReduce,
 		"engine-metrics":     EngineMetrics,
+		"pipeline":           PipelineSweep,
 	}
 	f, ok := m[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics)", id)
+		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline)", id)
 	}
 	return f()
 }

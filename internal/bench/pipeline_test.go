@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"testing"
+
+	"sparker/internal/transport"
+)
+
+// TestPipelineSweepSmall runs the off/on sweep machinery on the mem
+// transport with tiny segments: the full TCP report is minutes long,
+// but the plumbing — rows per point, raw quantile keys, a sane overlap
+// ratio — must be covered by `go test`.
+func TestPipelineSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	points := []pipelinePoint{
+		{segBytes: 8 << 10, trials: 2},
+		{segBytes: 256 << 10, trials: 2},
+	}
+	r, err := pipelineSweep(func() transport.Network { return transport.NewMem() },
+		"mem", 2, 1, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(points) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), len(points))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(r.Header), row)
+		}
+	}
+	for _, key := range []string{
+		"pipeline/8KB/off/step_p50_ns",
+		"pipeline/8KB/on/step_p95_ns",
+		"pipeline/256KB/speedup_milli",
+		"pipeline/256KB/overlap_permille",
+	} {
+		if _, ok := r.Quantiles[key]; !ok {
+			t.Errorf("missing raw quantile %q (have %d keys)", key, len(r.Quantiles))
+		}
+	}
+	// Steps happened in both modes at both sizes.
+	for _, key := range []string{"pipeline/8KB/off/step_p50_ns", "pipeline/256KB/on/step_p50_ns"} {
+		if v := r.Quantiles[key]; v <= 0 {
+			t.Errorf("%s = %d, want > 0 (no steps recorded?)", key, v)
+		}
+	}
+	// Overlap is a ratio; permille must stay within [0, 1000].
+	for _, tag := range []string{"8KB", "256KB"} {
+		if v := r.Quantiles["pipeline/"+tag+"/overlap_permille"]; v < 0 || v > 1000 {
+			t.Errorf("overlap_permille[%s] = %d, want within [0, 1000]", tag, v)
+		}
+	}
+	if r.Quantiles["pipeline/8KB/speedup_milli"] <= 0 {
+		t.Error("speedup must be positive")
+	}
+}

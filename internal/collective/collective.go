@@ -80,15 +80,29 @@ func EpochFrom(ctx context.Context) uint32 {
 const epochHeaderSize = 4
 
 // spanFlag marks a traced frame: when set on the epoch word, an 8-byte
-// sender span ID follows the epoch header. Epoch values are masked to
-// the low 31 bits on both encode and compare, so untraced frames keep
-// the exact PR 2 wire format and traced/untraced endpoints interoperate
-// (the extension is backward-compatible — see DESIGN.md §10).
+// sender span ID follows the epoch header. chunkFlag marks one chunk of
+// a pipelined segment train: a 20-byte chunk header (index, count,
+// element range — see pipeline.go) follows the epoch/span words. Epoch
+// values are masked to the low 30 bits on both encode and compare, so
+// untraced single-frame steps keep the exact PR 2 wire format and
+// traced/untraced, chunked/unchunked endpoints interoperate (the
+// extensions are backward-compatible — see DESIGN.md §10 and §11). A
+// receiver that predates a flag reads it as an epoch bit, fails the
+// epoch match and errors loudly instead of mis-parsing the frame.
 const (
-	spanFlag   = uint32(1) << 31
-	epochMask  = ^spanFlag
-	spanIDSize = 8
+	spanFlag      = uint32(1) << 31
+	chunkFlag     = uint32(1) << 30
+	epochMask     = ^(spanFlag | chunkFlag)
+	spanIDSize    = 8
+	chunkMetaSize = 20
 )
+
+// epochNewer reports whether got is ahead of want in 30-bit wraparound
+// order (the sign of their shifted difference, as in serial-number
+// arithmetic).
+func epochNewer(got, want uint32) bool {
+	return int32((got-want)<<2) > 0
+}
 
 // frameHeaderSize is the ring-frame header length: the epoch word plus,
 // for traced frames (span != 0), the sender span ID.
@@ -123,59 +137,20 @@ func encodeFrame[V any](ops Ops[V], epoch uint32, span uint64, buf []byte, v V) 
 	return out
 }
 
-// recvFrame receives the next frame for epoch on channel ch. Frames
-// from older epochs are residue of an aborted collective: they are
-// dropped (released when the ops mark buffers unretained) and the
-// receive retried under the same step context. A frame from a newer
-// epoch means this collective has been superseded and cannot complete.
-// On success it returns the payload, the full wire buffer the payload
-// aliases (the caller releases the latter), and the sender's step span
-// ID when the frame was traced (0 otherwise).
-func recvFrame(sctx context.Context, e *comm.Endpoint, ch int, epoch uint32, releasable bool) (payload, wire []byte, remoteSpan uint64, err error) {
-	want := epoch & epochMask
-	for {
-		in, err := e.RecvPrevCtx(sctx, ch)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		if len(in) < epochHeaderSize {
-			return nil, nil, 0, fmt.Errorf("collective: frame shorter than epoch header (%d bytes)", len(in))
-		}
-		word := uint32At(in, 0)
-		got := word & epochMask
-		hs := epochHeaderSize
-		var span uint64
-		if word&spanFlag != 0 {
-			if len(in) < epochHeaderSize+spanIDSize {
-				return nil, nil, 0, fmt.Errorf("collective: traced frame shorter than span header (%d bytes)", len(in))
-			}
-			span = uint64At(in, epochHeaderSize)
-			hs += spanIDSize
-		}
-		if got == want {
-			return in[hs:], in, span, nil
-		}
-		if releasable {
-			comm.Release(in)
-		}
-		if int32(got-want) > 0 {
-			return nil, nil, 0, fmt.Errorf("collective: epoch %d superseded by in-flight epoch %d", want, got)
-		}
-	}
-}
-
 // telemetry bundles the per-step observability handles of one
 // collective: the tracer + parent span (usually the executor task span,
-// propagated through the dispatch context) and the ring-step
-// histograms of the executor's registry. Resolved once per collective
-// so the step loop pays a single `on` branch when everything is
-// disabled.
+// propagated through the dispatch context) and the ring-step and
+// ring-chunk histograms of the executor's registry. Resolved once per
+// collective so the step loop pays a single `on` branch when everything
+// is disabled.
 type telemetry struct {
-	on        bool
-	tr        *trace.Tracer
-	parent    trace.SpanContext
-	stepNS    *metrics.Histogram
-	stepBytes *metrics.Histogram
+	on         bool
+	tr         *trace.Tracer
+	parent     trace.SpanContext
+	stepNS     *metrics.Histogram
+	stepBytes  *metrics.Histogram
+	chunkNS    *metrics.Histogram
+	chunkBytes *metrics.Histogram
 }
 
 func telemetryFrom(ctx context.Context) telemetry {
@@ -184,6 +159,8 @@ func telemetryFrom(ctx context.Context) telemetry {
 	if reg := metrics.FromContext(ctx); reg != nil {
 		tel.stepNS = reg.Histogram(metrics.HistRingStepNS)
 		tel.stepBytes = reg.Histogram(metrics.HistRingStepBytes)
+		tel.chunkNS = reg.Histogram(metrics.HistRingChunkNS)
+		tel.chunkBytes = reg.Histogram(metrics.HistRingChunkBytes)
 	}
 	tel.on = tel.tr != nil || tel.stepNS != nil
 	return tel
@@ -248,6 +225,37 @@ type Ops[V any] struct {
 	// pooled buffer before the very first encode of a loop, so even
 	// step 0 avoids a grow-and-copy.
 	EncodedSize func(v V) int
+
+	// The six callbacks below enable the pipelined chunk fast path
+	// (DESIGN.md §11) and must be set together; with any missing the
+	// collectives fall back to whole-segment frames. A chunk payload is
+	// a fixed-stride array of element words with no per-chunk length
+	// prefix — counts ride in the frame's chunk header — so byte ranges
+	// map linearly onto element ranges and a segment can be resegmented
+	// at any element boundary.
+
+	// Elems reports the element count of v.
+	Elems func(v V) int
+	// ChunkEncodedSize reports the exact payload size of an n-element
+	// chunk. It must be linear in n (ChunkEncodedSize(n) ==
+	// n·ChunkEncodedSize(1)); the collectives verify linearity once and
+	// disable chunking otherwise.
+	ChunkEncodedSize func(n int) int
+	// EncodeChunkTo appends elements [off, off+n) of v to dst.
+	EncodeChunkTo func(dst []byte, v V, off, n int) []byte
+	// DecodeReduceChunkInto reduces a chunk payload into elements
+	// [off, off+len) of acc in place — acc's identity is preserved, so
+	// disjoint chunks of one segment may be reduced concurrently. It
+	// must be elementwise identical to DecodeReduceInto over the same
+	// range (the property tests check bitwise equality) and must not
+	// retain payload.
+	DecodeReduceChunkInto func(acc V, off int, payload []byte) error
+	// MakeSegment returns a fresh n-element segment for chunked
+	// allgather receives to assemble into.
+	MakeSegment func(n int) V
+	// DecodeChunkInto decodes a chunk payload into elements
+	// [off, off+len) of dst. It must not retain payload.
+	DecodeChunkInto func(dst V, off int, payload []byte) error
 }
 
 // sizeHint picks the pooled-buffer size for the next encode: the exact
@@ -297,6 +305,13 @@ func F64Ops() Ops[[]float64] {
 		EncodeTo:         func(dst []byte, v []float64) []byte { return encodeF64(dst[:0], v) },
 		DecodeReduceInto: decodeReduceIntoF64,
 		EncodedSize:      func(v []float64) int { return 4 + 8*len(v) },
+
+		Elems:                 func(v []float64) int { return len(v) },
+		ChunkEncodedSize:      func(n int) int { return 8 * n },
+		EncodeChunkTo:         encodeChunkF64,
+		DecodeReduceChunkInto: decodeReduceChunkF64,
+		MakeSegment:           func(n int) []float64 { return make([]float64, n) },
+		DecodeChunkInto:       decodeChunkF64,
 	}
 }
 
@@ -376,6 +391,77 @@ func decodeReduceIntoF64(acc []float64, wire []byte) ([]float64, error) {
 	return acc, nil
 }
 
+// encodeChunkF64 appends elements [off, off+n) of v to dst as raw
+// 8-byte words — no length prefix; the chunk header carries the counts.
+// Grows dst at most once to the exact size, like encodeF64.
+func encodeChunkF64(dst []byte, v []float64, off, n int) []byte {
+	need := 8 * n
+	if cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	o := len(dst)
+	dst = dst[:o+need]
+	for _, f := range v[off : off+n] {
+		putFloat64(dst[o:], f)
+		o += 8
+	}
+	return dst
+}
+
+// f64ChunkBody validates a raw-word chunk payload against the target
+// range [off, off+n) of a seg-element segment and returns the element
+// count.
+func f64ChunkBody(payload []byte, off, seg int) (int, error) {
+	if len(payload)%8 != 0 {
+		return 0, fmt.Errorf("collective: chunk payload %d bytes is not word-aligned", len(payload))
+	}
+	n := len(payload) / 8
+	if off < 0 || off+n > seg {
+		return 0, fmt.Errorf("collective: chunk [%d,%d) outside segment of %d elems", off, off+n, seg)
+	}
+	return n, nil
+}
+
+// decodeReduceChunkF64 is the chunked fused decode-reduce:
+// acc[off+i] += word i straight out of the payload, the same 4-wide
+// unrolled kernel as decodeReduceIntoF64 over a sub-range. Element adds
+// are independent and in-place, so sharding a chunk across cores stays
+// bitwise identical to the sequential fused pass.
+func decodeReduceChunkF64(acc []float64, off int, payload []byte) error {
+	n, err := f64ChunkBody(payload, off, len(acc))
+	if err != nil {
+		return err
+	}
+	dst := acc[off : off+n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] += float64At(payload, 8*i)
+		dst[i+1] += float64At(payload, 8*i+8)
+		dst[i+2] += float64At(payload, 8*i+16)
+		dst[i+3] += float64At(payload, 8*i+24)
+	}
+	for ; i < n; i++ {
+		dst[i] += float64At(payload, 8*i)
+	}
+	return nil
+}
+
+// decodeChunkF64 copies a chunk payload into dst[off:] — the allgather
+// assembly path.
+func decodeChunkF64(dst []float64, off int, payload []byte) error {
+	n, err := f64ChunkBody(payload, off, len(dst))
+	if err != nil {
+		return err
+	}
+	out := dst[off : off+n]
+	for i := range out {
+		out[i] = float64At(payload, 8*i)
+	}
+	return nil
+}
+
 // decodeReduce applies the fused path when available, falling back to
 // Decode-then-Reduce. It reports whether the wire buffer is provably
 // unretained and may be released to the pool — true for the fused path
@@ -440,11 +526,13 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 	}
 
 	epoch := EpochFrom(ctx)
-	releasable := ops.DecodeReduceInto != nil
-	// Telemetry handles resolved once per collective: with neither a
-	// tracer nor a registry in ctx the per-step cost is one branch and
-	// no time syscalls, keeping the PR 1 zero-allocation path intact.
+	// Telemetry handles, chunk plan and core budget resolved once per
+	// collective: with neither a tracer nor a registry in ctx the
+	// per-step cost is one branch and no time syscalls, keeping the PR 1
+	// zero-allocation path intact.
 	tel := telemetryFrom(ctx)
+	chunkBytes := resolveChunkBytes(ctx)
+	cores := CoresFrom(ctx)
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -460,56 +548,14 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 			block := segs[ch*n : (ch+1)*n]
 			cur := make([]V, n)
 			copy(cur, block)
-			// One completion channel and one wire-size hint per channel
-			// goroutine, reused every step: the k-step loop cycles
-			// pooled buffers instead of allocating N-1 times.
-			sendDone := make(chan error, 1)
-			hint := 0
-			step := func(k int) (err error) {
-				var span *trace.ActiveSpan
-				if tel.on {
-					start := time.Now()
-					span = tel.startStep("reduce-scatter", ch, k, epoch)
-					defer func() {
-						tel.stepNS.Observe(time.Since(start).Nanoseconds())
-						span.EndErr(err)
-					}()
-				}
-				sctx, cancel := stepContext(ctx)
-				defer cancel()
-				sendIdx := ((r-k)%n + n) % n
-				recvIdx := ((r-k-1)%n + n) % n
-				spanID := span.ID()
-				buf := comm.GetBuffer(sizeHint(ops, hint, cur[sendIdx]) + frameHeaderSize(spanID))
-				wire := encodeFrame(ops, epoch, spanID, buf, cur[sendIdx])
-				hint = len(wire)
-				if tel.on {
-					tel.stepBytes.Observe(int64(len(wire)))
-					span.SetInt("bytes", int64(len(wire)))
-				}
-				e.SendToAsync(e.Next(), ch, wire, sendDone)
-				payload, in, peerSpan, err := recvFrame(sctx, e, ch, epoch, releasable)
-				if err != nil {
-					drainSend(sctx, sendDone)
-					return fmt.Errorf("collective: rank %d ch %d step %d recv: %w", r, ch, k, err)
-				}
-				span.SetHex("peer_span", peerSpan)
-				acc, release, err := decodeReduce(ops, cur[recvIdx], payload)
-				if release {
-					comm.Release(in)
-				}
-				if err != nil {
-					drainSend(sctx, sendDone)
-					return fmt.Errorf("collective: rank %d ch %d step %d decode: %w", r, ch, k, err)
-				}
-				cur[recvIdx] = acc
-				if err := e.WaitSend(sctx, e.Next(), sendDone); err != nil {
-					return fmt.Errorf("collective: rank %d ch %d step %d send: %w", r, ch, k, err)
-				}
-				return nil
-			}
+			// One transfer engine per channel goroutine: its completion
+			// channels, size hint and chunk plan persist across the
+			// k-step loop, cycling pooled buffers instead of allocating
+			// N-1 times.
+			var rc ringChan[V]
+			rc.init(e, ops, ch, epoch, tel, chunkBytes, cores)
 			for k := 0; k < n-1; k++ {
-				if err := step(k); err != nil {
+				if err := ringStepRS(ctx, &rc, cur, r, n, k); err != nil {
 					setErr(err)
 					return
 				}
@@ -525,6 +571,31 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 		return nil, firstErr
 	}
 	return owned, nil
+}
+
+// ringStepRS runs one reduce-scatter step on one channel: open the step
+// span, derive the step context, stream segment sendIdx to the
+// successor while reducing the predecessor's segment into recvIdx.
+func ringStepRS[V any](ctx context.Context, rc *ringChan[V], cur []V, r, n, k int) (err error) {
+	var span *trace.ActiveSpan
+	if rc.tel.on {
+		start := time.Now()
+		span = rc.tel.startStep("reduce-scatter", rc.ch, k, rc.epoch)
+		defer func() {
+			rc.tel.stepNS.Observe(time.Since(start).Nanoseconds())
+			span.EndErr(err)
+		}()
+	}
+	sctx, cancel := stepContext(ctx)
+	defer cancel()
+	sendIdx := ((r-k)%n + n) % n
+	recvIdx := ((r-k-1)%n + n) % n
+	acc, err := rc.transferReduce(sctx, span, cur[sendIdx], cur[recvIdx])
+	if err != nil {
+		return fmt.Errorf("collective: rank %d ch %d step %d: %w", r, rc.ch, k, err)
+	}
+	cur[recvIdx] = acc
+	return nil
 }
 
 // RingAllGather circulates each rank's owned segments around the ring
@@ -559,11 +630,10 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 		mu.Unlock()
 	}
 
-	// DecodeReduceInto doubles as the marker that Decode does not
-	// retain its input, so gathered receive buffers can be released.
-	releasable := ops.DecodeReduceInto != nil
 	epoch := EpochFrom(ctx)
 	tel := telemetryFrom(ctx)
+	chunkBytes := resolveChunkBytes(ctx)
+	cores := CoresFrom(ctx)
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -576,56 +646,19 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 			}()
 			// After reduce-scatter rank r owns block index (r+1)%n.
 			have := (r + 1) % n
-			sendDone := make(chan error, 1)
-			hint := 0
-			step := func(k int) (err error) {
-				var span *trace.ActiveSpan
-				if tel.on {
-					start := time.Now()
-					span = tel.startStep("allgather", ch, k, epoch)
-					defer func() {
-						tel.stepNS.Observe(time.Since(start).Nanoseconds())
-						span.EndErr(err)
-					}()
-				}
-				sctx, cancel := stepContext(ctx)
-				defer cancel()
-				sendIdx := ((have-k)%n + n) % n
-				recvIdx := ((have-k-1)%n + n) % n
-				spanID := span.ID()
-				buf := comm.GetBuffer(sizeHint(ops, hint, all[ch*n+sendIdx]) + frameHeaderSize(spanID))
-				wire := encodeFrame(ops, epoch, spanID, buf, all[ch*n+sendIdx])
-				hint = len(wire)
-				if tel.on {
-					tel.stepBytes.Observe(int64(len(wire)))
-					span.SetInt("bytes", int64(len(wire)))
-				}
-				e.SendToAsync(e.Next(), ch, wire, sendDone)
-				payload, in, peerSpan, err := recvFrame(sctx, e, ch, epoch, releasable)
-				if err != nil {
-					drainSend(sctx, sendDone)
-					return fmt.Errorf("collective: allgather rank %d ch %d step %d recv: %w", r, ch, k, err)
-				}
-				span.SetHex("peer_span", peerSpan)
-				v, err := ops.Decode(payload)
-				if err != nil {
-					if releasable {
-						comm.Release(in)
-					}
-					drainSend(sctx, sendDone)
-					return err
-				}
-				all[ch*n+recvIdx] = v
-				if releasable {
-					comm.Release(in)
-				}
-				return e.WaitSend(sctx, e.Next(), sendDone)
-			}
+			var rc ringChan[V]
+			rc.init(e, ops, ch, epoch, tel, chunkBytes, cores)
+			// Frames received at step k are forwarded verbatim at step
+			// k+1 (header rewrite only — no decode/re-encode on the
+			// relay path, DESIGN.md §11); fwd carries them across steps.
+			var fwd []fwdFrame
 			for k := 0; k < n-1; k++ {
-				if err := step(k); err != nil {
+				next, err := ringStepAG(ctx, &rc, all, have, r, n, k, fwd)
+				if err != nil {
 					setErr(err)
 					return
 				}
+				fwd = next
 			}
 		}(ch)
 	}
@@ -634,6 +667,35 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 		return nil, firstErr
 	}
 	return all, nil
+}
+
+// ringStepAG runs one allgather step on one channel: relay the segment
+// gathered last step (or encode our own on step 0) while assembling the
+// predecessor's frames into all[recvIdx]. Returns the frames to forward
+// on the next step.
+func ringStepAG[V any](ctx context.Context, rc *ringChan[V], all []V, have, r, n, k int, fwd []fwdFrame) (next []fwdFrame, err error) {
+	var span *trace.ActiveSpan
+	if rc.tel.on {
+		start := time.Now()
+		span = rc.tel.startStep("allgather", rc.ch, k, rc.epoch)
+		defer func() {
+			rc.tel.stepNS.Observe(time.Since(start).Nanoseconds())
+			span.EndErr(err)
+		}()
+	}
+	sctx, cancel := stepContext(ctx)
+	defer cancel()
+	sendIdx := ((have-k)%n + n) % n
+	recvIdx := ((have-k-1)%n + n) % n
+	// The last step's frames are not needed again; forwarding also
+	// requires the release contract (DecodeReduceInto set) so relayed
+	// buffers provably carry no aliases into decoded values.
+	keep := k < n-2 && rc.releasable
+	next, err = rc.transferGather(sctx, span, all, rc.ch*n+sendIdx, rc.ch*n+recvIdx, fwd, keep, k%2)
+	if err != nil {
+		return nil, fmt.Errorf("collective: allgather rank %d ch %d step %d: %w", r, rc.ch, k, err)
+	}
+	return next, nil
 }
 
 // RingAllReduce is reduce-scatter followed by allgather: every rank

@@ -105,6 +105,40 @@ func TestTelemetryOverheadOff(t *testing.T) {
 	}
 }
 
+// TestPipelineOverheadChunkingOn asserts the chunked pipelined path
+// honours the same telemetry-off allocation budget as the single-frame
+// baseline: with chunking pinned on (256 KiB chunks, four per 1 MiB
+// segment) and no telemetry, allocations per op must not exceed the
+// chunking-off run measured back to back in the same process. The
+// comparison is relative on purpose — scheduler contention inflates
+// both modes identically, while a chunk-path escape shows up only in
+// the on mode. The absolute PR 1 baseline stays enforced by
+// TestTelemetryOverheadOff.
+func TestPipelineOverheadChunkingOn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocs; gate runs without -race (make overhead)")
+	}
+	baselines := map[int]int64{1: 53, 4: 119}
+	const slack = 3
+	for _, p := range []int{1, 4} {
+		off := benchHotRing(t, p, "chunk-off", func(int) context.Context {
+			return WithChunkBytes(context.Background(), -1)
+		})
+		on := benchHotRing(t, p, "chunk-on", func(int) context.Context {
+			return WithChunkBytes(context.Background(), 256<<10)
+		})
+		t.Logf("P=%d chunking on: %v/op %d allocs/op; off: %v/op %d allocs/op (baseline %d)",
+			p, on.NsPerOp(), on.AllocsPerOp(), off.NsPerOp(), off.AllocsPerOp(), baselines[p])
+		if on.AllocsPerOp() > off.AllocsPerOp()+slack {
+			t.Errorf("P=%d: pipelined path allocates %d/op vs %d/op with chunking off (+%d slack): chunking must not cost steady-state allocations",
+				p, on.AllocsPerOp(), off.AllocsPerOp(), slack)
+		}
+	}
+}
+
 // TestTelemetryOverheadTracedReport measures the fully-traced ring
 // (span per step, histograms recording) against the off path and logs
 // the ratio. Informational only: tracing-on overhead is allowed to be

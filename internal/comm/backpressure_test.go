@@ -1,0 +1,141 @@
+package comm
+
+// Back-pressure tests for the bounded sender mailbox: a producer that
+// enqueues faster than the wire drains must block (never fail, never
+// buffer unboundedly), and every enqueued send must still complete.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sparker/internal/metrics"
+	"sparker/internal/transport"
+)
+
+// TestSendToAsyncBackpressureBounds floods one sender with far more
+// frames than the mailbox holds, over a link slowed enough that the
+// producer outruns the wire. The queue-depth gauge must never exceed
+// 2×senderMaxQueue (the mailbox plus the batch the sender goroutine has
+// already swapped out), and all sends must complete successfully.
+func TestSendToAsyncBackpressureBounds(t *testing.T) {
+	const msgs = 64
+	net := transport.NewFaulty(transport.NewMem(), 1, &transport.FaultRule{
+		Kind:  transport.FaultDelay,
+		Delay: time.Millisecond,
+	})
+	defer net.Close()
+	eps, err := NewGroup(net, "backpressure", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+
+	reg := metrics.NewRegistry()
+	eps[0].SetMetrics(reg)
+	gauge := reg.Gauge(metrics.GaugeSendQueue)
+
+	// Sample the gauge continuously while the producer floods.
+	var (
+		maxDepth int64
+		stop     = make(chan struct{})
+		sampled  sync.WaitGroup
+	)
+	sampled.Add(1)
+	go func() {
+		defer sampled.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if v := gauge.Value(); v > maxDepth {
+					maxDepth = v
+				}
+			}
+		}
+	}()
+
+	var recvd sync.WaitGroup
+	recvd.Add(1)
+	go func() {
+		defer recvd.Done()
+		for i := 0; i < msgs; i++ {
+			b, err := eps[1].RecvFrom(0, 0)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			Release(b)
+		}
+	}()
+
+	done := make(chan error, msgs)
+	for i := 0; i < msgs; i++ {
+		buf := GetBuffer(1 << 10)
+		eps[0].SendToAsync(1, 0, buf, done)
+	}
+	for i := 0; i < msgs; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("send %d failed: %v", i, err)
+		}
+	}
+	recvd.Wait()
+	close(stop)
+	sampled.Wait()
+
+	if limit := int64(2 * senderMaxQueue); maxDepth > limit {
+		t.Fatalf("send queue reached depth %d, want <= %d: mailbox back-pressure is not bounding the producer",
+			maxDepth, limit)
+	}
+}
+
+// TestEnqueueBlocksWhenMailboxFull pins the blocking behaviour down
+// directly: the producer can run ahead of the wire by at most the
+// mailbox plus the batch the sender already swapped out, so enqueueing
+// 2×senderMaxQueue+2 frames over a link that stalls each write cannot
+// return before at least two stalled writes have completed. If the
+// mailbox ever grew unboundedly, the loop would finish in microseconds
+// regardless of scheduling.
+func TestEnqueueBlocksWhenMailboxFull(t *testing.T) {
+	const stall = 20 * time.Millisecond
+	net := transport.NewFaulty(transport.NewMem(), 1, &transport.FaultRule{
+		Kind:  transport.FaultDelay,
+		Delay: stall,
+	})
+	defer net.Close()
+	eps, err := NewGroup(net, "backpressure-block", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseGroup(eps)
+
+	go func() {
+		for {
+			b, err := eps[1].RecvFrom(0, 0)
+			if err != nil {
+				return
+			}
+			Release(b)
+		}
+	}()
+
+	const msgs = 2*senderMaxQueue + 2
+	done := make(chan error, msgs)
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		eps[0].SendToAsync(1, 0, GetBuffer(64), done)
+	}
+	blocked := time.Since(start)
+	for i := 0; i < msgs; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("send %d failed: %v", i, err)
+		}
+	}
+	// msgs - 2×senderMaxQueue = 2 writes (each >= stall, serialized on
+	// one connection) must have drained before the loop could finish.
+	if blocked < stall {
+		t.Fatalf("enqueueing %d frames over a full mailbox took %v, want >= %v (back-pressure should have blocked the producer)",
+			msgs, blocked, stall)
+	}
+}

@@ -269,8 +269,13 @@ func (e *Endpoint) SendTo(peer, channel int, b []byte) error {
 }
 
 // SendToAsync enqueues b on the (peer, channel) persistent sender and
-// returns immediately; exactly one result — including setup failures —
-// is later delivered on done, which must have capacity >= 1.
+// returns without waiting for the write; exactly one result — including
+// setup failures — is later delivered on done, which must have capacity
+// >= 1. When the sender's mailbox is full (a producer far ahead of the
+// wire) the enqueue itself blocks until the sender drains: bounded
+// back-pressure, not unbounded buffering. Callers that cap their own
+// in-flight sends (the collectives keep at most two per channel) never
+// hit the bound.
 //
 // This is the pool-recycling path: b must be exclusively owned by the
 // caller — drawn from GetBuffer, or a private allocation nothing else
@@ -301,6 +306,15 @@ func GetBuffer(n int) []byte { return transport.GetBuf(n) }
 // GetBuffer) to the shared wire pool. Call it only when nothing decoded
 // from the buffer aliases it, and never touch the buffer afterwards.
 func Release(b []byte) { transport.PutBuf(b) }
+
+// RaceGuard reports whether the wire-pool ownership guard is compiled
+// in (-race builds). Hot paths gate tag construction behind it.
+const RaceGuard = transport.RaceGuard
+
+// TagWire attaches an ownership tag to a pooled wire buffer under
+// -race builds, so a pool-poisoning panic can name the owning channel
+// and chunk. No-op in production builds.
+func TagWire(b []byte, tag string) { transport.TagBuf(b, tag) }
 
 // RecvFrom blocks for the next message from peer on channel. Failures
 // are classified like RecvFromCtx, minus ErrPeerTimeout (no deadline).

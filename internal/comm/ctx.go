@@ -236,6 +236,22 @@ func (e *Endpoint) WaitSend(ctx context.Context, peer int, done <-chan error) er
 	}
 }
 
+// ReapSend polls one completion from done (as delivered by SendToAsync)
+// without blocking. It returns (false, nil) when the send is still in
+// flight; otherwise the outcome is classified exactly like WaitSend.
+// The pipelined collectives use it to retire finished chunk sends
+// opportunistically between receives, so the two-deep send window
+// recycles as fast as the wire drains instead of once per blocking
+// wait.
+func (e *Endpoint) ReapSend(peer int, done <-chan error) (bool, error) {
+	select {
+	case err := <-done:
+		return true, e.peerError("send", peer, err)
+	default:
+		return false, nil
+	}
+}
+
 // acceptedCtx blocks until the inbound connection from peer on channel
 // exists, bounded by ctx.
 func (e *Endpoint) acceptedCtx(ctx context.Context, peer, channel int) (transport.Conn, error) {

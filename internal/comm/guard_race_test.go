@@ -1,0 +1,50 @@
+//go:build race
+
+package comm
+
+import (
+	"strings"
+	"testing"
+
+	"sparker/internal/transport"
+)
+
+// TestDoubleReleasePanicNamesOwner: under -race, a wire buffer tagged
+// by the pipelined ring (channel + chunk index) that is released twice
+// must panic with the owner tag in the message — turning "some buffer
+// was parked twice" into an actionable pointer at the violating
+// channel/chunk.
+func TestDoubleReleasePanicNamesOwner(t *testing.T) {
+	// Drain the bucket so the first Release below is guaranteed to park
+	// (a full bucket drops the buffer, legitimizing the second Release).
+	const size = 5 << 12
+	var held [][]byte
+	for i := 0; i < 128; i++ {
+		held = append(held, GetBuffer(size))
+	}
+	defer func() {
+		for _, h := range held {
+			transport.PutBuf(h)
+		}
+	}()
+
+	buf := GetBuffer(size)
+	const tag = "ring ch 2 chunk 7/9"
+	TagWire(buf, tag)
+	Release(buf)
+	defer func() {
+		// Unpark our buffer so the deferred re-park of held succeeds.
+		GetBuffer(size)
+	}()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double Release of a parked buffer did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, tag) {
+			t.Fatalf("double-park panic does not name the owning channel/chunk %q: %v", tag, r)
+		}
+	}()
+	Release(buf)
+}

@@ -26,6 +26,15 @@ type sendReq struct {
 	done chan<- error
 }
 
+// senderMaxQueue bounds each sender's mailbox. The pipelined
+// collectives keep at most two chunk frames in flight per channel, so
+// a healthy ring never comes near the bound; it exists as back-pressure
+// for callers that enqueue faster than the wire drains (without it, a
+// producer ahead of a slow link would buffer an unbounded number of
+// chunk frames in the mailbox). Enqueue blocks — it does not fail —
+// until the sender goroutine drains a batch or the endpoint closes.
+const senderMaxQueue = 16
+
 // sender owns the outbound connection for one (peer, channel) pair.
 type sender struct {
 	e    *Endpoint
@@ -55,9 +64,14 @@ func newSender(e *Endpoint, conn transport.Conn) *sender {
 // enqueue hands buf to the sender. Ownership of buf transfers to the
 // comm layer; the result is delivered on done (if non-nil), including
 // ErrClosed when the endpoint is already shut down (in which case a
-// pool-owned buf goes straight back to the pool).
+// pool-owned buf goes straight back to the pool). A full mailbox blocks
+// the caller until the sender drains — the back-pressure that bounds
+// how far an encoder can run ahead of the wire.
 func (s *sender) enqueue(buf []byte, recycle bool, done chan<- error) {
 	s.mu.Lock()
+	for len(s.queue) >= senderMaxQueue && !s.closed {
+		s.cond.Wait()
+	}
 	if s.closed {
 		s.mu.Unlock()
 		if recycle {
@@ -69,7 +83,11 @@ func (s *sender) enqueue(buf []byte, recycle bool, done chan<- error) {
 		return
 	}
 	s.queue = append(s.queue, sendReq{buf: buf, recycle: recycle, done: done})
-	s.cond.Signal()
+	// Broadcast, not Signal: the waiters are a mix of the sender
+	// goroutine (waiting for work) and back-pressured producers (waiting
+	// for space), and a Signal could wake only a producer while the
+	// queue has work.
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.e.queueGauge.Load().Add(1)
 }
@@ -87,6 +105,9 @@ func (s *sender) run() {
 		}
 		closed := s.closed
 		batch, s.queue = s.queue, batch[:0]
+		// The swap freed the whole mailbox; wake any back-pressured
+		// producers blocked on a full queue.
+		s.cond.Broadcast()
 		s.mu.Unlock()
 
 		// Everything drained here was enqueued before close (enqueue

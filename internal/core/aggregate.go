@@ -101,6 +101,11 @@ type AggOptions struct {
 	// KeepKey, for StrategyAllReduce, stores the reduced result in every
 	// executor's mutable object manager under this key.
 	KeepKey string
+	// ChunkBytes sets the pipelined ring collectives' chunk size. Zero
+	// (the default) lets the collective layer pick — SPARKER_CHUNK_BYTES
+	// if set, else an adaptive size seeded from the step histograms; a
+	// negative value disables chunking (legacy single-frame steps).
+	ChunkBytes int
 }
 
 // AggOption mutates AggOptions.
@@ -140,6 +145,13 @@ func WithFallback(enabled bool) AggOption {
 // executor under key.
 func WithKeepKey(key string) AggOption {
 	return func(o *AggOptions) { o.KeepKey = key }
+}
+
+// WithChunkBytes fixes the pipelined ring chunk size (bytes) for this
+// aggregation. Zero defers to SPARKER_CHUNK_BYTES or the adaptive
+// controller; negative disables chunking.
+func WithChunkBytes(n int) AggOption {
+	return func(o *AggOptions) { o.ChunkBytes = n }
 }
 
 // AggFuncs carries the user callbacks of the split aggregation
@@ -345,6 +357,9 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 	if o.StepDeadline > 0 {
 		sctx = collective.WithStepDeadline(sctx, o.StepDeadline)
 	}
+	if o.ChunkBytes != 0 {
+		sctx = collective.WithChunkBytes(sctx, o.ChunkBytes)
+	}
 	nExec := rc.NumExecutors()
 	nSegs := o.Parallelism * nExec
 	ops := serdeOps[V](fns.ReduceOp)
@@ -363,8 +378,10 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 		Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
 			// Re-root the collective's telemetry under this task's span and
 			// this executor's registry: ring-step spans nest under the task,
-			// step histograms land executor-locally.
-			cctx := ec.Instrument(sctx)
+			// step histograms land executor-locally. The executor's core
+			// budget also rides along so the chunked decode-reduce knows how
+			// wide it may shard.
+			cctx := collective.WithCores(ec.Instrument(sctx), ec.Cores)
 			agg := sharedAgg(ec, prefix+"agg", fns.Zero)
 			segs := splitParallel(agg, nSegs, ec.Cores, fns.SplitOp)
 			owned, err := collective.RingReduceScatter(cctx, ec.Comm, segs, o.Parallelism, ops)

@@ -1,0 +1,107 @@
+package linalg
+
+// Strided parallel kernels: a persistent worker pool that shards an
+// index range across cores with deterministic, contiguous boundaries.
+// The collective layer uses it to run the fused decode-reduce of large
+// wire chunks on several cores at once; because every shard applies the
+// same sequential kernel to a disjoint contiguous element range, the
+// result is bitwise identical to the single-threaded pass regardless of
+// worker count or scheduling order.
+//
+// The pool is package-lifetime: workers start lazily on first use and
+// never exit. Steady-state dispatch is allocation-free — tasks are
+// structs sent by value on a buffered channel, and completion tokens
+// flow through a channel the caller recycles via a sync.Pool.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// pfTask is one shard of a ParallelFor: run body over [lo, hi).
+type pfTask struct {
+	body func(lo, hi int)
+	lo   int
+	hi   int
+	done chan<- struct{}
+}
+
+var pfPool struct {
+	once  sync.Once
+	tasks chan pfTask
+}
+
+// doneTokens recycles completion channels across ParallelFor calls.
+// Capacity covers the largest shard fan-out a single call can post.
+var doneTokens = sync.Pool{New: func() any { return make(chan struct{}, maxParallelWorkers) }}
+
+// maxParallelWorkers caps the shard count of one ParallelFor call; the
+// pool itself is sized to the machine, so asking for more workers than
+// cores just queues shards.
+const maxParallelWorkers = 64
+
+func startPFPool() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	pfPool.tasks = make(chan pfTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range pfPool.tasks {
+				t.body(t.lo, t.hi)
+				t.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+// ParallelFor splits [0, n) into `workers` contiguous shards and runs
+// body on each, using the calling goroutine for the first shard and the
+// persistent pool for the rest. It returns when every shard has
+// finished. Shard boundaries depend only on (n, workers), so two calls
+// with the same arguments cover identical ranges — the determinism the
+// sharded reduce relies on. workers <= 1 (or n too small to split)
+// degenerates to a plain body(0, n) call with no pool traffic.
+//
+// body must not call ParallelFor itself: shards run on pool workers,
+// and a nested call could wait on a pool it is itself occupying.
+func ParallelFor(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers > maxParallelWorkers {
+		workers = maxParallelWorkers
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	pfPool.once.Do(startPFPool)
+	done := doneTokens.Get().(chan struct{})
+	// Post shards 1..workers-1 to the pool, run shard 0 inline.
+	for i := 1; i < workers; i++ {
+		lo, hi := i*n/workers, (i+1)*n/workers
+		pfPool.tasks <- pfTask{body: body, lo: lo, hi: hi, done: done}
+	}
+	body(0, n/workers)
+	for i := 1; i < workers; i++ {
+		<-done
+	}
+	doneTokens.Put(done)
+}
+
+// ParallelAddAssign performs dst += src elementwise across `workers`
+// cores. Contiguous disjoint shards of independent element adds keep
+// the result bitwise identical to AddAssign.
+func ParallelAddAssign(dst, src []float64, workers int) {
+	if len(dst) != len(src) {
+		panic("linalg: ParallelAddAssign length mismatch")
+	}
+	ParallelFor(len(dst), workers, func(lo, hi int) {
+		AddAssign(dst[lo:hi], src[lo:hi])
+	})
+}

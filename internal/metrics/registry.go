@@ -12,8 +12,15 @@ const (
 	// HistRingStepNS is the per-step latency of ring collectives
 	// (send + recv + fused reduce for one segment on one channel).
 	HistRingStepNS = "ring.step.ns"
-	// HistRingStepBytes is the wire size of each ring-step frame.
+	// HistRingStepBytes is the total wire bytes of each ring step (the
+	// single frame of the legacy path, or the sum of the chunk frames of
+	// the pipelined path).
 	HistRingStepBytes = "ring.step.bytes"
+	// HistRingChunkNS is the per-chunk fused decode-reduce latency of
+	// the pipelined ring path.
+	HistRingChunkNS = "ring.chunk.reduce.ns"
+	// HistRingChunkBytes is the wire size of each pipelined chunk frame.
+	HistRingChunkBytes = "ring.chunk.bytes"
 	// HistBlockPutNS / HistBlockGetNS time block-store writes and reads
 	// (local or remote fetch).
 	HistBlockPutNS = "block.put.ns"

@@ -27,13 +27,20 @@ func init() {
 		// Deep buckets for small buffers, shallower as sizes grow so a
 		// burst of huge buffers cannot park gigabytes. The mid tier
 		// still fits a P-channel ring's worth of MiB-scale segments
-		// (the paper's sweet spot) in circulation.
+		// (the paper's sweet spot) in circulation, and the chunk tier
+		// (64 KiB – 1 MiB, where the pipelined collectives cut their
+		// frames) is deepened further: double buffering keeps ~3 chunk
+		// buffers per direction per channel in flight, so a P=4 ring
+		// with traffic in both directions circulates ~24 chunk buffers
+		// without ever dropping one to the garbage collector.
 		depth := 64
 		switch {
 		case b >= 24: // >= 16 MiB
 			depth = 4
 		case b >= 21: // 2–8 MiB
 			depth = 32
+		case b >= 16 && b <= 20: // 64 KiB – 1 MiB: pipelined chunk frames
+			depth = 128
 		}
 		bufBuckets[b] = make(chan []byte, depth)
 	}

@@ -5,5 +5,12 @@ package transport
 // No-op stand-ins for the -race pool guard (pool_guard_race.go): in
 // production builds Get/Put stay branch-free and allocation-free.
 
+// RaceGuard reports whether the pool guard is compiled in; callers gate
+// tag-building work behind it.
+const RaceGuard = false
+
+// TagBuf is a no-op without the race guard.
+func TagBuf([]byte, string) {}
+
 func guardPark([]byte)   {}
 func guardUnpark([]byte) {}

@@ -8,6 +8,11 @@ import (
 	"unsafe"
 )
 
+// RaceGuard reports whether the pool guard is compiled in. Hot paths
+// gate the cost of building ownership tags (fmt.Sprintf) behind it so
+// production builds pay nothing.
+const RaceGuard = true
+
 // Under the race detector the pool tracks the backing array of every
 // parked buffer and panics when the same array would be parked twice —
 // the poisoning signature of an ownership-contract violation (a double
@@ -17,15 +22,42 @@ import (
 // entirely (pool_guard.go).
 var parkedBufs sync.Map // *byte (backing array) -> struct{}
 
+// bufTags remembers the last owner tag attached to a backing array via
+// TagBuf, so a double-park panic can name the channel/chunk that owned
+// the buffer. Entries are overwritten on retag and deleted on unpark,
+// so the map tracks only buffers with a live ownership claim.
+var bufTags sync.Map // *byte (backing array) -> string
+
+// TagBuf attaches an ownership tag (e.g. "ch 2 chunk 17") to buf's
+// backing array. The tag appears in the double-park panic message,
+// turning "some buffer was released twice" into "the chunk 17 wire
+// buffer of channel 2 was released twice". Race builds only; the
+// non-race stub is a no-op, so callers should gate tag construction
+// behind RaceGuard.
+func TagBuf(buf []byte, tag string) {
+	if cap(buf) == 0 {
+		return
+	}
+	bufTags.Store(unsafe.SliceData(buf[:cap(buf)]), tag)
+}
+
 func guardPark(buf []byte) {
-	if _, dup := parkedBufs.LoadOrStore(unsafe.SliceData(buf), struct{}{}); dup {
+	key := unsafe.SliceData(buf)
+	if _, dup := parkedBufs.LoadOrStore(key, struct{}{}); dup {
+		owner := "untagged"
+		if t, ok := bufTags.Load(key); ok {
+			owner = t.(string)
+		}
 		panic(fmt.Sprintf(
-			"transport: wire buffer (cap %d) parked in the pool twice — "+
-				"double PutBuf/Release, or a released buffer is still aliased; "+
-				"see the ownership contract in DESIGN.md §8", cap(buf)))
+			"transport: wire buffer (cap %d, owner %s) parked in the pool twice — "+
+				"double PutBuf/Release, a release of an in-flight send buffer, "+
+				"or a released buffer is still aliased; "+
+				"see the ownership contract in DESIGN.md §8 and §11", cap(buf), owner))
 	}
 }
 
 func guardUnpark(buf []byte) {
-	parkedBufs.Delete(unsafe.SliceData(buf))
+	key := unsafe.SliceData(buf)
+	parkedBufs.Delete(key)
+	bufTags.Delete(key)
 }
