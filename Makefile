@@ -21,13 +21,13 @@ test: build
 # senders, fused decode-reduce) plus the rdd engine that drives it, the
 # telemetry instruments, and the span exporters.
 race:
-	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/transport ./internal/metrics ./internal/trace
+	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace
 
 # Fault-injection suites (see DESIGN.md "Fault model"): kill/drop/delay
 # matrices over the raw collectives and end-to-end core.Aggregate,
 # always under the race detector.
 test-chaos:
-	$(GO) test -race -run Chaos ./internal/collective ./internal/core
+	$(GO) test -race -run 'Chaos|Straggler' ./internal/collective ./internal/core ./internal/rdd
 
 # Telemetry overhead gate (see DESIGN.md "Observability"): with tracing
 # off the ring hot path must allocate no more per op than the PR 1
@@ -66,3 +66,5 @@ benchjson:
 bench-compare:
 	$(GO) run ./cmd/sparkerbench -only pipeline -json > BENCH_PR4.json
 	@cat BENCH_PR4.json
+	$(GO) run ./cmd/sparkerbench -only sched -json > BENCH_PR5.json
+	@cat BENCH_PR5.json

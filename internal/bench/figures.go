@@ -431,10 +431,11 @@ func ByID(id string) (*Report, error) {
 		"ablation-allreduce": AblationAllReduce,
 		"engine-metrics":     EngineMetrics,
 		"pipeline":           PipelineSweep,
+		"sched":              SchedStraggler,
 	}
 	f, ok := m[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline)", id)
+		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched)", id)
 	}
 	return f()
 }

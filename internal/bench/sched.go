@@ -1,0 +1,196 @@
+package bench
+
+// SchedStraggler is the before/after evidence for the stage scheduler's
+// speculative execution (DESIGN.md "Stage scheduling"): the same
+// multi-wave stage is timed on three clusters — healthy, one executor's
+// task channel delayed 10× the task runtime with speculation off, and
+// the same straggler with speculation on. Every mode must produce
+// bitwise-identical per-task payloads; the speculation-on wall clock is
+// the claim under test (≤ 2× the healthy baseline, versus the
+// speculation-off run which pays the full transport delay serially).
+//
+// `make bench-compare` renders this as BENCH_PR5.json.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"sparker/internal/metrics"
+	"sparker/internal/rdd"
+	"sparker/internal/transport"
+)
+
+// schedParams sizes one straggler comparison.
+type schedParams struct {
+	execs, cores int
+	tasks        int
+	taskRuntime  time.Duration
+	// delay is the one-way transport delay injected on the straggler's
+	// task channel (applied per message, so frames in and results out
+	// both pay it).
+	delay  time.Duration
+	trials int
+}
+
+// defaultSchedParams: 16 slots, 4 waves of 30ms tasks, executor 0
+// delayed 10× the task runtime.
+var defaultSchedParams = schedParams{
+	execs: 4, cores: 4,
+	tasks:       64,
+	taskRuntime: 30 * time.Millisecond,
+	delay:       300 * time.Millisecond,
+	trials:      3,
+}
+
+// schedModeResult is one mode's measurement across trials.
+type schedModeResult struct {
+	walls            []time.Duration
+	wallP50, wallP95 time.Duration
+	stageP50         time.Duration // sched.stage.ns across trials
+	taskP50, taskP95 time.Duration // sched.task.ns across trials
+	specLaunched     int64
+	specWon          int64
+	specMigrated     int64
+	payloads         [][]byte // last trial's outputs, for identity checks
+}
+
+// runSchedMode builds a cluster (optionally with a straggling executor
+// 0), runs the stage trials, and folds the context's scheduler
+// telemetry into the result.
+func runSchedMode(name string, p schedParams, straggle, speculation bool) (*schedModeResult, error) {
+	var net transport.Network = transport.NewMem()
+	if straggle {
+		slow := rdd.TaskChannelAddr(name, 0)
+		net = transport.NewFaulty(net, 1,
+			transport.StragglerRule(func(a transport.Addr) bool { return a == slow }, p.delay, 0))
+	}
+	ctx, err := rdd.NewContext(rdd.Config{
+		Name:             name,
+		NumExecutors:     p.execs,
+		CoresPerExecutor: p.cores,
+		Network:          net,
+		Speculation:      speculation,
+		// Aggressive straggler detection: the sweep's tasks are uniform,
+		// so anything past ~1.2× the running median is transport delay,
+		// not compute variance.
+		SpeculationMultiplier: 1.2,
+		SpeculationQuantile:   0.5,
+		SpeculationInterval:   2 * time.Millisecond,
+		SpeculationMinRuntime: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer ctx.Close()
+
+	res := &schedModeResult{}
+	runtime := p.taskRuntime
+	for trial := 0; trial < p.trials; trial++ {
+		start := time.Now()
+		out, err := ctx.RunJob(rdd.JobSpec{
+			Tasks: p.tasks,
+			Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+				time.Sleep(runtime)
+				// Deterministic per-task payload so modes can be compared
+				// bitwise.
+				b := make([]byte, 32)
+				for i := range b {
+					b[i] = byte(task*31 + i*7)
+				}
+				return b, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.walls = append(res.walls, time.Since(start))
+		res.payloads = out
+	}
+
+	sorted := append([]time.Duration(nil), res.walls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	res.wallP50 = durQuantile(sorted, 0.50)
+	res.wallP95 = durQuantile(sorted, 0.95)
+	reg := ctx.Registry()
+	res.stageP50 = time.Duration(reg.Histogram(metrics.HistSchedStageNS).Quantile(0.50))
+	res.taskP50 = time.Duration(reg.Histogram(metrics.HistSchedTaskNS).Quantile(0.50))
+	res.taskP95 = time.Duration(reg.Histogram(metrics.HistSchedTaskNS).Quantile(0.95))
+	rec := ctx.Metrics()
+	res.specLaunched = rec.Count(metrics.CounterSpecLaunched)
+	res.specWon = rec.Count(metrics.CounterSpecWon)
+	res.specMigrated = rec.Count(metrics.CounterSpecMigrated)
+	return res, nil
+}
+
+// schedStraggler runs the three-mode comparison. Split from
+// SchedStraggler so tests can run a scaled-down sweep.
+func schedStraggler(p schedParams) (*Report, error) {
+	r := &Report{
+		Title: "Stage scheduler: straggler sweep — healthy vs delayed executor, speculation off/on",
+		Header: []string{"Mode", "Wall p50", "Wall p95", "Stage p50", "Task p50",
+			"Task p95", "Spec launch/win/migrate"},
+		Quantiles: map[string]int64{},
+	}
+	modes := []struct {
+		key                  string
+		straggle, speculaton bool
+	}{
+		{"baseline", false, false},
+		{"spec-off", true, false},
+		{"spec-on", true, true},
+	}
+	results := map[string]*schedModeResult{}
+	for _, m := range modes {
+		res, err := runSchedMode("schedbench-"+m.key, p, m.straggle, m.speculaton)
+		if err != nil {
+			return nil, fmt.Errorf("bench: sched %s: %w", m.key, err)
+		}
+		results[m.key] = res
+		r.AddRow(m.key,
+			fdur(res.wallP50), fdur(res.wallP95),
+			fdur(res.stageP50), fdur(res.taskP50), fdur(res.taskP95),
+			fmt.Sprintf("%d/%d/%d", res.specLaunched, res.specWon, res.specMigrated))
+		pre := "sched/" + m.key
+		r.Quantiles[pre+"/wall_p50_ns"] = int64(res.wallP50)
+		r.Quantiles[pre+"/wall_p95_ns"] = int64(res.wallP95)
+		r.Quantiles[pre+"/stage_p50_ns"] = int64(res.stageP50)
+		r.Quantiles[pre+"/task_p50_ns"] = int64(res.taskP50)
+		r.Quantiles[pre+"/task_p95_ns"] = int64(res.taskP95)
+		r.Quantiles[pre+"/spec_launched"] = res.specLaunched
+		r.Quantiles[pre+"/spec_won"] = res.specWon
+		r.Quantiles[pre+"/spec_migrated"] = res.specMigrated
+	}
+
+	// Bitwise identity across all modes: speculation must never change
+	// results, only latency.
+	base := results["baseline"]
+	for _, key := range []string{"spec-off", "spec-on"} {
+		for task := range base.payloads {
+			if !bytes.Equal(base.payloads[task], results[key].payloads[task]) {
+				return nil, fmt.Errorf("bench: sched: %s task %d payload differs from baseline", key, task)
+			}
+		}
+	}
+
+	onRatio := float64(results["spec-on"].wallP50) / float64(max64(int64(base.wallP50), 1))
+	offRatio := float64(results["spec-off"].wallP50) / float64(max64(int64(base.wallP50), 1))
+	r.Quantiles["sched/specon_vs_base_milli"] = int64(onRatio * 1000)
+	r.Quantiles["sched/specoff_vs_base_milli"] = int64(offRatio * 1000)
+	r.AddNote("cluster: %d executors × %d cores, %d tasks × %v, executor 0's task channel delayed %v (10× task runtime) per message",
+		p.execs, p.cores, p.tasks, p.taskRuntime, p.delay)
+	r.AddNote("payloads bitwise identical across all three modes (verified per trial)")
+	r.AddNote("claim: speculation-on wall ≤ 2× healthy baseline — measured %s vs %s off",
+		fx(onRatio), fx(offRatio))
+	if onRatio > 2 {
+		return nil, fmt.Errorf("bench: sched: speculation-on wall p50 %.2f× baseline, claim requires <= 2×", onRatio)
+	}
+	return r, nil
+}
+
+// SchedStraggler runs the full straggler sweep; reach it via
+// `sparkerbench -only sched` or `make bench-compare`.
+func SchedStraggler() (*Report, error) {
+	return schedStraggler(defaultSchedParams)
+}

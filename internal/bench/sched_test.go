@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+// TestSchedStragglerSmall runs a scaled-down straggler sweep: fewer
+// tasks and shorter delays, but the same three modes, identity check
+// and ≤2× claim gate as the full `-only sched` report.
+func TestSchedStragglerSmall(t *testing.T) {
+	p := defaultSchedParams
+	p.tasks = 32
+	p.trials = 2
+	r, err := schedStraggler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"sched/baseline/wall_p50_ns",
+		"sched/spec-on/spec_launched",
+		"sched/specon_vs_base_milli",
+	} {
+		if _, ok := r.Quantiles[key]; !ok {
+			t.Fatalf("report missing quantile %q", key)
+		}
+	}
+	if r.Quantiles["sched/spec-on/spec_launched"] == 0 &&
+		r.Quantiles["sched/spec-on/spec_migrated"] == 0 {
+		t.Fatal("speculation-on run neither duplicated nor migrated anything")
+	}
+	if r.Quantiles["sched/baseline/spec_launched"] != 0 {
+		t.Fatal("healthy baseline speculated")
+	}
+}

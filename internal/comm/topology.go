@@ -32,6 +32,49 @@ func InverseRanks(perm []int) []int {
 	return inv
 }
 
+// Topology is an immutable rank<->executor assignment, the rank-order
+// view schedulers and placement policies consume. Build one with
+// NewTopology from the permutation RanksByHost (or the identity)
+// produces.
+type Topology struct {
+	execOfRank []int // rank -> executor
+	rankOfExec []int // executor -> rank
+}
+
+// NewTopology wraps perm (perm[rank] = executor index), copying it so
+// later caller mutations cannot skew the assignment.
+func NewTopology(perm []int) Topology {
+	cp := make([]int, len(perm))
+	copy(cp, perm)
+	return Topology{execOfRank: cp, rankOfExec: InverseRanks(cp)}
+}
+
+// IdentityTopology is the unsorted baseline: rank i on executor i.
+func IdentityTopology(n int) Topology {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return Topology{execOfRank: perm, rankOfExec: InverseRanks(perm)}
+}
+
+// Size returns the number of ranks.
+func (t Topology) Size() int { return len(t.execOfRank) }
+
+// ExecutorOfRank returns the executor holding ring rank r.
+func (t Topology) ExecutorOfRank(r int) int { return t.execOfRank[r] }
+
+// RankOfExecutor returns executor e's ring rank.
+func (t Topology) RankOfExecutor(e int) int { return t.rankOfExec[e] }
+
+// ExecOfRank returns a copy of the rank -> executor permutation, the
+// shape placement policies (sched.NewTopologyAware) take.
+func (t Topology) ExecOfRank() []int {
+	cp := make([]int, len(t.execOfRank))
+	copy(cp, t.execOfRank)
+	return cp
+}
+
 // CrossNodeHops counts how many directed ring edges cross node
 // boundaries under the given rank assignment. It is the quantity
 // topology awareness minimizes: with E executors on H hosts the best

@@ -343,8 +343,8 @@ func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs
 	return result, nil
 }
 
-// runRingStage submits the collective stage: one task per executor on
-// its own executor (identity placement), MaxAttempts=1 with WaitAll
+// runRingStage submits the collective stage: one gang-scheduled task
+// per executor in ring-rank order, MaxAttempts=1 with WaitAll
 // (resubmitting one ring member cannot succeed, and recovery must not
 // start while peers still drive the ring), each task splitting the
 // shared IMM aggregator and running ring reduce-scatter (plus allgather
@@ -364,14 +364,19 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 	nSegs := o.Parallelism * nExec
 	ops := serdeOps[V](fns.ReduceOp)
 	keepKey := o.KeepKey
-	placement := make([]int, nExec)
-	for i := range placement {
-		placement[i] = i
-	}
 	_, aggSC := trace.FromContext(ctx)
+	// Topology-aware gang stage: task i lands on the executor holding
+	// ring rank i (any bijection works — the Fn keys off ec.Rank, and the
+	// driver decodes payloads by embedded segment index — but rank order
+	// makes traces line up with ring position). Gang admission holds the
+	// whole stage until every executor has a free core: a partially
+	// launched ring would deadlock against its unlaunched peers while
+	// burning slots. Gang stages are never speculated — a duplicate ring
+	// member would shift IMM state and corrupt the epoch.
 	payloads, err := rc.RunJob(rdd.JobSpec{
 		Tasks:       nExec,
-		Placement:   placement,
+		Policy:      rc.TopologyPolicy(),
+		Gang:        true,
 		MaxAttempts: 1,
 		WaitAll:     true,
 		TraceParent: aggSC,

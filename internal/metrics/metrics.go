@@ -28,6 +28,25 @@ const (
 	// CounterPeerFailure counts classified peer failures (timeouts and
 	// severed connections) observed by aggregation stages.
 	CounterPeerFailure = "peer-failure"
+	// CounterResultMalformed counts result frames the driver could not
+	// decode — previously a silent drop in the result reader.
+	CounterResultMalformed = "result-malformed"
+	// CounterResultDropped counts decoded results the scheduler's event
+	// channel could not absorb. The channel is sized for every slot plus
+	// duplicated frames, so a non-zero count indicates a protocol bug.
+	CounterResultDropped = "result-dropped"
+	// CounterSpecLaunched counts speculative duplicate attempts started
+	// for straggling tasks.
+	CounterSpecLaunched = "spec-launched"
+	// CounterSpecWon counts stages' tasks whose speculative duplicate
+	// finished before the straggling original.
+	CounterSpecWon = "spec-won"
+	// CounterSpecLost counts late attempts that finished after another
+	// attempt of the same task had already won.
+	CounterSpecLost = "spec-lost"
+	// CounterSpecMigrated counts queued tasks re-placed from a busy
+	// executor to an idle one by the straggler scan.
+	CounterSpecMigrated = "spec-migrated"
 )
 
 // Recorder accumulates named durations and event counters. It is safe

@@ -31,6 +31,18 @@ const (
 	// GaugeSendQueue is the instantaneous depth of comm sender
 	// mailboxes (enqueued, not yet written to the wire).
 	GaugeSendQueue = "comm.send.queue"
+	// GaugeSchedQueue is the instantaneous number of task attempts
+	// queued in the stage scheduler waiting for a free core slot.
+	GaugeSchedQueue = "sched.queue.depth"
+	// HistSchedTaskNS is the per-attempt wall time of successful tasks
+	// as observed by the scheduler (launch to result) — the duration
+	// distribution speculation thresholds derive from.
+	HistSchedTaskNS = "sched.task.ns"
+	// HistSchedStageNS is the submit-to-completion wall time of stages.
+	HistSchedStageNS = "sched.stage.ns"
+	// HistSchedWaitNS is the queue wait of each launched attempt
+	// (enqueue to slot acquisition).
+	HistSchedWaitNS = "sched.wait.ns"
 )
 
 // Registry is a named collection of instruments. Each executor owns

@@ -52,7 +52,8 @@ func decodeSlice[T any](b []byte) ([]T, error) {
 // Collect returns every element, in partition order.
 func Collect[T any](r *RDD[T]) ([]T, error) {
 	payloads, err := r.ctx.RunJob(JobSpec{
-		Tasks: r.parts,
+		Tasks:  r.parts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			data, err := r.Materialize(ec, task)
 			if err != nil {
@@ -78,7 +79,8 @@ func Collect[T any](r *RDD[T]) ([]T, error) {
 // Count returns the number of elements.
 func Count[T any](r *RDD[T]) (int64, error) {
 	payloads, err := r.ctx.RunJob(JobSpec{
-		Tasks: r.parts,
+		Tasks:  r.parts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			data, err := r.Materialize(ec, task)
 			if err != nil {
@@ -104,7 +106,8 @@ func Count[T any](r *RDD[T]) (int64, error) {
 func Reduce[T any](r *RDD[T], f func(T, T) T) (T, error) {
 	var zero T
 	payloads, err := r.ctx.RunJob(JobSpec{
-		Tasks: r.parts,
+		Tasks:  r.parts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			data, err := r.Materialize(ec, task)
 			if err != nil {
@@ -183,8 +186,9 @@ func TreeAggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combO
 		return fmt.Sprintf("%sr%d/%d", prefix, round, idx)
 	}
 	start := time.Now()
-	_, err := ctx.RunJob(JobSpec{
-		Tasks: r.parts,
+	h, err := ctx.SubmitJob(JobSpec{
+		Tasks:  r.parts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			data, err := r.Materialize(ec, task)
 			if err != nil {
@@ -202,10 +206,18 @@ func TreeAggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combO
 			return nil, nil
 		},
 	})
+	if err == nil {
+		_, err = h.Wait()
+	}
 	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "treeAggregate stage 1")
 	if err != nil {
 		return zu, err
 	}
+	// Where each block actually landed: the winning executor of each
+	// stage-1 task. Speculation or cache-aware placement can move a
+	// task off i %% NumExecutors, so combine rounds must follow the
+	// recorded owners rather than recompute the round-robin formula.
+	curPlace := h.Executors()
 
 	// Combine rounds (agg-reduce): Spark computes
 	// scale = max(2, ceil(parts^(1/depth))) and repartitions by
@@ -214,7 +226,6 @@ func TreeAggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combO
 	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "treeAggregate combine+driver") }()
 
 	cur := r.parts
-	curPlacement := func(i int) int { return i % ctx.conf.NumExecutors }
 	round := 0
 	if depth > 1 && cur > 1 {
 		scale := intRoot(cur, depth)
@@ -224,13 +235,15 @@ func TreeAggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combO
 		for cur > scale+cur/scale {
 			numCombiners := (cur + scale - 1) / scale
 			srcRound, srcCount := round, cur
+			srcPlace := curPlace
 			round++
-			_, err := ctx.RunJob(JobSpec{
+			dstRound := round
+			rh, err := ctx.SubmitJob(JobSpec{
 				Tasks: numCombiners,
 				Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 					acc := zero()
 					for p := task; p < srcCount; p += numCombiners {
-						owner := ctx.ExecutorStoreName(curPlacement(p))
+						owner := ctx.ExecutorStoreName(srcPlace[p])
 						wire, err := ec.Store.FetchFrom(owner, blockID(srcRound, p))
 						if err != nil {
 							return nil, err
@@ -245,13 +258,17 @@ func TreeAggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combO
 					if err != nil {
 						return nil, err
 					}
-					ec.Store.PutLocal(blockID(round, task), out)
+					ec.Store.PutLocal(blockID(dstRound, task), out)
 					return nil, nil
 				},
 			})
+			if err == nil {
+				_, err = rh.Wait()
+			}
 			if err != nil {
 				return zu, err
 			}
+			curPlace = rh.Executors()
 			cur = numCombiners
 		}
 	}
@@ -261,7 +278,7 @@ func TreeAggregate[T, U any](r *RDD[T], zero func() U, seqOp func(U, T) U, combO
 	// what grows with scale in Figures 3–4.
 	acc := zero()
 	for i := 0; i < cur; i++ {
-		owner := ctx.ExecutorStoreName(curPlacement(i))
+		owner := ctx.ExecutorStoreName(curPlace[i])
 		wire, err := ctx.driverStore.FetchFrom(owner, blockID(round, i))
 		if err != nil {
 			return zu, err

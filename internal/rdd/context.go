@@ -23,6 +23,7 @@ import (
 	"sparker/internal/comm"
 	"sparker/internal/eventlog"
 	"sparker/internal/metrics"
+	"sparker/internal/sched"
 	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
@@ -54,6 +55,23 @@ type Config struct {
 	// TopologyAware orders ring ranks by hostname (default true).
 	// Disabling it reproduces the unsorted baseline of Figure 14.
 	TopologyAware *bool
+	// Speculation enables the scheduler's straggler mitigation: a task
+	// running past SpeculationMultiplier × the stage's running duration
+	// quantile gets one duplicate attempt on a different executor, first
+	// result wins. Off by default; never applies to executor-targeted or
+	// collective (gang) stages regardless of this switch.
+	Speculation bool
+	// SpeculationMultiplier is the straggler threshold multiple
+	// (default 1.5 — Spark's spark.speculation.multiplier).
+	SpeculationMultiplier float64
+	// SpeculationQuantile is the completion quantile the threshold is
+	// measured against (default 0.5).
+	SpeculationQuantile float64
+	// SpeculationInterval is the straggler scan period (default 10ms).
+	SpeculationInterval time.Duration
+	// SpeculationMinRuntime floors the speculation threshold so
+	// micro-stages never duplicate on scheduling noise (default 20ms).
+	SpeculationMinRuntime time.Duration
 	// EventLog, when non-nil, receives structured history-log events
 	// (phase timings) the way Spark's history server does — the data
 	// source of the paper's Section-2 bottleneck analysis.
@@ -115,8 +133,8 @@ type Context struct {
 	master      *blockmanager.Master
 	driverStore *blockmanager.Store
 	executors   []*Executor
-	rankOfExec  []int // executor index -> ring rank
-	execOfRank  []int // ring rank -> executor index
+	topo        comm.Topology // rank <-> executor assignment
+	sched       *sched.Scheduler
 
 	jobs   sync.Map // int64 -> *job
 	nextID atomic.Int64
@@ -160,18 +178,33 @@ func NewContext(conf Config) (*Context, error) {
 
 	// Ring rank assignment: topology-aware sorts by hostname.
 	if *conf.TopologyAware {
-		ctx.execOfRank = comm.RanksByHost(conf.Hosts)
+		ctx.topo = comm.NewTopology(comm.RanksByHost(conf.Hosts))
 	} else {
-		ctx.execOfRank = make([]int, conf.NumExecutors)
-		for i := range ctx.execOfRank {
-			ctx.execOfRank[i] = i
-		}
+		ctx.topo = comm.IdentityTopology(conf.NumExecutors)
 	}
-	ctx.rankOfExec = comm.InverseRanks(ctx.execOfRank)
+
+	ctx.sched, err = sched.New(sched.Config{
+		NumExecutors:          conf.NumExecutors,
+		CoresPerExecutor:      conf.CoresPerExecutor,
+		DefaultPolicy:         sched.RoundRobin(),
+		Speculation:           conf.Speculation,
+		SpeculationMultiplier: conf.SpeculationMultiplier,
+		SpeculationQuantile:   conf.SpeculationQuantile,
+		SpeculationInterval:   conf.SpeculationInterval,
+		SpeculationMinRuntime: conf.SpeculationMinRuntime,
+		Metrics:               ctx.reg,
+		Recorder:              ctx.rec,
+		EventLog:              conf.EventLog,
+		Tracer:                conf.Tracer,
+	})
+	if err != nil {
+		ctx.Close()
+		return nil, fmt.Errorf("rdd: starting scheduler: %w", err)
+	}
 
 	ctx.executors = make([]*Executor, conf.NumExecutors)
 	for i := 0; i < conf.NumExecutors; i++ {
-		e, err := newExecutor(ctx, i, conf.Hosts[i], ctx.rankOfExec[i])
+		e, err := newExecutor(ctx, i, conf.Hosts[i], ctx.topo.RankOfExecutor(i))
 		if err != nil {
 			ctx.Close()
 			return nil, fmt.Errorf("rdd: starting executor %d: %w", i, err)
@@ -251,10 +284,20 @@ func (ctx *Context) ExecutorStoreName(i int) string {
 }
 
 // RankOfExecutor returns the ring rank of executor i.
-func (ctx *Context) RankOfExecutor(i int) int { return ctx.rankOfExec[i] }
+func (ctx *Context) RankOfExecutor(i int) int { return ctx.topo.RankOfExecutor(i) }
 
 // ExecutorOfRank returns the executor index holding ring rank r.
-func (ctx *Context) ExecutorOfRank(r int) int { return ctx.execOfRank[r] }
+func (ctx *Context) ExecutorOfRank(r int) int { return ctx.topo.ExecutorOfRank(r) }
+
+// Topology returns the rank <-> executor assignment.
+func (ctx *Context) Topology() comm.Topology { return ctx.topo }
+
+// TopologyPolicy returns a placement policy aligning task index with
+// ring rank: collective stage task i lands on the executor holding
+// rank i, so segment ownership and endpoint rank coincide.
+func (ctx *Context) TopologyPolicy() sched.PlacementPolicy {
+	return sched.NewTopologyAware(ctx.topo.ExecOfRank())
+}
 
 // Close shuts the cluster down.
 func (ctx *Context) Close() error {
@@ -267,6 +310,11 @@ func (ctx *Context) Close() error {
 		}
 		ctx.conns = nil
 		ctx.connMu.Unlock()
+		// After the task connections: result readers have stopped, so
+		// the scheduler drains cleanly and fails undelivered handles.
+		if ctx.sched != nil {
+			ctx.sched.Close()
+		}
 		for _, e := range ctx.executors {
 			if e != nil {
 				e.close()

@@ -4,8 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"sparker/internal/comm"
+	"sparker/internal/metrics"
+	"sparker/internal/sched"
 	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
@@ -150,28 +153,36 @@ func decodeResultFrame(b []byte) (jobID int64, task, attempt int, payload []byte
 
 // --- job bookkeeping ---------------------------------------------------
 
-type taskResult struct {
-	task    int
-	attempt int
-	payload []byte
-	err     error
-}
-
+// job is the executor-side lookup record: the task function workers
+// resolve a frame's jobID against. Result routing lives in the
+// scheduler, not here.
 type job struct {
-	id      int64
-	fn      func(ec *ExecContext, task, attempt int) ([]byte, error)
-	results chan taskResult
+	id int64
+	fn func(ec *ExecContext, task, attempt int) ([]byte, error)
 }
 
 // JobSpec describes one stage submitted to the cluster.
 type JobSpec struct {
 	// Tasks is the number of tasks in the stage.
 	Tasks int
-	// Placement maps task index -> executor index. Nil means the
-	// default round-robin placement task % NumExecutors (which also
-	// keeps cached partitions on stable executors). A non-nil Placement
-	// is the SpawnRDD static-scheduling path.
+	// Placement maps task index -> executor index. Nil defers to Policy
+	// (and, with Policy also nil, the scheduler's default round-robin
+	// placement task % NumExecutors, which keeps cached partitions on
+	// stable executors). A non-nil Placement is the SpawnRDD
+	// static-scheduling path; such executor-targeted stages are never
+	// speculated, since a duplicate elsewhere would act on the wrong
+	// node's state.
 	Placement []int
+	// Policy places the stage's tasks when Placement is nil. Nil selects
+	// the scheduler default (sched.RoundRobin). Cached RDDs pass a
+	// cache-aware policy here; collective stages a topology-aware one.
+	Policy sched.PlacementPolicy
+	// Gang requests all-or-nothing slot acquisition: the stage launches
+	// only once every task can start simultaneously. Collective stages
+	// set it so a ring never spins up with members queued behind another
+	// job; gang stages serialize per scheduler gang key and are never
+	// speculated.
+	Gang bool
 	// Fn runs executor-side. Its []byte return crosses the transport
 	// back to the driver.
 	Fn func(ec *ExecContext, task, attempt int) ([]byte, error)
@@ -224,8 +235,10 @@ func (ctx *Context) executorConn(i int) (*lockedConn, error) {
 	return lc, nil
 }
 
-// readResults routes result frames from one executor connection to the
-// owning job. Results for finished jobs (stale retries) are dropped.
+// readResults routes result frames from one executor connection into
+// the scheduler. Malformed frames and scheduler-side overflows used to
+// vanish silently; both are now counted and marked in the event log,
+// so a protocol bug shows up in telemetry instead of as a hang.
 func (ctx *Context) readResults(c transport.Conn) {
 	for {
 		b, err := c.Recv()
@@ -234,10 +247,7 @@ func (ctx *Context) readResults(c transport.Conn) {
 		}
 		jobID, task, attempt, payload, taskErr, err := decodeResultFrame(b)
 		if err != nil {
-			continue
-		}
-		j, ok := ctx.jobs.Load(jobID)
-		if !ok {
+			ctx.RecordMarker(metrics.CounterResultMalformed, err.Error())
 			continue
 		}
 		// Copy the payload: the frame buffer belongs to the transport.
@@ -245,180 +255,224 @@ func (ctx *Context) readResults(c transport.Conn) {
 		if payload != nil {
 			p = append([]byte(nil), payload...)
 		}
-		select {
-		case j.(*job).results <- taskResult{task: task, attempt: attempt, payload: p, err: taskErr}:
-		default:
-			// Result channel full implies a protocol bug; drop rather
-			// than deadlock the reader.
+		if !ctx.sched.Deliver(jobID, task, attempt, p, taskErr) {
+			ctx.RecordMarker(metrics.CounterResultDropped,
+				fmt.Sprintf("job %d task %d attempt %d", jobID, task, attempt))
 		}
 	}
 }
 
-// RunJob executes spec and returns the per-task payloads in task order.
+// JobHandle is the caller's future for a submitted job. Wait and
+// Executors may be called from any goroutine; the first call resolves
+// the job (idempotently).
+type JobHandle struct {
+	once  sync.Once
+	fetch func() ([][]byte, []int, error)
+	out   [][]byte
+	execs []int
+	err   error
+}
+
+func (h *JobHandle) resolve() { h.out, h.execs, h.err = h.fetch() }
+
+// Wait blocks until the job completes and returns the per-task
+// payloads in task order.
+func (h *JobHandle) Wait() ([][]byte, error) {
+	h.once.Do(h.resolve)
+	return h.out, h.err
+}
+
+// Executors reports, after the job succeeded, which executor produced
+// each task's winning result. Under the default round-robin policy
+// with no speculation this is task % NumExecutors; with cache-aware
+// placement or a speculative win it is wherever the task actually ran
+// — the executor whose block store holds any blocks the task wrote.
+func (h *JobHandle) Executors() []int {
+	h.once.Do(h.resolve)
+	return h.execs
+}
+
+// RunJob executes spec synchronously and returns the per-task payloads
+// in task order — a thin wrapper over SubmitJob for the common
+// blocking callers.
 func (ctx *Context) RunJob(spec JobSpec) ([][]byte, error) {
+	h, err := ctx.SubmitJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.Wait()
+	return out, err
+}
+
+// SubmitJob validates spec and hands it to the stage scheduler,
+// returning immediately: independent jobs overlap on disjoint core
+// slots. Reduced-result stages (StageCleanup set) run their
+// abort/clean/resubmit orchestration on a background goroutine.
+func (ctx *Context) SubmitJob(spec JobSpec) (*JobHandle, error) {
 	if spec.Tasks <= 0 {
 		return nil, fmt.Errorf("rdd: JobSpec.Tasks must be positive, got %d", spec.Tasks)
 	}
 	if spec.Fn == nil {
 		return nil, fmt.Errorf("rdd: JobSpec.Fn is nil")
 	}
-	placement := spec.Placement
-	if placement == nil {
-		placement = make([]int, spec.Tasks)
-		for t := range placement {
-			placement[t] = t % ctx.conf.NumExecutors
+	policy := spec.Policy
+	if spec.Placement != nil {
+		if len(spec.Placement) != spec.Tasks {
+			return nil, fmt.Errorf("rdd: len(Placement)=%d != Tasks=%d", len(spec.Placement), spec.Tasks)
 		}
-	}
-	if len(placement) != spec.Tasks {
-		return nil, fmt.Errorf("rdd: len(Placement)=%d != Tasks=%d", len(placement), spec.Tasks)
-	}
-	for t, e := range placement {
-		if e < 0 || e >= ctx.conf.NumExecutors {
-			return nil, fmt.Errorf("rdd: task %d placed on invalid executor %d", t, e)
+		for t, e := range spec.Placement {
+			if e < 0 || e >= ctx.conf.NumExecutors {
+				return nil, fmt.Errorf("rdd: task %d placed on invalid executor %d", t, e)
+			}
 		}
+		policy = sched.Fixed(spec.Placement)
 	}
 
-	if spec.StageCleanup == nil {
-		return ctx.runStageTaskRetry(spec, placement)
+	if spec.StageCleanup != nil {
+		return ctx.submitWholeRetry(spec, policy)
 	}
-	return ctx.runStageWholeRetry(spec, placement)
+	return ctx.submitTaskRetry(spec, policy)
 }
 
-// runStageTaskRetry retries failed tasks individually.
-func (ctx *Context) runStageTaskRetry(spec JobSpec, placement []int) (out [][]byte, retErr error) {
-	maxAttempts := ctx.conf.MaxTaskAttempts
-	if spec.MaxAttempts > 0 {
-		maxAttempts = spec.MaxAttempts
-	}
-	id := ctx.newJobID()
-	j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks*maxAttempts+1)}
-	ctx.jobs.Store(id, j)
-	defer ctx.jobs.Delete(id)
-
-	stage := ctx.conf.Tracer.StartSpan("stage", spec.TraceParent)
-	stage.SetInt("job", id)
-	stage.SetInt("tasks", int64(spec.Tasks))
-	defer func() { stage.EndErr(retErr) }()
-	tc := stage.Context()
-
-	submit := func(task, attempt int) error {
-		lc, err := ctx.executorConn(placement[task])
+// launcherFor builds the scheduler's Launch hook: encode a task frame
+// and push it down the executor's task connection. It runs on the
+// scheduler's per-executor sender goroutines, so a slow or
+// fault-delayed transport stalls only that executor's launches.
+func (ctx *Context) launcherFor(id int64, tc trace.SpanContext) func(task, attempt, executor int) error {
+	return func(task, attempt, executor int) error {
+		lc, err := ctx.executorConn(executor)
 		if err != nil {
 			return err
 		}
 		return lc.send(encodeTaskFrame(id, task, attempt, tc))
 	}
-	for t := 0; t < spec.Tasks; t++ {
-		if err := submit(t, 0); err != nil {
-			return nil, err
-		}
-	}
-	out = make([][]byte, spec.Tasks)
-	done := make([]bool, spec.Tasks)
-	attempts := make([]int, spec.Tasks)
-	remaining := spec.Tasks
-	inflight := spec.Tasks
-	var finalErr error
-	for remaining > 0 && inflight > 0 {
-		r := <-j.results
-		if r.task < 0 || r.task >= spec.Tasks || done[r.task] {
-			continue
-		}
-		inflight--
-		if r.err == nil {
-			out[r.task] = r.payload
-			done[r.task] = true
-			remaining--
-			continue
-		}
-		attempts[r.task]++
-		if attempts[r.task] >= maxAttempts {
-			err := fmt.Errorf("%w: task %d failed %d times, last: %w",
-				ErrJobFailed, r.task, attempts[r.task], r.err)
-			if !spec.WaitAll {
-				return nil, err
-			}
-			// Keep draining the other in-flight tasks; report the first
-			// terminal failure once they have all come home.
-			if finalErr == nil {
-				finalErr = err
-			}
-			continue
-		}
-		// Once the stage is doomed there is no point resubmitting.
-		if finalErr == nil {
-			if err := submit(r.task, attempts[r.task]); err != nil {
-				return nil, err
-			}
-			inflight++
-		}
-	}
-	if finalErr != nil {
-		return nil, finalErr
-	}
-	return out, nil
 }
 
-// runStageWholeRetry implements reduced-result stage recovery: abort on
-// first failure, clean every executor's shared state, resubmit.
-func (ctx *Context) runStageWholeRetry(spec JobSpec, placement []int) (result [][]byte, retErr error) {
+// submitTaskRetry schedules a stage whose failed tasks retry
+// individually (plain RDD semantics, which require independent tasks).
+func (ctx *Context) submitTaskRetry(spec JobSpec, policy sched.PlacementPolicy) (*JobHandle, error) {
+	maxAttempts := ctx.conf.MaxTaskAttempts
+	if spec.MaxAttempts > 0 {
+		maxAttempts = spec.MaxAttempts
+	}
+	id := ctx.newJobID()
+	ctx.jobs.Store(id, &job{id: id, fn: spec.Fn})
+
+	stage := ctx.conf.Tracer.StartSpan("stage", spec.TraceParent)
+	stage.SetInt("job", id)
+	stage.SetInt("tasks", int64(spec.Tasks))
+	tc := stage.Context()
+
+	sh, err := ctx.sched.Submit(sched.StageSpec{
+		JobID:       id,
+		Tasks:       spec.Tasks,
+		Policy:      policy,
+		Gang:        spec.Gang,
+		GangKey:     gangKeyCollective,
+		MaxAttempts: maxAttempts,
+		WaitAll:     spec.WaitAll,
+		// Executor-targeted stages (explicit placement) and gang
+		// collectives must not run duplicates elsewhere.
+		NoSpeculation: spec.Placement != nil || spec.Gang,
+		TraceParent:   tc,
+		Launch:        ctx.launcherFor(id, tc),
+	})
+	if err != nil {
+		ctx.jobs.Delete(id)
+		stage.EndErr(err)
+		return nil, err
+	}
+	return &JobHandle{fetch: func() ([][]byte, []int, error) {
+		out, werr := sh.Wait()
+		ctx.jobs.Delete(id)
+		if werr != nil {
+			werr = fmt.Errorf("%w: %w", ErrJobFailed, werr)
+		}
+		stage.EndErr(werr)
+		return out, sh.Executors(), werr
+	}}, nil
+}
+
+// gangKeyCollective serializes every gang (collective) stage: each
+// executor has one comm endpoint, and concurrent ring collectives on
+// one endpoint are mutually destructive (epoch-stale frames), so at
+// most one may be in flight cluster-wide.
+const gangKeyCollective = "collective"
+
+// submitWholeRetry schedules a reduced-result stage: abort on first
+// failure, run StageCleanup on every executor, resubmit from scratch.
+// The attempt loop runs on a goroutine so submission stays async.
+func (ctx *Context) submitWholeRetry(spec JobSpec, policy sched.PlacementPolicy) (*JobHandle, error) {
 	maxAttempts := ctx.conf.MaxStageAttempts
 	if spec.MaxAttempts > 0 {
 		maxAttempts = spec.MaxAttempts
+	}
+	type result struct {
+		out   [][]byte
+		execs []int
+		err   error
 	}
 	// One stage span covers every whole-stage attempt: resubmissions are
 	// the stage's recovery behaviour, not new stages.
 	stage := ctx.conf.Tracer.StartSpan("stage", spec.TraceParent)
 	stage.SetInt("tasks", int64(spec.Tasks))
 	stage.SetAttr("kind", "reduced-result")
-	defer func() { stage.EndErr(retErr) }()
 	tc := stage.Context()
 
-	var lastErr error
-	for stageAttempt := 0; stageAttempt < maxAttempts; stageAttempt++ {
-		id := ctx.newJobID()
-		j := &job{id: id, fn: spec.Fn, results: make(chan taskResult, spec.Tasks+1)}
-		ctx.jobs.Store(id, j)
-
-		failed := false
-		for t := 0; t < spec.Tasks; t++ {
-			lc, err := ctx.executorConn(placement[t])
+	resCh := make(chan result, 1)
+	go func() {
+		var lastErr error
+		for stageAttempt := 0; stageAttempt < maxAttempts; stageAttempt++ {
+			id := ctx.newJobID()
+			// Each resubmission is a fresh scheduler stage, so the wire-level
+			// attempt is always 0; the Fn's attempt contract is the
+			// whole-stage attempt number (attempt-dependent behaviour such
+			// as "succeed on retry" keys off it), so rebind it here.
+			att := stageAttempt
+			ctx.jobs.Store(id, &job{id: id, fn: func(ec *ExecContext, task, _ int) ([]byte, error) {
+				return spec.Fn(ec, task, att)
+			}})
+			// MaxAttempts 1 + WaitAll: any failure aborts the whole
+			// attempt, and no task is still mutating shared state when
+			// cleanup starts. Shared per-executor aggregators also rule
+			// out speculation — a duplicate would double-merge.
+			sh, err := ctx.sched.Submit(sched.StageSpec{
+				JobID:         id,
+				Tasks:         spec.Tasks,
+				Policy:        policy,
+				MaxAttempts:   1,
+				WaitAll:       true,
+				NoSpeculation: true,
+				TraceParent:   tc,
+				Launch:        ctx.launcherFor(id, tc),
+			})
 			if err != nil {
 				ctx.jobs.Delete(id)
-				return nil, err
+				resCh <- result{err: err}
+				return
 			}
-			if err := lc.send(encodeTaskFrame(id, t, stageAttempt, tc)); err != nil {
-				ctx.jobs.Delete(id)
-				return nil, err
+			out, werr := sh.Wait()
+			ctx.jobs.Delete(id)
+			if werr == nil {
+				stage.SetInt("attempts", int64(stageAttempt+1))
+				resCh <- result{out: out, execs: sh.Executors()}
+				return
 			}
-		}
-		out := make([][]byte, spec.Tasks)
-		// Wait for ALL tasks (success or failure) so no task of an
-		// aborted stage attempt is still mutating shared state while
-		// cleanup runs.
-		for seen := 0; seen < spec.Tasks; seen++ {
-			r := <-j.results
-			if r.err != nil {
-				failed = true
-				lastErr = r.err
-				continue
-			}
-			if r.task >= 0 && r.task < spec.Tasks {
-				out[r.task] = r.payload
+			lastErr = werr
+			if err := ctx.runCleanup(spec.StageCleanup); err != nil {
+				resCh <- result{err: fmt.Errorf("rdd: stage cleanup failed: %w", err)}
+				return
 			}
 		}
-		ctx.jobs.Delete(id)
-		if !failed {
-			stage.SetInt("attempts", int64(stageAttempt+1))
-			return out, nil
-		}
-		if err := ctx.runCleanup(spec.StageCleanup); err != nil {
-			return nil, fmt.Errorf("rdd: stage cleanup failed: %w", err)
-		}
-	}
-	stage.SetInt("attempts", int64(maxAttempts))
-	return nil, fmt.Errorf("%w: reduced-result stage failed %d attempts, last: %w",
-		ErrJobFailed, maxAttempts, lastErr)
+		stage.SetInt("attempts", int64(maxAttempts))
+		resCh <- result{err: fmt.Errorf("%w: reduced-result stage failed %d attempts, last: %w",
+			ErrJobFailed, maxAttempts, lastErr)}
+	}()
+	return &JobHandle{fetch: func() ([][]byte, []int, error) {
+		r := <-resCh
+		stage.EndErr(r.err)
+		return r.out, r.execs, r.err
+	}}, nil
 }
 
 // runCleanup runs cleanup once on every executor.
@@ -427,12 +481,13 @@ func (ctx *Context) runCleanup(cleanup func(ec *ExecContext) error) error {
 	for i := range placement {
 		placement[i] = i
 	}
-	_, err := ctx.runStageTaskRetry(JobSpec{
-		Tasks: ctx.conf.NumExecutors,
+	_, err := ctx.RunJob(JobSpec{
+		Tasks:     ctx.conf.NumExecutors,
+		Placement: placement,
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			return nil, cleanup(ec)
 		},
-	}, placement)
+	})
 	return err
 }
 

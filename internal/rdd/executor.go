@@ -64,6 +64,12 @@ func taskAddr(name string, id int) transport.Addr {
 	return transport.Addr(fmt.Sprintf("exec/%s/%d/tasks", name, id))
 }
 
+// TaskChannelAddr returns the listener address executor id's task
+// channel binds under a context named name — the handle fault-injection
+// rigs (straggler benches, chaos tests) use to slow or sever one
+// executor's task traffic without touching its block stores.
+func TaskChannelAddr(name string, id int) transport.Addr { return taskAddr(name, id) }
+
 func newExecutor(ctx *Context, id int, host string, rank int) (*Executor, error) {
 	store, err := blockmanager.NewStore(ctx.net, ctx.ExecutorStoreName(id))
 	if err != nil {

@@ -70,10 +70,14 @@ func Join[K comparable, L, R any](left *RDD[Pair[K, L]], right *RDD[Pair[K, R]],
 	return out, nil
 }
 
-// shuffleHandle identifies one side's shuffle output.
+// shuffleHandle identifies one side's shuffle output. execs[src] is the
+// executor whose store holds source partition src's buckets — the
+// winner of the shuffle task, which speculation or placement policies
+// may have moved off src % NumExecutors.
 type shuffleHandle struct {
 	id       int64
 	srcParts int
+	execs    []int
 }
 
 // shufflePairs buckets a pair RDD's elements by key hash into
@@ -83,8 +87,9 @@ type shuffleHandle struct {
 func shufflePairs[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) (shuffleHandle, error) {
 	ctx := r.ctx
 	h := shuffleHandle{id: ctx.newJobID(), srcParts: r.parts}
-	_, err := ctx.RunJob(JobSpec{
-		Tasks: r.parts,
+	jh, err := ctx.SubmitJob(JobSpec{
+		Tasks:  r.parts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			in, err := r.Materialize(ec, task)
 			if err != nil {
@@ -109,6 +114,12 @@ func shufflePairs[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) (s
 			return nil, nil
 		},
 	})
+	if err == nil {
+		_, err = jh.Wait()
+	}
+	if err == nil {
+		h.execs = jh.Executors()
+	}
 	return h, err
 }
 
@@ -116,7 +127,7 @@ func shufflePairs[K comparable, V any](r *RDD[Pair[K, V]], numPartitions int) (s
 func fetchBucket[K comparable, V any](ec *ExecContext, ctx *Context, h shuffleHandle, dst int) ([]Pair[K, V], error) {
 	var out []Pair[K, V]
 	for src := 0; src < h.srcParts; src++ {
-		owner := ctx.ExecutorStoreName(src % ctx.conf.NumExecutors)
+		owner := ctx.ExecutorStoreName(h.execs[src])
 		wire, err := ec.Store.FetchFrom(owner, fmt.Sprintf("join/%d/%d/%d", h.id, src, dst))
 		if err != nil {
 			return nil, fmt.Errorf("rdd: join fetch %d->%d: %w", src, dst, err)

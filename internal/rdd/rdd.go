@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"sparker/internal/sched"
 )
 
 // RDD is a partitioned, immutable, lazily evaluated dataset. Like
@@ -12,8 +14,11 @@ import (
 // (Map, Filter, …) because Go methods cannot introduce type
 // parameters.
 //
-// Partition p is always computed on executor p % NumExecutors, so a
-// cached partition is found again by later jobs.
+// By default partition p is computed on executor p % NumExecutors (the
+// scheduler's round-robin policy). Cached RDDs upgrade to sticky
+// cache-aware placement, and WithPlacement installs any policy; jobs
+// that need a partition off its home executor (speculation, explicit
+// placement) still work — blocks are fetched over the transport.
 type RDD[T any] struct {
 	ctx          *Context
 	id           int64
@@ -21,7 +26,18 @@ type RDD[T any] struct {
 	compute      func(ec *ExecContext, part int) ([]T, error)
 	cached       atomic.Bool
 	checkpointed atomic.Bool
+	// policy, when set, overrides the scheduler's default placement for
+	// this RDD's action stages (boxed: atomic.Pointer needs one concrete
+	// pointee type for the interface value).
+	policy atomic.Pointer[policyBox]
+	// ckptOwners records, per partition, the executor whose block store
+	// holds the checkpoint bytes — the winner placement of the
+	// checkpoint stage, which speculation may have moved off the
+	// partition's home executor.
+	ckptOwners atomic.Pointer[[]int]
 }
+
+type policyBox struct{ p sched.PlacementPolicy }
 
 // Context returns the owning driver context.
 func (r *RDD[T]) Context() *Context { return r.ctx }
@@ -33,11 +49,54 @@ func (r *RDD[T]) NumPartitions() int { return r.parts }
 func (r *RDD[T]) ID() int64 { return r.id }
 
 // Cache marks the RDD for MEMORY_ONLY storage: the first
-// materialization of each partition is kept on its executor. Returns r
-// for chaining.
+// materialization of each partition is kept on its executor, and the
+// RDD's placement upgrades to a cache-aware policy — later stages
+// stick to wherever each partition is actually resident (which
+// speculation may have moved), falling back to the previous placement
+// for partitions not yet materialized. Returns r for chaining.
 func (r *RDD[T]) Cache() *RDD[T] {
 	r.cached.Store(true)
+	fallback := r.placementPolicy()
+	r.policy.Store(&policyBox{p: sched.NewCacheAware(r.locateCached, fallback)})
 	return r
+}
+
+// locateCached reports which executor holds partition part's cached
+// materialization, scanning the executors' cache maps driver-side (the
+// engine runs in one process, so this is a map lookup, not an RPC).
+func (r *RDD[T]) locateCached(part int) (int, bool) {
+	if !r.cached.Load() {
+		return 0, false
+	}
+	key := r.cacheKey(part)
+	for i, e := range r.ctx.executors {
+		if e != nil {
+			if _, ok := e.cache.Load(key); ok {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// WithPlacement installs a placement policy for this RDD's action
+// stages (nil restores the scheduler default). Returns r for chaining.
+func (r *RDD[T]) WithPlacement(p sched.PlacementPolicy) *RDD[T] {
+	if p == nil {
+		r.policy.Store(nil)
+	} else {
+		r.policy.Store(&policyBox{p: p})
+	}
+	return r
+}
+
+// placementPolicy returns the RDD's effective policy; nil means the
+// scheduler default (round-robin).
+func (r *RDD[T]) placementPolicy() sched.PlacementPolicy {
+	if b := r.policy.Load(); b != nil {
+		return b.p
+	}
+	return nil
 }
 
 // Unpersist drops the RDD's cached partitions from every executor and
@@ -89,8 +148,17 @@ func (r *RDD[T]) Materialize(ec *ExecContext, part int) ([]T, error) {
 	return data, nil
 }
 
-// PlacementOf returns the executor index that computes partition p.
-func (r *RDD[T]) PlacementOf(p int) int { return p % r.ctx.conf.NumExecutors }
+// PlacementOf returns the executor index that would compute partition
+// p under the RDD's effective placement policy.
+func (r *RDD[T]) PlacementOf(p int) int {
+	if pol := r.placementPolicy(); pol != nil {
+		view := sched.StageView{Tasks: r.parts, NumExecutors: r.ctx.conf.NumExecutors}
+		if e := pol.Place(view, p); e >= 0 && e < r.ctx.conf.NumExecutors {
+			return e
+		}
+	}
+	return p % r.ctx.conf.NumExecutors
+}
 
 func (r *RDD[T]) checkpointBlockID(part int) string {
 	return fmt.Sprintf("ckpt/%d/%d", r.id, part)
@@ -102,8 +170,9 @@ func (r *RDD[T]) checkpointBlockID(part int) string {
 // the other half of its fault-tolerance story. T must be
 // serde-encodable.
 func (r *RDD[T]) Checkpoint() error {
-	_, err := r.ctx.RunJob(JobSpec{
-		Tasks: r.parts,
+	h, err := r.ctx.SubmitJob(JobSpec{
+		Tasks:  r.parts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			data, err := r.Materialize(ec, task)
 			if err != nil {
@@ -117,17 +186,30 @@ func (r *RDD[T]) Checkpoint() error {
 			return nil, nil
 		},
 	})
+	if err == nil {
+		_, err = h.Wait()
+	}
 	if err != nil {
 		return fmt.Errorf("rdd: checkpoint: %w", err)
 	}
+	// Remember where each partition's bytes actually landed: the winner
+	// executor of each task, which speculation or cache-aware placement
+	// may have moved off p % NumExecutors.
+	owners := h.Executors()
+	r.ckptOwners.Store(&owners)
 	r.checkpointed.Store(true)
 	return nil
 }
 
 // readCheckpoint loads a checkpointed partition (fetching across the
-// transport when the task ran off its usual executor).
+// transport when the task ran off the owning executor).
 func (r *RDD[T]) readCheckpoint(ec *ExecContext, part int) ([]T, error) {
-	owner := r.ctx.ExecutorStoreName(r.PlacementOf(part))
+	ownerExec := r.PlacementOf(part)
+	if owners := r.ckptOwners.Load(); owners != nil &&
+		part < len(*owners) && (*owners)[part] >= 0 {
+		ownerExec = (*owners)[part]
+	}
+	owner := r.ctx.ExecutorStoreName(ownerExec)
 	wire, err := ec.Store.FetchFrom(owner, r.checkpointBlockID(part))
 	if err != nil {
 		return nil, fmt.Errorf("rdd: reading checkpoint of partition %d: %w", part, err)

@@ -81,8 +81,9 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], reduce func(V, V) V, n
 
 	// Map stage: local combine, hash-partition, store blocks locally.
 	srcParts := r.parts
-	_, err := ctx.RunJob(JobSpec{
-		Tasks: srcParts,
+	h, err := ctx.SubmitJob(JobSpec{
+		Tasks:  srcParts,
+		Policy: r.placementPolicy(),
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			in, err := r.Materialize(ec, task)
 			if err != nil {
@@ -115,16 +116,22 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], reduce func(V, V) V, n
 			return nil, nil
 		},
 	})
+	if err == nil {
+		_, err = h.Wait()
+	}
 	if err != nil {
 		return nil, err
 	}
+	// Map blocks live on whichever executor won each task — speculation
+	// or placement policies can move them off src %% NumExecutors.
+	mapOwners := h.Executors()
 
 	// Reduce-side RDD: partition dst fetches its block from every map
 	// task's executor and merges.
 	out := newRDD(ctx, numPartitions, func(ec *ExecContext, dst int) ([]Pair[K, V], error) {
 		merged := map[K]V{}
 		for src := 0; src < srcParts; src++ {
-			owner := ctx.ExecutorStoreName(src % ctx.conf.NumExecutors)
+			owner := ctx.ExecutorStoreName(mapOwners[src])
 			wire, err := ec.Store.FetchFrom(owner, blockID(src, dst))
 			if err != nil {
 				return nil, fmt.Errorf("rdd: shuffle fetch %d->%d: %w", src, dst, err)

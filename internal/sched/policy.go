@@ -1,0 +1,125 @@
+// Package sched is the driver's stage scheduler: an event-driven loop
+// that owns per-executor core-slot accounting, a FIFO stage queue with
+// pluggable placement policies, all-or-nothing (gang) admission for
+// collective stages, and speculative re-execution of straggling tasks.
+//
+// The rdd driver used to block one stage at a time with task %
+// NumExecutors placement hardcoded; sched turns stage submission into
+// an asynchronous Submit(spec) *StageHandle API so independent stages
+// overlap on disjoint slots, while a collective stage acquires every
+// slot it needs atomically — a ring stage never starts with some
+// members queued behind an unrelated job (the JAMPI gang-scheduling
+// requirement).
+package sched
+
+import "fmt"
+
+// StageView is the immutable stage geometry a PlacementPolicy sees.
+type StageView struct {
+	// Tasks is the stage's task count.
+	Tasks int
+	// NumExecutors is the cluster's executor count.
+	NumExecutors int
+}
+
+// PlacementPolicy maps a task index to the executor that should run
+// it. Place is consulted once per task at submit time (placement is a
+// preference, not a lease: speculation may later duplicate a task
+// elsewhere). Implementations must be pure — same inputs, same answer
+// — so retries land where the first attempt did.
+type PlacementPolicy interface {
+	// Name identifies the policy in telemetry and errors.
+	Name() string
+	// Place returns the executor index for task t, in [0, NumExecutors).
+	Place(view StageView, task int) int
+}
+
+// --- RoundRobin --------------------------------------------------------
+
+type roundRobin struct{}
+
+// RoundRobin is the default policy: task t runs on executor
+// t % NumExecutors — byte-compatible with the engine's historical
+// hardcoded placement, so cached partitions keep their home executors.
+func RoundRobin() PlacementPolicy { return roundRobin{} }
+
+func (roundRobin) Name() string { return "round-robin" }
+
+func (roundRobin) Place(v StageView, task int) int {
+	return task % v.NumExecutors
+}
+
+// --- Fixed -------------------------------------------------------------
+
+type fixed struct{ placement []int }
+
+// Fixed pins task t to placement[t] — the SpawnRDD static-scheduling
+// path (JobSpec.Placement). Validation of bounds happens at submit.
+func Fixed(placement []int) PlacementPolicy {
+	return fixed{placement: placement}
+}
+
+func (fixed) Name() string { return "fixed" }
+
+func (f fixed) Place(_ StageView, task int) int {
+	if task < 0 || task >= len(f.placement) {
+		return -1
+	}
+	return f.placement[task]
+}
+
+// --- TopologyAware -----------------------------------------------------
+
+type topologyAware struct{ execOfRank []int }
+
+// NewTopologyAware aligns placement with the comm layer's ring rank
+// order: task i lands on the executor holding ring rank i (mod the
+// ring size), so a collective stage's task index and its endpoint rank
+// coincide and every segment starts on the rank that owns it.
+// execOfRank maps rank -> executor index (comm.Topology.ExecOfRank).
+func NewTopologyAware(execOfRank []int) PlacementPolicy {
+	cp := make([]int, len(execOfRank))
+	copy(cp, execOfRank)
+	return topologyAware{execOfRank: cp}
+}
+
+func (topologyAware) Name() string { return "topology-aware" }
+
+func (p topologyAware) Place(_ StageView, task int) int {
+	if len(p.execOfRank) == 0 {
+		return -1
+	}
+	return p.execOfRank[task%len(p.execOfRank)]
+}
+
+// --- CacheAware --------------------------------------------------------
+
+type cacheAware struct {
+	locate   func(task int) (int, bool)
+	fallback PlacementPolicy
+}
+
+// NewCacheAware is sticky placement for cached partitions: locate
+// reports where task t's partition is already materialized; when it
+// does, the task goes there, otherwise the fallback policy decides.
+// This unifies RDD.PlacementOf and the JobSpec default through one
+// policy — under an empty cache it is byte-compatible with fallback.
+func NewCacheAware(locate func(task int) (int, bool), fallback PlacementPolicy) PlacementPolicy {
+	if fallback == nil {
+		fallback = RoundRobin()
+	}
+	return cacheAware{locate: locate, fallback: fallback}
+}
+
+func (p cacheAware) Name() string {
+	return fmt.Sprintf("cache-aware(%s)", p.fallback.Name())
+}
+
+func (p cacheAware) Place(v StageView, task int) int {
+	if p.locate != nil {
+		if e, ok := p.locate(task); ok && e >= 0 && e < v.NumExecutors {
+			return e
+		}
+	}
+	return p.fallback.Place(v, task)
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "testing"
+
+func TestRoundRobinPlacement(t *testing.T) {
+	p := RoundRobin()
+	v := StageView{Tasks: 10, NumExecutors: 3}
+	for task := 0; task < 10; task++ {
+		if got, want := p.Place(v, task), task%3; got != want {
+			t.Fatalf("task %d placed on %d, want %d", task, got, want)
+		}
+	}
+	if p.Name() != "round-robin" {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestFixedPlacement(t *testing.T) {
+	p := Fixed([]int{2, 0, 1})
+	v := StageView{Tasks: 3, NumExecutors: 3}
+	for task, want := range []int{2, 0, 1} {
+		if got := p.Place(v, task); got != want {
+			t.Fatalf("task %d placed on %d, want %d", task, got, want)
+		}
+	}
+	if p.Place(v, 3) != -1 || p.Place(v, -1) != -1 {
+		t.Fatal("out-of-range task must place on -1")
+	}
+}
+
+func TestTopologyAwarePlacement(t *testing.T) {
+	// Rank order 2, 0, 1: task i must land on the executor holding rank i.
+	p := NewTopologyAware([]int{2, 0, 1})
+	v := StageView{Tasks: 6, NumExecutors: 3}
+	want := []int{2, 0, 1, 2, 0, 1} // wraps mod ring size
+	for task, w := range want {
+		if got := p.Place(v, task); got != w {
+			t.Fatalf("task %d placed on %d, want %d", task, got, w)
+		}
+	}
+	if NewTopologyAware(nil).Place(v, 0) != -1 {
+		t.Fatal("empty topology must place on -1")
+	}
+}
+
+func TestTopologyAwareCopiesPermutation(t *testing.T) {
+	perm := []int{1, 0}
+	p := NewTopologyAware(perm)
+	perm[0] = 0 // caller mutation must not skew the policy
+	if got := p.Place(StageView{Tasks: 2, NumExecutors: 2}, 0); got != 1 {
+		t.Fatalf("task 0 placed on %d after caller mutation, want 1", got)
+	}
+}
+
+func TestCacheAwarePlacement(t *testing.T) {
+	cached := map[int]int{1: 2}
+	p := NewCacheAware(func(task int) (int, bool) {
+		e, ok := cached[task]
+		return e, ok
+	}, nil)
+	v := StageView{Tasks: 4, NumExecutors: 3}
+	// Task 1 is cached on executor 2; everything else falls back to
+	// round-robin.
+	if got := p.Place(v, 1); got != 2 {
+		t.Fatalf("cached task placed on %d, want 2", got)
+	}
+	for _, task := range []int{0, 2, 3} {
+		if got, want := p.Place(v, task), task%3; got != want {
+			t.Fatalf("uncached task %d placed on %d, want %d", task, got, want)
+		}
+	}
+	// A locate hit outside the executor range must not escape the grid.
+	cached[0] = 99
+	if got := p.Place(v, 0); got != 0 {
+		t.Fatalf("out-of-range locate hit placed on %d, want round-robin 0", got)
+	}
+}

@@ -78,11 +78,24 @@ type FaultRule struct {
 	AfterMsgs int
 	// Delay is the added per-message latency for FaultDelay.
 	Delay time.Duration
+	// PerByte, for FaultDelay, adds len(msg) × PerByte on top of Delay,
+	// modelling a straggler whose slowdown scales with payload size
+	// (a saturated NIC or throttled disk) rather than a fixed stall.
+	PerByte time.Duration
 	// Prob is the per-message fault probability once engaged, for
 	// FaultDrop and FaultDuplicate. 0 means 1.0 (always).
 	Prob float64
 
 	killOnce sync.Once
+}
+
+// StragglerRule builds a deterministic delay-only slowdown of one peer:
+// every message into or out of the listener address selected by match
+// is held for delay plus perByte × its size. No drops, duplicates or
+// kills — the peer is slow, not broken — which is the straggler shape
+// speculative execution must detect and route around.
+func StragglerRule(match func(Addr) bool, delay time.Duration, perByte time.Duration) *FaultRule {
+	return &FaultRule{Match: match, Kind: FaultDelay, Delay: delay, PerByte: perByte}
 }
 
 func (r *FaultRule) matches(addr Addr) bool {
@@ -305,7 +318,7 @@ func (c *faultConn) Send(b []byte) error {
 				return nil
 			}
 		case FaultDelay:
-			time.Sleep(r.Delay)
+			time.Sleep(r.Delay + time.Duration(len(b))*r.PerByte)
 		case FaultDuplicate:
 			if c.hit(r) {
 				// Deliver an independent copy first so pool ownership of
