@@ -68,3 +68,5 @@ bench-compare:
 	@cat BENCH_PR4.json
 	$(GO) run ./cmd/sparkerbench -only sched -json > BENCH_PR5.json
 	@cat BENCH_PR5.json
+	$(GO) run ./cmd/sparkerbench -only compress -json > BENCH_PR6.json
+	@cat BENCH_PR6.json

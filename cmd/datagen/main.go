@@ -21,6 +21,7 @@ func main() {
 	profile := flag.String("profile", "avazu", "dataset profile (avazu, criteo, kdd10, kdd12, enron, nytimes)")
 	scale := flag.Int("scale", 10000, "downscale factor applied to the paper-scale profile")
 	topics := flag.Int("topics", 20, "hidden topic count for corpus generation")
+	alpha := flag.Float64("alpha", 0, "power-law nnz shape for classification profiles (e.g. 1.5 for avazu-like row lengths and head-heavy features; 0 keeps the uniform-jitter generator)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
@@ -45,12 +46,18 @@ func main() {
 
 	switch p.Task {
 	case data.TaskClassification:
-		pts := data.GenClassification(scaled.ClassificationSpec(*seed))
+		spec := scaled.ClassificationSpec(*seed)
+		spec.NNZAlpha = *alpha
+		pts := data.GenClassification(spec)
 		if err := data.WriteLibSVM(w, pts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d samples × %d features (libsvm)\n", scaled.Samples, scaled.Features)
+		mode := "uniform nnz"
+		if *alpha > 0 {
+			mode = fmt.Sprintf("power-law nnz α=%.2f", *alpha)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d samples × %d features (libsvm, %s)\n", scaled.Samples, scaled.Features, mode)
 	case data.TaskTopicModel:
 		docs := data.GenCorpus(scaled.CorpusSpec(*topics, *seed))
 		if err := data.WriteBagOfWords(w, docs, scaled.Features); err != nil {

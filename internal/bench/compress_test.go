@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"sparker/internal/transport"
+)
+
+// TestCompressSweepSmall runs the codec sweep machinery on the mem
+// transport with small segments: the full TCP report is for
+// `make bench-compare`, but the row/quantile plumbing and the headline
+// byte-reduction claims must be covered by `go test`.
+func TestCompressSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	points := []compressPoint{{segBytes: 256 << 10, trials: 2}}
+	r, err := compressSweep(func() transport.Network { return transport.NewMem() },
+		"mem", 2, 1, points, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 codec rows for the size, 1 dense LR row, 3 codec LR rows.
+	if want := len(compressCodecs) + 1 + len(compressLossCodecs); len(r.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(r.Header), row)
+		}
+	}
+	// Dense reports ratio 1.0×; fp16 ≥ 3.9×; top-k ≥ 10×. These hold at
+	// any size with ≥4-element chunks, so the small sweep pins them.
+	if v := r.Quantiles["compress/256KB/none/ratio_milli"]; v < 990 || v > 1010 {
+		t.Errorf("dense ratio_milli = %d, want ~1000", v)
+	}
+	if v := r.Quantiles["compress/256KB/fp16/ratio_milli"]; v < 3900 {
+		t.Errorf("fp16 ratio_milli = %d, want >= 3900", v)
+	}
+	if v := r.Quantiles["compress/256KB/int8/ratio_milli"]; v < 7000 {
+		t.Errorf("int8 ratio_milli = %d, want >= 7000", v)
+	}
+	if v := r.Quantiles["compress/256KB/topk/ratio_milli"]; v < 10000 {
+		t.Errorf("topk ratio_milli = %d, want >= 10000", v)
+	}
+	// Wire bytes must really shrink, codec to codec.
+	dense := r.Quantiles["compress/256KB/none/wire_bytes"]
+	fp16 := r.Quantiles["compress/256KB/fp16/wire_bytes"]
+	if dense <= 0 || fp16 <= 0 || fp16*3 > dense {
+		t.Errorf("wire bytes dense %d vs fp16 %d: compression not visible on the wire", dense, fp16)
+	}
+	// The convergence half: every codec row exists, and the EF
+	// quantizers reach the dense target within the 1.2× acceptance line.
+	for _, label := range []string{"fp16", "int8+ef"} {
+		it := r.Quantiles["compress/lr/iters/"+label]
+		ratio := r.Quantiles["compress/lr/iters_ratio_milli/"+label]
+		if it <= 0 {
+			t.Errorf("%s never reached the dense target loss", label)
+		} else if ratio > 1200 {
+			t.Errorf("%s took %d iterations (ratio_milli %d), acceptance line is 1200", label, it, ratio)
+		}
+	}
+	if _, ok := r.Quantiles["compress/lr/iters/topk+ef"]; !ok {
+		t.Error("missing top-k LR row")
+	}
+}

@@ -432,10 +432,11 @@ func ByID(id string) (*Report, error) {
 		"engine-metrics":     EngineMetrics,
 		"pipeline":           PipelineSweep,
 		"sched":              SchedStraggler,
+		"compress":           CompressSweep,
 	}
 	f, ok := m[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched)", id)
+		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched, compress)", id)
 	}
 	return f()
 }

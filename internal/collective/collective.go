@@ -149,6 +149,7 @@ type telemetry struct {
 	parent     trace.SpanContext
 	stepNS     *metrics.Histogram
 	stepBytes  *metrics.Histogram
+	stepRaw    *metrics.Histogram
 	chunkNS    *metrics.Histogram
 	chunkBytes *metrics.Histogram
 }
@@ -159,6 +160,7 @@ func telemetryFrom(ctx context.Context) telemetry {
 	if reg := metrics.FromContext(ctx); reg != nil {
 		tel.stepNS = reg.Histogram(metrics.HistRingStepNS)
 		tel.stepBytes = reg.Histogram(metrics.HistRingStepBytes)
+		tel.stepRaw = reg.Histogram(metrics.HistRingStepRawBytes)
 		tel.chunkNS = reg.Histogram(metrics.HistRingChunkNS)
 		tel.chunkBytes = reg.Histogram(metrics.HistRingChunkBytes)
 	}
@@ -256,6 +258,14 @@ type Ops[V any] struct {
 	// DecodeChunkInto decodes a chunk payload into elements
 	// [off, off+len) of dst. It must not retain payload.
 	DecodeChunkInto func(dst V, off int, payload []byte) error
+
+	// Floats, when set, returns an aliasing float64 view of elements
+	// [off, off+n) of v — the hook the wire codecs (DESIGN.md §13)
+	// quantize from and dequantize-reduce into. Only meaningful when the
+	// chunk payload is 8-byte float64 words (ChunkEncodedSize(1) == 8);
+	// compression is refused otherwise. Mutations through the view must
+	// be visible in v.
+	Floats func(v V, off, n int) []float64
 }
 
 // sizeHint picks the pooled-buffer size for the next encode: the exact
@@ -312,6 +322,8 @@ func F64Ops() Ops[[]float64] {
 		DecodeReduceChunkInto: decodeReduceChunkF64,
 		MakeSegment:           func(n int) []float64 { return make([]float64, n) },
 		DecodeChunkInto:       decodeChunkF64,
+
+		Floats: func(v []float64, off, n int) []float64 { return v[off : off+n] },
 	}
 }
 
@@ -526,13 +538,17 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 	}
 
 	epoch := EpochFrom(ctx)
-	// Telemetry handles, chunk plan and core budget resolved once per
-	// collective: with neither a tracer nor a registry in ctx the
+	// Telemetry handles, chunk plan, codec and core budget resolved once
+	// per collective: with neither a tracer nor a registry in ctx the
 	// per-step cost is one branch and no time syscalls, keeping the PR 1
 	// zero-allocation path intact.
 	tel := telemetryFrom(ctx)
 	chunkBytes := resolveChunkBytes(ctx)
 	cores := CoresFrom(ctx)
+	comp, err := resolveCompression(ctx, ops)
+	if err != nil {
+		return nil, err
+	}
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -553,7 +569,7 @@ func RingReduceScatter[V any](ctx context.Context, e *comm.Endpoint, segs []V, p
 			// k-step loop, cycling pooled buffers instead of allocating
 			// N-1 times.
 			var rc ringChan[V]
-			rc.init(e, ops, ch, epoch, tel, chunkBytes, cores)
+			rc.init(e, ops, ch, epoch, tel, chunkBytes, cores, comp)
 			for k := 0; k < n-1; k++ {
 				if err := ringStepRS(ctx, &rc, cur, r, n, k); err != nil {
 					setErr(err)
@@ -590,7 +606,7 @@ func ringStepRS[V any](ctx context.Context, rc *ringChan[V], cur []V, r, n, k in
 	defer cancel()
 	sendIdx := ((r-k)%n + n) % n
 	recvIdx := ((r-k-1)%n + n) % n
-	acc, err := rc.transferReduce(sctx, span, cur[sendIdx], cur[recvIdx])
+	acc, err := rc.transferReduce(sctx, span, cur[sendIdx], cur[recvIdx], sendIdx)
 	if err != nil {
 		return fmt.Errorf("collective: rank %d ch %d step %d: %w", r, rc.ch, k, err)
 	}
@@ -634,6 +650,10 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 	tel := telemetryFrom(ctx)
 	chunkBytes := resolveChunkBytes(ctx)
 	cores := CoresFrom(ctx)
+	comp, err := resolveCompression(ctx, ops)
+	if err != nil {
+		return nil, err
+	}
 	r := e.Rank()
 	for ch := 0; ch < p; ch++ {
 		wg.Add(1)
@@ -647,7 +667,7 @@ func RingAllGather[V any](ctx context.Context, e *comm.Endpoint, owned map[int]V
 			// After reduce-scatter rank r owns block index (r+1)%n.
 			have := (r + 1) % n
 			var rc ringChan[V]
-			rc.init(e, ops, ch, epoch, tel, chunkBytes, cores)
+			rc.init(e, ops, ch, epoch, tel, chunkBytes, cores, comp)
 			// Frames received at step k are forwarded verbatim at step
 			// k+1 (header rewrite only — no decode/re-encode on the
 			// relay path, DESIGN.md §11); fwd carries them across steps.

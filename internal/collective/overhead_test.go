@@ -139,6 +139,34 @@ func TestPipelineOverheadChunkingOn(t *testing.T) {
 	}
 }
 
+// TestPipelineOverheadCompressionOff asserts the codec layer is free
+// when no codec is selected: an explicit zero Compression in the
+// context must hold the same absolute PR 1 allocation baselines as a
+// bare context — the compression-off hot path takes one map lookup at
+// collective start and must not touch the per-step loop.
+func TestPipelineOverheadCompressionOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead gate skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocs; gate runs without -race (make overhead)")
+	}
+	baselines := map[int]int64{1: 53, 4: 119}
+	const slack = 3
+	for _, p := range []int{1, 4} {
+		off := benchHotRing(t, p, "codec-off", func(int) context.Context {
+			return WithCompression(context.Background(), Compression{})
+		})
+		allocs := off.AllocsPerOp()
+		t.Logf("P=%d compression off: %v/op, %d allocs/op (baseline %d)",
+			p, off.NsPerOp(), allocs, baselines[p])
+		if allocs > baselines[p]+slack {
+			t.Errorf("P=%d: compression-off path allocates %d/op, baseline %d (+%d slack): the codec layer must be free when disabled",
+				p, allocs, baselines[p], slack)
+		}
+	}
+}
+
 // TestTelemetryOverheadTracedReport measures the fully-traced ring
 // (span per step, histograms recording) against the off path and logs
 // the ratio. Informational only: tracing-on overhead is allowed to be

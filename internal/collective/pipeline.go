@@ -195,11 +195,12 @@ type frame struct {
 	wire    []byte // full pooled buffer payload aliases; receiver releases or forwards
 	span    uint64 // sender step-span ID, 0 when untraced
 	chunked bool
-	idx     int // chunk index within the train
-	total   int // chunks in the train
-	elemOff int // first element this chunk covers
-	elemCnt int // elements in this chunk
-	elemAll int // elements in the whole segment
+	codec   Codec // wire codec of the payload (top byte of the meta index word)
+	idx     int   // chunk index within the train
+	total   int   // chunks in the train
+	elemOff int   // first element this chunk covers
+	elemCnt int   // elements in this chunk
+	elemAll int   // elements in the whole segment
 }
 
 // fwdFrame is a received allgather frame retained for cut-through
@@ -209,6 +210,7 @@ type fwdFrame struct {
 	wire       []byte
 	payloadOff int
 	chunked    bool
+	codec      Codec
 	idx        int
 	total      int
 	elemOff    int
@@ -233,6 +235,17 @@ type ringChan[V any] struct {
 	chunkBytes int // target chunk payload bytes; 0 = chunking off
 	stride     int // payload bytes per element (0 when ops lack chunk support)
 
+	// Wire-codec state (DESIGN.md §13). comp is the resolved outgoing
+	// codec (CodecNone keeps the bitwise-exact dense frames); floats is
+	// the ops' float view, set whenever the ops can decode compressed
+	// frames — a dense-sending rank still decodes a compressing peer.
+	comp    Compression
+	floats  func(V, int, int) []float64
+	efRes   []float64 // this step's outgoing-segment residual (nil = EF off)
+	encBuf  []float64 // error-feedback encode scratch, reused across chunks
+	selBuf  []float64 // top-k selection scratch, reused across chunks
+	inCodec Codec     // codec fixed by the current incoming train's first frame
+
 	next   int             // successor rank, cached
 	done   chan error      // send completions; capacity 2 covers the window
 	sctx   context.Context // current step context
@@ -246,14 +259,17 @@ type ringChan[V any] struct {
 
 	// Step telemetry accumulators (meaningful only when tel.on).
 	stepBytes int64
+	stepRaw   int64 // pre-compression byte equivalent of the step's sends
+	lastRaw   int64 // raw equivalent of the frame just encoded (codec frames only)
 	reduceNS  int64
 	overlapNS int64
 	peerSpan  uint64
 }
 
-// init prepares the transfer engine for one channel. chunkBytes comes
-// from resolveChunkBytes, evaluated once per collective.
-func (rc *ringChan[V]) init(e *comm.Endpoint, ops Ops[V], ch int, epoch uint32, tel telemetry, chunkBytes, cores int) {
+// init prepares the transfer engine for one channel. chunkBytes and
+// comp come from resolveChunkBytes/resolveCompression, evaluated once
+// per collective.
+func (rc *ringChan[V]) init(e *comm.Endpoint, ops Ops[V], ch int, epoch uint32, tel telemetry, chunkBytes, cores int, comp Compression) {
 	rc.e = e
 	rc.ops = ops
 	rc.ch = ch
@@ -272,6 +288,21 @@ func (rc *ringChan[V]) init(e *comm.Endpoint, ops Ops[V], ch int, epoch uint32, 
 			rc.stride = 0
 		}
 	}
+	if rc.stride == 8 {
+		// Compressed frames are always float64-element chunks; the view
+		// is kept even when this rank sends dense, so it can decode a
+		// compressing peer.
+		rc.floats = ops.Floats
+	}
+	if comp.enabled() && rc.floats != nil {
+		rc.comp = comp
+		if rc.chunkBytes <= 0 {
+			// Compression rides the chunk train: even when chunking was
+			// disabled, codec frames need the chunk meta for the codec
+			// byte, so single-chunk trains at the default size carry them.
+			rc.chunkBytes = defaultChunkBytes
+		}
+	}
 	// One completion channel serves both in-flight sends: completions
 	// are only ever counted (each one frees a window slot), never
 	// matched to a specific frame, so a single capacity-2 buffer
@@ -285,6 +316,7 @@ func (rc *ringChan[V]) beginStep(sctx context.Context) {
 	rc.sctx = sctx
 	rc.sent, rc.reaped = 0, 0
 	rc.stepBytes, rc.reduceNS, rc.overlapNS, rc.peerSpan = 0, 0, 0, 0
+	rc.stepRaw, rc.lastRaw = 0, 0
 }
 
 // outChunks plans the outgoing train for a segment of elems elements:
@@ -302,9 +334,17 @@ func (rc *ringChan[V]) outChunks(elems int) int {
 	return c
 }
 
-// chunkElems is the element capacity of one chunk.
+// chunkElems is the element capacity of one chunk. With a codec active
+// the chunk-bytes target counts *post-compression* wire bytes, so the
+// element capacity grows by the codec's compression factor — the
+// adaptive controller's bandwidth-derived size keeps meaning wire time.
 func (rc *ringChan[V]) chunkElems() int {
-	per := rc.chunkBytes / rc.stride
+	var per int
+	if rc.comp.enabled() {
+		per = int(float64(rc.chunkBytes) / rc.comp.wireBytesPerElem())
+	} else {
+		per = rc.chunkBytes / rc.stride
+	}
 	if per < 1 {
 		per = 1
 	}
@@ -348,9 +388,17 @@ func (rc *ringChan[V]) abortSends() {
 }
 
 // sendFrame enqueues one pooled wire frame on the double-buffered
-// window. The caller has already ensured inflight() < 2.
+// window. The caller has already ensured inflight() < 2. Codec encoders
+// deposit the frame's pre-compression byte equivalent in lastRaw; dense
+// frames are their own raw size.
 func (rc *ringChan[V]) sendFrame(wire []byte) {
 	rc.stepBytes += int64(len(wire))
+	if rc.lastRaw != 0 {
+		rc.stepRaw += rc.lastRaw
+		rc.lastRaw = 0
+	} else {
+		rc.stepRaw += int64(len(wire))
+	}
 	rc.e.SendToAsync(rc.next, rc.ch, wire, rc.done)
 	rc.sent++
 }
@@ -359,6 +407,9 @@ func (rc *ringChan[V]) sendFrame(wire []byte) {
 // elements [elemOff, elemOff+elemCnt) of v, as an exactly-sized pooled
 // draw.
 func (rc *ringChan[V]) encodeChunkFrame(spanID uint64, v V, idx, total, elemOff, elemCnt, elemAll int) []byte {
+	if rc.comp.enabled() {
+		return rc.encodeCodecFrame(spanID, v, idx, total, elemOff, elemCnt, elemAll)
+	}
 	hs := epochHeaderSize
 	if spanID != 0 {
 		hs += spanIDSize
@@ -374,7 +425,7 @@ func (rc *ringChan[V]) encodeChunkFrame(spanID uint64, v V, idx, total, elemOff,
 		putUint64(wire[epochHeaderSize:], spanID)
 	}
 	putUint32(wire, word)
-	putChunkMeta(wire[metaOff:], idx, total, elemOff, elemCnt, elemAll)
+	putChunkMeta(wire[metaOff:], idx, total, elemOff, elemCnt, elemAll, CodecNone)
 	if comm.RaceGuard {
 		comm.TagWire(wire, fmt.Sprintf("ring ch %d chunk %d/%d", rc.ch, idx, total))
 	}
@@ -384,9 +435,13 @@ func (rc *ringChan[V]) encodeChunkFrame(spanID uint64, v V, idx, total, elemOff,
 	return wire
 }
 
-// putChunkMeta serializes the 20-byte chunk header.
-func putChunkMeta(dst []byte, idx, total, elemOff, elemCnt, elemAll int) {
-	putUint32(dst, uint32(idx))
+// putChunkMeta serializes the 20-byte chunk header. The codec id rides
+// in the top byte of the index word: codec 0 leaves the word — and the
+// whole header — byte-identical to the pre-codec format, while a
+// pre-codec receiver reads a compressed frame's index as idx+codec·2²⁴,
+// fails the train check and errors loudly.
+func putChunkMeta(dst []byte, idx, total, elemOff, elemCnt, elemAll int, codec Codec) {
+	putUint32(dst, uint32(idx)&chunkIdxMask|uint32(codec)<<24)
 	putUint32(dst[4:], uint32(total))
 	putUint32(dst[8:], uint32(elemOff))
 	putUint32(dst[12:], uint32(elemCnt))
@@ -423,7 +478,9 @@ func (rc *ringChan[V]) recvAny() (frame, error) {
 				return frame{}, fmt.Errorf("collective: chunked frame shorter than chunk header (%d bytes)", len(in))
 			}
 			fr.chunked = true
-			fr.idx = int(uint32At(in, hs))
+			iw := uint32At(in, hs)
+			fr.codec = Codec(iw >> 24)
+			fr.idx = int(iw & chunkIdxMask)
 			fr.total = int(uint32At(in, hs+4))
 			fr.elemOff = int(uint32At(in, hs+8))
 			fr.elemCnt = int(uint32At(in, hs+12))
@@ -447,7 +504,8 @@ func (rc *ringChan[V]) recvAny() (frame, error) {
 // checkTrain validates one incoming frame against the train state (got
 // chunks received so far, need chunks expected or -1 before the first
 // frame) so a corrupt or misrouted chunk fails the step instead of
-// mis-reducing.
+// mis-reducing. The first frame of a train fixes its codec; a codec
+// change mid-train fails exactly like a train-length change.
 func (rc *ringChan[V]) checkTrain(fr frame, got, need int) error {
 	switch {
 	case !fr.chunked && got != 0:
@@ -456,16 +514,51 @@ func (rc *ringChan[V]) checkTrain(fr frame, got, need int) error {
 		return nil
 	case rc.stride <= 0:
 		return fmt.Errorf("collective: peer sent a chunked frame but ops have no chunk decoder")
+	case fr.codec > CodecTopK:
+		return fmt.Errorf("collective: unknown codec %d in chunk header", uint8(fr.codec))
+	case fr.codec != CodecNone && rc.floats == nil:
+		return fmt.Errorf("collective: peer sent a %s-compressed chunk but ops have no float view", fr.codec)
 	case fr.total < 1 || fr.idx < 0 || fr.elemCnt < 0 || fr.elemOff < 0 || fr.elemAll < 0:
 		return fmt.Errorf("collective: corrupt chunk header (idx %d total %d off %d cnt %d all %d)", fr.idx, fr.total, fr.elemOff, fr.elemCnt, fr.elemAll)
 	case fr.idx != got:
 		return fmt.Errorf("collective: chunk %d arrived, want chunk %d of %d", fr.idx, got, fr.total)
+	case got > 0 && fr.codec != rc.inCodec:
+		return fmt.Errorf("collective: mixed-codec chunk train (%s after %s at chunk %d)", fr.codec, rc.inCodec, fr.idx)
 	case need >= 0 && fr.total != need:
 		return fmt.Errorf("collective: chunk train length changed mid-step (%d vs %d)", fr.total, need)
 	case fr.elemOff+fr.elemCnt > fr.elemAll:
 		return fmt.Errorf("collective: chunk [%d,%d) exceeds its declared segment of %d elems", fr.elemOff, fr.elemOff+fr.elemCnt, fr.elemAll)
-	case len(fr.payload) != fr.elemCnt*rc.stride:
-		return fmt.Errorf("collective: chunk payload %d bytes, want %d (%d elems × stride %d)", len(fr.payload), fr.elemCnt*rc.stride, fr.elemCnt, rc.stride)
+	}
+	if err := checkChunkPayload(fr, rc.stride); err != nil {
+		return err
+	}
+	if got == 0 {
+		rc.inCodec = fr.codec
+	}
+	return nil
+}
+
+// checkChunkPayload validates a chunk's payload length against its
+// codec's wire format (top-k lengths are nnz-dependent and validated at
+// decode).
+func checkChunkPayload(fr frame, stride int) error {
+	switch fr.codec {
+	case CodecNone:
+		if len(fr.payload) != fr.elemCnt*stride {
+			return fmt.Errorf("collective: chunk payload %d bytes, want %d (%d elems × stride %d)", len(fr.payload), fr.elemCnt*stride, fr.elemCnt, stride)
+		}
+	case CodecFP16:
+		if len(fr.payload) != 8+2*fr.elemCnt {
+			return fmt.Errorf("collective: fp16 chunk payload %d bytes, want %d", len(fr.payload), 8+2*fr.elemCnt)
+		}
+	case CodecInt8:
+		if len(fr.payload) != 8+fr.elemCnt {
+			return fmt.Errorf("collective: int8 chunk payload %d bytes, want %d", len(fr.payload), 8+fr.elemCnt)
+		}
+	case CodecTopK:
+		if len(fr.payload) < 4 {
+			return fmt.Errorf("collective: top-k chunk payload %d bytes, shorter than its nnz word", len(fr.payload))
+		}
 	}
 	return nil
 }
@@ -506,6 +599,9 @@ func (rc *ringChan[V]) reduceChunk(acc V, fr frame) error {
 		return fmt.Errorf("collective: chunk [%d,%d) exceeds local segment of %d elems",
 			fr.elemOff, fr.elemOff+fr.elemCnt, rc.ops.Elems(acc))
 	}
+	if fr.codec != CodecNone {
+		return rc.reduceCodecChunk(acc, fr)
+	}
 	w := rc.parWorkers(fr.elemCnt)
 	if w <= 1 {
 		return rc.ops.DecodeReduceChunkInto(acc, fr.elemOff, fr.payload)
@@ -545,16 +641,26 @@ func (rc *ringChan[V]) observeReduce(d time.Duration, active bool) {
 }
 
 // finishStep records the step's telemetry onto its span and histograms.
+// Compressing steps additionally record the pre-compression byte
+// equivalent (the raw-bytes histogram and span attribute) and the codec
+// tag; dense steps keep the exact pre-codec telemetry shape.
 func (rc *ringChan[V]) finishStep(span *trace.ActiveSpan, chunks int) {
 	if !rc.tel.on {
 		return
 	}
 	rc.tel.stepBytes.Observe(rc.stepBytes)
+	if rc.comp.enabled() {
+		rc.tel.stepRaw.Observe(rc.stepRaw)
+	}
 	if span == nil {
 		return
 	}
 	span.SetInt("bytes", rc.stepBytes)
 	span.SetHex("peer_span", rc.peerSpan)
+	if rc.comp.enabled() {
+		span.SetAttr("codec", rc.comp.Codec.String())
+		span.SetInt("raw_bytes", rc.stepRaw)
+	}
 	if chunks > 1 {
 		span.SetInt("chunks", int64(chunks))
 		span.SetInt("reduce_ns", rc.reduceNS)
@@ -571,7 +677,7 @@ func (rc *ringChan[V]) finishStep(span *trace.ActiveSpan, chunks int) {
 // the window drains on the wire — and retires completions
 // opportunistically, so encode, wire and reduce overlap within the step
 // instead of running back to back.
-func (rc *ringChan[V]) transferReduce(sctx context.Context, span *trace.ActiveSpan, out V, acc V) (V, error) {
+func (rc *ringChan[V]) transferReduce(sctx context.Context, span *trace.ActiveSpan, out V, acc V, outSeg int) (V, error) {
 	spanID := span.ID()
 	outTotal, elems, per := 1, 0, 0
 	if rc.chunkBytes > 0 && rc.stride > 0 {
@@ -579,7 +685,15 @@ func (rc *ringChan[V]) transferReduce(sctx context.Context, span *trace.ActiveSp
 		outTotal = rc.outChunks(elems)
 		per = rc.chunkElems()
 	}
+	// Compression always sends chunk frames (the codec byte lives in the
+	// chunk meta), even for single-chunk trains; dense single-chunk
+	// steps keep the byte-identical legacy frame.
+	single := outTotal == 1 && !rc.comp.enabled()
 	rc.beginStep(sctx)
+	rc.efRes = nil
+	if rc.comp.efOn() && !single {
+		rc.efRes = rc.comp.State.residual(efKey(rc.ch, outSeg), elems)
+	}
 
 	inNeed, inGot := -1, 0
 	for {
@@ -587,7 +701,7 @@ func (rc *ringChan[V]) transferReduce(sctx context.Context, span *trace.ActiveSp
 		// whenever fewer than two frames are in flight.
 		if rc.sent < outTotal && rc.inflight() < 2 {
 			var wire []byte
-			if outTotal == 1 {
+			if single {
 				buf := comm.GetBuffer(sizeHint(rc.ops, rc.hint, out) + frameHeaderSize(spanID))
 				wire = encodeFrame(rc.ops, rc.epoch, spanID, buf, out)
 				rc.hint = len(wire)
@@ -704,7 +818,7 @@ func (rc *ringChan[V]) forwardFrame(f fwdFrame, spanID uint64) []byte {
 	}
 	if f.chunked {
 		word |= chunkFlag
-		putChunkMeta(wire[metaOff:], f.idx, f.total, f.elemOff, f.elemCnt, f.elemAll)
+		putChunkMeta(wire[metaOff:], f.idx, f.total, f.elemOff, f.elemCnt, f.elemAll, f.codec)
 	}
 	putUint32(wire, word)
 	if comm.RaceGuard {
@@ -713,11 +827,21 @@ func (rc *ringChan[V]) forwardFrame(f fwdFrame, spanID uint64) []byte {
 	if rc.tel.on && f.chunked {
 		rc.tel.chunkBytes.Observe(int64(len(wire)))
 	}
+	if f.codec != CodecNone {
+		// Relayed compressed frames keep their codec payload untouched;
+		// account the dense equivalent for the raw-bytes telemetry.
+		rc.lastRaw = int64(hs + 8*f.elemCnt)
+	}
 	return wire
 }
 
-// tagForward labels a relayed frame for the -race pool guard.
+// tagForward labels a relayed frame for the -race pool guard, naming
+// the codec when the relayed payload is compressed.
 func (rc *ringChan[V]) tagForward(wire []byte, f fwdFrame) {
+	if f.codec != CodecNone {
+		comm.TagWire(wire, fmt.Sprintf("ring ch %d codec %s fwd chunk %d/%d", rc.ch, f.codec, f.idx, f.total))
+		return
+	}
 	comm.TagWire(wire, fmt.Sprintf("ring ch %d fwd chunk %d/%d", rc.ch, f.idx, f.total))
 }
 
@@ -749,14 +873,22 @@ func (rc *ringChan[V]) gatherAbort(fwd, kept []fwdFrame) {
 func (rc *ringChan[V]) transferGather(sctx context.Context, span *trace.ActiveSpan, all []V, sendSlot, recvSlot int, fwd []fwdFrame, keep bool, parity int) ([]fwdFrame, error) {
 	spanID := span.ID()
 	outTotal, elems, per := 1, 0, 0
+	single := false
 	if len(fwd) > 0 {
 		outTotal = len(fwd)
-	} else if rc.chunkBytes > 0 && rc.stride > 0 {
-		elems = rc.ops.Elems(all[sendSlot])
-		outTotal = rc.outChunks(elems)
-		per = rc.chunkElems()
+	} else {
+		if rc.chunkBytes > 0 && rc.stride > 0 {
+			elems = rc.ops.Elems(all[sendSlot])
+			outTotal = rc.outChunks(elems)
+			per = rc.chunkElems()
+		}
+		// Allgather compresses its step-0 frames without error feedback:
+		// the values are final results, never re-encoded, so there is no
+		// later iteration to re-inject the error into.
+		single = outTotal == 1 && !rc.comp.enabled()
 	}
 	rc.beginStep(sctx)
+	rc.efRes = nil
 
 	var kept []fwdFrame
 	if keep {
@@ -769,7 +901,7 @@ func (rc *ringChan[V]) transferGather(sctx context.Context, span *trace.ActiveSp
 			switch {
 			case len(fwd) > 0:
 				wire = rc.forwardFrame(fwd[rc.sent], spanID)
-			case outTotal == 1:
+			case single:
 				buf := comm.GetBuffer(sizeHint(rc.ops, rc.hint, all[sendSlot]) + frameHeaderSize(spanID))
 				wire = encodeFrame(rc.ops, rc.epoch, spanID, buf, all[sendSlot])
 				rc.hint = len(wire)
@@ -812,6 +944,8 @@ func (rc *ringChan[V]) transferGather(sctx context.Context, span *trace.ActiveSp
 				if fr.elemOff+fr.elemCnt > rc.ops.Elems(all[recvSlot]) {
 					derr = fmt.Errorf("collective: chunk [%d,%d) exceeds assembled segment of %d elems",
 						fr.elemOff, fr.elemOff+fr.elemCnt, rc.ops.Elems(all[recvSlot]))
+				} else if fr.codec != CodecNone {
+					derr = rc.decodeCodecChunkInto(all[recvSlot], fr)
 				} else {
 					derr = rc.ops.DecodeChunkInto(all[recvSlot], fr.elemOff, fr.payload)
 				}
@@ -837,6 +971,7 @@ func (rc *ringChan[V]) transferGather(sctx context.Context, span *trace.ActiveSp
 					wire:       fr.wire,
 					payloadOff: len(fr.wire) - len(fr.payload),
 					chunked:    fr.chunked,
+					codec:      fr.codec,
 					idx:        fr.idx,
 					total:      fr.total,
 					elemOff:    fr.elemOff,

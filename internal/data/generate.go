@@ -25,6 +25,13 @@ type ClassificationSpec struct {
 	NoiseRate float64
 	// Seed makes generation deterministic.
 	Seed int64
+	// NNZAlpha, when > 0, replaces the ±25% uniform jitter around
+	// NNZPerSample with a truncated Pareto (power-law) draw of that
+	// shape, and tilts feature popularity head-heavy — the shape of real
+	// CTR data like avazu/criteo, where most rows are tiny, a few are
+	// huge, and a small set of head features appears in nearly every
+	// row. Values near 1 give the heaviest tail; ~1.5 is avazu-like.
+	NNZAlpha float64
 }
 
 // GenClassification synthesizes linearly-separable-with-noise sparse
@@ -41,7 +48,12 @@ func GenClassification(spec ClassificationSpec) []mllib.LabeledPoint {
 	}
 	out := make([]mllib.LabeledPoint, spec.Samples)
 	for s := range out {
-		x := randSparse(rng, spec.Features, spec.NNZPerSample)
+		var x linalg.SparseVector
+		if spec.NNZAlpha > 0 {
+			x = randSparsePowerLaw(rng, spec.Features, spec.NNZPerSample, spec.NNZAlpha)
+		} else {
+			x = randSparse(rng, spec.Features, spec.NNZPerSample)
+		}
 		margin := linalg.Dot(truth, x)
 		label := 0.0
 		if margin > 0 {
@@ -86,6 +98,72 @@ func randSparse(rng *rand.Rand, dim, avgNNZ int) linalg.SparseVector {
 	idx := make([]int32, 0, nnz)
 	for len(idx) < nnz {
 		i := int32(rng.Intn(dim))
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sortInt32(idx)
+	vals := make([]float64, nnz)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	v, err := linalg.NewSparse(dim, idx, vals)
+	if err != nil {
+		panic(err) // construction is correct by design
+	}
+	return v
+}
+
+// randSparsePowerLaw draws a sparse vector whose non-zero count follows
+// a truncated Pareto with shape alpha and whose indices follow a
+// head-heavy power-law popularity (density ∝ id^(-2/3): low feature
+// ids are the frequent "head" categories). The Pareto scale is set so
+// the mean row length matches avgNNZ (mean of Pareto(α, xₘ) is
+// α·xₘ/(α−1)); the draw is clamped to [1, min(dim, 20·avgNNZ)] so one
+// outlier row cannot dominate a partition.
+func randSparsePowerLaw(rng *rand.Rand, dim, avgNNZ int, alpha float64) linalg.SparseVector {
+	if alpha <= 1 {
+		alpha = 1.1 // shape ≤ 1 has no finite mean to calibrate against
+	}
+	if avgNNZ < 1 {
+		avgNNZ = 1
+	}
+	xm := float64(avgNNZ) * (alpha - 1) / alpha
+	if xm < 1 {
+		xm = 1
+	}
+	u := rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	nnz := int(xm * math.Pow(u, -1/alpha))
+	maxNNZ := 20 * avgNNZ
+	if maxNNZ > dim {
+		maxNNZ = dim
+	}
+	if nnz < 1 {
+		nnz = 1
+	}
+	if nnz > maxNNZ {
+		nnz = maxNNZ
+	}
+	seen := make(map[int32]bool, nnz)
+	idx := make([]int32, 0, nnz)
+	// Rejection-sample distinct head-tilted ids; a long row colliding
+	// hard in the head falls back to the first unseen ids so generation
+	// always terminates.
+	for attempts := 0; len(idx) < nnz && attempts < 20*nnz; attempts++ {
+		i := int32(float64(dim) * math.Pow(rng.Float64(), 3.0))
+		if i >= int32(dim) {
+			i = int32(dim) - 1
+		}
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	for i := int32(0); len(idx) < nnz; i++ {
 		if !seen[i] {
 			seen[i] = true
 			idx = append(idx, i)

@@ -1,0 +1,119 @@
+package linalg
+
+// Quantization kernels for the collective layer's wire codecs: IEEE 754
+// binary16 (half) conversion with round-to-nearest-even, the max-|x|
+// scan that derives per-chunk scales, and the scatter-add that reduces
+// sparse top-k frames without densifying them first.
+
+import "math"
+
+// F16FromF64 converts v to IEEE 754 binary16 bits, rounding to nearest
+// even. Values beyond ±65504 (half's largest finite) become ±Inf; NaN
+// stays NaN. The conversion narrows through binary32 first, which
+// cannot change the result by more than one ulp of the half format and
+// keeps the kernel branch-light.
+func F16FromF64(v float64) uint16 {
+	b := math.Float32bits(float32(v))
+	sign := uint16((b >> 16) & 0x8000)
+	exp := int((b >> 23) & 0xFF)
+	mant := b & 0x007FFFFF
+
+	if exp == 0xFF { // Inf / NaN
+		if mant != 0 {
+			return sign | 0x7E00
+		}
+		return sign | 0x7C00
+	}
+	e := exp - 127 + 15
+	if e >= 0x1F {
+		return sign | 0x7C00 // overflow → ±Inf
+	}
+	if e <= 0 {
+		// Half subnormal (or underflow to signed zero).
+		if e < -10 {
+			return sign
+		}
+		mant |= 0x00800000 // make the implicit leading 1 explicit
+		shift := uint(14 - e)
+		half := uint16(mant >> shift)
+		rem := mant & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	}
+	half := sign | uint16(e)<<10 | uint16(mant>>13)
+	rem := mant & 0x1FFF
+	// Round to nearest even; a mantissa carry rolls into the exponent,
+	// which is exactly the right rounding (up to Inf at the top).
+	if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+		half++
+	}
+	return half
+}
+
+// F16ToF64 expands IEEE 754 binary16 bits to float64 (exact: every half
+// value is representable in binary64).
+func F16ToF64(h uint16) float64 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h & 0x03FF)
+	var b uint32
+	switch {
+	case exp == 0x1F: // Inf / NaN
+		b = sign | 0x7F800000 | mant<<13
+	case exp == 0:
+		if mant == 0 {
+			b = sign // ±0
+		} else {
+			// Normalize the subnormal: shift the mantissa up until its
+			// leading bit reaches the implicit-1 position, adjusting the
+			// binary32 exponent per shift.
+			e := uint32(113) // -14 + 127
+			for mant&0x0400 == 0 {
+				mant <<= 1
+				e--
+			}
+			b = sign | e<<23 | (mant&0x03FF)<<13
+		}
+	default:
+		b = sign | (exp-15+127)<<23 | mant<<13
+	}
+	return float64(math.Float32frombits(b))
+}
+
+// MaxAbs returns the largest |x[i]|, 0 for an empty slice — the
+// per-chunk scale scan of the quantizing codecs. Four independent
+// accumulators keep the compare chains pipelined; max is associative,
+// so the unroll is exact.
+func MaxAbs(x []float64) float64 {
+	var m0, m1, m2, m3 float64
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		m0 = math.Max(m0, math.Abs(x[i]))
+		m1 = math.Max(m1, math.Abs(x[i+1]))
+		m2 = math.Max(m2, math.Abs(x[i+2]))
+		m3 = math.Max(m3, math.Abs(x[i+3]))
+	}
+	m := math.Max(math.Max(m0, m1), math.Max(m2, m3))
+	for ; i < len(x); i++ {
+		m = math.Max(m, math.Abs(x[i]))
+	}
+	return m
+}
+
+// ScatterAdd performs dst[indices[i]] += values[i] for parallel
+// index/value arrays — the sparse-frame reduction kernel. With strictly
+// increasing indices (the SparseVector layout the wire codec reuses),
+// disjoint position ranges of the arrays touch disjoint dst elements,
+// so sharding the *positions* across workers is race-free and bitwise
+// identical to the sequential pass.
+func ScatterAdd(dst []float64, indices []int32, values []float64) {
+	if len(indices) != len(values) {
+		panic("linalg: ScatterAdd index/value length mismatch")
+	}
+	for i, ix := range indices {
+		dst[ix] += values[i]
+	}
+}

@@ -1,0 +1,142 @@
+package linalg
+
+// Property tests for the quantization kernels: exhaustive binary16
+// round-trip over the full 16-bit space, directed rounding cases,
+// MaxAbs against the naive scan, and ScatterAdd against the naive
+// scatter loop.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestF16ExhaustiveRoundTrip expands every one of the 65536 half
+// patterns to float64 and converts back: every non-NaN pattern must
+// survive bit-exactly (each half value is exactly representable in
+// binary64), and every NaN pattern must come back as some half NaN.
+func TestF16ExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xFFFF; h++ {
+		bits := uint16(h)
+		f := F16ToF64(bits)
+		back := F16FromF64(f)
+		isNaN := bits&0x7C00 == 0x7C00 && bits&0x03FF != 0
+		if isNaN {
+			if !math.IsNaN(f) {
+				t.Fatalf("half %#04x: expanded to %v, want NaN", bits, f)
+			}
+			if back&0x7C00 != 0x7C00 || back&0x03FF == 0 {
+				t.Fatalf("half NaN %#04x round-tripped to non-NaN %#04x", bits, back)
+			}
+			continue
+		}
+		if back != bits {
+			t.Fatalf("half %#04x (%v) round-tripped to %#04x", bits, f, back)
+		}
+	}
+}
+
+// TestF16FromF64Rounding pins the rounding and boundary behaviour:
+// round-to-nearest-even ties, overflow to Inf, subnormal underflow.
+func TestF16FromF64Rounding(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{65504, 0x7BFF}, // largest finite half
+		{65520, 0x7C00}, // halfway to the next step: rounds to Inf
+		{1e6, 0x7C00},   // overflow
+		{math.Inf(1), 0x7C00},
+		{math.Inf(-1), 0xFC00},
+		{math.Pow(2, -24), 0x0001},       // smallest subnormal
+		{math.Pow(2, -25), 0x0000},       // tie with zero: even mantissa wins
+		{math.Pow(2, -25) * 3, 0x0002},   // tie between 1 and 2: even wins
+		{1 + math.Pow(2, -11), 0x3C00},   // tie between 0x3C00/0x3C01: even wins
+		{1 + 3*math.Pow(2, -11), 0x3C02}, // tie between 0x3C01/0x3C02: even wins
+		{1 + math.Pow(2, -10), 0x3C01},   // exactly one half-ulp above the tie
+	}
+	for _, tc := range cases {
+		if got := F16FromF64(tc.in); got != tc.want {
+			t.Errorf("F16FromF64(%g) = %#04x, want %#04x", tc.in, got, tc.want)
+		}
+	}
+	if got := F16FromF64(math.NaN()); got&0x7C00 != 0x7C00 || got&0x03FF == 0 {
+		t.Errorf("F16FromF64(NaN) = %#04x, want a half NaN", got)
+	}
+}
+
+// TestF16RelativeError bounds the conversion error on random in-range
+// values: for normal halves the relative error of round-to-nearest is
+// at most 2⁻¹¹ (half a ulp of the 11-bit significand).
+func TestF16RelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		// Uniform in the normal half range [2^-14, 65504).
+		v := math.Ldexp(1+rng.Float64(), rng.Intn(30)-14)
+		if rng.Intn(2) == 0 {
+			v = -v
+		}
+		got := F16ToF64(F16FromF64(v))
+		if rel := math.Abs(got-v) / math.Abs(v); rel > math.Pow(2, -11) {
+			t.Fatalf("F16 round-trip of %g gave %g: relative error %g > 2^-11", v, got, rel)
+		}
+	}
+}
+
+// TestMaxAbs checks the unrolled scan against the naive loop across
+// lengths that exercise every tail case, plus NaN propagation-free
+// behaviour on clean inputs.
+func TestMaxAbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 1000} {
+		x := make([]float64, n)
+		want := 0.0
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+			want = math.Max(want, math.Abs(x[i]))
+		}
+		if got := MaxAbs(x); got != want {
+			t.Errorf("MaxAbs(len %d) = %g, want %g", n, got, want)
+		}
+	}
+	if got := MaxAbs([]float64{-7, 3}); got != 7 {
+		t.Errorf("MaxAbs([-7,3]) = %g, want 7", got)
+	}
+}
+
+// TestScatterAdd checks the kernel against the naive scatter loop and
+// the length-mismatch panic.
+func TestScatterAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const dim, nnz = 512, 64
+	dst := make([]float64, dim)
+	want := make([]float64, dim)
+	for i := range dst {
+		dst[i] = rng.NormFloat64()
+		want[i] = dst[i]
+	}
+	idx := make([]int32, nnz)
+	vals := make([]float64, nnz)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(dim))
+		vals[i] = rng.NormFloat64()
+		want[idx[i]] += vals[i]
+	}
+	ScatterAdd(dst, idx, vals)
+	for i := range dst {
+		if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("element %d: %v, want %v", i, dst[i], want[i])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	ScatterAdd(dst, idx[:2], vals[:3])
+}

@@ -14,8 +14,15 @@ const (
 	HistRingStepNS = "ring.step.ns"
 	// HistRingStepBytes is the total wire bytes of each ring step (the
 	// single frame of the legacy path, or the sum of the chunk frames of
-	// the pipelined path).
+	// the pipelined path). With a wire codec active these are
+	// post-compression bytes.
 	HistRingStepBytes = "ring.step.bytes"
+	// HistRingStepRawBytes is the pre-compression byte equivalent of
+	// each compressed ring step — what the dense encoder would have sent
+	// for the same frames. Observed only by codec-compressed steps, so
+	// raw/wire sums give the achieved bytes-on-wire reduction without
+	// perturbing dense telemetry.
+	HistRingStepRawBytes = "ring.step.raw.bytes"
 	// HistRingChunkNS is the per-chunk fused decode-reduce latency of
 	// the pipelined ring path.
 	HistRingChunkNS = "ring.chunk.reduce.ns"

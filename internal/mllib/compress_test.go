@@ -1,0 +1,202 @@
+package mllib
+
+// End-to-end tests for compressed training: lossy gradient aggregation
+// with error feedback must reach the dense loss, and the convergence
+// guardrail must disable a misbehaving codec instead of letting a run
+// diverge silently.
+
+import (
+	"math"
+	"testing"
+
+	"sparker/internal/collective"
+	"sparker/internal/linalg"
+	"sparker/internal/metrics"
+	"sparker/internal/rdd"
+)
+
+// wideTrainingSet builds a separable dataset with dim dense-ish
+// features — wide enough that gradient quantization error is actually
+// exercised (the 2-feature lattice set quantizes near-exactly).
+func wideTrainingSet(ctx *rdd.Context, n, dim, parts int) *rdd.RDD[LabeledPoint] {
+	return rdd.Generate(ctx, parts, func(part int) ([]LabeledPoint, error) {
+		lo := part * n / parts
+		hi := (part + 1) * n / parts
+		out := make([]LabeledPoint, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx := make([]int32, dim)
+			vals := make([]float64, dim)
+			margin := 0.0
+			for j := 0; j < dim; j++ {
+				idx[j] = int32(j)
+				// Deterministic pseudo-random features in [-0.5, 0.5] with
+				// per-feature magnitude spread, so chunk max-abs scaling sees
+				// mixed scales.
+				v := (float64((i*31+j*17)%101)/101 - 0.5) * float64(1+j%5)
+				vals[j] = v
+				// Hidden weights alternate sign with decaying magnitude.
+				w := float64(1+dim-j) / float64(dim)
+				if j%2 == 1 {
+					w = -w
+				}
+				margin += w * v
+			}
+			label := 0.0
+			if margin > 0 {
+				label = 1
+			}
+			sv, err := linalg.NewSparse(dim, idx, vals)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LabeledPoint{Label: label, Features: sv})
+		}
+		return out, nil
+	}).Cache()
+}
+
+// TestCompressedGDReachesDenseLoss is the convergence acceptance test:
+// logistic regression under int8 gradient compression with error
+// feedback must reach the dense run's final loss within 1.2× the dense
+// iteration count; fp16 (whose quantization error is ~2⁻¹¹ relative)
+// must track the dense trajectory almost exactly.
+func TestCompressedGDReachesDenseLoss(t *testing.T) {
+	const (
+		n, dim      = 480, 32
+		parts       = 4
+		denseIters  = 25
+		lossyBudget = 30 // 1.2 × denseIters
+	)
+	ctx := testContext(t, 4, 1)
+	train := wideTrainingSet(ctx, n, dim, parts)
+	run := func(iters int, comp collective.Compression) []float64 {
+		_, losses, err := RunGradientDescent(train, LogisticGradient{}, SimpleUpdater{}, make([]float64, dim), GDConfig{
+			Iterations:  iters,
+			StepSize:    1,
+			Strategy:    StrategyAllReduce,
+			Compression: comp,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return losses
+	}
+	dense := run(denseIters, collective.Compression{})
+	target := dense[len(dense)-1]
+
+	for _, tc := range []struct {
+		name string
+		comp collective.Compression
+	}{
+		{"fp16", collective.Compression{Codec: collective.CodecFP16}},
+		{"int8+ef", collective.Compression{Codec: collective.CodecInt8, ErrorFeedback: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			losses := run(lossyBudget, tc.comp)
+			reached := -1
+			for i, l := range losses {
+				if l <= target*1.001 { // within 0.1% of the dense final loss
+					reached = i + 1
+					break
+				}
+			}
+			t.Logf("dense reached %.6f in %d iters; %s losses tail %.6f (hit at iter %d)",
+				target, denseIters, tc.name, losses[len(losses)-1], reached)
+			if reached < 0 {
+				t.Fatalf("%s never reached the dense loss %.6f within %d iterations (final %.6f)",
+					tc.name, target, lossyBudget, losses[len(losses)-1])
+			}
+			if reached > lossyBudget {
+				t.Fatalf("%s took %d iterations to the dense loss, budget %d (1.2× dense)", tc.name, reached, lossyBudget)
+			}
+			// The guardrail must not have tripped on a healthy run.
+			if c := ctx.Metrics().Counters()[metrics.CounterCompressDisabled]; c != 0 {
+				t.Fatalf("compression guardrail tripped %d times during a converging run", c)
+			}
+		})
+	}
+}
+
+// TestCompressedLBFGSMatchesDense: quantized cost/gradient aggregation
+// (no error feedback — line-search probes make residual re-injection
+// incoherent) must still train L-BFGS to a model close to dense.
+func TestCompressedLBFGSMatchesDense(t *testing.T) {
+	const n, dim = 400, 16
+	ctx := testContext(t, 3, 1)
+	train := wideTrainingSet(ctx, n, dim, 3)
+	cfg := LBFGSConfig{Iterations: 15, Strategy: StrategyAllReduce}
+	dense, err := TrainLogisticRegressionLBFGS(train, dim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Compression = collective.Compression{Codec: collective.CodecFP16}
+	comp, err := TrainLogisticRegressionLBFGS(train, dim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dLoss := dense.Losses[len(dense.Losses)-1]
+	cLoss := comp.Losses[len(comp.Losses)-1]
+	t.Logf("L-BFGS final loss: dense %.6f, fp16 %.6f", dLoss, cLoss)
+	if cLoss > dLoss*1.05+1e-9 {
+		t.Fatalf("fp16 L-BFGS final loss %.6f, dense %.6f: more than 5%% worse", cLoss, dLoss)
+	}
+	pts, err := rdd.Collect(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := comp.Accuracy(pts); acc < 0.9 {
+		t.Fatalf("fp16 L-BFGS accuracy %v < 0.9", acc)
+	}
+}
+
+// TestCompressGuardTripsAndStaysOff exercises the guardrail state
+// machine directly: three consecutive rises disable compression for the
+// rest of the run, a non-finite loss disables it immediately, and a
+// tripped guard stops emitting aggregation options and records the
+// metrics marker.
+func TestCompressGuardTripsAndStaysOff(t *testing.T) {
+	ctx := testContext(t, 1, 1)
+	comp := collective.Compression{Codec: collective.CodecInt8}
+
+	g := newCompressGuard(comp)
+	if len(g.options()) != 1 {
+		t.Fatal("fresh guard must pass the compression option")
+	}
+	// Rises interleaved with a drop: counter must reset, guard stays on.
+	for _, l := range []float64{1.0, 1.1, 1.2, 0.9, 1.0, 1.1} {
+		g.observe(ctx, l)
+	}
+	if g.options() == nil {
+		t.Fatal("guard tripped without three consecutive rises")
+	}
+	// Third consecutive rise trips it.
+	g.observe(ctx, 1.2)
+	if g.options() != nil {
+		t.Fatal("three consecutive rises must disable compression")
+	}
+	// Once off, it stays off even when the loss recovers.
+	g.observe(ctx, 0.1)
+	if g.options() != nil {
+		t.Fatal("a tripped guard must stay off")
+	}
+
+	nan := newCompressGuard(comp)
+	nan.observe(ctx, math.NaN())
+	if nan.options() != nil {
+		t.Fatal("a non-finite loss must disable compression immediately")
+	}
+
+	if c := ctx.Metrics().Counters()[metrics.CounterCompressDisabled]; c != 2 {
+		t.Fatalf("recorded %d compress-disabled markers, want 2", c)
+	}
+
+	// A guard with no codec never observes or emits anything.
+	off := newCompressGuard(collective.Compression{})
+	off.observe(ctx, math.NaN())
+	if off.options() != nil {
+		t.Fatal("codec-none guard must not emit options")
+	}
+	if c := ctx.Metrics().Counters()[metrics.CounterCompressDisabled]; c != 2 {
+		t.Fatal("codec-none guard must not record markers")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"sparker/internal/collective"
 	"sparker/internal/linalg"
 	"sparker/internal/rdd"
 )
@@ -28,6 +29,13 @@ type LBFGSConfig struct {
 	Strategy    Strategy
 	Depth       int
 	Parallelism int
+	// Compression selects a wire codec for the cost/gradient
+	// aggregations (ring strategies only), under the same convergence
+	// guardrail as GDConfig.Compression. Error feedback is usually a
+	// poor fit for L-BFGS — line-search probes evaluate several
+	// candidate points per iteration, so residuals mix gradients from
+	// different weights — but quantization without feedback is safe.
+	Compression collective.Compression
 }
 
 func (c *LBFGSConfig) fill() {
@@ -60,6 +68,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 
 	tr, root, tctx := startTrainSpan(data.Context(), "lbfgs", cfg.Strategy)
 	defer func() { root.EndErr(retErr) }()
+	guard := newCompressGuard(cfg.Compression)
 
 	// costAt evaluates (loss, gradient) at w with one aggregation,
 	// parented under the caller's span (line-search probes share their
@@ -71,7 +80,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 			acc[dim] += loss
 			acc[dim+1]++
 			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
+		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, guard.options()...)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -164,6 +173,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 		improvement := (loss - newLoss) / math.Max(math.Abs(loss), 1)
 		w, loss, g = newW, newLoss, newG
 		losses = append(losses, loss)
+		guard.observe(data.Context(), loss)
 		it.End()
 		if improvement < cfg.ConvergenceTol {
 			break

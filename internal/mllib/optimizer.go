@@ -6,7 +6,9 @@ import (
 	"math"
 	"math/rand"
 
+	"sparker/internal/collective"
 	"sparker/internal/core"
+	"sparker/internal/metrics"
 	"sparker/internal/rdd"
 	"sparker/internal/trace"
 )
@@ -88,19 +90,31 @@ func (s Strategy) CoreStrategy() (core.Strategy, error) {
 // trivial (Figure 7's splitA/concatA). All strategies route through the
 // unified core.Aggregate, so training inherits its per-step deadlines
 // and ring→tree fallback.
-func AggregateF64[T any](r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int) ([]float64, error) {
-	return AggregateF64Ctx(context.Background(), r, dim, seqOp, s, depth, parallelism)
+func AggregateF64[T any](r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int, extra ...core.AggOption) ([]float64, error) {
+	return AggregateF64Ctx(context.Background(), r, dim, seqOp, s, depth, parallelism, extra...)
 }
+
+// f64Ops is the shared fused collective implementation for the flat
+// []float64 aggregators of every mllib model. Passing it as
+// AggFuncs.Ops replaces the generic serde path in the ring stage with
+// the chunked zero-decode reduce and makes the aggregators eligible for
+// wire compression.
+var f64Ops = collective.F64Ops()
 
 // AggregateF64Ctx is AggregateF64 with an explicit context: cancellation
 // bounds the ring collectives, and a trace span carried in ctx (an
 // iteration span, typically) becomes the parent of the per-call
 // "aggregate" span so whole training runs stitch into one timeline.
-func AggregateF64Ctx[T any](ctx context.Context, r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int) ([]float64, error) {
+// extra options (e.g. core.WithCompression) are appended after the
+// strategy options, so they may override any of them.
+func AggregateF64Ctx[T any](ctx context.Context, r *rdd.RDD[T], dim int, seqOp func(acc []float64, v T) []float64, s Strategy, depth, parallelism int, extra ...core.AggOption) ([]float64, error) {
 	cs, err := s.CoreStrategy()
 	if err != nil {
 		return nil, err
 	}
+	opts := append([]core.AggOption{
+		core.WithStrategy(cs), core.WithDepth(depth), core.WithParallelism(parallelism),
+	}, extra...)
 	return core.Aggregate(ctx, r, core.AggFuncs[T, []float64, []float64]{
 		Zero:     func() []float64 { return make([]float64, dim) },
 		SeqOp:    seqOp,
@@ -108,7 +122,8 @@ func AggregateF64Ctx[T any](ctx context.Context, r *rdd.RDD[T], dim int, seqOp f
 		SplitOp:  core.SplitSliceCopy[float64],
 		ReduceOp: core.AddF64,
 		ConcatOp: core.ConcatSlices[float64],
-	}, core.WithStrategy(cs), core.WithDepth(depth), core.WithParallelism(parallelism))
+		Ops:      &f64Ops,
+	}, opts...)
 }
 
 // startTrainSpan opens the root "train" span for one optimizer run and
@@ -152,6 +167,13 @@ type GDConfig struct {
 	// ConvergenceTol stops early when the relative weight change drops
 	// below it (0 disables, matching fixed-iteration benchmarks).
 	ConvergenceTol float64
+	// Compression selects a wire codec for the per-iteration gradient
+	// aggregation (ring strategies only; ignored by the tree paths). The
+	// run is guarded: a non-finite loss, or a loss that rises for several
+	// consecutive iterations, turns compression off for the rest of the
+	// run and records metrics.CounterCompressDisabled — lossy codecs must
+	// never convert a converging run into a diverging one silently.
+	Compression collective.Compression
 }
 
 func (c *GDConfig) fill() {
@@ -186,6 +208,7 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 
 	tr, root, tctx := startTrainSpan(data.Context(), "gradient-descent", cfg.Strategy)
 	defer func() { root.EndErr(retErr) }()
+	guard := newCompressGuard(cfg.Compression)
 
 	for iter := 1; iter <= cfg.Iterations; iter++ {
 		w := make([]float64, dim)
@@ -203,7 +226,7 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 			acc[dim] += loss
 			acc[dim+1]++
 			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
+		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, guard.options()...)
 		if err != nil {
 			it.EndErr(err)
 			return nil, nil, fmt.Errorf("mllib: iteration %d: %w", iter, err)
@@ -211,6 +234,10 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		count := agg[dim+1]
 		if count == 0 {
 			losses = append(losses, math.NaN())
+			// A lossy codec can zero the aggregator's sample-count word
+			// (top-k dropping the scalar tail); that must trip the
+			// guardrail like any other non-finite loss, not bypass it.
+			guard.observe(data.Context(), math.NaN())
 			it.End()
 			continue
 		}
@@ -220,6 +247,7 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		}
 		newW, regVal := up.Update(weights, gradient, cfg.StepSize, iter, cfg.RegParam)
 		losses = append(losses, agg[dim]/count+regVal)
+		guard.observe(data.Context(), losses[len(losses)-1])
 		it.End()
 
 		if cfg.ConvergenceTol > 0 && converged(weights, newW, cfg.ConvergenceTol) {
@@ -229,6 +257,62 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		weights = newW
 	}
 	return weights, losses, nil
+}
+
+// compressGuardRises is how many consecutive loss increases the
+// convergence guardrail tolerates before disabling compression. One
+// rise is routine SGD noise; three in a row under a lossy codec is the
+// signature of quantization noise overwhelming the signal.
+const compressGuardRises = 3
+
+// compressGuard is the optimizer-side convergence guardrail for wire
+// compression: it watches the accepted loss sequence and permanently
+// disables the codec for the rest of the run on a non-finite loss or
+// compressGuardRises consecutive increases. Trips are observable via
+// metrics.CounterCompressDisabled markers.
+type compressGuard struct {
+	comp     collective.Compression
+	prevLoss float64
+	hasPrev  bool
+	rises    int
+	off      bool
+}
+
+func newCompressGuard(c collective.Compression) *compressGuard {
+	return &compressGuard{comp: c}
+}
+
+// options returns the aggregation options for the next iteration: the
+// compression spec while the guard trusts it, nothing once tripped.
+func (g *compressGuard) options() []core.AggOption {
+	if g.off || g.comp.Codec == collective.CodecNone {
+		return nil
+	}
+	return []core.AggOption{core.WithCompression(g.comp.Codec, g.comp)}
+}
+
+// observe feeds one accepted iteration's loss to the guardrail.
+func (g *compressGuard) observe(rc *rdd.Context, loss float64) {
+	if g.off || g.comp.Codec == collective.CodecNone {
+		return
+	}
+	switch {
+	case math.IsNaN(loss) || math.IsInf(loss, 0):
+		g.trip(rc, fmt.Sprintf("non-finite loss under %s compression", g.comp.Codec))
+	case g.hasPrev && loss > g.prevLoss:
+		g.rises++
+		if g.rises >= compressGuardRises {
+			g.trip(rc, fmt.Sprintf("loss rose %d consecutive iterations under %s compression", g.rises, g.comp.Codec))
+		}
+	default:
+		g.rises = 0
+	}
+	g.prevLoss, g.hasPrev = loss, true
+}
+
+func (g *compressGuard) trip(rc *rdd.Context, why string) {
+	g.off = true
+	rc.RecordMarker(metrics.CounterCompressDisabled, why)
 }
 
 // converged tests relative weight movement against tol.
