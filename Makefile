@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race test-chaos overhead trace-demo check bench benchjson bench-compare
+.PHONY: build vet test race test-chaos overhead trace-demo serve-demo check bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test: build
 # senders, fused decode-reduce) plus the rdd engine that drives it, the
 # telemetry instruments, and the span exporters.
 race:
-	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace
+	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace ./internal/server
 
 # Fault-injection suites (see DESIGN.md "Fault model"): kill/drop/delay
 # matrices over the raw collectives and end-to-end core.Aggregate,
@@ -47,7 +47,14 @@ trace-demo:
 		-validate /tmp/sparker-trace-demo.log
 	@echo "load /tmp/sparker-trace-demo.json in ui.perfetto.dev"
 
-check: vet test race test-chaos overhead trace-demo
+# Job-server smoke (see DESIGN.md "Multi-tenant job server"): boots
+# sparker-serve in-process, submits a training job over HTTP, waits for
+# completion, and scores a prediction through the micro-batched serving
+# path. Exercises the whole client-visible surface in a few seconds.
+serve-demo:
+	$(GO) run ./cmd/sparker-serve -smoke
+
+check: vet test race test-chaos overhead trace-demo serve-demo
 
 # Hot-path microbenchmarks: the before/after evidence for the
 # zero-allocation reduction work (see DESIGN.md "Performance notes").
@@ -70,3 +77,5 @@ bench-compare:
 	@cat BENCH_PR5.json
 	$(GO) run ./cmd/sparkerbench -only compress -json > BENCH_PR6.json
 	@cat BENCH_PR6.json
+	$(GO) run ./cmd/sparkerbench -only serve -json > BENCH_PR7.json
+	@cat BENCH_PR7.json

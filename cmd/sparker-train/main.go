@@ -38,6 +38,7 @@ func main() {
 	topics := flag.Int("topics", 10, "LDA topic count")
 	parallelism := flag.Int("parallelism", 4, "split-aggregation ring parallelism")
 	seed := flag.Int64("seed", 1, "seed")
+	saveModel := flag.String("save-model", "", "write the trained model here (loadable by sparker-serve -model)")
 	eventLogPath := flag.String("eventlog", "", "write a history log (JSON lines) to this file")
 	traceRun := flag.Bool("trace", false, "record spans to the event log (requires -eventlog); analyze with sparker-analyze -chrome-trace")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9091) while training")
@@ -94,15 +95,22 @@ func main() {
 	}
 
 	start := time.Now()
+	var trained mllib.Model
 	switch *model {
 	case "lr", "svm":
-		trainLinear(ctx, *model, *dataFile, *profile, *scale, *iters, strat, *seed)
+		trained = trainLinear(ctx, *model, *dataFile, *profile, *scale, *iters, strat, *seed)
 	case "lda":
-		trainLDA(ctx, *profile, *scale, *topics, *iters, strat, *seed)
+		trainLDA(ctx, *profile, *scale, *topics, *iters, strat, *seed, *saveModel)
 	case "kmeans":
-		trainKMeans(ctx, *profile, *scale, *topics, *iters, strat, *seed)
+		trained = trainKMeans(ctx, *profile, *scale, *topics, *iters, strat, *seed)
 	default:
 		fail(fmt.Errorf("unknown model %q (lr, svm, lda, kmeans)", *model))
+	}
+	if *saveModel != "" && trained != nil {
+		if err := mllib.SaveModelFile(*saveModel, trained); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
 	}
 	rec := ctx.Metrics()
 	fmt.Printf("\nwall time           %v\n", time.Since(start).Round(time.Millisecond))
@@ -117,7 +125,7 @@ func main() {
 	}
 }
 
-func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters int, strat mllib.Strategy, seed int64) {
+func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters int, strat mllib.Strategy, seed int64) mllib.Model {
 	var points []mllib.LabeledPoint
 	var dim int
 	if dataFile != "" {
@@ -166,9 +174,13 @@ func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters
 		fmt.Printf("iteration %3d  loss %.6f\n", i+1, l)
 	}
 	fmt.Printf("training accuracy   %.4f\n", m.Accuracy(points))
+	return m
 }
 
-func trainLDA(ctx *rdd.Context, profile string, scale, topics, iters int, strat mllib.Strategy, seed int64) {
+// trainLDA saves through LDAModel.Save itself: LDA predates the
+// unified Model interface (document-topic inference, not pointwise
+// prediction), so it keeps its own persistence pair.
+func trainLDA(ctx *rdd.Context, profile string, scale, topics, iters int, strat mllib.Strategy, seed int64, savePath string) {
 	p, err := data.ProfileByName(profile)
 	if err != nil {
 		fail(err)
@@ -194,11 +206,25 @@ func trainLDA(ctx *rdd.Context, profile string, scale, topics, iters int, strat 
 	for k := 0; k < topics && k < 5; k++ {
 		fmt.Printf("topic %d top terms: %v\n", k, m.TopTerms(k, 8))
 	}
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model saved to %s\n", savePath)
+	}
 }
 
 // trainKMeans clusters a synthetic classification profile's feature
 // vectors (labels ignored); -topics doubles as K.
-func trainKMeans(ctx *rdd.Context, profile string, scale, k, iters int, strat mllib.Strategy, seed int64) {
+func trainKMeans(ctx *rdd.Context, profile string, scale, k, iters int, strat mllib.Strategy, seed int64) mllib.Model {
 	p, err := data.ProfileByName(profile)
 	if err != nil {
 		fail(err)
@@ -224,6 +250,7 @@ func trainKMeans(ctx *rdd.Context, profile string, scale, k, iters int, strat ml
 	for i, c := range m.CostHistory {
 		fmt.Printf("iteration %3d  cost %.2f\n", i+1, c)
 	}
+	return m
 }
 
 func fail(err error) {

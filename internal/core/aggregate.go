@@ -106,6 +106,11 @@ type AggOptions struct {
 	// if set, else an adaptive size seeded from the step histograms; a
 	// negative value disables chunking (legacy single-frame steps).
 	ChunkBytes int
+	// Tenant names the scheduler fair-share account charged for the
+	// aggregation's stages (empty: the default tenant). Multi-tenant
+	// drivers tag each client's training loop so slot-time is split by
+	// the configured weights.
+	Tenant string
 	// Compress selects a wire codec for the ring stage (default: none,
 	// which is byte-identical to the pre-codec wire format). Requires an
 	// AggFuncs.Ops override whose segment type exposes a float64 view
@@ -160,6 +165,13 @@ func WithKeepKey(key string) AggOption {
 // controller; negative disables chunking.
 func WithChunkBytes(n int) AggOption {
 	return func(o *AggOptions) { o.ChunkBytes = n }
+}
+
+// WithTenant charges the aggregation's stages to the named scheduler
+// fair-share tenant (see sched.TenantConfig). Empty restores the
+// default account.
+func WithTenant(name string) AggOption {
+	return func(o *AggOptions) { o.Tenant = name }
 }
 
 // WithCompression selects a wire codec for the ring stage. opts carries
@@ -279,7 +291,7 @@ func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, 
 		}
 		return fns.SplitOp(u, 0, 1), nil
 	case StrategyIMM:
-		u, err := treeAggregateIMM(ctx, r, fns.Zero, fns.SeqOp, fns.MergeOp)
+		u, err := treeAggregateIMM(ctx, r, o.Tenant, fns.Zero, fns.SeqOp, fns.MergeOp)
 		if err != nil {
 			return zv, err
 		}
@@ -324,7 +336,7 @@ func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs
 
 	// Stage 1: reduced-result stage (IMM) → one aggregator per executor.
 	start := time.Now()
-	if err := runIMMStage(r, prefix, aggSC, fns.Zero, fns.SeqOp, fns.MergeOp); err != nil {
+	if err := runIMMStage(r, prefix, aggSC, o.Tenant, fns.Zero, fns.SeqOp, fns.MergeOp); err != nil {
 		return zv, err
 	}
 	rc.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
@@ -415,6 +427,7 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 	// burning slots. Gang stages are never speculated — a duplicate ring
 	// member would shift IMM state and corrupt the epoch.
 	payloads, err := rc.RunJob(rdd.JobSpec{
+		Tenant:      o.Tenant,
 		Tasks:       nExec,
 		Policy:      rc.TopologyPolicy(),
 		Gang:        true,

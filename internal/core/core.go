@@ -96,10 +96,11 @@ type immState[U any] struct {
 // cleared on every executor and the whole stage re-submitted (§3.2).
 // Afterwards each executor holds exactly one aggregator under
 // prefix+"agg".
-func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, parent trace.SpanContext, zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) error {
+func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, parent trace.SpanContext, tenant string, zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) error {
 	ctx := r.Context()
 	key := prefix + "agg"
 	_, err := ctx.RunJob(rdd.JobSpec{
+		Tenant:      tenant,
 		Tasks:       r.NumPartitions(),
 		TraceParent: parent,
 		Fn: func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
@@ -132,6 +133,16 @@ func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, parent trace.SpanContex
 		},
 	})
 	return err
+}
+
+// runOnAllExecutorsTenant mirrors rdd.RunOnAllExecutors (task i on
+// executor i) with the stage charged to a fair-share tenant.
+func runOnAllExecutorsTenant(ctx *rdd.Context, tenant string, fn func(ec *rdd.ExecContext, task, attempt int) ([]byte, error)) ([][]byte, error) {
+	placement := make([]int, ctx.NumExecutors())
+	for i := range placement {
+		placement[i] = i
+	}
+	return ctx.RunJob(rdd.JobSpec{Tenant: tenant, Tasks: ctx.NumExecutors(), Placement: placement, Fn: fn})
 }
 
 // cleanupIMM drops the aggregation's shared state everywhere.
@@ -167,7 +178,7 @@ func TreeAggregateIMM[T, U any](r *rdd.RDD[T], zero func() U, seqOp func(U, T) U
 
 // treeAggregateIMM is the StrategyIMM implementation shared by
 // Aggregate and the deprecated TreeAggregateIMM wrapper.
-func treeAggregateIMM[T, U any](cctx context.Context, r *rdd.RDD[T], zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
+func treeAggregateIMM[T, U any](cctx context.Context, r *rdd.RDD[T], tenant string, zero func() U, seqOp func(U, T) U, mergeOp func(U, U) U) (U, error) {
 	var zu U
 	ctx := r.Context()
 	prefix := fmt.Sprintf("imm/%d/", ctx.NewOpID())
@@ -175,14 +186,14 @@ func treeAggregateIMM[T, U any](cctx context.Context, r *rdd.RDD[T], zero func()
 
 	_, parent := trace.FromContext(cctx)
 	start := time.Now()
-	if err := runIMMStage(r, prefix, parent, zero, seqOp, mergeOp); err != nil {
+	if err := runIMMStage(r, prefix, parent, tenant, zero, seqOp, mergeOp); err != nil {
 		return zu, err
 	}
 	ctx.RecordPhase(metrics.PhaseAggCompute, time.Since(start), "IMM reduced-result stage")
 
 	start = time.Now()
 	defer func() { ctx.RecordPhase(metrics.PhaseAggReduce, time.Since(start), "reduce stage") }()
-	payloads, err := ctx.RunOnAllExecutors(func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
+	payloads, err := runOnAllExecutorsTenant(ctx, tenant, func(ec *rdd.ExecContext, task, attempt int) ([]byte, error) {
 		return serde.Encode(nil, sharedAgg(ec, prefix+"agg", zero))
 	})
 	if err != nil {

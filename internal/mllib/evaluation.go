@@ -136,7 +136,7 @@ func SilhouetteApprox(m *KMeansModel, points []linalg.SparseVector) float64 {
 	}
 	var total float64
 	for _, x := range points {
-		own := m.Predict(x)
+		own := m.NearestCenter(x)
 		a := sqDist(m.Centers[own], x)
 		b := -1.0
 		for c := range m.Centers {

@@ -25,6 +25,9 @@ type KMeansConfig struct {
 	Strategy    Strategy
 	Depth       int
 	Parallelism int
+	// Tenant charges the run's aggregation stages to the named
+	// scheduler fair-share account (empty: default tenant).
+	Tenant string
 }
 
 func (c *KMeansConfig) fill() error {
@@ -51,8 +54,8 @@ type KMeansModel struct {
 	CostHistory []float64
 }
 
-// Predict returns the nearest center's index.
-func (m *KMeansModel) Predict(x linalg.SparseVector) int {
+// NearestCenter returns the nearest center's index.
+func (m *KMeansModel) NearestCenter(x linalg.SparseVector) int {
 	best, bestDist := 0, math.Inf(1)
 	for c, center := range m.Centers {
 		d := sqDist(center, x)
@@ -61,6 +64,32 @@ func (m *KMeansModel) Predict(x linalg.SparseVector) int {
 		}
 	}
 	return best
+}
+
+// Predict returns the nearest center's index as a float64, satisfying
+// the unified Model interface (cluster id as float64). Callers that
+// want the index as an int use NearestCenter.
+func (m *KMeansModel) Predict(x linalg.SparseVector) float64 {
+	return float64(m.NearestCenter(x))
+}
+
+// PredictBatch fills out[i] with the cluster id of xs[i]; len(out)
+// must equal len(xs). Part of the unified Model interface.
+func (m *KMeansModel) PredictBatch(xs []linalg.SparseVector, out []float64) {
+	for i, x := range xs {
+		out[i] = float64(m.NearestCenter(x))
+	}
+}
+
+// Kind identifies the model type for the unified Model interface.
+func (m *KMeansModel) Kind() string { return "kmeans" }
+
+// NumFeatures returns the point dimensionality the model expects.
+func (m *KMeansModel) NumFeatures() int {
+	if len(m.Centers) == 0 {
+		return 0
+	}
+	return len(m.Centers[0])
 }
 
 // Cost returns the final training cost.
@@ -140,7 +169,7 @@ func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMean
 			acc[k*dim+best]++
 			acc[k*dim+k] += bestDist
 			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism)
+		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, tenantOptions(cfg.Tenant)...)
 		if err != nil {
 			it.EndErr(err)
 			root.SetAttr("error", err.Error())

@@ -23,12 +23,23 @@ type LinearModel struct {
 // Kind reports the model family ("logistic-regression" or "svm").
 func (m *LinearModel) Kind() string { return m.kind }
 
+// NumFeatures returns the weight vector's dimensionality — part of the
+// unified Model interface.
+func (m *LinearModel) NumFeatures() int { return len(m.Weights) }
+
 // Margin returns wᵀx.
+//
+// Model-family specific: interface-generic callers (serving layers)
+// should use Predict/PredictBatch via the unified Model interface;
+// Margin only means something for linear families.
 func (m *LinearModel) Margin(x linalg.SparseVector) float64 {
 	return linalg.Dot(m.Weights, x)
 }
 
 // PredictProb returns P(label=1|x) for logistic models.
+//
+// Model-family specific, like Margin: prefer the unified Model
+// interface for dispatching over heterogeneous models.
 func (m *LinearModel) PredictProb(x linalg.SparseVector) float64 {
 	return 1.0 / (1.0 + math.Exp(-m.Margin(x)))
 }
@@ -46,6 +57,14 @@ func (m *LinearModel) Predict(x linalg.SparseVector) float64 {
 			return 1
 		}
 		return 0
+	}
+}
+
+// PredictBatch fills out[i] with the class of xs[i]; len(out) must
+// equal len(xs). Part of the unified Model interface.
+func (m *LinearModel) PredictBatch(xs []linalg.SparseVector, out []float64) {
+	for i, x := range xs {
+		out[i] = m.Predict(x)
 	}
 }
 

@@ -20,6 +20,20 @@ func (m *RegressionModel) Predict(x linalg.SparseVector) float64 {
 	return linalg.Dot(m.Weights, x)
 }
 
+// PredictBatch fills out[i] with the response for xs[i]; len(out) must
+// equal len(xs). Part of the unified Model interface.
+func (m *RegressionModel) PredictBatch(xs []linalg.SparseVector, out []float64) {
+	for i, x := range xs {
+		out[i] = linalg.Dot(m.Weights, x)
+	}
+}
+
+// Kind identifies the model family for the unified Model interface.
+func (m *RegressionModel) Kind() string { return "linear-regression" }
+
+// NumFeatures returns the weight vector's dimensionality.
+func (m *RegressionModel) NumFeatures() int { return len(m.Weights) }
+
 // MSE evaluates mean squared error over data.
 func (m *RegressionModel) MSE(data []LabeledPoint) float64 {
 	if len(data) == 0 {

@@ -1,0 +1,45 @@
+package mllib
+
+import (
+	"sparker/internal/core"
+	"sparker/internal/linalg"
+)
+
+// Model is the unified prediction interface every trained mllib model
+// implements. Serving layers (sparker-serve's prediction endpoint, the
+// batch scorer) dispatch through it exclusively, so adding a model
+// family to the repo makes it servable by implementing these four
+// methods — no per-type switches in the serving path.
+//
+// Predictions are float64 across the board: classifiers return the 0/1
+// class, regressors the response, clusterers the cluster id as a
+// float64 (use KMeansModel.NearestCenter for the int form).
+type Model interface {
+	// Kind identifies the model family ("logistic-regression", "svm",
+	// "linear-regression", "kmeans").
+	Kind() string
+	// NumFeatures is the input dimensionality the model expects.
+	NumFeatures() int
+	// Predict scores one point.
+	Predict(x linalg.SparseVector) float64
+	// PredictBatch scores xs into out; len(out) must equal len(xs).
+	// Implementations are pure per-element, so callers may shard a
+	// batch across cores (linalg.ParallelFor over aligned subslices).
+	PredictBatch(xs []linalg.SparseVector, out []float64)
+}
+
+// Interface conformance of every trained model type.
+var (
+	_ Model = (*LinearModel)(nil)
+	_ Model = (*RegressionModel)(nil)
+	_ Model = (*KMeansModel)(nil)
+)
+
+// tenantOptions converts a config Tenant field into aggregation
+// options (empty name: none).
+func tenantOptions(tenant string) []core.AggOption {
+	if tenant == "" {
+		return nil
+	}
+	return []core.AggOption{core.WithTenant(tenant)}
+}

@@ -167,6 +167,10 @@ type GDConfig struct {
 	// ConvergenceTol stops early when the relative weight change drops
 	// below it (0 disables, matching fixed-iteration benchmarks).
 	ConvergenceTol float64
+	// Tenant charges the run's aggregation stages to the named
+	// scheduler fair-share account (empty: default tenant). Set by
+	// multi-tenant drivers such as sparker-serve.
+	Tenant string
 	// Compression selects a wire codec for the per-iteration gradient
 	// aggregation (ring strategies only; ignored by the tree paths). The
 	// run is guarded: a non-finite loss, or a loss that rises for several
@@ -219,6 +223,10 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 			batch = sampleRDD(data, cfg.MiniBatchFraction, cfg.Seed, iter)
 		}
 		it, ictx := startIteration(tr, root, tctx, iter)
+		extra := guard.options()
+		if cfg.Tenant != "" {
+			extra = append(extra, core.WithTenant(cfg.Tenant))
+		}
 		// Aggregator layout: [0,dim) gradient sum, [dim] loss sum,
 		// [dim+1] sample count.
 		agg, err := AggregateF64Ctx(ictx, batch, dim+2, func(acc []float64, p LabeledPoint) []float64 {
@@ -226,7 +234,7 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 			acc[dim] += loss
 			acc[dim+1]++
 			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, guard.options()...)
+		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, extra...)
 		if err != nil {
 			it.EndErr(err)
 			return nil, nil, fmt.Errorf("mllib: iteration %d: %w", iter, err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 )
 
 // Model persistence: a small versioned binary format so trained models
@@ -23,6 +24,7 @@ const (
 	kindLinear modelKind = iota + 1
 	kindRegression
 	kindLDA
+	kindKMeans
 )
 
 func writeHeader(w io.Writer, kind modelKind) error {
@@ -130,6 +132,9 @@ func (m *LinearModel) Save(w io.Writer) error {
 }
 
 // LoadLinearModel reads a model written by LinearModel.Save.
+//
+// Deprecated: use LoadModel, which dispatches on the file's kind byte
+// and returns the unified Model interface.
 func LoadLinearModel(r io.Reader) (*LinearModel, error) {
 	br := bufio.NewReader(r)
 	kind, err := readHeader(br)
@@ -139,7 +144,13 @@ func LoadLinearModel(r io.Reader) (*LinearModel, error) {
 	if kind != kindLinear {
 		return nil, fmt.Errorf("mllib: file holds model kind %d, not a linear classifier", kind)
 	}
+	return loadLinearPayload(br)
+}
+
+// loadLinearPayload reads a linear classifier body (header consumed).
+func loadLinearPayload(br *bufio.Reader) (*LinearModel, error) {
 	m := &LinearModel{}
+	var err error
 	if m.kind, err = readString(br); err != nil {
 		return nil, err
 	}
@@ -153,6 +164,148 @@ func LoadLinearModel(r io.Reader) (*LinearModel, error) {
 	}
 	if m.Losses, err = readF64s(br); err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// Save writes the regression model.
+func (m *RegressionModel) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindRegression); err != nil {
+		return err
+	}
+	if err := writeF64s(bw, m.Weights); err != nil {
+		return err
+	}
+	if err := writeF64s(bw, m.Losses); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// loadRegressionPayload reads a regression body (header consumed).
+func loadRegressionPayload(br *bufio.Reader) (*RegressionModel, error) {
+	m := &RegressionModel{}
+	var err error
+	if m.Weights, err = readF64s(br); err != nil {
+		return nil, err
+	}
+	if m.Losses, err = readF64s(br); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Save writes the kmeans model.
+func (m *KMeansModel) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, kindKMeans); err != nil {
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(m.Centers)))
+	if _, err := bw.Write(b[:]); err != nil {
+		return err
+	}
+	for _, c := range m.Centers {
+		if err := writeF64s(bw, c); err != nil {
+			return err
+		}
+	}
+	if err := writeF64s(bw, m.CostHistory); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// loadKMeansPayload reads a kmeans body (header consumed).
+func loadKMeansPayload(br *bufio.Reader) (*KMeansModel, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(br, b[:]); err != nil {
+		return nil, err
+	}
+	k := binary.LittleEndian.Uint64(b[:])
+	if k == 0 || k > 1<<20 {
+		return nil, fmt.Errorf("mllib: implausible center count %d", k)
+	}
+	m := &KMeansModel{Centers: make([][]float64, k)}
+	var err error
+	for i := range m.Centers {
+		if m.Centers[i], err = readF64s(br); err != nil {
+			return nil, err
+		}
+		if len(m.Centers[i]) != len(m.Centers[0]) {
+			return nil, fmt.Errorf("mllib: ragged centers (%d vs %d)", len(m.Centers[i]), len(m.Centers[0]))
+		}
+	}
+	if m.CostHistory, err = readF64s(br); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveModel writes any unified-interface model in the versioned binary
+// format; LoadModel reads it back. (LDAModel predates the interface
+// and keeps its own Save/LoadLDAModel pair.)
+func SaveModel(w io.Writer, m Model) error {
+	switch t := m.(type) {
+	case *LinearModel:
+		return t.Save(w)
+	case *RegressionModel:
+		return t.Save(w)
+	case *KMeansModel:
+		return t.Save(w)
+	default:
+		return fmt.Errorf("mllib: SaveModel: unsupported model type %T", m)
+	}
+}
+
+// LoadModel reads any model written by SaveModel (or the per-type Save
+// methods), dispatching on the header's kind byte.
+func LoadModel(r io.Reader) (Model, error) {
+	br := bufio.NewReader(r)
+	kind, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case kindLinear:
+		return loadLinearPayload(br)
+	case kindRegression:
+		return loadRegressionPayload(br)
+	case kindKMeans:
+		return loadKMeansPayload(br)
+	case kindLDA:
+		return nil, fmt.Errorf("mllib: LDA models do not implement the Model interface; use LoadLDAModel")
+	default:
+		return nil, fmt.Errorf("mllib: unknown model kind %d", kind)
+	}
+}
+
+// SaveModelFile writes m to path (the sparker-train -save-model sink).
+func SaveModelFile(path string, m Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveModel(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile reads a model from path (the sparker-serve -model
+// source).
+func LoadModelFile(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := LoadModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("mllib: loading %s: %w", path, err)
 	}
 	return m, nil
 }

@@ -46,6 +46,14 @@ type Config struct {
 	// RingParallelism is the PDR channel count used by split
 	// aggregation (default 4, the paper's production setting).
 	RingParallelism int
+	// TaskConnStripes is the number of task-channel connections the
+	// driver opens per executor (default 4). On latency-shaped
+	// transports a single connection caps launch/result throughput at
+	// one frame per network latency; striping lets concurrent jobs'
+	// task traffic overlap, which is what the multi-tenant job server
+	// leans on. Executors accept any number of task connections and
+	// reply on the one each task arrived on, so this is driver-only.
+	TaskConnStripes int
 	// MaxTaskAttempts bounds per-task retries for ordinary stages
 	// (default 3).
 	MaxTaskAttempts int
@@ -111,6 +119,12 @@ func (c *Config) fill() error {
 	if c.RingParallelism == 0 {
 		c.RingParallelism = 4
 	}
+	if c.TaskConnStripes == 0 {
+		c.TaskConnStripes = 4
+	}
+	if c.TaskConnStripes < 1 {
+		return fmt.Errorf("rdd: TaskConnStripes must be >= 1, got %d", c.TaskConnStripes)
+	}
 	if c.MaxTaskAttempts == 0 {
 		c.MaxTaskAttempts = 3
 	}
@@ -139,8 +153,13 @@ type Context struct {
 	jobs   sync.Map // int64 -> *job
 	nextID atomic.Int64
 
+	// inflightJobs counts submitted-but-unfinished JobHandles so a
+	// long-lived driver can Drain before closing the transport.
+	inflightJobs atomic.Int64
+
 	connMu sync.Mutex
-	conns  []*lockedConn // driver -> executor task connections
+	conns  [][]*lockedConn // driver -> executor task connections, striped
+	connRR []atomic.Uint32 // round-robin stripe cursor per executor
 
 	rec *metrics.Recorder
 	reg *metrics.Registry // driver-side instruments (driver store I/O)
@@ -303,9 +322,11 @@ func (ctx *Context) TopologyPolicy() sched.PlacementPolicy {
 func (ctx *Context) Close() error {
 	ctx.closeOnce.Do(func() {
 		ctx.connMu.Lock()
-		for _, lc := range ctx.conns {
-			if lc != nil {
-				lc.c.Close()
+		for _, stripes := range ctx.conns {
+			for _, lc := range stripes {
+				if lc != nil {
+					lc.c.Close()
+				}
 			}
 		}
 		ctx.conns = nil

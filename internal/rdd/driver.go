@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sparker/internal/comm"
 	"sparker/internal/metrics"
@@ -163,6 +164,10 @@ type job struct {
 
 // JobSpec describes one stage submitted to the cluster.
 type JobSpec struct {
+	// Tenant names the scheduler fair-share account charged for this
+	// stage's slot-time (empty: the default tenant). Long-lived multi-
+	// tenant drivers set it per submitting client; see sched.TenantConfig.
+	Tenant string
 	// Tasks is the number of tasks in the stage.
 	Tasks int
 	// Placement maps task index -> executor index. Nil defers to Policy
@@ -214,25 +219,36 @@ type JobSpec struct {
 // ErrJobFailed wraps the terminal failure of a job after retries.
 var ErrJobFailed = errors.New("rdd: job failed")
 
-// executorConn returns (dialing on first use) the driver's task
-// connection to executor i.
+// executorConn returns a task connection to executor i, rotating
+// round-robin over TaskConnStripes connections (dialed on first use).
+// Striping matters on latency-shaped transports: each connection
+// delivers one frame per network latency, so a single connection
+// serializes concurrent jobs' launches while stripes let them overlap.
 func (ctx *Context) executorConn(i int) (*lockedConn, error) {
 	ctx.connMu.Lock()
-	defer ctx.connMu.Unlock()
 	if ctx.conns == nil {
-		ctx.conns = make([]*lockedConn, ctx.conf.NumExecutors)
+		ctx.conns = make([][]*lockedConn, ctx.conf.NumExecutors)
+		ctx.connRR = make([]atomic.Uint32, ctx.conf.NumExecutors)
 	}
-	if ctx.conns[i] != nil {
-		return ctx.conns[i], nil
+	if ctx.conns[i] == nil {
+		stripes := make([]*lockedConn, 0, ctx.conf.TaskConnStripes)
+		for s := 0; s < ctx.conf.TaskConnStripes; s++ {
+			c, err := ctx.net.Dial(taskAddr(ctx.conf.Name, i))
+			if err != nil {
+				for _, lc := range stripes {
+					lc.c.Close()
+				}
+				ctx.connMu.Unlock()
+				return nil, err
+			}
+			stripes = append(stripes, &lockedConn{c: c})
+			go ctx.readResults(c)
+		}
+		ctx.conns[i] = stripes
 	}
-	c, err := ctx.net.Dial(taskAddr(ctx.conf.Name, i))
-	if err != nil {
-		return nil, err
-	}
-	lc := &lockedConn{c: c}
-	ctx.conns[i] = lc
-	go ctx.readResults(c)
-	return lc, nil
+	stripes := ctx.conns[i]
+	ctx.connMu.Unlock()
+	return stripes[int(ctx.connRR[i].Add(1))%len(stripes)], nil
 }
 
 // readResults routes result frames from one executor connection into
@@ -365,6 +381,7 @@ func (ctx *Context) submitTaskRetry(spec JobSpec, policy sched.PlacementPolicy) 
 
 	sh, err := ctx.sched.Submit(sched.StageSpec{
 		JobID:       id,
+		Tenant:      spec.Tenant,
 		Tasks:       spec.Tasks,
 		Policy:      policy,
 		Gang:        spec.Gang,
@@ -382,6 +399,11 @@ func (ctx *Context) submitTaskRetry(spec JobSpec, policy sched.PlacementPolicy) 
 		stage.EndErr(err)
 		return nil, err
 	}
+	ctx.jobStarted()
+	go func() {
+		<-sh.Done()
+		ctx.jobFinished()
+	}()
 	return &JobHandle{fetch: func() ([][]byte, []int, error) {
 		out, werr := sh.Wait()
 		ctx.jobs.Delete(id)
@@ -420,7 +442,9 @@ func (ctx *Context) submitWholeRetry(spec JobSpec, policy sched.PlacementPolicy)
 	tc := stage.Context()
 
 	resCh := make(chan result, 1)
+	ctx.jobStarted()
 	go func() {
+		defer ctx.jobFinished()
 		var lastErr error
 		for stageAttempt := 0; stageAttempt < maxAttempts; stageAttempt++ {
 			id := ctx.newJobID()
@@ -438,6 +462,7 @@ func (ctx *Context) submitWholeRetry(spec JobSpec, policy sched.PlacementPolicy)
 			// out speculation — a duplicate would double-merge.
 			sh, err := ctx.sched.Submit(sched.StageSpec{
 				JobID:         id,
+				Tenant:        spec.Tenant,
 				Tasks:         spec.Tasks,
 				Policy:        policy,
 				MaxAttempts:   1,

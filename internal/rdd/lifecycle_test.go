@@ -1,0 +1,196 @@
+package rdd
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"sparker/internal/sched"
+)
+
+// TestStopDrainsInflightJobs: Stop must let running jobs finish before
+// the transport closes, where a bare Close would strand them.
+func TestStopDrainsInflightJobs(t *testing.T) {
+	ctx, err := NewContext(Config{Name: "t-stop", NumExecutors: 2, CoresPerExecutor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 6
+	handles := make([]*JobHandle, jobs)
+	for i := range handles {
+		h, err := ctx.SubmitJob(JobSpec{
+			Tasks: 2,
+			Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+				time.Sleep(10 * time.Millisecond)
+				return []byte{byte(task)}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	if n := ctx.ActiveJobs(); n == 0 {
+		t.Fatal("no jobs tracked in flight")
+	}
+	if err := ctx.Stop(5 * time.Second); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(); err != nil {
+			t.Fatalf("job %d stranded by Stop: %v", i, err)
+		}
+	}
+	if n := ctx.ActiveJobs(); n != 0 {
+		t.Fatalf("%d jobs still tracked after Stop", n)
+	}
+}
+
+// TestStopDrainDeadline: a job outliving the drain budget fails (it is
+// the straggler Close would have failed anyway), and Stop reports it.
+func TestStopDrainDeadline(t *testing.T) {
+	ctx, err := NewContext(Config{Name: "t-deadline", NumExecutors: 1, CoresPerExecutor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ctx.SubmitJob(JobSpec{
+		Tasks: 1,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			// Far longer than the drain budget, short enough that Close
+			// (which waits out executor workers) finishes promptly after.
+			time.Sleep(500 * time.Millisecond)
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Stop(30 * time.Millisecond); err == nil {
+		t.Fatal("Stop returned nil with a job past the drain deadline")
+	}
+	if _, err := h.Wait(); err == nil {
+		t.Fatal("job past the drain deadline should fail once Close lands")
+	}
+}
+
+// TestStopLeavesNoGoroutines is the leak check: a serve-style cycle of
+// jobs followed by Stop must return the process to its baseline
+// goroutine count (executor pools, senders, watchers all gone).
+func TestStopLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		ctx, err := NewContext(Config{Name: fmt.Sprintf("t-leak-%d", cycle), NumExecutors: 2, CoresPerExecutor: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 8; j++ {
+			if _, err := ctx.RunJob(JobSpec{
+				Tasks: 4,
+				Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+					return []byte{1}, nil
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ctx.Stop(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked across Stop cycles: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestConcurrentSubmitJobTenants races N tenants x M jobs through
+// SubmitJob from separate goroutines; every handle must resolve
+// exactly once with correct per-task payloads and the scheduler's
+// per-tenant slot accounting must return to zero.
+func TestConcurrentSubmitJobTenants(t *testing.T) {
+	ctx, err := NewContext(Config{Name: "t-multi", NumExecutors: 3, CoresPerExecutor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+	const tenants, jobsPer = 4, 12
+	for i := 0; i < tenants; i++ {
+		if err := ctx.ConfigureTenant(fmt.Sprintf("t%d", i), sched.TenantConfig{Weight: float64(1 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		for ji := 0; ji < jobsPer; ji++ {
+			wg.Add(1)
+			go func(ti, ji int) {
+				defer wg.Done()
+				want := byte(ti*16 + ji%16)
+				h, err := ctx.SubmitJob(JobSpec{
+					Tenant: fmt.Sprintf("t%d", ti),
+					Tasks:  3,
+					Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+						time.Sleep(time.Millisecond)
+						return []byte{want, byte(task)}, nil
+					},
+				})
+				if err != nil {
+					t.Errorf("tenant %d job %d submit: %v", ti, ji, err)
+					return
+				}
+				out, err := h.Wait()
+				if err != nil {
+					t.Errorf("tenant %d job %d: %v", ti, ji, err)
+					return
+				}
+				for task, p := range out {
+					if len(p) != 2 || p[0] != want || p[1] != byte(task) {
+						t.Errorf("tenant %d job %d task %d: payload %v", ti, ji, task, p)
+					}
+				}
+				out2, err2 := h.Wait()
+				if err2 != nil || len(out2) != len(out) {
+					t.Errorf("tenant %d job %d: second Wait diverged", ti, ji)
+				}
+			}(ti, ji)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Drain(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stats := ctx.TenantStats()
+	var completed int64
+	for name, ts := range stats {
+		if ts.InUse != 0 || ts.Queued != 0 {
+			t.Fatalf("tenant %s: InUse=%d Queued=%d after drain", name, ts.InUse, ts.Queued)
+		}
+		completed += ts.Completed
+	}
+	if want := int64(tenants * jobsPer * 3); completed < want {
+		t.Fatalf("tenant accounting shows %d completed attempts, want >= %d", completed, want)
+	}
+}
+
+// TestTenantAPIAfterClose: the tenant APIs degrade cleanly on a closed
+// context.
+func TestTenantAPIAfterClose(t *testing.T) {
+	ctx, err := NewContext(Config{Name: "t-closed", NumExecutors: 1, CoresPerExecutor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Close()
+	if err := ctx.ConfigureTenant("x", sched.TenantConfig{Weight: 1}); !errors.Is(err, sched.ErrSchedulerClosed) {
+		t.Fatalf("ConfigureTenant after Close: %v", err)
+	}
+	if st := ctx.TenantStats(); st != nil {
+		t.Fatalf("TenantStats after Close: %v", st)
+	}
+}

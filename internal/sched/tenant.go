@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"math"
+	"time"
+)
+
+// Tenancy: weighted fair-share queueing across independent job sources.
+//
+// Every stage carries a tenant name (empty = the default tenant, which
+// is what every pre-existing caller gets). The scheduler keeps one
+// tenantState per name and, when slots are contended, serves the tenant
+// with the lowest virtual time — service received divided by weight —
+// one task attempt at a time. The properties that fall out:
+//
+//   - Proportional shares: under saturation a tenant with weight 2w
+//     accumulates ~2× the slot-nanoseconds of a tenant with weight w.
+//   - Work conservation: an idle tenant's share redistributes to the
+//     backlogged ones (selection only considers tenants with queued
+//     work; nothing is held back for absent tenants).
+//   - Bounded starvation: a backlogged tenant's virtual time does not
+//     advance while it is denied slots, so it becomes the minimum after
+//     at most (total service rate)/(its weight share) of wall time and
+//     must be served next.
+//   - No history tax: a tenant returning from idle has its virtual time
+//     caught up to the current minimum, so it cannot monopolize the
+//     cluster to "repay" service it never asked for while idle.
+//
+// Within one tenant, stages keep strict FIFO-greedy order — with a
+// single tenant the dispatch order is exactly the pre-tenancy
+// scheduler's, gang reservation semantics included.
+
+// defaultTaskEstNS seeds the per-tenant attempt duration estimate
+// before any attempt of that tenant has completed.
+const defaultTaskEstNS = float64(10 * time.Millisecond)
+
+// TenantConfig sets a tenant's share of the cluster.
+type TenantConfig struct {
+	// Weight is the tenant's fair-share weight (default 1). Shares are
+	// proportional: weight 2 gets twice the slot-time of weight 1 when
+	// both are backlogged.
+	Weight float64
+	// MaxSlots caps the tenant's concurrently held core-slots across
+	// the cluster; 0 means no cap. A gang stage larger than the
+	// remaining cap waits without reserving slots.
+	MaxSlots int
+}
+
+// TenantStats is a point-in-time snapshot of one tenant's accounting.
+type TenantStats struct {
+	Name       string
+	Weight     float64
+	MaxSlots   int
+	InUse      int   // core-slots currently held by launched attempts
+	Queued     int   // task attempts waiting in the stage queue
+	ServiceNS  int64 // cumulative slot-nanoseconds consumed
+	Completed  int64 // attempts reported (success or failure)
+	MeanTaskNS int64 // EWMA attempt duration estimate
+}
+
+// tenantState is the loop-owned accounting of one tenant.
+type tenantState struct {
+	name     string
+	weight   float64
+	maxSlots int
+
+	inUse     int     // launched, unreported attempts holding slots
+	serviceNS float64 // total slot-time consumed
+	meanNS    float64 // EWMA attempt duration
+	completed int64
+	// active records whether the tenant had queued or in-flight work at
+	// the previous scheduling pass; a tenant re-arriving after idleness
+	// has its virtual time caught up so it pays no history tax in
+	// either direction.
+	active bool
+}
+
+// estNS is the expected duration of one attempt, used to charge
+// in-flight work provisionally so a tenant cannot grab the whole
+// cluster between completions.
+func (t *tenantState) estNS() float64 {
+	if t.meanNS > 0 {
+		return t.meanNS
+	}
+	return defaultTaskEstNS
+}
+
+// vtime is the tenant's virtual time: normalized service including a
+// provisional charge for in-flight attempts.
+func (t *tenantState) vtime() float64 {
+	return (t.serviceNS + float64(t.inUse)*t.estNS()) / t.weight
+}
+
+// capLeft is the number of additional slots the tenant may take under
+// its MaxSlots cap; -1 means unlimited.
+func (t *tenantState) capLeft() int {
+	if t.maxSlots <= 0 {
+		return -1
+	}
+	c := t.maxSlots - t.inUse
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// charge books one completed attempt's slot-time.
+func (t *tenantState) charge(d time.Duration) {
+	ns := float64(d.Nanoseconds())
+	t.serviceNS += ns
+	t.completed++
+	if t.meanNS == 0 {
+		t.meanNS = ns
+	} else {
+		t.meanNS = 0.8*t.meanNS + 0.2*ns
+	}
+}
+
+// tenantFor returns (creating if needed) the loop-owned state for a
+// tenant name. Loop-only.
+func (s *Scheduler) tenantFor(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name, weight: 1}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// ConfigureTenant sets a tenant's weight and slot cap. It may be
+// called before or after the tenant's first stage, from any goroutine;
+// the change applies to the next scheduling pass. Returns
+// ErrSchedulerClosed after Close.
+func (s *Scheduler) ConfigureTenant(name string, cfg TenantConfig) error {
+	return s.onLoop(func() {
+		t := s.tenantFor(name)
+		if cfg.Weight > 0 {
+			t.weight = cfg.Weight
+		} else {
+			t.weight = 1
+		}
+		t.maxSlots = cfg.MaxSlots
+	})
+}
+
+// TenantStats snapshots every known tenant's accounting. Nil after
+// Close.
+func (s *Scheduler) TenantStats() map[string]TenantStats {
+	var out map[string]TenantStats
+	err := s.onLoop(func() {
+		out = make(map[string]TenantStats, len(s.tenants))
+		queued := map[*tenantState]int{}
+		for _, st := range s.queue {
+			queued[st.tenant] += len(st.pending)
+		}
+		for name, t := range s.tenants {
+			out[name] = TenantStats{
+				Name:       name,
+				Weight:     t.weight,
+				MaxSlots:   t.maxSlots,
+				InUse:      t.inUse,
+				Queued:     queued[t],
+				ServiceNS:  int64(t.serviceNS),
+				Completed:  t.completed,
+				MeanTaskNS: int64(t.meanNS),
+			}
+		}
+	})
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// onLoop runs f on the scheduler loop (where all tenant and stage
+// state lives) and waits for it to finish.
+func (s *Scheduler) onLoop(f func()) error {
+	done := make(chan struct{})
+	wrapped := func() { f(); close(done) }
+	select {
+	case s.ops <- wrapped:
+	case <-s.done:
+		return ErrSchedulerClosed
+	}
+	select {
+	case <-done:
+		return nil
+	case <-s.done:
+		// Accepted but the loop quit before executing it.
+		return ErrSchedulerClosed
+	}
+}
+
+// tenantQueue is one tenant's slice of the stage queue for a single
+// scheduling pass: its queued stages in FIFO order.
+type tenantQueue struct {
+	t       *tenantState
+	stages  []*stage
+	headSeq int64
+	blocked bool // nothing launchable this pass (slots, cap, or gang wait)
+}
+
+// before orders tenant queues for dispatch: lowest virtual time first,
+// submission order as the deterministic tie-break.
+func (q *tenantQueue) before(o *tenantQueue) bool {
+	vq, vo := q.t.vtime(), o.t.vtime()
+	if vq != vo {
+		return vq < vo
+	}
+	return q.headSeq < o.headSeq
+}
+
+// groupByTenant splits the stage queue into per-tenant FIFO queues,
+// dropping doomed stages' queued work on the way.
+func (s *Scheduler) groupByTenant() []*tenantQueue {
+	var tqs []*tenantQueue
+	byTenant := map[*tenantState]*tenantQueue{}
+	for _, st := range s.queue {
+		if st.doomed {
+			st.clearPending()
+			continue
+		}
+		if len(st.pending) == 0 {
+			continue
+		}
+		q := byTenant[st.tenant]
+		if q == nil {
+			q = &tenantQueue{t: st.tenant, headSeq: st.seq}
+			byTenant[st.tenant] = q
+			tqs = append(tqs, q)
+		}
+		if st.seq < q.headSeq {
+			q.headSeq = st.seq
+		}
+		q.stages = append(q.stages, st)
+	}
+	return tqs
+}
+
+// catchUpIdle advances re-arriving tenants' virtual time to the
+// backlogged minimum and refreshes activity flags for the next pass.
+func (s *Scheduler) catchUpIdle(tqs []*tenantQueue) {
+	minV := math.Inf(1)
+	for _, t := range s.tenants {
+		if t.active {
+			if v := t.vtime(); v < minV {
+				minV = v
+			}
+		}
+	}
+	if !math.IsInf(minV, 1) {
+		for _, q := range tqs {
+			if q.t.active {
+				continue
+			}
+			if floor := minV * q.t.weight; q.t.serviceNS < floor {
+				q.t.serviceNS = floor
+			}
+		}
+	}
+	for _, t := range s.tenants {
+		t.active = t.inUse > 0
+	}
+	for _, q := range tqs {
+		q.t.active = true
+	}
+}
+
+// dispatchOne launches at most one task attempt (or one whole gang)
+// for the tenant, walking its stages in FIFO order. Returns false when
+// nothing could be launched — free slots, the tenant's cap, or a gang
+// still waiting.
+func (s *Scheduler) dispatchOne(q *tenantQueue, avail []int, handled map[*stage]bool) bool {
+	if q.t.capLeft() == 0 {
+		return false
+	}
+	for _, st := range q.stages {
+		if st.doomed || len(st.pending) == 0 {
+			continue
+		}
+		if st.spec.Gang {
+			// Gangs keep their all-or-nothing admission and slot
+			// reservation; tryGang runs once per pass per stage.
+			if handled[st] {
+				continue
+			}
+			handled[st] = true
+			if c := q.t.capLeft(); c >= 0 && len(st.pending) > c {
+				continue // would burst past the tenant's slot cap
+			}
+			before := len(st.pending)
+			s.tryGang(st, avail)
+			if before > 0 && len(st.pending) == 0 {
+				return true
+			}
+			continue // blocked or reserved; later stages may still fit
+		}
+		for i := range st.pending {
+			if avail[st.pending[i].exec] > 0 {
+				p := st.pending[i]
+				st.pending = append(st.pending[:i], st.pending[i+1:]...)
+				avail[p.exec]--
+				s.launch(st, p)
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,289 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// submitBacklog queues n single-task stages for a tenant whose tasks
+// hold a slot for taskDur before self-delivering. Returns the handles.
+func submitBacklog(t *testing.T, s *Scheduler, tenant string, firstJob int64, n int, taskDur time.Duration) []*StageHandle {
+	t.Helper()
+	handles := make([]*StageHandle, 0, n)
+	for i := 0; i < n; i++ {
+		job := firstJob + int64(i)
+		h, err := s.Submit(StageSpec{
+			JobID:  job,
+			Tenant: tenant,
+			Tasks:  1,
+			Launch: func(task, att, exec int) error {
+				go func() {
+					time.Sleep(taskDur)
+					s.Deliver(job, task, att, []byte{1}, nil)
+				}()
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	return handles
+}
+
+// waitStats polls TenantStats until cond is satisfied or the deadline
+// passes, returning the last snapshot.
+func waitStats(t *testing.T, s *Scheduler, cond func(map[string]TenantStats) bool) map[string]TenantStats {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st := s.TenantStats()
+		if st != nil && cond(st) {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for tenant stats condition; last: %v", s.TenantStats())
+	return nil
+}
+
+// TestFairShareWeights: two backlogged tenants at 2:1 weights must see
+// ~2:1 slot-time. The weight-2 tenant drains its fixed backlog first;
+// at that moment the weight-1 tenant should have completed about half
+// as much work.
+func TestFairShareWeights(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 2, CoresPerExecutor: 2})
+	if err := s.ConfigureTenant("a", TenantConfig{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConfigureTenant("b", TenantConfig{Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	const dur = 5 * time.Millisecond
+	ha := submitBacklog(t, s, "a", 1000, n, dur)
+	hb := submitBacklog(t, s, "b", 2000, n, dur)
+
+	stats := waitStats(t, s, func(m map[string]TenantStats) bool {
+		return m["a"].Completed >= n
+	})
+	got := stats["b"].Completed
+	// Ideal is n/2 = 20 when "a" finishes; accept a wide band — the
+	// tasks are real sleeps and CI timers wobble. The failure mode this
+	// guards against is gross (FIFO would give ~n, strict priority ~0).
+	if got < 8 || got > 32 {
+		t.Fatalf("weight-1 tenant completed %d of %d when weight-2 tenant drained; want ~%d", got, n, n/2)
+	}
+	for _, h := range append(ha, hb...) {
+		if _, err := h.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTenantSlotCap: a capped tenant never holds more than MaxSlots
+// concurrently, and the leftover slots stay usable by others.
+func TestTenantSlotCap(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 2, CoresPerExecutor: 2})
+	if err := s.ConfigureTenant("capped", TenantConfig{Weight: 1, MaxSlots: 2}); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	h, err := s.Submit(StageSpec{
+		JobID:  1,
+		Tenant: "capped",
+		Tasks:  6,
+		Launch: rec.hook(1, nil), // hold slots; test delivers by hand
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.waitCount(t, 2)
+	time.Sleep(30 * time.Millisecond)
+	if n := rec.count(); n != 2 {
+		t.Fatalf("capped tenant launched %d tasks, cap is 2", n)
+	}
+
+	// Another tenant takes the two slots the cap leaves free.
+	rec2 := &recorder{}
+	h2, err := s.Submit(StageSpec{
+		JobID:  2,
+		Tenant: "other",
+		Tasks:  2,
+		Launch: rec2.hook(2, func(task, att, exec int) error {
+			s.Deliver(2, task, att, []byte{1}, nil)
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Completing one capped task admits exactly one more.
+	launched := rec.snapshot()
+	s.Deliver(1, launched[0].task, launched[0].att, []byte{1}, nil)
+	rec.waitCount(t, 3)
+	time.Sleep(20 * time.Millisecond)
+	if n := rec.count(); n != 3 {
+		t.Fatalf("after one completion, capped tenant launched %d total, want 3", n)
+	}
+	// Drain the rest; duplicate Delivers are deduped by the inflight map.
+	for {
+		select {
+		case <-h.Done():
+			if _, err := h.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			return
+		default:
+		}
+		for _, l := range rec.snapshot() {
+			s.Deliver(1, l.task, l.att, []byte{1}, nil)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestIdleTenantCatchUp: a tenant arriving after another has run alone
+// for a while neither starves nor is starved — both make progress
+// immediately (the newcomer's virtual time is caught up, not zero).
+func TestIdleTenantCatchUp(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 2, CoresPerExecutor: 2})
+	const dur = 4 * time.Millisecond
+	submitBacklog(t, s, "old", 1000, 200, dur)
+	// Let "old" accumulate service alone.
+	waitStats(t, s, func(m map[string]TenantStats) bool { return m["old"].Completed >= 20 })
+
+	submitBacklog(t, s, "new", 2000, 40, dur)
+	base := waitStats(t, s, func(m map[string]TenantStats) bool { return m["new"].Completed >= 1 })
+	oldBase := base["old"].Completed
+	after := waitStats(t, s, func(m map[string]TenantStats) bool { return m["new"].Completed >= 15 })
+	oldDelta := after["old"].Completed - oldBase
+	// Without catch-up the newcomer would hog all 4 slots until it
+	// repaid ~20 attempts of history, freezing "old" at ~0 progress.
+	if oldDelta < 4 {
+		t.Fatalf("established tenant made %d completions while newcomer did 15; starved by newcomer", oldDelta)
+	}
+}
+
+// TestConcurrentSubmitMultiTenant is the satellite race test: N tenants
+// x M jobs submitted from racing goroutines. Slot accounting must hold
+// at every instant (never more than CoresPerExecutor concurrent
+// launches per executor) and every handle resolves exactly once with
+// its own payloads.
+func TestConcurrentSubmitMultiTenant(t *testing.T) {
+	const (
+		execs, cores = 3, 2
+		tenants      = 4
+		jobsPer      = 25
+	)
+	s := newTestSched(t, Config{NumExecutors: execs, CoresPerExecutor: cores})
+	for i := 0; i < tenants; i++ {
+		if err := s.ConfigureTenant(fmt.Sprintf("t%d", i), TenantConfig{Weight: float64(1 + i%2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// perExec counts concurrently running launches; the scheduler only
+	// launches while holding a slot, so exceeding cores is a lost slot.
+	var perExec [execs]atomic.Int32
+	var overSub atomic.Int32
+	var wg sync.WaitGroup
+	var totalTasks atomic.Int64
+	for ti := 0; ti < tenants; ti++ {
+		for ji := 0; ji < jobsPer; ji++ {
+			wg.Add(1)
+			go func(ti, ji int) {
+				defer wg.Done()
+				job := int64(ti*1000 + ji + 1)
+				tasks := 1 + (ji % 3)
+				totalTasks.Add(int64(tasks))
+				h, err := s.Submit(StageSpec{
+					JobID:  job,
+					Tenant: fmt.Sprintf("t%d", ti),
+					Tasks:  tasks,
+					Launch: func(task, att, exec int) error {
+						if n := perExec[exec].Add(1); n > cores {
+							overSub.Add(1)
+						}
+						go func() {
+							time.Sleep(200 * time.Microsecond)
+							// Decrement before delivering: the slot is only
+							// freed once the loop consumes the result, so the
+							// counter can undercount but never overcount.
+							perExec[exec].Add(-1)
+							s.Deliver(job, task, att, []byte{byte(task), byte(ti)}, nil)
+						}()
+						return nil
+					},
+				})
+				if err != nil {
+					t.Errorf("submit tenant %d job %d: %v", ti, ji, err)
+					return
+				}
+				out, err := h.Wait()
+				if err != nil {
+					t.Errorf("tenant %d job %d: %v", ti, ji, err)
+					return
+				}
+				if len(out) != tasks {
+					t.Errorf("tenant %d job %d: %d payloads, want %d", ti, ji, len(out), tasks)
+					return
+				}
+				for task, p := range out {
+					if len(p) != 2 || p[0] != byte(task) || p[1] != byte(ti) {
+						t.Errorf("tenant %d job %d task %d: bad payload %v", ti, ji, task, p)
+					}
+				}
+				// Second Wait must return the identical resolution.
+				out2, err2 := h.Wait()
+				if err2 != nil || len(out2) != len(out) {
+					t.Errorf("tenant %d job %d: second Wait diverged: %v %v", ti, ji, out2, err2)
+				}
+			}(ti, ji)
+		}
+	}
+	wg.Wait()
+	if n := overSub.Load(); n > 0 {
+		t.Fatalf("%d launches observed more than %d concurrent tasks on one executor", n, cores)
+	}
+	stats := waitStats(t, s, func(m map[string]TenantStats) bool {
+		var inUse, queued int
+		for _, ts := range m {
+			inUse += ts.InUse
+			queued += ts.Queued
+		}
+		return inUse == 0 && queued == 0
+	})
+	var completed int64
+	for _, ts := range stats {
+		completed += ts.Completed
+	}
+	if completed < totalTasks.Load() {
+		t.Fatalf("tenants account %d completed attempts, submitted %d tasks", completed, totalTasks.Load())
+	}
+}
+
+// TestTenantOpsAfterClose: the loop-crossing tenant APIs fail cleanly
+// once the scheduler is closed instead of deadlocking.
+func TestTenantOpsAfterClose(t *testing.T) {
+	s, err := New(Config{NumExecutors: 1, CoresPerExecutor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.ConfigureTenant("x", TenantConfig{Weight: 2}); !errors.Is(err, ErrSchedulerClosed) {
+		t.Fatalf("ConfigureTenant after Close: %v", err)
+	}
+	if st := s.TenantStats(); st != nil {
+		t.Fatalf("TenantStats after Close: %v", st)
+	}
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+)
+
+// eventBus fans JSON-line event records out to live subscribers (the
+// /ws/events WebSocket clients). It sits behind the eventlog.Logger as
+// its io.Writer: the logger encodes one JSON object per line through a
+// bufio.Writer, so writes arrive here in flushed chunks that may split
+// or join lines — the bus reassembles complete lines before
+// broadcasting, ensuring every subscriber sees whole JSON records.
+//
+// Subscribers get buffered channels; a slow consumer drops events
+// rather than stalling the training hot path (the logger's Write is
+// called with its own lock held).
+type eventBus struct {
+	mu      sync.Mutex
+	pending []byte
+	nextID  int
+	subs    map[int]chan string
+	dropped int64
+}
+
+func newEventBus() *eventBus {
+	return &eventBus{subs: make(map[int]chan string)}
+}
+
+// Write implements io.Writer for the eventlog.Logger.
+func (b *eventBus) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pending = append(b.pending, p...)
+	for {
+		i := indexByte(b.pending, '\n')
+		if i < 0 {
+			break
+		}
+		line := string(b.pending[:i])
+		b.pending = b.pending[i+1:]
+		if line == "" {
+			continue
+		}
+		for _, ch := range b.subs {
+			select {
+			case ch <- line:
+			default:
+				b.dropped++
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// Subscribe registers a new event consumer and returns its channel plus
+// an unsubscribe function. The channel is closed on unsubscribe.
+func (b *eventBus) Subscribe() (<-chan string, func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	ch := make(chan string, 256)
+	b.subs[id] = ch
+	return ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+}
+
+func (b *eventBus) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+func indexByte(p []byte, c byte) int {
+	for i, v := range p {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}

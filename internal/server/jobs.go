@@ -1,0 +1,333 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sparker/internal/data"
+	"sparker/internal/linalg"
+	"sparker/internal/mllib"
+	"sparker/internal/rdd"
+)
+
+// JobRequest is a training job submission.
+type JobRequest struct {
+	// Tenant names the fair-share account charged for the job
+	// (default "default").
+	Tenant string `json:"tenant"`
+	// Model is one of "lr", "svm", "linreg", "kmeans".
+	Model string `json:"model"`
+	// Profile picks a synthetic dataset profile (Table 2 name,
+	// default "avazu") and Scale its downscale factor (default 20000).
+	Profile string `json:"profile"`
+	Scale   int    `json:"scale"`
+	// Iterations is the training iteration count (default 5).
+	Iterations int `json:"iterations"`
+	// Strategy picks the aggregation implementation (default "imm").
+	Strategy string `json:"strategy"`
+	// Partitions is the training RDD's partition count (default: the
+	// cluster's total cores).
+	Partitions int `json:"partitions"`
+	// K is the cluster count for kmeans (default 4).
+	K int `json:"k"`
+	// StepSize is the GD learning rate (default 1.0).
+	StepSize float64 `json:"step_size"`
+	// Seed drives data generation and sampling.
+	Seed int64 `json:"seed"`
+	// SaveAs registers the trained model for serving under this name
+	// (default: the job id). Empty string "-" skips registration.
+	SaveAs string `json:"save_as"`
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobStatus is the externally visible job record.
+type JobStatus struct {
+	ID        string     `json:"id"`
+	Tenant    string     `json:"tenant"`
+	State     JobState   `json:"state"`
+	Request   JobRequest `json:"request"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+}
+
+// JobResult summarizes a completed training run.
+type JobResult struct {
+	ModelName  string  `json:"model_name,omitempty"`
+	Kind       string  `json:"kind"`
+	Samples    int     `json:"samples"`
+	Features   int     `json:"features"`
+	Iterations int     `json:"iterations"`
+	FinalLoss  float64 `json:"final_loss"`
+	WallMS     int64   `json:"wall_ms"`
+}
+
+type job struct {
+	mu     sync.Mutex
+	status JobStatus
+}
+
+func (j *job) view() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// jobManager tracks all jobs and gates concurrent training runs on a
+// semaphore so a burst of admissions doesn't oversubscribe the driver;
+// queued jobs wait for a slot, then compete inside the scheduler under
+// fair-share.
+type jobManager struct {
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int64
+	sem    chan struct{}
+	wg     sync.WaitGroup
+}
+
+func newJobManager(maxConcurrent int) *jobManager {
+	if maxConcurrent <= 0 {
+		maxConcurrent = 4
+	}
+	return &jobManager{
+		jobs: make(map[string]*job),
+		sem:  make(chan struct{}, maxConcurrent),
+	}
+}
+
+func (m *jobManager) create(req JobRequest) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	id := fmt.Sprintf("job-%d", m.nextID)
+	j := &job{status: JobStatus{
+		ID:        id,
+		Tenant:    req.Tenant,
+		State:     JobQueued,
+		Request:   req,
+		Submitted: time.Now(),
+	}}
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	return j
+}
+
+func (m *jobManager) get(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+func (m *jobManager) list() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	byID := make(map[string]*job, len(m.jobs))
+	for id, j := range m.jobs {
+		byID[id] = j
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, byID[id].view())
+	}
+	return out
+}
+
+// queuedByTenant counts non-terminal jobs per tenant for the /metrics
+// queue-depth gauges.
+func (m *jobManager) queuedByTenant() map[string]int {
+	counts := make(map[string]int)
+	for _, st := range m.list() {
+		if st.State == JobQueued || st.State == JobRunning {
+			counts[st.Tenant]++
+		}
+	}
+	return counts
+}
+
+func (r *JobRequest) fill(totalCores int) error {
+	if r.Tenant == "" {
+		r.Tenant = "default"
+	}
+	switch r.Model {
+	case "lr", "svm", "linreg", "kmeans":
+	case "":
+		r.Model = "lr"
+	default:
+		return fmt.Errorf("unknown model %q (lr, svm, linreg, kmeans)", r.Model)
+	}
+	if r.Profile == "" {
+		r.Profile = "avazu"
+	}
+	if r.Scale <= 0 {
+		r.Scale = 20000
+	}
+	if r.Iterations <= 0 {
+		r.Iterations = 5
+	}
+	if r.Strategy == "" {
+		r.Strategy = "imm"
+	}
+	if _, err := mllib.ParseStrategy(r.Strategy); err != nil {
+		return err
+	}
+	if r.Partitions <= 0 {
+		r.Partitions = totalCores
+	}
+	if r.K <= 0 {
+		r.K = 4
+	}
+	if r.StepSize <= 0 {
+		r.StepSize = 1.0
+	}
+	return nil
+}
+
+// runJob executes one training job end to end: generate the profile's
+// data, train with the tenant-tagged config, and register the model
+// for serving. Runs on its own goroutine with a semaphore slot held.
+func (s *Server) runJob(j *job, t *tenantEntry) {
+	defer s.jobs.wg.Done()
+	defer t.release()
+
+	select {
+	case s.jobs.sem <- struct{}{}:
+		defer func() { <-s.jobs.sem }()
+	case <-s.closing:
+		s.finishJob(j, nil, fmt.Errorf("server shutting down"))
+		return
+	}
+	now := time.Now()
+	j.mu.Lock()
+	j.status.State = JobRunning
+	j.status.Started = &now
+	id, req := j.status.ID, j.status.Request
+	j.mu.Unlock()
+	s.logger.Marker("job-start", fmt.Sprintf("%s tenant=%s model=%s", id, req.Tenant, req.Model))
+
+	res, err := s.train(id, req)
+	s.finishJob(j, res, err)
+}
+
+func (s *Server) finishJob(j *job, res *JobResult, err error) {
+	now := time.Now()
+	j.mu.Lock()
+	j.status.Finished = &now
+	if err != nil {
+		j.status.State = JobFailed
+		j.status.Error = err.Error()
+	} else {
+		j.status.State = JobDone
+		j.status.Result = res
+	}
+	id, state := j.status.ID, j.status.State
+	j.mu.Unlock()
+	s.logger.Marker("job-finish", fmt.Sprintf("%s state=%s", id, state))
+}
+
+// train runs the requested workload on the shared context.
+func (s *Server) train(id string, req JobRequest) (*JobResult, error) {
+	strat, err := mllib.ParseStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	p, err := data.ProfileByName(req.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if p.Task != data.TaskClassification {
+		return nil, fmt.Errorf("profile %s is not a classification dataset", req.Profile)
+	}
+	sp := p.Scaled(req.Scale)
+	points := data.GenClassification(sp.ClassificationSpec(req.Seed))
+	if len(points) == 0 {
+		return nil, fmt.Errorf("profile %s at scale %d yields no samples", req.Profile, req.Scale)
+	}
+	start := time.Now()
+	res := &JobResult{Samples: len(points), Features: sp.Features, Iterations: req.Iterations}
+	var trained mllib.Model
+
+	switch req.Model {
+	case "kmeans":
+		vecs := make([]linalg.SparseVector, len(points))
+		for i, pt := range points {
+			vecs[i] = pt.Features
+		}
+		train := rdd.FromSlice(s.ctx, vecs, req.Partitions).Cache()
+		defer train.Unpersist()
+		m, err := mllib.TrainKMeans(train, mllib.KMeansConfig{
+			K: req.K, NumFeatures: sp.Features, Iterations: req.Iterations,
+			Strategy: strat, Tenant: req.Tenant,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trained = m
+		if n := len(m.CostHistory); n > 0 {
+			res.FinalLoss = m.CostHistory[n-1]
+		}
+	default:
+		train := rdd.FromSlice(s.ctx, points, req.Partitions).Cache()
+		defer train.Unpersist()
+		gd := mllib.GDConfig{
+			Iterations: req.Iterations, StepSize: req.StepSize,
+			Strategy: strat, Seed: req.Seed, Tenant: req.Tenant,
+		}
+		var losses []float64
+		switch req.Model {
+		case "svm":
+			m, err := mllib.TrainSVM(train, mllib.SVMConfig{NumFeatures: sp.Features, GD: gd})
+			if err != nil {
+				return nil, err
+			}
+			trained, losses = m, m.Losses
+		case "linreg":
+			m, err := mllib.TrainLinearRegression(train, mllib.LinearRegressionConfig{NumFeatures: sp.Features, GD: gd})
+			if err != nil {
+				return nil, err
+			}
+			trained, losses = m, m.Losses
+		default: // lr
+			m, err := mllib.TrainLogisticRegression(train, mllib.LogisticRegressionConfig{NumFeatures: sp.Features, GD: gd})
+			if err != nil {
+				return nil, err
+			}
+			trained, losses = m, m.Losses
+		}
+		if n := len(losses); n > 0 {
+			res.FinalLoss = losses[n-1]
+		}
+	}
+	res.Kind = trained.Kind()
+	res.WallMS = time.Since(start).Milliseconds()
+
+	name := req.SaveAs
+	if name == "" {
+		name = id
+	}
+	if name != "-" {
+		s.models.register(name, trained)
+		res.ModelName = name
+	}
+	return res, nil
+}
+
+// sortedTenants returns tenant names in stable order for JSON output.
+func sortedTenants(entries []*tenantEntry) []*tenantEntry {
+	sort.Slice(entries, func(a, b int) bool { return entries[a].name < entries[b].name })
+	return entries
+}

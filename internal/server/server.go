@@ -1,0 +1,388 @@
+// Package server is the multi-tenant job server: a long-lived driver
+// process that accepts training-job submissions from many concurrent
+// clients, admits them per tenant through a token bucket, schedules
+// their stages under the scheduler's weighted fair share, and serves
+// the resulting models at high QPS through a batched prediction
+// endpoint — the "shared driver" deployment mode the paper's
+// production clusters run, where one Spark driver multiplexes many
+// users' ML jobs instead of paying per-job cluster spin-up.
+//
+// Endpoints (JSON over HTTP, plus one WebSocket):
+//
+//	POST /api/v1/jobs                  submit a training job
+//	GET  /api/v1/jobs                  list jobs
+//	GET  /api/v1/jobs/{id}             job status/result
+//	GET  /api/v1/tenants               tenant accounts (fair-share + admission)
+//	PUT  /api/v1/tenants/{name}        configure a tenant
+//	GET  /api/v1/models                served models
+//	POST /api/v1/models/{name}/predict score a batch of points
+//	GET  /metrics                      Prometheus text exposition
+//	GET  /ws/events                    live event-log stream (WebSocket)
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparker/internal/eventlog"
+	"sparker/internal/linalg"
+	"sparker/internal/metrics"
+	"sparker/internal/mllib"
+	"sparker/internal/rdd"
+)
+
+// Config configures New.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Cluster shapes the embedded engine (rdd.NewContext config). The
+	// EventLog field is overridden: the server owns the event pipeline
+	// so it can stream it over /ws/events.
+	Cluster rdd.Config
+	// MaxConcurrentJobs bounds simultaneously running training jobs
+	// (default 4); admitted jobs beyond it wait in the queued state.
+	MaxConcurrentJobs int
+	// DefaultTenant parameterizes tenants created on first contact.
+	DefaultTenant TenantConfig
+	// Batch tunes the prediction micro-batcher.
+	Batch BatchConfig
+	// DrainTimeout bounds how long Close waits for in-flight jobs
+	// (default 30s).
+	DrainTimeout time.Duration
+}
+
+// Server is the long-lived multi-tenant driver.
+type Server struct {
+	conf    Config
+	ctx     *rdd.Context
+	bus     *eventBus
+	logger  *eventlog.Logger
+	tenants *tenantRegistry
+	jobs    *jobManager
+	models  *modelRegistry
+	reg     *metrics.Registry
+
+	lis     net.Listener
+	httpSrv *http.Server
+
+	closing   chan struct{}
+	closeOnce sync.Once
+	flushDone chan struct{}
+}
+
+// New builds the engine context, starts the HTTP listener, and returns
+// a running server.
+func New(conf Config) (*Server, error) {
+	if conf.Addr == "" {
+		conf.Addr = "127.0.0.1:0"
+	}
+	if conf.DrainTimeout <= 0 {
+		conf.DrainTimeout = 30 * time.Second
+	}
+	if conf.Cluster.Name == "" {
+		conf.Cluster.Name = "serve"
+	}
+	s := &Server{
+		conf:      conf,
+		bus:       newEventBus(),
+		reg:       metrics.NewRegistry(),
+		closing:   make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	s.logger = eventlog.New(s.bus)
+	conf.Cluster.EventLog = s.logger
+
+	ctx, err := rdd.NewContext(conf.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	s.ctx = ctx
+	s.tenants = newTenantRegistry(conf.DefaultTenant, ctx.ConfigureTenant)
+	s.jobs = newJobManager(conf.MaxConcurrentJobs)
+	s.models = newModelRegistry(conf.Batch, s.reg)
+
+	lis, err := net.Listen("tcp", conf.Addr)
+	if err != nil {
+		ctx.Close()
+		return nil, fmt.Errorf("server: listen %s: %w", conf.Addr, err)
+	}
+	s.lis = lis
+	s.httpSrv = &http.Server{Handler: s.routes()}
+	go s.httpSrv.Serve(lis)
+
+	// The event logger buffers through bufio; flush on a short period
+	// so WebSocket subscribers see events promptly rather than at the
+	// next 4KB boundary.
+	go s.flushLoop()
+
+	s.logger.Marker("server-start", lis.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Context exposes the embedded engine context (used by in-process
+// embeddings such as the benchmark harness).
+func (s *Server) Context() *rdd.Context { return s.ctx }
+
+// RegisterModel installs a model for serving under name — the
+// in-process path mirroring what job completion does, used by
+// sparker-serve -model preloading and the benchmarks.
+func (s *Server) RegisterModel(name string, m mllib.Model) {
+	s.models.register(name, m)
+}
+
+func (s *Server) flushLoop() {
+	defer close(s.flushDone)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.logger.Flush()
+		case <-s.closing:
+			s.logger.Flush()
+			return
+		}
+	}
+}
+
+// Close shuts down in dependency order: stop admitting, stop the HTTP
+// front end, wait (bounded) for in-flight jobs, stop the batchers,
+// then drain and close the engine.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		s.logger.Marker("server-stop", "")
+		close(s.closing)
+		s.httpSrv.Close()
+		s.lis.Close()
+
+		done := make(chan struct{})
+		go func() { s.jobs.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(s.conf.DrainTimeout):
+			err = fmt.Errorf("server: %v drain timeout with jobs still running", s.conf.DrainTimeout)
+		}
+		s.models.close()
+		<-s.flushDone
+		if stopErr := s.ctx.Stop(s.conf.DrainTimeout); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	})
+	return err
+}
+
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /api/v1/tenants", s.handleListTenants)
+	mux.HandleFunc("PUT /api/v1/tenants/{name}", s.handleConfigureTenant)
+	mux.HandleFunc("GET /api/v1/models", s.handleListModels)
+	mux.HandleFunc("POST /api/v1/models/{name}/predict", s.handlePredict)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /ws/events", s.serveEventSocket)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := req.fill(s.ctx.TotalCores()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	select {
+	case <-s.closing:
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+	}
+	t := s.tenants.ensure(req.Tenant)
+	if ok, reason := t.admit(time.Now()); !ok {
+		writeError(w, http.StatusTooManyRequests, "tenant %s: %s", req.Tenant, reason)
+		return
+	}
+	j := s.jobs.create(req)
+	s.logger.Marker("job-submit", fmt.Sprintf("%s tenant=%s", j.view().ID, req.Tenant))
+	s.jobs.wg.Add(1)
+	go s.runJob(j, t)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// tenantView merges server-side admission state with the scheduler's
+// fair-share accounting for one tenant.
+type tenantView struct {
+	Name       string  `json:"name"`
+	Weight     float64 `json:"weight"`
+	MaxSlots   int     `json:"max_slots"`
+	InFlight   int     `json:"in_flight_jobs"`
+	Admitted   int64   `json:"admitted"`
+	Rejected   int64   `json:"rejected"`
+	SlotsInUse int     `json:"slots_in_use"`
+	QueuedWork int     `json:"queued_attempts"`
+	ServiceNS  int64   `json:"service_ns"`
+	Completed  int64   `json:"completed_attempts"`
+}
+
+func (s *Server) tenantViews() []tenantView {
+	stats := s.ctx.TenantStats()
+	var out []tenantView
+	for _, t := range sortedTenants(s.tenants.all()) {
+		inFlight, admitted, rejected := t.snapshot()
+		v := tenantView{
+			Name:     t.name,
+			Weight:   t.cfg.Weight,
+			MaxSlots: t.cfg.MaxSlots,
+			InFlight: inFlight,
+			Admitted: admitted,
+			Rejected: rejected,
+		}
+		if st, ok := stats[t.name]; ok {
+			v.SlotsInUse = st.InUse
+			v.QueuedWork = st.Queued
+			v.ServiceNS = st.ServiceNS
+			v.Completed = st.Completed
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": s.tenantViews()})
+}
+
+func (s *Server) handleConfigureTenant(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var cfg TenantConfig
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	t := s.tenants.set(name, cfg)
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "config": t.cfg})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.models.list()})
+}
+
+// predictPoint accepts either a dense array of feature values or a
+// sparse {dim, indices, values} object.
+type predictPoint struct {
+	vec linalg.SparseVector
+}
+
+func (p *predictPoint) UnmarshalJSON(b []byte) error {
+	var dense []float64
+	if err := json.Unmarshal(b, &dense); err == nil {
+		idx := make([]int32, 0, len(dense))
+		vals := make([]float64, 0, len(dense))
+		for i, v := range dense {
+			if v != 0 {
+				idx = append(idx, int32(i))
+				vals = append(vals, v)
+			}
+		}
+		p.vec = linalg.SparseVector{Dim: len(dense), Indices: idx, Values: vals}
+		return nil
+	}
+	var sparse struct {
+		Dim     int       `json:"dim"`
+		Indices []int32   `json:"indices"`
+		Values  []float64 `json:"values"`
+	}
+	if err := json.Unmarshal(b, &sparse); err != nil {
+		return err
+	}
+	if len(sparse.Indices) != len(sparse.Values) {
+		return fmt.Errorf("point has %d indices but %d values", len(sparse.Indices), len(sparse.Values))
+	}
+	p.vec = linalg.SparseVector{Dim: sparse.Dim, Indices: sparse.Indices, Values: sparse.Values}
+	return nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	sm := s.models.get(name)
+	if sm == nil {
+		writeError(w, http.StatusNotFound, "no model %q registered", name)
+		return
+	}
+	var req struct {
+		Points []predictPoint `json:"points"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Points) == 0 {
+		writeError(w, http.StatusBadRequest, "no points")
+		return
+	}
+	xs := make([]linalg.SparseVector, len(req.Points))
+	for i, p := range req.Points {
+		xs[i] = p.vec
+	}
+	start := time.Now()
+	out, err := sm.predict(xs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.reg.Histogram("serve_predict_latency_ns").Observe(time.Since(start).Nanoseconds())
+	preds := append([]float64(nil), out...)
+	writeJSON(w, http.StatusOK, map[string]any{"model": name, "predictions": preds})
+}
+
+// handleMetrics merges engine metrics with the server's own registry
+// and refreshes per-tenant gauges before exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queued := s.jobs.queuedByTenant()
+	for _, v := range s.tenantViews() {
+		s.reg.Gauge("serve_tenant_jobs_inflight_" + v.Name).Set(int64(queued[v.Name]))
+		s.reg.Gauge("serve_tenant_admitted_total_" + v.Name).Set(v.Admitted)
+		s.reg.Gauge("serve_tenant_rejected_total_" + v.Name).Set(v.Rejected)
+		s.reg.Gauge("serve_tenant_slots_in_use_" + v.Name).Set(int64(v.SlotsInUse))
+		s.reg.Gauge("serve_tenant_service_ns_" + v.Name).Set(v.ServiceNS)
+	}
+	merged := s.ctx.MergedMetrics()
+	merged.Merge(s.reg)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	metrics.WritePrometheus(w, merged, s.ctx.Metrics())
+}

@@ -1,0 +1,458 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sparker/internal/mllib"
+	"sparker/internal/rdd"
+)
+
+func testServer(t *testing.T, conf Config) *Server {
+	t.Helper()
+	if conf.Cluster.NumExecutors == 0 {
+		conf.Cluster.NumExecutors = 2
+	}
+	if conf.Cluster.CoresPerExecutor == 0 {
+		conf.Cluster.CoresPerExecutor = 2
+	}
+	s, err := New(conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitJob(t *testing.T, base, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, base+"/api/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return JobStatus{}
+}
+
+// TestTrainThenPredict is the end-to-end path: submit a job over HTTP,
+// poll it to completion, then score points against the registered
+// model.
+func TestTrainThenPredict(t *testing.T) {
+	s := testServer(t, Config{})
+	base := "http://" + s.Addr()
+
+	resp, body := postJSON(t, base+"/api/v1/jobs", JobRequest{
+		Model: "lr", Scale: 60000, Iterations: 2, SaveAs: "clicks",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobQueued && st.State != JobRunning {
+		t.Fatalf("fresh job in state %q", st.State)
+	}
+	final := waitJob(t, base, st.ID, 30*time.Second)
+	if final.State != JobDone {
+		t.Fatalf("job failed: %s", final.Error)
+	}
+	if final.Result == nil || final.Result.ModelName != "clicks" {
+		t.Fatalf("result missing model name: %+v", final.Result)
+	}
+
+	var models struct {
+		Models []map[string]any `json:"models"`
+	}
+	getJSON(t, base+"/api/v1/models", &models)
+	if len(models.Models) != 1 {
+		t.Fatalf("want 1 served model, got %v", models.Models)
+	}
+
+	dim := final.Result.Features
+	pt := make([]float64, dim)
+	pt[0], pt[1%dim] = 1, 0.5
+	resp2, body2 := postJSON(t, base+"/api/v1/models/clicks/predict",
+		map[string]any{"points": []any{pt, map[string]any{"dim": dim, "indices": []int{0}, "values": []float64{2.0}}}})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("predict: status %d: %s", resp2.StatusCode, body2)
+	}
+	var pr struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(body2, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != 2 {
+		t.Fatalf("want 2 predictions, got %v", pr.Predictions)
+	}
+	for _, p := range pr.Predictions {
+		if p != 0 && p != 1 {
+			t.Fatalf("classifier prediction %v not 0/1", p)
+		}
+	}
+}
+
+// TestAdmissionControl: a tenant with a tiny burst gets 429s once the
+// bucket drains, and rejections are visible in the tenant stats.
+func TestAdmissionControl(t *testing.T) {
+	s := testServer(t, Config{
+		DefaultTenant: TenantConfig{BurstJobs: 2, RefillPerSec: 0.001, MaxQueued: 100},
+	})
+	base := "http://" + s.Addr()
+
+	var accepted, rejected int
+	for i := 0; i < 6; i++ {
+		resp, _ := postJSON(t, base+"/api/v1/jobs", JobRequest{
+			Tenant: "bursty", Model: "lr", Scale: 200000, Iterations: 1,
+		})
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if accepted != 2 || rejected != 4 {
+		t.Fatalf("want 2 accepted / 4 rejected, got %d / %d", accepted, rejected)
+	}
+	var tv struct {
+		Tenants []tenantView `json:"tenants"`
+	}
+	getJSON(t, base+"/api/v1/tenants", &tv)
+	found := false
+	for _, v := range tv.Tenants {
+		if v.Name == "bursty" {
+			found = true
+			if v.Admitted != 2 || v.Rejected != 4 {
+				t.Fatalf("tenant stats admitted=%d rejected=%d", v.Admitted, v.Rejected)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("tenant bursty missing from /api/v1/tenants")
+	}
+}
+
+// TestConfigureTenant round-trips a PUT config and sees the weight in
+// the tenant listing.
+func TestConfigureTenant(t *testing.T) {
+	s := testServer(t, Config{})
+	base := "http://" + s.Addr()
+	req, err := http.NewRequest(http.MethodPut, base+"/api/v1/tenants/gold",
+		strings.NewReader(`{"weight": 3, "max_slots": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT tenant: status %d", resp.StatusCode)
+	}
+	var tv struct {
+		Tenants []tenantView `json:"tenants"`
+	}
+	getJSON(t, base+"/api/v1/tenants", &tv)
+	for _, v := range tv.Tenants {
+		if v.Name == "gold" {
+			if v.Weight != 3 || v.MaxSlots != 2 {
+				t.Fatalf("gold config not applied: %+v", v)
+			}
+			return
+		}
+	}
+	t.Fatal("tenant gold missing")
+}
+
+// TestBatcherCoalesces drives concurrent single-point requests at a
+// registered model and checks they were scored in shared batches.
+func TestBatcherCoalesces(t *testing.T) {
+	s := testServer(t, Config{
+		Batch: BatchConfig{MaxBatch: 64, MaxDelay: 20 * time.Millisecond},
+	})
+	m := &mllib.RegressionModel{Weights: []float64{2, -1, 0.5}}
+	s.RegisterModel("reg", m)
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	base := "http://" + s.Addr()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"points": []any{[]float64{float64(c), 1, 0}}})
+			resp, err := http.Post(base+"/api/v1/models/reg/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var pr struct {
+				Predictions []float64 `json:"predictions"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				errs <- err
+				return
+			}
+			want := 2*float64(c) - 1
+			if len(pr.Predictions) != 1 || pr.Predictions[0] != want {
+				errs <- fmt.Errorf("client %d: got %v want %v", c, pr.Predictions, want)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The latency histogram counts requests; the batch histogram
+	// counts drains. Coalescing means fewer drains than requests.
+	reqs := s.reg.Histogram("serve_predict_latency_ns").Count()
+	drains := s.reg.Histogram("serve_batch_points").Count()
+	points := s.reg.Histogram("serve_batch_points").Sum()
+	if reqs != clients || points != clients {
+		t.Fatalf("histograms lost requests: reqs=%d points=%d", reqs, points)
+	}
+	if drains >= clients {
+		t.Fatalf("no coalescing: %d drains for %d requests", drains, clients)
+	}
+}
+
+// TestWebSocketEvents performs a raw RFC 6455 handshake and reads
+// job-lifecycle markers off the event stream.
+func TestWebSocketEvents(t *testing.T) {
+	s := testServer(t, Config{})
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	key := base64.StdEncoding.EncodeToString([]byte("0123456789abcdef"))
+	fmt.Fprintf(conn, "GET /ws/events HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", s.Addr(), key)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(status, "101") {
+		t.Fatalf("handshake status %q err %v", status, err)
+	}
+	wantAccept := ""
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(strings.ToLower(line), "sec-websocket-accept:") {
+			wantAccept = strings.TrimSpace(line[len("sec-websocket-accept:"):])
+		}
+		if line == "\r\n" {
+			break
+		}
+	}
+	sum := sha1.Sum([]byte(key + wsGUID))
+	if wantAccept != base64.StdEncoding.EncodeToString(sum[:]) {
+		t.Fatalf("bad Sec-WebSocket-Accept %q", wantAccept)
+	}
+
+	// Trigger events: submit a tiny job.
+	postJSON(t, "http://"+s.Addr()+"/api/v1/jobs", JobRequest{Model: "lr", Scale: 200000, Iterations: 1})
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	sawSubmit := false
+	for !sawSubmit {
+		op, payload, err := wsReadFrame(br)
+		if err != nil {
+			t.Fatalf("reading frame: %v", err)
+		}
+		if op != wsOpText {
+			continue
+		}
+		var ev struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			t.Fatalf("frame is not a JSON event: %q", payload)
+		}
+		if ev.Name == "job-submit" {
+			sawSubmit = true
+		}
+	}
+}
+
+// TestConcurrentTenantsJobs floods the server from several tenants at
+// once; every accepted job must reach a terminal state and the models
+// must all serve.
+func TestConcurrentTenantsJobs(t *testing.T) {
+	s := testServer(t, Config{
+		Cluster:           rdd.Config{NumExecutors: 2, CoresPerExecutor: 2},
+		MaxConcurrentJobs: 4,
+		DefaultTenant:     TenantConfig{BurstJobs: 10, RefillPerSec: 100, MaxQueued: 50},
+	})
+	base := "http://" + s.Addr()
+	const tenants, jobsPer = 3, 3
+	var wg sync.WaitGroup
+	ids := make(chan string, tenants*jobsPer)
+	for ten := 0; ten < tenants; ten++ {
+		for k := 0; k < jobsPer; k++ {
+			wg.Add(1)
+			go func(ten, k int) {
+				defer wg.Done()
+				resp, body := postJSON(t, base+"/api/v1/jobs", JobRequest{
+					Tenant: fmt.Sprintf("t%d", ten), Model: "lr",
+					Scale: 200000, Iterations: 1, SaveAs: "-",
+				})
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit: %d %s", resp.StatusCode, body)
+					return
+				}
+				var st JobStatus
+				json.Unmarshal(body, &st)
+				ids <- st.ID
+			}(ten, k)
+		}
+	}
+	wg.Wait()
+	close(ids)
+	for id := range ids {
+		st := waitJob(t, base, id, 30*time.Second)
+		if st.State != JobDone {
+			t.Fatalf("job %s: %s: %s", id, st.State, st.Error)
+		}
+	}
+	var tv struct {
+		Tenants []tenantView `json:"tenants"`
+	}
+	getJSON(t, base+"/api/v1/tenants", &tv)
+	if len(tv.Tenants) != tenants {
+		t.Fatalf("want %d tenants, got %d", tenants, len(tv.Tenants))
+	}
+	for _, v := range tv.Tenants {
+		if v.InFlight != 0 {
+			t.Fatalf("tenant %s still has %d in-flight jobs", v.Name, v.InFlight)
+		}
+		if v.ServiceNS == 0 {
+			t.Fatalf("tenant %s charged no fair-share service", v.Name)
+		}
+	}
+}
+
+// TestMetricsEndpoint checks the Prometheus exposition includes both
+// engine and serving-layer series.
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t, Config{})
+	s.RegisterModel("m", &mllib.RegressionModel{Weights: []float64{1}})
+	base := "http://" + s.Addr()
+	postJSON(t, base+"/api/v1/models/m/predict", map[string]any{"points": []any{[]float64{1}}})
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	text := buf.String()
+	for _, want := range []string{"serve_predict_latency_ns", "serve_batch_points"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text[:min(len(text), 2000)])
+		}
+	}
+}
+
+// TestPredictUnknownModel and bad input paths.
+func TestPredictErrors(t *testing.T) {
+	s := testServer(t, Config{})
+	base := "http://" + s.Addr()
+	resp, _ := postJSON(t, base+"/api/v1/models/nope/predict", map[string]any{"points": []any{[]float64{1}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", resp.StatusCode)
+	}
+	s.RegisterModel("m", &mllib.RegressionModel{Weights: []float64{1}})
+	resp2, _ := postJSON(t, base+"/api/v1/models/m/predict", map[string]any{"points": []any{}})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty points: status %d", resp2.StatusCode)
+	}
+	resp3, _ := postJSON(t, base+"/api/v1/jobs", JobRequest{Model: "nonsense"})
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad model name: status %d", resp3.StatusCode)
+	}
+}
+
+// TestSparseDensePredictAgree: the two request encodings of the same
+// point must score identically.
+func TestSparseDensePredictAgree(t *testing.T) {
+	s := testServer(t, Config{})
+	s.RegisterModel("m", &mllib.RegressionModel{Weights: []float64{1, 2, 3}})
+	base := "http://" + s.Addr()
+	_, body := postJSON(t, base+"/api/v1/models/m/predict", map[string]any{"points": []any{
+		[]float64{0, 5, 0},
+		map[string]any{"dim": 3, "indices": []int{1}, "values": []float64{5}},
+	}})
+	var pr struct {
+		Predictions []float64 `json:"predictions"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Predictions) != 2 || pr.Predictions[0] != pr.Predictions[1] || pr.Predictions[0] != 10 {
+		t.Fatalf("encodings disagree: %v", pr.Predictions)
+	}
+}

@@ -1,0 +1,224 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"sparker/internal/linalg"
+	"sparker/internal/metrics"
+	"sparker/internal/mllib"
+)
+
+// BatchConfig tunes the prediction micro-batcher.
+type BatchConfig struct {
+	// MaxBatch is the point count that triggers an immediate drain
+	// (default 256).
+	MaxBatch int
+	// MaxDelay is the longest a request waits for co-batching before
+	// the partial batch drains anyway (default 2ms).
+	MaxDelay time.Duration
+	// Workers shards each drained batch across this many cores via
+	// linalg.ParallelFor (default 4).
+	Workers int
+}
+
+func (c *BatchConfig) fill() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+}
+
+// predictReq is one client's slice of a micro-batch. The batcher
+// replies with a subslice view into the batch-wide output array, so
+// the reply must be consumed before the next use — the HTTP handler
+// serializes it to JSON immediately.
+type predictReq struct {
+	xs    []linalg.SparseVector
+	reply chan []float64
+}
+
+// servedModel owns one model's request queue and batcher goroutine.
+// Requests accumulate until MaxBatch points are waiting or MaxDelay
+// has passed since the batch opened, then the whole batch is scored in
+// one sharded PredictBatch pass — amortizing dispatch and cache warmup
+// the way Sparker amortizes reduction: fewer, bigger operations.
+type servedModel struct {
+	name  string
+	model mllib.Model
+	reqs  chan predictReq
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// modelRegistry maps names to live servedModel batchers.
+type modelRegistry struct {
+	mu     sync.Mutex
+	models map[string]*servedModel
+	cfg    BatchConfig
+	reg    *metrics.Registry
+}
+
+func newModelRegistry(cfg BatchConfig, reg *metrics.Registry) *modelRegistry {
+	cfg.fill()
+	return &modelRegistry{models: make(map[string]*servedModel), cfg: cfg, reg: reg}
+}
+
+// register installs (or replaces) a model under name and starts its
+// batcher.
+func (r *modelRegistry) register(name string, m mllib.Model) {
+	sm := &servedModel{
+		name:  name,
+		model: m,
+		reqs:  make(chan predictReq, 1024),
+		done:  make(chan struct{}),
+	}
+	sm.wg.Add(1)
+	go r.batchLoop(sm)
+	r.mu.Lock()
+	old := r.models[name]
+	r.models[name] = sm
+	r.mu.Unlock()
+	if old != nil {
+		old.stop()
+	}
+}
+
+func (r *modelRegistry) get(name string) *servedModel {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.models[name]
+}
+
+// list returns name/kind/dim triples sorted by name.
+func (r *modelRegistry) list() []map[string]any {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	byName := make(map[string]*servedModel, len(r.models))
+	for n, m := range r.models {
+		byName[n] = m
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make([]map[string]any, 0, len(names))
+	for _, n := range names {
+		m := byName[n]
+		out = append(out, map[string]any{
+			"name":         n,
+			"kind":         m.model.Kind(),
+			"num_features": m.model.NumFeatures(),
+		})
+	}
+	return out
+}
+
+func (r *modelRegistry) close() {
+	r.mu.Lock()
+	models := make([]*servedModel, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.models = make(map[string]*servedModel)
+	r.mu.Unlock()
+	for _, m := range models {
+		m.stop()
+	}
+}
+
+func (m *servedModel) stop() {
+	close(m.done)
+	m.wg.Wait()
+}
+
+// predict enqueues xs and blocks for the batch result.
+func (m *servedModel) predict(xs []linalg.SparseVector) ([]float64, error) {
+	req := predictReq{xs: xs, reply: make(chan []float64, 1)}
+	select {
+	case m.reqs <- req:
+	case <-m.done:
+		return nil, fmt.Errorf("server: model %s is shutting down", m.name)
+	}
+	select {
+	case out := <-req.reply:
+		return out, nil
+	case <-m.done:
+		return nil, fmt.Errorf("server: model %s is shutting down", m.name)
+	}
+}
+
+// batchLoop drains the request queue in size-or-deadline micro-batches.
+func (r *modelRegistry) batchLoop(sm *servedModel) {
+	defer sm.wg.Done()
+	batchHist := r.reg.Histogram("serve_batch_points")
+	scoreHist := r.reg.Histogram("serve_score_ns")
+	var (
+		batch  []predictReq
+		points int
+		timer  *time.Timer
+		fireC  <-chan time.Time
+	)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		xs := make([]linalg.SparseVector, 0, points)
+		for _, req := range batch {
+			xs = append(xs, req.xs...)
+		}
+		out := make([]float64, len(xs))
+		start := time.Now()
+		linalg.ParallelFor(len(xs), r.cfg.Workers, func(lo, hi int) {
+			sm.model.PredictBatch(xs[lo:hi], out[lo:hi])
+		})
+		scoreHist.Observe(time.Since(start).Nanoseconds())
+		batchHist.Observe(int64(len(xs)))
+		off := 0
+		for _, req := range batch {
+			req.reply <- out[off : off+len(req.xs)]
+			off += len(req.xs)
+		}
+		batch, points = nil, 0
+		// Drain a stale expiry so a later Reset arms cleanly.
+		if timer != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		fireC = nil
+	}
+	for {
+		select {
+		case req := <-sm.reqs:
+			if len(batch) == 0 {
+				if timer == nil {
+					timer = time.NewTimer(r.cfg.MaxDelay)
+				} else {
+					timer.Reset(r.cfg.MaxDelay)
+				}
+				fireC = timer.C
+			}
+			batch = append(batch, req)
+			points += len(req.xs)
+			if points >= r.cfg.MaxBatch {
+				flush()
+			}
+		case <-fireC:
+			fireC = nil
+			flush()
+		case <-sm.done:
+			flush()
+			return
+		}
+	}
+}

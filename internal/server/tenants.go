@@ -1,0 +1,171 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"sparker/internal/sched"
+)
+
+// TenantConfig sets a tenant's admission and fair-share parameters.
+type TenantConfig struct {
+	// Weight is the proportional fair-share weight handed to the
+	// scheduler (default 1).
+	Weight float64 `json:"weight"`
+	// MaxSlots caps the tenant's concurrently reserved core slots
+	// (0: unlimited).
+	MaxSlots int `json:"max_slots"`
+	// BurstJobs is the admission token bucket's capacity — how many
+	// job submissions a tenant may burst before refill gates it
+	// (default 8).
+	BurstJobs float64 `json:"burst_jobs"`
+	// RefillPerSec is the bucket's sustained admission rate in jobs
+	// per second (default 4).
+	RefillPerSec float64 `json:"refill_per_sec"`
+	// MaxQueued bounds the tenant's jobs sitting in queued/running
+	// states; beyond it submissions are rejected even with tokens
+	// (default 32).
+	MaxQueued int `json:"max_queued"`
+}
+
+func (c *TenantConfig) fill() {
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	if c.BurstJobs <= 0 {
+		c.BurstJobs = 8
+	}
+	if c.RefillPerSec <= 0 {
+		c.RefillPerSec = 4
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 32
+	}
+}
+
+// tenantEntry is one tenant's server-side state: the token bucket that
+// gates job admission plus counters surfaced on /metrics.
+type tenantEntry struct {
+	name string
+	cfg  TenantConfig
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inFlight int // queued + running jobs
+	admitted int64
+	rejected int64
+}
+
+// admit consumes one admission token if available and the in-flight
+// bound permits; returns false (with the reason) otherwise.
+func (t *tenantEntry) admit(now time.Time) (bool, string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inFlight >= t.cfg.MaxQueued {
+		t.rejected++
+		return false, "tenant queue full"
+	}
+	elapsed := now.Sub(t.last).Seconds()
+	if elapsed > 0 {
+		t.tokens += elapsed * t.cfg.RefillPerSec
+		if t.tokens > t.cfg.BurstJobs {
+			t.tokens = t.cfg.BurstJobs
+		}
+		t.last = now
+	}
+	if t.tokens < 1 {
+		t.rejected++
+		return false, "admission rate exceeded"
+	}
+	t.tokens--
+	t.admitted++
+	t.inFlight++
+	return true, ""
+}
+
+// release returns a job's in-flight reservation when it reaches a
+// terminal state.
+func (t *tenantEntry) release() {
+	t.mu.Lock()
+	t.inFlight--
+	t.mu.Unlock()
+}
+
+func (t *tenantEntry) snapshot() (inFlight int, admitted, rejected int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.inFlight, t.admitted, t.rejected
+}
+
+// tenantRegistry indexes tenants by name, creating unknown tenants on
+// first contact with the server's default parameters.
+type tenantRegistry struct {
+	mu       sync.Mutex
+	tenants  map[string]*tenantEntry
+	defaults TenantConfig
+	now      func() time.Time
+	// configure pushes weight/slot settings into the scheduler's
+	// fair-share accounts.
+	configure func(name string, cfg sched.TenantConfig) error
+}
+
+func newTenantRegistry(defaults TenantConfig, configure func(string, sched.TenantConfig) error) *tenantRegistry {
+	defaults.fill()
+	return &tenantRegistry{
+		tenants:   make(map[string]*tenantEntry),
+		defaults:  defaults,
+		now:       time.Now,
+		configure: configure,
+	}
+}
+
+// ensure returns the entry for name, creating it with defaults (and
+// registering its fair-share account) if new.
+func (r *tenantRegistry) ensure(name string) *tenantEntry {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if !ok {
+		cfg := r.defaults
+		t = &tenantEntry{name: name, cfg: cfg, tokens: cfg.BurstJobs, last: r.now()}
+		r.tenants[name] = t
+	}
+	r.mu.Unlock()
+	if !ok && r.configure != nil {
+		r.configure(name, sched.TenantConfig{Weight: t.cfg.Weight, MaxSlots: t.cfg.MaxSlots})
+	}
+	return t
+}
+
+// set applies an explicit configuration to a tenant (creating it if
+// needed) and propagates the scheduling half to the scheduler.
+func (r *tenantRegistry) set(name string, cfg TenantConfig) *tenantEntry {
+	cfg.fill()
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if !ok {
+		t = &tenantEntry{name: name, tokens: cfg.BurstJobs, last: r.now()}
+		r.tenants[name] = t
+	}
+	t.mu.Lock()
+	t.cfg = cfg
+	if t.tokens > cfg.BurstJobs {
+		t.tokens = cfg.BurstJobs
+	}
+	t.mu.Unlock()
+	r.mu.Unlock()
+	if r.configure != nil {
+		r.configure(name, sched.TenantConfig{Weight: cfg.Weight, MaxSlots: cfg.MaxSlots})
+	}
+	return t
+}
+
+func (r *tenantRegistry) all() []*tenantEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*tenantEntry, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t)
+	}
+	return out
+}

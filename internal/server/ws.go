@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Minimal RFC 6455 server side, hand-rolled on net/http's Hijacker so
+// the event stream needs no dependency beyond the stdlib. Supports the
+// subset the event feed uses: the opening handshake, unmasked text
+// frames server→client, and client ping/close handling.
+
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+const (
+	wsOpText  = 0x1
+	wsOpClose = 0x8
+	wsOpPing  = 0x9
+	wsOpPong  = 0xA
+)
+
+// wsUpgrade performs the opening handshake and returns the hijacked
+// connection.
+func wsUpgrade(w http.ResponseWriter, r *http.Request) (net.Conn, *bufio.ReadWriter, error) {
+	if !headerContainsToken(r.Header, "Connection", "upgrade") ||
+		!strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		http.Error(w, "websocket upgrade required", http.StatusBadRequest)
+		return nil, nil, fmt.Errorf("server: not a websocket handshake")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, nil, fmt.Errorf("server: missing websocket key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "hijacking unsupported", http.StatusInternalServerError)
+		return nil, nil, fmt.Errorf("server: ResponseWriter is not a Hijacker")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, nil, err
+	}
+	sum := sha1.Sum([]byte(key + wsGUID))
+	accept := base64.StdEncoding.EncodeToString(sum[:])
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + accept + "\r\n\r\n"
+	if _, err := brw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	if err := brw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return conn, brw, nil
+}
+
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wsWriteFrame writes one unmasked server frame.
+func wsWriteFrame(w io.Writer, opcode byte, payload []byte) error {
+	var hdr [10]byte
+	hdr[0] = 0x80 | opcode // FIN set, no fragmentation
+	n := len(payload)
+	var hlen int
+	switch {
+	case n < 126:
+		hdr[1] = byte(n)
+		hlen = 2
+	case n < 1<<16:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:], uint16(n))
+		hlen = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:], uint64(n))
+		hlen = 10
+	}
+	if _, err := w.Write(hdr[:hlen]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// wsReadFrame reads one client frame, unmasking the payload. Client
+// frames must be masked per RFC 6455 §5.1.
+func wsReadFrame(r *bufio.Reader) (opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	opcode = hdr[0] & 0x0F
+	masked := hdr[1]&0x80 != 0
+	n := uint64(hdr[1] & 0x7F)
+	switch n {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(r, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		n = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(r, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		n = binary.BigEndian.Uint64(ext[:])
+	}
+	if n > 1<<20 {
+		return 0, nil, fmt.Errorf("server: websocket frame too large (%d bytes)", n)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(r, mask[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// serveEventSocket streams event-bus lines as text frames until the
+// client closes, the connection errors, or the server shuts down.
+func (s *Server) serveEventSocket(w http.ResponseWriter, r *http.Request) {
+	conn, brw, err := wsUpgrade(w, r)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	events, unsubscribe := s.bus.Subscribe()
+	defer unsubscribe()
+
+	// Read loop: service pings, notice close frames, absorb anything
+	// else. Ends (and signals the writer) when the peer goes away.
+	readerDone := make(chan struct{})
+	pongs := make(chan []byte, 4)
+	go func() {
+		defer close(readerDone)
+		for {
+			op, payload, err := wsReadFrame(brw.Reader)
+			if err != nil {
+				return
+			}
+			switch op {
+			case wsOpPing:
+				select {
+				case pongs <- payload:
+				default:
+				}
+			case wsOpClose:
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case line, ok := <-events:
+			if !ok {
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if err := wsWriteFrame(brw, wsOpText, []byte(line)); err != nil {
+				return
+			}
+			if err := brw.Flush(); err != nil {
+				return
+			}
+		case payload := <-pongs:
+			conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			if err := wsWriteFrame(brw, wsOpPong, payload); err != nil {
+				return
+			}
+			if err := brw.Flush(); err != nil {
+				return
+			}
+		case <-readerDone:
+			return
+		case <-s.closing:
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			wsWriteFrame(brw, wsOpClose, []byte{0x03, 0xE8}) // 1000 normal closure
+			brw.Flush()
+			return
+		}
+	}
+}
