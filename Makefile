@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race test-chaos overhead trace-demo serve-demo check bench benchjson bench-compare
+.PHONY: build vet test race test-chaos overhead trace-demo serve-demo obsv-demo check bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test: build
 # senders, fused decode-reduce) plus the rdd engine that drives it, the
 # telemetry instruments, and the span exporters.
 race:
-	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace ./internal/server
+	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace ./internal/server ./internal/obsv
 
 # Fault-injection suites (see DESIGN.md "Fault model"): kill/drop/delay
 # matrices over the raw collectives and end-to-end core.Aggregate,
@@ -54,7 +54,20 @@ trace-demo:
 serve-demo:
 	$(GO) run ./cmd/sparker-serve -smoke
 
-check: vet test race test-chaos overhead trace-demo serve-demo
+# Flight-recorder demo (see DESIGN.md "Flight recorder"): a chaos run
+# that kills a ring link mid-train, which must trip the always-on
+# recorder into writing a postmortem bundle, which sparker-analyze
+# must render and validate. Proves the whole anomaly->bundle->report
+# path end to end in a couple of seconds.
+obsv-demo:
+	rm -rf /tmp/sparker-obsv-demo && mkdir -p /tmp/sparker-obsv-demo
+	$(GO) run ./cmd/sparker-train -model lr -scale 200000 -iters 3 \
+		-executors 3 -cores 2 -strategy split -step-deadline 500ms \
+		-obsv /tmp/sparker-obsv-demo -chaos ring-kill
+	$(GO) run ./cmd/sparker-analyze -postmortem -validate \
+		"$$(ls -t /tmp/sparker-obsv-demo/bundle-*.json | head -n1)"
+
+check: vet test race test-chaos overhead trace-demo serve-demo obsv-demo
 
 # Hot-path microbenchmarks: the before/after evidence for the
 # zero-allocation reduction work (see DESIGN.md "Performance notes").

@@ -34,11 +34,17 @@ import (
 func main() {
 	chromePath := flag.String("chrome-trace", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
 	percentiles := flag.Bool("percentiles", false, "print per-span-name duration percentiles")
-	validate := flag.Bool("validate", false, "exit non-zero unless the trace stitches driver and >=2 executors with ring-step spans")
+	validate := flag.Bool("validate", false, "exit non-zero unless the trace stitches driver and >=2 executors with ring-step spans (with -postmortem: unless the bundle validates)")
+	postmortem := flag.Bool("postmortem", false, "render a flight-recorder postmortem bundle (sparker-train -obsv) instead of a history log")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sparker-analyze [-percentiles] [-chrome-trace out.json] [-validate] <history-log>")
+		fmt.Fprintln(os.Stderr, "       sparker-analyze -postmortem [-validate] <bundle.json>")
 		os.Exit(2)
+	}
+	if *postmortem {
+		postmortemReport(flag.Arg(0), *validate)
+		return
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {

@@ -47,6 +47,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 4, "split-aggregation ring parallelism")
 	maxJobs := flag.Int("max-jobs", 4, "max concurrently running training jobs")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+	historyDir := flag.String("history-dir", "", "persist the event log and job outcomes to this directory and replay them on boot")
 	smoke := flag.Bool("smoke", false, "run an in-process end-to-end check and exit")
 	var models, tenants repeatedFlag
 	flag.Var(&models, "model", "preload a saved model: name=path (repeatable)")
@@ -65,6 +66,7 @@ func main() {
 		},
 		MaxConcurrentJobs: *maxJobs,
 		DrainTimeout:      *drain,
+		HistoryDir:        *historyDir,
 	})
 	if err != nil {
 		fail(err)
@@ -176,9 +178,9 @@ func runSmoke(srv *server.Server) error {
 		return fmt.Errorf("submit: code=%d err=%v body=%s", code, err, body)
 	}
 	var st struct {
-		ID    string `json:"id"`
-		State string `json:"state"`
-		Error string `json:"error"`
+		ID     string `json:"id"`
+		State  string `json:"state"`
+		Error  string `json:"error"`
 		Result *struct {
 			Features int `json:"features"`
 		} `json:"result"`

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,8 +23,10 @@ import (
 	"sparker/internal/linalg"
 	"sparker/internal/metrics"
 	"sparker/internal/mllib"
+	"sparker/internal/obsv"
 	"sparker/internal/rdd"
 	"sparker/internal/trace"
+	"sparker/internal/transport"
 )
 
 func main() {
@@ -42,6 +45,9 @@ func main() {
 	eventLogPath := flag.String("eventlog", "", "write a history log (JSON lines) to this file")
 	traceRun := flag.Bool("trace", false, "record spans to the event log (requires -eventlog); analyze with sparker-analyze -chrome-trace")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9091) while training")
+	obsvDir := flag.String("obsv", "", "enable the always-on flight recorder, writing postmortem bundles to this directory")
+	chaos := flag.String("chaos", "", "inject a transport fault for demos: ring-kill (one ring connection dies mid-run)")
+	stepDeadline := flag.Duration("step-deadline", 0, "per-step ring collective deadline (0: engine default; lr/svm only)")
 	flag.Parse()
 
 	strat, err := mllib.ParseStrategy(*strategy)
@@ -70,6 +76,27 @@ func main() {
 		defer exp.Close()
 		tracer = trace.New(exp)
 	}
+	var obs *obsv.Observer
+	if *obsvDir != "" {
+		obs = obsv.New(obsv.Config{BundleDir: *obsvDir})
+	}
+	var network transport.Network
+	switch *chaos {
+	case "":
+	case "ring-kill":
+		// Kill rank 1's ring listener after its boot handshake: the
+		// first collective step dies, the engine classifies the peer
+		// failure and falls back — exactly the anomaly the flight
+		// recorder is built to capture (make obsv-demo drives this).
+		victim := transport.Addr("comm/train/ring/1")
+		network = transport.NewFaulty(transport.NewMem(), *seed, &transport.FaultRule{
+			Match:     func(a transport.Addr) bool { return a == victim },
+			Kind:      transport.FaultKill,
+			AfterMsgs: 1,
+		})
+	default:
+		fail(fmt.Errorf("unknown -chaos mode %q (ring-kill)", *chaos))
+	}
 	ctx, err := rdd.NewContext(rdd.Config{
 		Name:             "train",
 		NumExecutors:     *executors,
@@ -77,6 +104,8 @@ func main() {
 		RingParallelism:  *parallelism,
 		EventLog:         logger,
 		Tracer:           tracer,
+		Obsv:             obs,
+		Network:          network,
 	})
 	if err != nil {
 		fail(err)
@@ -84,21 +113,21 @@ func main() {
 	defer ctx.Close()
 
 	if *metricsAddr != "" {
-		srv, err := metrics.NewServer(*metricsAddr, func() (*metrics.Registry, *metrics.Recorder) {
+		srv, err := metrics.NewMuxServer(*metricsAddr, func() (*metrics.Registry, *metrics.Recorder) {
 			return ctx.MergedMetrics(), ctx.Metrics()
-		})
+		}, map[string]http.Handler{"/debug/": ctx.DebugHandler()})
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("serving metrics on http://%s/metrics\n", srv.Addr())
+		fmt.Printf("serving metrics on http://%s/metrics (debug plane at /debug/sparker/, profiles at /debug/pprof/)\n", srv.Addr())
 	}
 
 	start := time.Now()
 	var trained mllib.Model
 	switch *model {
 	case "lr", "svm":
-		trained = trainLinear(ctx, *model, *dataFile, *profile, *scale, *iters, strat, *seed)
+		trained = trainLinear(ctx, *model, *dataFile, *profile, *scale, *iters, strat, *seed, *stepDeadline)
 	case "lda":
 		trainLDA(ctx, *profile, *scale, *topics, *iters, strat, *seed, *saveModel)
 	case "kmeans":
@@ -123,9 +152,21 @@ func main() {
 			time.Duration(hs.Quantile(0.99)).Round(time.Microsecond),
 			hs.Count)
 	}
+	if obs != nil {
+		// Drain any bundle dumps still queued behind the anomaly that
+		// tripped them before the process exits.
+		obs.Flush(10 * time.Second)
+		if bs := obs.Bundles(); len(bs) > 0 {
+			fmt.Printf("flight recorder wrote %d postmortem bundle(s):\n", len(bs))
+			for _, b := range bs {
+				fmt.Printf("  %s\n", b)
+			}
+			fmt.Println("inspect with: sparker-analyze -postmortem <bundle>")
+		}
+	}
 }
 
-func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters int, strat mllib.Strategy, seed int64) mllib.Model {
+func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters int, strat mllib.Strategy, seed int64, stepDeadline time.Duration) mllib.Model {
 	var points []mllib.LabeledPoint
 	var dim int
 	if dataFile != "" {
@@ -159,7 +200,7 @@ func trainLinear(ctx *rdd.Context, model, dataFile, profile string, scale, iters
 	fmt.Printf("training %s on %d samples × %d features, %d executors × %d cores, strategy=%v\n",
 		model, len(points), dim, ctx.NumExecutors(), ctx.CoresPerExecutor(), strat)
 
-	gd := mllib.GDConfig{Iterations: iters, StepSize: 1.0, Strategy: strat, Seed: seed}
+	gd := mllib.GDConfig{Iterations: iters, StepSize: 1.0, Strategy: strat, Seed: seed, StepDeadline: stepDeadline}
 	var m *mllib.LinearModel
 	var err error
 	if model == "svm" {

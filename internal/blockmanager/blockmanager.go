@@ -15,6 +15,7 @@ package blockmanager
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -416,6 +417,25 @@ func (s *Store) GetLocal(id string) ([]byte, bool) {
 	defer s.mu.Unlock()
 	b, ok := s.blocks[id]
 	return b, ok
+}
+
+// BlockInfo describes one resident block for introspection.
+type BlockInfo struct {
+	ID    string `json:"id"`
+	Bytes int    `json:"bytes"`
+}
+
+// List returns the store's resident blocks sorted by ID — the
+// block-manager residency view of /debug/sparker/blocks.
+func (s *Store) List() []BlockInfo {
+	s.mu.Lock()
+	out := make([]BlockInfo, 0, len(s.blocks))
+	for id, b := range s.blocks {
+		out = append(out, BlockInfo{ID: id, Bytes: len(b)})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Delete removes a local block.

@@ -26,6 +26,7 @@ import (
 	"sparker/internal/comm"
 	"sparker/internal/linalg"
 	"sparker/internal/metrics"
+	"sparker/internal/obsv"
 	"sparker/internal/trace"
 )
 
@@ -147,6 +148,7 @@ type telemetry struct {
 	on         bool
 	tr         *trace.Tracer
 	parent     trace.SpanContext
+	rec        *obsv.Ring
 	stepNS     *metrics.Histogram
 	stepBytes  *metrics.Histogram
 	stepRaw    *metrics.Histogram
@@ -157,6 +159,7 @@ type telemetry struct {
 func telemetryFrom(ctx context.Context) telemetry {
 	var tel telemetry
 	tel.tr, tel.parent = trace.FromContext(ctx)
+	tel.rec = obsv.FromContext(ctx)
 	if reg := metrics.FromContext(ctx); reg != nil {
 		tel.stepNS = reg.Histogram(metrics.HistRingStepNS)
 		tel.stepBytes = reg.Histogram(metrics.HistRingStepBytes)
@@ -164,7 +167,7 @@ func telemetryFrom(ctx context.Context) telemetry {
 		tel.chunkNS = reg.Histogram(metrics.HistRingChunkNS)
 		tel.chunkBytes = reg.Histogram(metrics.HistRingChunkBytes)
 	}
-	tel.on = tel.tr != nil || tel.stepNS != nil
+	tel.on = tel.tr != nil || tel.stepNS != nil || tel.rec != nil
 	return tel
 }
 
@@ -598,7 +601,9 @@ func ringStepRS[V any](ctx context.Context, rc *ringChan[V], cur []V, r, n, k in
 		start := time.Now()
 		span = rc.tel.startStep("reduce-scatter", rc.ch, k, rc.epoch)
 		defer func() {
-			rc.tel.stepNS.Observe(time.Since(start).Nanoseconds())
+			ns := time.Since(start).Nanoseconds()
+			rc.tel.stepNS.Observe(ns)
+			rc.tel.rec.Step("reduce-scatter", ns, rc.stepBytes, rc.epoch, rc.ch, k)
 			span.EndErr(err)
 		}()
 	}
@@ -699,7 +704,9 @@ func ringStepAG[V any](ctx context.Context, rc *ringChan[V], all []V, have, r, n
 		start := time.Now()
 		span = rc.tel.startStep("allgather", rc.ch, k, rc.epoch)
 		defer func() {
-			rc.tel.stepNS.Observe(time.Since(start).Nanoseconds())
+			ns := time.Since(start).Nanoseconds()
+			rc.tel.stepNS.Observe(ns)
+			rc.tel.rec.Step("allgather", ns, rc.stepBytes, rc.epoch, rc.ch, k)
 			span.EndErr(err)
 		}()
 	}

@@ -81,6 +81,15 @@ func (e *Endpoint) Stats() Stats {
 	}
 }
 
+// OpenConns reports the endpoint's live connection counts (accepted
+// inbound, dialed outbound) — the wiring view /debug/sparker/topology
+// renders next to the traffic counters.
+func (e *Endpoint) OpenConns() (inbound, outbound int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.inbound), len(e.dialed)
+}
+
 type connKey struct {
 	peer    int
 	channel int

@@ -408,6 +408,19 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 	if fns.Ops != nil {
 		ops = *fns.Ops
 	}
+	kind := "ring-reduce-scatter"
+	if allGather {
+		kind = "ring-allreduce"
+	}
+	untrack := rc.TrackCollective(rdd.CollectiveInfo{
+		OpID:   opID,
+		Kind:   kind,
+		Tenant: o.Tenant,
+		Tasks:  nExec,
+		Epoch:  uint32(opID),
+		Detail: prefix,
+	})
+	defer untrack()
 	keepKey := o.KeepKey
 	comp := o.Compress
 	// Residual state for error feedback lives in the executor's mutable

@@ -21,6 +21,14 @@ import (
 // across driver, executors and ring steps.
 const KindSpan = "span"
 
+// The coarse history-log record kinds. Analyze and the server's
+// history replay switch on these.
+const (
+	KindPhase  = "phase"
+	KindJob    = "job"
+	KindMarker = "marker"
+)
+
 // Event is one history-log record.
 type Event struct {
 	// Time is the wall-clock timestamp, nanoseconds. For spans this is
@@ -91,14 +99,14 @@ func (l *Logger) Emit(e Event) {
 
 // Phase records a named phase duration.
 func (l *Logger) Phase(name string, d time.Duration, detail string) {
-	l.Log("phase", name, d, detail)
+	l.Log(KindPhase, name, d, detail)
 }
 
 // Marker records a durationless event — a mode change, degradation or
 // recovery the analysis should see in the timeline (e.g. a ring
 // collective falling back to tree aggregation).
 func (l *Logger) Marker(name, detail string) {
-	l.Log("marker", name, 0, detail)
+	l.Log(KindMarker, name, 0, detail)
 }
 
 // Flush drains buffered events.
@@ -173,7 +181,7 @@ func (b Breakdown) Hotspot() (string, time.Duration) {
 func Analyze(events []Event) Breakdown {
 	b := Breakdown{Phases: map[string]time.Duration{}}
 	for _, e := range events {
-		if e.Kind != "phase" {
+		if e.Kind != KindPhase {
 			continue
 		}
 		d := time.Duration(e.DurationNS)

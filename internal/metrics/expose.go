@@ -1,10 +1,12 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -108,6 +110,53 @@ func Handler(src Source) http.Handler {
 	})
 }
 
+// HealthzHandler answers liveness probes: 200 with a tiny JSON body.
+// Mounted at /healthz on the metrics server and on sparker-serve.
+func HealthzHandler() http.Handler {
+	start := time.Now()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%d}\n", int64(time.Since(start).Seconds()))
+	})
+}
+
+// BuildInfoHandler serves the binary's embedded module build info
+// (Go version, main module path/version, VCS stamp) as JSON — the
+// first question in any incident is "what exactly is running here".
+func BuildInfoHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			http.Error(w, "build info unavailable", http.StatusNotFound)
+			return
+		}
+		out := struct {
+			GoVersion string            `json:"go_version"`
+			Path      string            `json:"path"`
+			Main      string            `json:"main"`
+			Version   string            `json:"version"`
+			Settings  map[string]string `json:"settings,omitempty"`
+		}{
+			GoVersion: bi.GoVersion,
+			Path:      bi.Path,
+			Main:      bi.Main.Path,
+			Version:   bi.Main.Version,
+			Settings:  map[string]string{},
+		}
+		for _, s := range bi.Settings {
+			// The VCS stamp and build mode are the useful forensic bits;
+			// skip the noisy -ldflags/-gcflags echoes.
+			if strings.HasPrefix(s.Key, "vcs") || s.Key == "GOARCH" || s.Key == "GOOS" {
+				out.Settings[s.Key] = s.Value
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(out)
+	})
+}
+
 // Server is a minimal metrics endpoint. Close shuts it down and waits
 // for the serve goroutine to exit (the goroutine-leak tests gate
 // this).
@@ -120,13 +169,34 @@ type Server struct {
 // NewServer listens on addr (e.g. "127.0.0.1:0") and serves the
 // exposition at every path.
 func NewServer(addr string, src Source) (*Server, error) {
+	return serve(addr, Handler(src))
+}
+
+// NewMuxServer is NewServer grown into a small operations plane: the
+// exposition stays at "/", /healthz and /buildinfo answer probes, and
+// the caller can mount extra handlers (sparker-train mounts the rdd
+// debug plane at /debug/).
+func NewMuxServer(addr string, src Source, extra map[string]http.Handler) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(src))
+	mux.Handle("GET /healthz", HealthzHandler())
+	mux.Handle("GET /buildinfo", BuildInfoHandler())
+	for pattern, h := range extra {
+		if h != nil {
+			mux.Handle(pattern, h)
+		}
+	}
+	return serve(addr, mux)
+}
+
+func serve(addr string, h http.Handler) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		lis:    lis,
-		srv:    &http.Server{Handler: Handler(src), ReadHeaderTimeout: 5 * time.Second},
+		srv:    &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second},
 		served: make(chan struct{}),
 	}
 	go func() {

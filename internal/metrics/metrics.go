@@ -51,6 +51,12 @@ const (
 	// guardrail turned wire compression off mid-training (non-finite
 	// loss, or loss rising for several consecutive iterations).
 	CounterCompressDisabled = "compress-disabled"
+	// CounterJobFailed counts server jobs that reached a terminal
+	// error state.
+	CounterJobFailed = "job-failed"
+	// CounterJobCancelled counts server jobs cancelled by a client
+	// (DELETE /api/v1/jobs/{id}) or by server shutdown.
+	CounterJobCancelled = "job-cancelled"
 )
 
 // Recorder accumulates named durations and event counters. It is safe

@@ -1,6 +1,7 @@
 package mllib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -28,6 +29,10 @@ type KMeansConfig struct {
 	// Tenant charges the run's aggregation stages to the named
 	// scheduler fair-share account (empty: default tenant).
 	Tenant string
+	// Ctx, when non-nil, bounds the run: each Lloyd iteration checks
+	// it and the per-iteration aggregations derive from it, so
+	// cancelling Ctx aborts training promptly with context.Canceled.
+	Ctx context.Context
 }
 
 func (c *KMeansConfig) fill() error {
@@ -149,10 +154,16 @@ func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMean
 	// Aggregator layout: [k*dim) sums, [k*dim, k*dim+k) counts, last cost.
 	aggDim := k*dim + k + 1
 
-	tr, root, tctx := startTrainSpan(points.Context(), "kmeans", cfg.Strategy)
+	tr, root, tctx := startTrainSpan(points.Context(), "kmeans", cfg.Strategy, cfg.Ctx)
 	defer func() { root.End() }()
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				root.SetAttr("error", err.Error())
+				return nil, fmt.Errorf("mllib: kmeans iteration %d: %w", iter, err)
+			}
+		}
 		snapshot := make([][]float64, k)
 		for i, c := range centers {
 			snapshot[i] = append([]float64(nil), c...)

@@ -66,7 +66,7 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 		return nil, nil, fmt.Errorf("mllib: empty initial weights")
 	}
 
-	tr, root, tctx := startTrainSpan(data.Context(), "lbfgs", cfg.Strategy)
+	tr, root, tctx := startTrainSpan(data.Context(), "lbfgs", cfg.Strategy, nil)
 	defer func() { root.EndErr(retErr) }()
 	guard := newCompressGuard(cfg.Compression)
 

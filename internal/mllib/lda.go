@@ -153,7 +153,7 @@ func TrainLDA(docs *rdd.RDD[Document], cfg LDAConfig) (*LDAModel, error) {
 	// Aggregator layout: K*V sstats, then [K*V] loglik, [K*V+1] tokens.
 	dim := k*v + 2
 
-	tr, root, tctx := startTrainSpan(docs.Context(), "lda", cfg.Strategy)
+	tr, root, tctx := startTrainSpan(docs.Context(), "lda", cfg.Strategy, nil)
 	defer func() { root.End() }()
 
 	for iter := 0; iter < cfg.Iterations; iter++ {

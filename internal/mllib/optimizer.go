@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"sparker/internal/collective"
 	"sparker/internal/core"
@@ -128,13 +129,18 @@ func AggregateF64Ctx[T any](ctx context.Context, r *rdd.RDD[T], dim int, seqOp f
 
 // startTrainSpan opens the root "train" span for one optimizer run and
 // returns the context iteration spans derive from. Everything no-ops
-// (and the context stays bare) when the rdd context has no tracer.
-func startTrainSpan(rc *rdd.Context, model string, s Strategy) (*trace.Tracer, *trace.ActiveSpan, context.Context) {
+// (and the context stays bare) when the rdd context has no tracer. A
+// non-nil base context becomes the run's root context, so cancelling
+// it cancels every per-iteration collective the run launches.
+func startTrainSpan(rc *rdd.Context, model string, s Strategy, base context.Context) (*trace.Tracer, *trace.ActiveSpan, context.Context) {
+	if base == nil {
+		base = context.Background()
+	}
 	tr := rc.Tracer()
 	root := tr.StartRoot("train")
 	root.SetAttr("model", model)
 	root.SetAttr("strategy", s.String())
-	return tr, root, trace.WithSpan(context.Background(), root)
+	return tr, root, trace.WithSpan(base, root)
 }
 
 // startIteration opens one per-iteration span under the train root.
@@ -171,6 +177,15 @@ type GDConfig struct {
 	// scheduler fair-share account (empty: default tenant). Set by
 	// multi-tenant drivers such as sparker-serve.
 	Tenant string
+	// Ctx, when non-nil, bounds the run: each iteration checks it
+	// before launching work and the per-iteration aggregations derive
+	// from it, so cancelling Ctx aborts the run promptly with
+	// context.Canceled (the server's DELETE /api/v1/jobs path).
+	Ctx context.Context
+	// StepDeadline bounds each ring collective step (core.WithDeadline
+	// semantics: zero keeps the core default, negative disables). Short
+	// deadlines make fault demos degrade in seconds instead of minutes.
+	StepDeadline time.Duration
 	// Compression selects a wire codec for the per-iteration gradient
 	// aggregation (ring strategies only; ignored by the tree paths). The
 	// run is guarded: a non-finite loss, or a loss that rises for several
@@ -210,11 +225,16 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 	copy(weights, initial)
 	losses := make([]float64, 0, cfg.Iterations)
 
-	tr, root, tctx := startTrainSpan(data.Context(), "gradient-descent", cfg.Strategy)
+	tr, root, tctx := startTrainSpan(data.Context(), "gradient-descent", cfg.Strategy, cfg.Ctx)
 	defer func() { root.EndErr(retErr) }()
 	guard := newCompressGuard(cfg.Compression)
 
 	for iter := 1; iter <= cfg.Iterations; iter++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("mllib: iteration %d: %w", iter, err)
+			}
+		}
 		w := make([]float64, dim)
 		copy(w, weights) // snapshot captured by this iteration's tasks
 
@@ -226,6 +246,9 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		extra := guard.options()
 		if cfg.Tenant != "" {
 			extra = append(extra, core.WithTenant(cfg.Tenant))
+		}
+		if cfg.StepDeadline != 0 {
+			extra = append(extra, core.WithDeadline(cfg.StepDeadline))
 		}
 		// Aggregator layout: [0,dim) gradient sum, [dim] loss sum,
 		// [dim+1] sample count.

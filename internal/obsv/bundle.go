@@ -1,0 +1,140 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BundleVersion is the postmortem bundle schema version. Validate
+// rejects bundles from a different major schema.
+const BundleVersion = 1
+
+// Trigger identifies the anomaly that caused a bundle dump.
+type Trigger struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	TimeNS int64  `json:"t"`
+}
+
+// Bundle is a self-contained postmortem: the trigger, the cluster
+// geometry, the pre-trigger metric snapshot history, cumulative
+// counters, and the driver plus per-executor flight-recorder rings.
+// Everything sparker-analyze -postmortem needs to render an incident
+// report lives in this one JSON document.
+type Bundle struct {
+	Version       int               `json:"version"`
+	Trigger       Trigger           `json:"trigger"`
+	WrittenNS     int64             `json:"written_ns"`
+	Cluster       Geometry          `json:"cluster"`
+	BaselineP99NS int64             `json:"baseline_p99_ns,omitempty"`
+	Snapshots     []MetricsSnapshot `json:"snapshots"` // oldest first
+	Counters      map[string]int64  `json:"counters,omitempty"`
+	Driver        RingDump          `json:"driver"`
+	Executors     []ExecDump        `json:"executors,omitempty"`
+}
+
+// Load reads and decodes a bundle file.
+func Load(path string) (*Bundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("obsv: decoding bundle %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Validate checks the structural invariants sparker-analyze -validate
+// enforces: schema version, a trigger marker present in the driver
+// ring, at least one correlated span (a span with a parent, or two
+// spans sharing a trace), and at least one metric snapshot taken at or
+// before the trigger.
+func (b *Bundle) Validate() error {
+	if b.Version != BundleVersion {
+		return fmt.Errorf("bundle version %d, want %d", b.Version, BundleVersion)
+	}
+	if b.Trigger.Name == "" || b.Trigger.TimeNS == 0 {
+		return fmt.Errorf("bundle has no trigger")
+	}
+	marker := false
+	for _, r := range b.Driver.Records {
+		if r.Kind == KindMarker && r.Name == b.Trigger.Name {
+			marker = true
+			break
+		}
+	}
+	if !marker {
+		return fmt.Errorf("driver ring has no %q marker record", b.Trigger.Name)
+	}
+	if !b.hasCorrelatedSpan() {
+		return fmt.Errorf("bundle has no correlated span (no span with a parent or shared trace)")
+	}
+	pre := false
+	for _, s := range b.Snapshots {
+		if s.TimeNS <= b.Trigger.TimeNS {
+			pre = true
+			break
+		}
+	}
+	if !pre {
+		return fmt.Errorf("bundle has no pre-trigger metric snapshot")
+	}
+	return nil
+}
+
+func (b *Bundle) hasCorrelatedSpan() bool {
+	traces := map[int64]int{}
+	scan := func(d RingDump) bool {
+		for _, r := range d.Records {
+			if r.Kind != KindSpan {
+				continue
+			}
+			if r.D != 0 { // has a parent span
+				return true
+			}
+			if r.B != 0 {
+				traces[r.B]++
+				if traces[r.B] >= 2 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if scan(b.Driver) {
+		return true
+	}
+	for _, e := range b.Executors {
+		if scan(e.Ring) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllRecords merges the driver and executor rings into one timeline,
+// tagging each record with its source (-1 = driver, else executor id).
+// Sorted by time, oldest first — the spine of the incident report.
+func (b *Bundle) AllRecords() []SourcedRecord {
+	var out []SourcedRecord
+	for _, r := range b.Driver.Records {
+		out = append(out, SourcedRecord{Exec: -1, Record: r})
+	}
+	for _, e := range b.Executors {
+		for _, r := range e.Ring.Records {
+			out = append(out, SourcedRecord{Exec: e.Exec, Record: r})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TimeNS < out[j].TimeNS })
+	return out
+}
+
+// SourcedRecord is a Record tagged with the ring it came from.
+type SourcedRecord struct {
+	Exec int // -1 for the driver ring
+	Record
+}

@@ -23,6 +23,7 @@ import (
 	"sparker/internal/comm"
 	"sparker/internal/eventlog"
 	"sparker/internal/metrics"
+	"sparker/internal/obsv"
 	"sparker/internal/sched"
 	"sparker/internal/trace"
 	"sparker/internal/transport"
@@ -89,6 +90,15 @@ type Config struct {
 	// by span IDs propagated through task envelopes and ring frames.
 	// Nil (the default) disables tracing at true zero overhead.
 	Tracer *trace.Tracer
+	// Obsv, when non-nil, is the flight recorder: the engine binds it
+	// to the cluster at startup (one ring per executor plus the
+	// driver's), tees markers/phases/spans into it, and tags tasks for
+	// continuous profiling. When Obsv is set and Tracer is nil, a
+	// tracer exporting only to the recorder is installed so bundles
+	// always contain correlated spans; when both are set, spans are
+	// teed to both sinks. Nil keeps the engine bit-identical to the
+	// recorder-less build.
+	Obsv *obsv.Observer
 }
 
 func (c *Config) fill() error {
@@ -153,6 +163,11 @@ type Context struct {
 	jobs   sync.Map // int64 -> *job
 	nextID atomic.Int64
 
+	// collectives tracks in-flight collective operations for the debug
+	// plane (/debug/sparker/collectives); keys are trackSeq draws.
+	collectives sync.Map // int64 -> CollectiveInfo
+	trackSeq    atomic.Int64
+
 	// inflightJobs counts submitted-but-unfinished JobHandles so a
 	// long-lived driver can Drain before closing the transport.
 	inflightJobs atomic.Int64
@@ -174,6 +189,11 @@ type Context struct {
 func NewContext(conf Config) (*Context, error) {
 	if err := conf.fill(); err != nil {
 		return nil, err
+	}
+	if conf.Obsv != nil {
+		// Retain finished spans in the flight recorder, teeing to the
+		// user's exporter when one is configured.
+		conf.Tracer = trace.New(trace.Tee(conf.Tracer.Exporter(), conf.Obsv))
 	}
 	ctx := &Context{conf: conf, rec: metrics.NewRecorder(), reg: metrics.NewRegistry()}
 	if conf.Network != nil {
@@ -215,6 +235,7 @@ func NewContext(conf Config) (*Context, error) {
 		Recorder:              ctx.rec,
 		EventLog:              conf.EventLog,
 		Tracer:                conf.Tracer,
+		Obsv:                  conf.Obsv,
 	})
 	if err != nil {
 		ctx.Close()
@@ -236,6 +257,20 @@ func NewContext(conf Config) (*Context, error) {
 			ctx.Close()
 			return nil, fmt.Errorf("rdd: connecting ring: %w", err)
 		}
+	}
+	if conf.Obsv != nil {
+		conf.Obsv.Bind(obsv.Binding{
+			Cluster: obsv.Geometry{
+				Name:       conf.Name,
+				Executors:  conf.NumExecutors,
+				Cores:      conf.CoresPerExecutor,
+				ExecOfRank: ctx.topo.ExecOfRank(),
+			},
+			Metrics: func() (*metrics.Registry, *metrics.Recorder) {
+				return ctx.MergedMetrics(), ctx.rec
+			},
+			CollectExecRings: ctx.collectExecRings,
+		})
 	}
 	return ctx, nil
 }
@@ -283,6 +318,7 @@ func (ctx *Context) MergedMetrics() *metrics.Registry {
 func (ctx *Context) RecordPhase(name string, d time.Duration, detail string) {
 	ctx.rec.Add(name, d)
 	ctx.conf.EventLog.Phase(name, d, detail)
+	ctx.conf.Obsv.Phase(name, d, detail)
 }
 
 // RecordMarker bumps the named counter and emits a durationless marker
@@ -291,7 +327,11 @@ func (ctx *Context) RecordPhase(name string, d time.Duration, detail string) {
 func (ctx *Context) RecordMarker(name, detail string) {
 	ctx.rec.Inc(name)
 	ctx.conf.EventLog.Marker(name, detail)
+	ctx.conf.Obsv.Marker(name, detail)
 }
+
+// Observer returns the configured flight recorder (nil when disabled).
+func (ctx *Context) Observer() *obsv.Observer { return ctx.conf.Obsv }
 
 // DriverStore returns the driver-side block store, used to fetch final
 // aggregators from executors.
@@ -336,6 +376,9 @@ func (ctx *Context) Close() error {
 		if ctx.sched != nil {
 			ctx.sched.Close()
 		}
+		// After the scheduler: a monitor mid-collection fails fast and
+		// falls back to in-process ring snapshots for any queued dump.
+		ctx.conf.Obsv.Unbind()
 		for _, e := range ctx.executors {
 			if e != nil {
 				e.close()

@@ -1,0 +1,234 @@
+package rdd
+
+// Live cluster introspection: Context.DebugHandler serves the
+// /debug/sparker/* plane (scheduler slots and gang queues, per-tenant
+// WFQ state, ring topology with current epochs, block-manager
+// residency, in-flight collectives, flight-recorder status) plus the
+// standard /debug/pprof/* profiling endpoints. sparker-serve and the
+// sparker-train -metrics server both mount it. Everything here reads
+// live state through the same synchronized paths the engine itself
+// uses (scheduler snapshots run on the event loop), so scraping the
+// debug plane is safe while jobs run.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"sparker/internal/blockmanager"
+	"sparker/internal/comm"
+	"sparker/internal/obsv"
+)
+
+// CollectiveInfo describes one in-flight collective operation. Tracked
+// from core's ring stages so /debug/sparker/collectives can answer
+// "what is the ring doing right now".
+type CollectiveInfo struct {
+	OpID    int64  `json:"op"`
+	Kind    string `json:"kind"` // e.g. "ring-allreduce", "ring-aggregate"
+	Tenant  string `json:"tenant,omitempty"`
+	Tasks   int    `json:"tasks"`
+	Epoch   uint32 `json:"epoch"`
+	StartNS int64  `json:"start_ns"`
+	Detail  string `json:"detail,omitempty"`
+	AgeNS   int64  `json:"age_ns"` // filled at snapshot time
+}
+
+// TrackCollective registers an in-flight collective and returns its
+// untrack function. Call sites wrap ring stages:
+//
+//	done := ctx.TrackCollective(rdd.CollectiveInfo{...})
+//	defer done()
+func (ctx *Context) TrackCollective(info CollectiveInfo) func() {
+	info.StartNS = time.Now().UnixNano()
+	key := ctx.trackSeq.Add(1)
+	ctx.collectives.Store(key, info)
+	return func() { ctx.collectives.Delete(key) }
+}
+
+// InflightCollectives returns the currently tracked collectives,
+// oldest first.
+func (ctx *Context) InflightCollectives() []CollectiveInfo {
+	now := time.Now().UnixNano()
+	var out []CollectiveInfo
+	ctx.collectives.Range(func(_, v any) bool {
+		ci := v.(CollectiveInfo)
+		ci.AgeNS = now - ci.StartNS
+		out = append(out, ci)
+		return true
+	})
+	sortCollectives(out)
+	return out
+}
+
+func sortCollectives(cs []CollectiveInfo) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].StartNS < cs[j-1].StartNS; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// collectExecRings fetches every executor's flight-recorder ring for a
+// postmortem bundle — over the transport via a one-task-per-executor
+// stage when the cluster can still run one, falling back to reading
+// the rings in-process when it cannot (they live in the Observer, so
+// a dead scheduler doesn't lose them).
+func (ctx *Context) collectExecRings() []obsv.ExecDump {
+	obs := ctx.conf.Obsv
+	n := ctx.conf.NumExecutors
+	payloads, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		return json.Marshal(obs.ExecRing(ec.ID).Snapshot())
+	})
+	out := make([]obsv.ExecDump, n)
+	for i := range out {
+		out[i] = obsv.ExecDump{Exec: i}
+		if err == nil && i < len(payloads) {
+			var dump obsv.RingDump
+			if uerr := json.Unmarshal(payloads[i], &dump); uerr == nil {
+				out[i].Source = "transport"
+				out[i].Ring = dump
+				continue
+			}
+		}
+		// Fallback: same-process read of the executor's ring.
+		out[i].Source = "in-process"
+		out[i].Ring = obs.ExecRing(i).Snapshot()
+		if err != nil {
+			out[i].Err = err.Error()
+		}
+	}
+	return out
+}
+
+// --- /debug/sparker/* handlers ----------------------------------------
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// topologyView is the /debug/sparker/topology payload: the rank <->
+// executor assignment with per-endpoint traffic, wiring, and the most
+// recent collective epoch each executor's recorder saw.
+type topologyView struct {
+	Executors []topologyExec `json:"executors"`
+}
+
+type topologyExec struct {
+	Exec          int        `json:"exec"`
+	Host          string     `json:"host"`
+	Rank          int        `json:"rank"`
+	Next          int        `json:"next_rank"`
+	Prev          int        `json:"prev_rank"`
+	Stats         comm.Stats `json:"comm"`
+	InboundConns  int        `json:"inbound_conns"`
+	OutboundConns int        `json:"outbound_conns"`
+	LastEpoch     uint32     `json:"last_epoch,omitempty"`
+}
+
+func (ctx *Context) topologyView() topologyView {
+	var tv topologyView
+	for i, e := range ctx.executors {
+		if e == nil {
+			continue
+		}
+		in, out := e.comm.OpenConns()
+		te := topologyExec{
+			Exec:          i,
+			Host:          e.host,
+			Rank:          e.rank,
+			Next:          e.comm.Next(),
+			Prev:          e.comm.Prev(),
+			Stats:         e.comm.Stats(),
+			InboundConns:  in,
+			OutboundConns: out,
+		}
+		if obs := ctx.conf.Obsv; obs != nil {
+			te.LastEpoch = obs.ExecRing(i).LastEpoch()
+		}
+		tv.Executors = append(tv.Executors, te)
+	}
+	return tv
+}
+
+// blocksView is the /debug/sparker/blocks payload: block residency per
+// store (driver plus every executor shard).
+type blocksView struct {
+	Stores []storeView `json:"stores"`
+}
+
+type storeView struct {
+	Name   string                   `json:"name"`
+	Blocks []blockmanager.BlockInfo `json:"blocks"`
+	Bytes  int64                    `json:"bytes"`
+	Count  int                      `json:"count"`
+}
+
+func storeViewOf(name string, s *blockmanager.Store) storeView {
+	sv := storeView{Name: name}
+	if s == nil {
+		return sv
+	}
+	sv.Blocks = s.List()
+	sv.Count = len(sv.Blocks)
+	for _, b := range sv.Blocks {
+		sv.Bytes += int64(b.Bytes)
+	}
+	return sv
+}
+
+func (ctx *Context) blocksView() blocksView {
+	var bv blocksView
+	bv.Stores = append(bv.Stores, storeViewOf(ctx.conf.Name+"/driver", ctx.driverStore))
+	for i, e := range ctx.executors {
+		if e != nil {
+			bv.Stores = append(bv.Stores, storeViewOf(ctx.ExecutorStoreName(i), e.store))
+		}
+	}
+	return bv
+}
+
+// DebugHandler returns the live-introspection plane: the
+// /debug/sparker/* endpoints plus /debug/pprof/*. Mount it at "/" on
+// any mux (paths are absolute). Handlers are safe while jobs run.
+func (ctx *Context) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/sparker/sched", func(w http.ResponseWriter, r *http.Request) {
+		snap, err := ctx.sched.Snapshot()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, snap)
+	})
+	mux.HandleFunc("GET /debug/sparker/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctx.TenantStats())
+	})
+	mux.HandleFunc("GET /debug/sparker/topology", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctx.topologyView())
+	})
+	mux.HandleFunc("GET /debug/sparker/blocks", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctx.blocksView())
+	})
+	mux.HandleFunc("GET /debug/sparker/collectives", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Inflight []CollectiveInfo `json:"inflight"`
+		}{Inflight: ctx.InflightCollectives()})
+	})
+	mux.HandleFunc("GET /debug/sparker/obsv", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctx.conf.Obsv.Status())
+	})
+	// Continuous profiling: the standard pprof surface. CPU profiles
+	// taken here carry the sparker_job/sparker_tenant/sparker_exec
+	// labels runTask applies around task bodies.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

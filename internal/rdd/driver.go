@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -160,6 +161,9 @@ func decodeResultFrame(b []byte) (jobID int64, task, attempt int, payload []byte
 type job struct {
 	id int64
 	fn func(ec *ExecContext, task, attempt int) ([]byte, error)
+	// tenant rides along for the executor-side profiling labels
+	// (pprof tags per job/tenant when the flight recorder is on).
+	tenant string
 }
 
 // JobSpec describes one stage submitted to the cluster.
@@ -372,7 +376,8 @@ func (ctx *Context) submitTaskRetry(spec JobSpec, policy sched.PlacementPolicy) 
 		maxAttempts = spec.MaxAttempts
 	}
 	id := ctx.newJobID()
-	ctx.jobs.Store(id, &job{id: id, fn: spec.Fn})
+	ctx.jobs.Store(id, &job{id: id, fn: spec.Fn, tenant: spec.Tenant})
+	allocBefore := ctx.profileStageStart()
 
 	stage := ctx.conf.Tracer.StartSpan("stage", spec.TraceParent)
 	stage.SetInt("job", id)
@@ -411,8 +416,33 @@ func (ctx *Context) submitTaskRetry(spec JobSpec, policy sched.PlacementPolicy) 
 			werr = fmt.Errorf("%w: %w", ErrJobFailed, werr)
 		}
 		stage.EndErr(werr)
+		ctx.profileStageEnd(id, spec.Tenant, allocBefore)
 		return out, sh.Executors(), werr
 	}}, nil
+}
+
+// profileStageStart samples cumulative allocation before a stage when
+// the flight recorder is on; profileStageEnd records the per-stage
+// CPU/heap delta into the driver ring tagged with job and tenant —
+// the "per-stage profile" rows of a postmortem bundle.
+func (ctx *Context) profileStageStart() uint64 {
+	if ctx.conf.Obsv == nil {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+func (ctx *Context) profileStageEnd(id int64, tenant string, allocBefore uint64) {
+	obs := ctx.conf.Obsv
+	if obs == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	obs.DriverRing().Profile("stage", tenant,
+		int64(ms.HeapAlloc), int64(ms.TotalAlloc-allocBefore), runtime.NumGoroutine(), id)
 }
 
 // gangKeyCollective serializes every gang (collective) stage: each
@@ -453,7 +483,7 @@ func (ctx *Context) submitWholeRetry(spec JobSpec, policy sched.PlacementPolicy)
 			// whole-stage attempt number (attempt-dependent behaviour such
 			// as "succeed on retry" keys off it), so rebind it here.
 			att := stageAttempt
-			ctx.jobs.Store(id, &job{id: id, fn: func(ec *ExecContext, task, _ int) ([]byte, error) {
+			ctx.jobs.Store(id, &job{id: id, tenant: spec.Tenant, fn: func(ec *ExecContext, task, _ int) ([]byte, error) {
 				return spec.Fn(ec, task, att)
 			}})
 			// MaxAttempts 1 + WaitAll: any failure aborts the whole

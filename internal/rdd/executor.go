@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"sparker/internal/blockmanager"
 	"sparker/internal/comm"
 	"sparker/internal/metrics"
 	"sparker/internal/mutobj"
+	"sparker/internal/obsv"
 	"sparker/internal/trace"
 	"sparker/internal/transport"
 )
@@ -193,7 +196,21 @@ func (e *Executor) runTask(ec *ExecContext, tm taskMsg) (payload []byte, taskErr
 			taskErr = fmt.Errorf("rdd: task %d/%d panicked: %v\n%s", tm.jobID, tm.task, r, debug.Stack())
 		}
 	}()
-	return j.(*job).fn(ec, tm.task, tm.attempt)
+	jb := j.(*job)
+	if e.ctx.conf.Obsv != nil {
+		// Continuous-profiling tags: CPU samples taken while this task
+		// runs carry its job/tenant/executor labels, so a pprof profile
+		// scraped from /debug/pprof attributes hot code per stage.
+		pprof.Do(context.Background(), pprof.Labels(
+			"sparker_job", strconv.FormatInt(tm.jobID, 10),
+			"sparker_tenant", jb.tenant,
+			"sparker_exec", strconv.Itoa(e.id),
+		), func(context.Context) {
+			payload, taskErr = jb.fn(ec, tm.task, tm.attempt)
+		})
+		return payload, taskErr
+	}
+	return jb.fn(ec, tm.task, tm.attempt)
 }
 
 func (e *Executor) close() {
@@ -250,6 +267,9 @@ func (ec *ExecContext) Instrument(ctx context.Context) context.Context {
 	ctx = metrics.NewContext(ctx, ec.Registry)
 	if tr := ec.exec.ctx.conf.Tracer; tr != nil {
 		ctx = trace.NewContext(ctx, tr, ec.span)
+	}
+	if obs := ec.exec.ctx.conf.Obsv; obs != nil {
+		ctx = obsv.NewContext(ctx, obs.ExecRing(ec.ID))
 	}
 	return ctx
 }

@@ -1,0 +1,77 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMergedMetricsConcurrent hammers every executor's registry —
+// observing histograms, bumping gauges, and creating fresh instrument
+// names to force map growth — while MergedMetrics snapshots the
+// cluster view concurrently. The race detector guards the locking;
+// the final merge must account for every observation.
+func TestMergedMetricsConcurrent(t *testing.T) {
+	ctx, err := NewContext(Config{NumExecutors: 2, CoresPerExecutor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Close()
+
+	const (
+		writers   = 4
+		perWriter = 500
+	)
+	var writersWG, scrapersWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Scrapers: merge continuously while writers mutate.
+	for s := 0; s < 2; s++ {
+		scrapersWG.Add(1)
+		go func() {
+			defer scrapersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := ctx.MergedMetrics()
+				_ = m.HistogramNames()
+				_ = m.GaugeNames()
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			// Each writer owns one executor so merged gauge values
+			// (which sum across registries) stay predictable.
+			e := ctx.executors[w%len(ctx.executors)]
+			for i := 0; i < perWriter; i++ {
+				e.reg.Histogram("merge.test.ns").Observe(int64(i + 1))
+				e.reg.Gauge(fmt.Sprintf("merge.test.gauge.%d", w)).Set(int64(i))
+				if i%50 == 0 {
+					// Fresh names force registry map writes under load.
+					e.reg.Histogram(fmt.Sprintf("merge.test.dynamic.%d.%d", w, i)).Observe(1)
+				}
+			}
+		}(w)
+	}
+
+	writersWG.Wait()
+	close(stop)
+	scrapersWG.Wait()
+
+	merged := ctx.MergedMetrics()
+	if got, want := merged.Histogram("merge.test.ns").Count(), int64(writers*perWriter); got != want {
+		t.Fatalf("merged count %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		if got := merged.Gauge(fmt.Sprintf("merge.test.gauge.%d", w)).Value(); got != perWriter-1 {
+			t.Fatalf("gauge %d final value %d, want %d", w, got, perWriter-1)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"sparker/internal/eventlog"
 	"sparker/internal/metrics"
+	"sparker/internal/obsv"
 	"sparker/internal/trace"
 )
 
@@ -49,6 +50,9 @@ type Config struct {
 	// Tracer emits one "sched.wait" span per stage that spends time
 	// queued behind busy slots. Nil disables.
 	Tracer *trace.Tracer
+	// Obsv, when non-nil, receives the scheduler's markers in the
+	// flight recorder (speculative launches are an anomaly trigger).
+	Obsv *obsv.Observer
 }
 
 func (c *Config) fill() error {
@@ -423,6 +427,9 @@ func (s *Scheduler) marker(name, detail string) {
 		s.conf.Recorder.Inc(name)
 	}
 	s.conf.EventLog.Marker(name, detail)
+	// Safe from the loop: a triggered dump is queued to the observer's
+	// own goroutine, never performed inline.
+	s.conf.Obsv.Marker(name, detail)
 }
 
 // run is the scheduler loop: the only goroutine touching stage state.

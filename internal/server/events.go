@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sync"
 )
 
@@ -11,16 +12,33 @@ import (
 // or join lines — the bus reassembles complete lines before
 // broadcasting, ensuring every subscriber sees whole JSON records.
 //
+// Every line gets a monotonically increasing sequence number injected
+// as a leading "seq" field, and the last eventRetain lines are kept in
+// a ring so a reconnecting client can resume with ?since=N instead of
+// losing whatever fired while it was away.
+//
 // Subscribers get buffered channels; a slow consumer drops events
 // rather than stalling the training hot path (the logger's Write is
 // called with its own lock held).
 type eventBus struct {
-	mu      sync.Mutex
-	pending []byte
-	nextID  int
-	subs    map[int]chan string
-	dropped int64
+	mu       sync.Mutex
+	pending  []byte
+	nextID   int
+	subs     map[int]chan string
+	dropped  int64
+	seq      int64
+	retained []seqLine // ring, oldest first, ≤ eventRetain entries
 }
+
+// seqLine is one retained broadcast line with its sequence number.
+type seqLine struct {
+	seq  int64
+	line string
+}
+
+// eventRetain bounds the resume window. 512 lines comfortably covers a
+// reconnect blip at the server's event rates without holding much.
+const eventRetain = 512
 
 func newEventBus() *eventBus {
 	return &eventBus{subs: make(map[int]chan string)}
@@ -41,6 +59,12 @@ func (b *eventBus) Write(p []byte) (int, error) {
 		if line == "" {
 			continue
 		}
+		b.seq++
+		line = injectSeq(line, b.seq)
+		b.retained = append(b.retained, seqLine{seq: b.seq, line: line})
+		if len(b.retained) > eventRetain {
+			b.retained = b.retained[len(b.retained)-eventRetain:]
+		}
 		for _, ch := range b.subs {
 			select {
 			case ch <- line:
@@ -52,16 +76,45 @@ func (b *eventBus) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+// injectSeq prepends a "seq" member to a JSON object line. Non-object
+// lines (which the logger never produces) pass through untouched.
+func injectSeq(line string, seq int64) string {
+	if len(line) < 2 || line[0] != '{' {
+		return line
+	}
+	if line == "{}" {
+		return fmt.Sprintf("{\"seq\":%d}", seq)
+	}
+	return fmt.Sprintf("{\"seq\":%d,%s", seq, line[1:])
+}
+
 // Subscribe registers a new event consumer and returns its channel plus
 // an unsubscribe function. The channel is closed on unsubscribe.
 func (b *eventBus) Subscribe() (<-chan string, func()) {
+	ch, _, unsub := b.SubscribeSince(-1)
+	return ch, unsub
+}
+
+// SubscribeSince registers a consumer and atomically returns the
+// retained lines with sequence numbers strictly greater than since —
+// replay those first, then drain the channel: no gap, no duplicate.
+// since < 0 skips replay entirely.
+func (b *eventBus) SubscribeSince(since int64) (<-chan string, []string, func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	id := b.nextID
 	b.nextID++
 	ch := make(chan string, 256)
 	b.subs[id] = ch
-	return ch, func() {
+	var replay []string
+	if since >= 0 {
+		for _, sl := range b.retained {
+			if sl.seq > since {
+				replay = append(replay, sl.line)
+			}
+		}
+	}
+	return ch, replay, func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		if c, ok := b.subs[id]; ok {

@@ -1,0 +1,112 @@
+package server
+
+// Durable job history: when Config.HistoryDir is set the server tees
+// its event log into an append-only events.jsonl (the same JSON-line
+// schema sparker-analyze reads) and appends every terminal JobStatus
+// to jobs.jsonl. On boot the jobs file is replayed into the job list,
+// so GET /api/v1/jobs shows what ran before the restart — records are
+// marked "restored" and ID allocation continues past them.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	historyEventsFile = "events.jsonl"
+	historyJobsFile   = "jobs.jsonl"
+)
+
+// jobHistory owns the two append-only files. A nil *jobHistory drops
+// everything, so call sites need no guards.
+type jobHistory struct {
+	mu     sync.Mutex
+	events *os.File
+	jobs   *os.File
+	enc    *json.Encoder
+}
+
+func openJobHistory(dir string) (*jobHistory, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: history dir: %w", err)
+	}
+	ev, err := os.OpenFile(filepath.Join(dir, historyEventsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: history events: %w", err)
+	}
+	jf, err := os.OpenFile(filepath.Join(dir, historyJobsFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		ev.Close()
+		return nil, fmt.Errorf("server: history jobs: %w", err)
+	}
+	return &jobHistory{events: ev, jobs: jf, enc: json.NewEncoder(jf)}, nil
+}
+
+// eventWriter returns the writer the event log tees into.
+func (h *jobHistory) eventWriter() io.Writer {
+	if h == nil {
+		return io.Discard
+	}
+	return h.events
+}
+
+// appendJob records one terminal job status.
+func (h *jobHistory) appendJob(st JobStatus) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.enc.Encode(st)
+}
+
+// replay feeds every previously persisted terminal job into restore.
+// Corrupt lines are skipped — a crash mid-append must not brick boot.
+func replayJobHistory(dir string, restore func(JobStatus)) (int, error) {
+	f, err := os.Open(filepath.Join(dir, historyJobsFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var st JobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil || st.ID == "" {
+			continue
+		}
+		restore(st)
+		n++
+	}
+	return n, sc.Err()
+}
+
+func (h *jobHistory) close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events.Close()
+	h.jobs.Close()
+}
+
+// persistJob appends a terminal job record to the history log (no-op
+// without -history-dir).
+func (s *Server) persistJob(st JobStatus) {
+	if st.State.terminal() {
+		s.history.appendJob(st)
+	}
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +10,7 @@ import (
 
 	"sparker/internal/data"
 	"sparker/internal/linalg"
+	"sparker/internal/metrics"
 	"sparker/internal/mllib"
 	"sparker/internal/rdd"
 )
@@ -45,11 +48,17 @@ type JobRequest struct {
 type JobState string
 
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
 )
+
+// terminal reports whether a state can no longer change.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
 
 // JobStatus is the externally visible job record.
 type JobStatus struct {
@@ -62,6 +71,9 @@ type JobStatus struct {
 	Submitted time.Time  `json:"submitted"`
 	Started   *time.Time `json:"started,omitempty"`
 	Finished  *time.Time `json:"finished,omitempty"`
+	// Restored marks records replayed from the history log on boot —
+	// visible in listings but no longer backed by a live goroutine.
+	Restored bool `json:"restored,omitempty"`
 }
 
 // JobResult summarizes a completed training run.
@@ -78,6 +90,11 @@ type JobResult struct {
 type job struct {
 	mu     sync.Mutex
 	status JobStatus
+	// ctx is cancelled by DELETE /api/v1/jobs/{id}; the training loop
+	// derives from it (GDConfig.Ctx / KMeansConfig.Ctx), so a cancel
+	// aborts the next iteration's collective launch.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 func (j *job) view() JobStatus {
@@ -121,9 +138,30 @@ func (m *jobManager) create(req JobRequest) *job {
 		Request:   req,
 		Submitted: time.Now(),
 	}}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	return j
+}
+
+// restore re-inserts a historical job record replayed from the
+// persisted log and keeps ID allocation beyond it.
+func (m *jobManager) restore(st JobStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[st.ID]; ok {
+		return
+	}
+	st.Restored = true
+	j := &job{status: st}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	j.cancel() // nothing live behind a restored record
+	m.jobs[st.ID] = j
+	m.order = append(m.order, st.ID)
+	var n int64
+	if _, err := fmt.Sscanf(st.ID, "job-%d", &n); err == nil && n > m.nextID {
+		m.nextID = n
+	}
 }
 
 func (m *jobManager) get(id string) *job {
@@ -207,6 +245,9 @@ func (s *Server) runJob(j *job, t *tenantEntry) {
 	select {
 	case s.jobs.sem <- struct{}{}:
 		defer func() { <-s.jobs.sem }()
+	case <-j.ctx.Done():
+		s.finishJob(j, nil, fmt.Errorf("job cancelled while queued: %w", context.Canceled))
+		return
 	case <-s.closing:
 		s.finishJob(j, nil, fmt.Errorf("server shutting down"))
 		return
@@ -219,7 +260,7 @@ func (s *Server) runJob(j *job, t *tenantEntry) {
 	j.mu.Unlock()
 	s.logger.Marker("job-start", fmt.Sprintf("%s tenant=%s model=%s", id, req.Tenant, req.Model))
 
-	res, err := s.train(id, req)
+	res, err := s.train(j.ctx, id, req)
 	s.finishJob(j, res, err)
 }
 
@@ -227,20 +268,36 @@ func (s *Server) finishJob(j *job, res *JobResult, err error) {
 	now := time.Now()
 	j.mu.Lock()
 	j.status.Finished = &now
-	if err != nil {
+	switch {
+	case err != nil && errors.Is(err, context.Canceled):
+		j.status.State = JobCancelled
+		j.status.Error = err.Error()
+	case err != nil:
 		j.status.State = JobFailed
 		j.status.Error = err.Error()
-	} else {
+	default:
 		j.status.State = JobDone
 		j.status.Result = res
 	}
-	id, state := j.status.ID, j.status.State
+	id, state, tenant := j.status.ID, j.status.State, j.status.Tenant
 	j.mu.Unlock()
 	s.logger.Marker("job-finish", fmt.Sprintf("%s state=%s", id, state))
+	// Terminal anomalies feed the flight recorder: RecordMarker tees
+	// into the Observer, whose default triggers include both counters,
+	// so a failed or cancelled job snapshots a postmortem bundle.
+	switch state {
+	case JobCancelled:
+		s.ctx.RecordMarker(metrics.CounterJobCancelled, fmt.Sprintf("%s tenant=%s", id, tenant))
+	case JobFailed:
+		s.ctx.RecordMarker(metrics.CounterJobFailed, fmt.Sprintf("%s tenant=%s: %s", id, tenant, j.view().Error))
+	}
+	s.persistJob(j.view())
 }
 
-// train runs the requested workload on the shared context.
-func (s *Server) train(id string, req JobRequest) (*JobResult, error) {
+// train runs the requested workload on the shared context. jctx bounds
+// the run: cancelling it (DELETE /api/v1/jobs/{id}) aborts the next
+// iteration with context.Canceled.
+func (s *Server) train(jctx context.Context, id string, req JobRequest) (*JobResult, error) {
 	strat, err := mllib.ParseStrategy(req.Strategy)
 	if err != nil {
 		return nil, err
@@ -271,7 +328,7 @@ func (s *Server) train(id string, req JobRequest) (*JobResult, error) {
 		defer train.Unpersist()
 		m, err := mllib.TrainKMeans(train, mllib.KMeansConfig{
 			K: req.K, NumFeatures: sp.Features, Iterations: req.Iterations,
-			Strategy: strat, Tenant: req.Tenant,
+			Strategy: strat, Tenant: req.Tenant, Ctx: jctx,
 		})
 		if err != nil {
 			return nil, err
@@ -285,7 +342,7 @@ func (s *Server) train(id string, req JobRequest) (*JobResult, error) {
 		defer train.Unpersist()
 		gd := mllib.GDConfig{
 			Iterations: req.Iterations, StepSize: req.StepSize,
-			Strategy: strat, Seed: req.Seed, Tenant: req.Tenant,
+			Strategy: strat, Seed: req.Seed, Tenant: req.Tenant, Ctx: jctx,
 		}
 		var losses []float64
 		switch req.Model {

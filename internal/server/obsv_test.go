@@ -1,0 +1,322 @@
+package server
+
+// Observability satellites: DELETE cancellation producing a valid
+// flight-recorder bundle, the resumable event stream, durable job
+// history, and the operations endpoints.
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sparker/internal/obsv"
+	"sparker/internal/rdd"
+)
+
+// wsDial performs the RFC 6455 client handshake against path and
+// returns the raw connection plus a reader positioned at frame data.
+func wsDial(t *testing.T, addr, path string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := base64.StdEncoding.EncodeToString([]byte("0123456789abcdef"))
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", path, addr, key)
+	br := bufio.NewReader(conn)
+	status, err := br.ReadString('\n')
+	if err != nil || !strings.Contains(status, "101") {
+		conn.Close()
+		t.Fatalf("handshake on %s: status %q err %v", path, status, err)
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			conn.Close()
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			return conn, br
+		}
+	}
+}
+
+// readEvent reads frames until the next JSON event and returns it with
+// its sequence number.
+func readEvent(t *testing.T, conn net.Conn, br *bufio.Reader, timeout time.Duration) (seq int64, kind, name string) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	for {
+		op, payload, err := wsReadFrame(br)
+		if err != nil {
+			t.Fatalf("reading frame: %v", err)
+		}
+		if op != wsOpText {
+			continue
+		}
+		var ev struct {
+			Seq  int64  `json:"seq"`
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			t.Fatalf("frame is not a JSON event: %q", payload)
+		}
+		if ev.Seq == 0 {
+			t.Fatalf("event without sequence number: %q", payload)
+		}
+		return ev.Seq, ev.Kind, ev.Name
+	}
+}
+
+// TestCancelJobProducesBundle drives the full anomaly path: a running
+// job is cancelled over DELETE, the training loop aborts with
+// context.Canceled, the job-cancelled marker trips the flight
+// recorder, and the resulting postmortem bundle validates.
+func TestCancelJobProducesBundle(t *testing.T) {
+	bundleDir := t.TempDir()
+	obs := obsv.New(obsv.Config{BundleDir: bundleDir})
+	s := testServer(t, Config{
+		Cluster: rdd.Config{NumExecutors: 2, CoresPerExecutor: 2, Obsv: obs},
+	})
+	base := "http://" + s.Addr()
+
+	// Enough fast iterations that the job is still running when the
+	// DELETE lands, and hits a cancellation check soon after.
+	resp, body := postJSON(t, base+"/api/v1/jobs", JobRequest{
+		Model: "lr", Scale: 200000, Iterations: 100000, SaveAs: "-",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if cur := s.jobs.get(st.ID).view(); cur.State == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started running", st.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/api/v1/jobs/"+st.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE: status %d", dresp.StatusCode)
+	}
+
+	for {
+		cur := s.jobs.get(st.ID).view()
+		if cur.State.terminal() {
+			if cur.State != JobCancelled {
+				t.Fatalf("job reached %s (%s), want cancelled", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not reach a terminal state", st.ID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A second DELETE on the terminal job must 409.
+	req2, _ := http.NewRequest(http.MethodDelete, base+"/api/v1/jobs/"+st.ID, nil)
+	dresp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp2.Body.Close()
+	if dresp2.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE: status %d, want 409", dresp2.StatusCode)
+	}
+
+	if !obs.Flush(10 * time.Second) {
+		t.Fatal("observer did not drain pending bundle dumps")
+	}
+	bundles := obs.Bundles()
+	if len(bundles) == 0 {
+		t.Fatal("cancellation produced no postmortem bundle")
+	}
+	b, err := obsv.Load(bundles[len(bundles)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("bundle invalid: %v", err)
+	}
+	if b.Trigger.Name != "job-cancelled" {
+		t.Fatalf("bundle trigger %q, want job-cancelled", b.Trigger.Name)
+	}
+	if !strings.Contains(b.Trigger.Detail, st.ID) {
+		t.Fatalf("trigger detail %q does not name job %s", b.Trigger.Detail, st.ID)
+	}
+}
+
+// TestEventStreamResume disconnects mid-stream and reconnects with
+// ?since=N: the replayed tail must continue exactly where the first
+// connection left off — no gap, no duplicate.
+func TestEventStreamResume(t *testing.T) {
+	s := testServer(t, Config{})
+	base := "http://" + s.Addr()
+
+	conn, br := wsDial(t, s.Addr(), "/ws/events")
+	postJSON(t, base+"/api/v1/jobs", JobRequest{Model: "lr", Scale: 200000, Iterations: 1, SaveAs: "-"})
+
+	var lastSeq int64
+	for {
+		seq, _, name := readEvent(t, conn, br, 10*time.Second)
+		if seq <= lastSeq {
+			t.Fatalf("sequence went backwards: %d after %d", seq, lastSeq)
+		}
+		lastSeq = seq
+		if name == "job-submit" {
+			break
+		}
+	}
+	conn.Close()
+
+	// More traffic while disconnected.
+	_, body := postJSON(t, base+"/api/v1/jobs", JobRequest{Model: "lr", Scale: 200000, Iterations: 1, SaveAs: "-"})
+	var st2 JobStatus
+	json.Unmarshal(body, &st2)
+	waitJob(t, base, st2.ID, 30*time.Second)
+	s.logger.Flush()
+
+	conn2, br2 := wsDial(t, s.Addr(), fmt.Sprintf("/ws/events?since=%d", lastSeq))
+	defer conn2.Close()
+	want := lastSeq + 1
+	sawSecondSubmit := false
+	for i := 0; i < 200 && !sawSecondSubmit; i++ {
+		seq, _, name := readEvent(t, conn2, br2, 10*time.Second)
+		if seq != want {
+			t.Fatalf("resume gap: got seq %d, want %d", seq, want)
+		}
+		want++
+		if name == "job-submit" {
+			sawSecondSubmit = true
+		}
+	}
+	if !sawSecondSubmit {
+		t.Fatal("resumed stream never replayed the second job-submit")
+	}
+}
+
+// TestHistoryReplay restarts the server on the same -history-dir and
+// expects the first incarnation's jobs in the listing, with new IDs
+// allocated past them.
+func TestHistoryReplay(t *testing.T) {
+	dir := t.TempDir()
+	s1 := testServer(t, Config{HistoryDir: dir})
+	base1 := "http://" + s1.Addr()
+	_, body := postJSON(t, base1+"/api/v1/jobs", JobRequest{Model: "lr", Scale: 200000, Iterations: 1, SaveAs: "-"})
+	var st JobStatus
+	json.Unmarshal(body, &st)
+	done := waitJob(t, base1, st.ID, 30*time.Second)
+	if done.State != JobDone {
+		t.Fatalf("job: %s (%s)", done.State, done.Error)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, historyEventsFile)); err != nil || fi.Size() == 0 {
+		t.Fatalf("events.jsonl missing or empty: %v", err)
+	}
+
+	s2 := testServer(t, Config{HistoryDir: dir})
+	base2 := "http://" + s2.Addr()
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, base2+"/api/v1/jobs", &list)
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == st.ID {
+			found = true
+			if !j.Restored || j.State != JobDone {
+				t.Fatalf("replayed job not marked restored/done: %+v", j)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("job %s missing after replay: %+v", st.ID, list.Jobs)
+	}
+
+	// New submissions must not collide with replayed IDs.
+	_, body2 := postJSON(t, base2+"/api/v1/jobs", JobRequest{Model: "lr", Scale: 200000, Iterations: 1, SaveAs: "-"})
+	var st2 JobStatus
+	json.Unmarshal(body2, &st2)
+	if st2.ID == st.ID || st2.ID == "" {
+		t.Fatalf("restored server reissued job ID %q", st2.ID)
+	}
+	waitJob(t, base2, st2.ID, 30*time.Second)
+}
+
+// TestOpsEndpoints: /healthz, /buildinfo, and the live debug plane
+// must answer with real state on the serving mux.
+func TestOpsEndpoints(t *testing.T) {
+	s := testServer(t, Config{})
+	base := "http://" + s.Addr()
+
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if code := getJSON(t, base+"/healthz", &hz); code != http.StatusOK || hz.Status != "ok" {
+		t.Fatalf("/healthz: code %d status %q", code, hz.Status)
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+	}
+	if code := getJSON(t, base+"/buildinfo", &bi); code != http.StatusOK || bi.GoVersion == "" {
+		t.Fatalf("/buildinfo: code %d go_version %q", code, bi.GoVersion)
+	}
+
+	var sched struct {
+		TotalSlots int `json:"total_slots"`
+	}
+	if code := getJSON(t, base+"/debug/sparker/sched", &sched); code != http.StatusOK {
+		t.Fatalf("/debug/sparker/sched: code %d", code)
+	}
+	if want := s.ctx.TotalCores(); sched.TotalSlots != want {
+		t.Fatalf("sched snapshot reports %d slots, cluster has %d", sched.TotalSlots, want)
+	}
+
+	var topo struct {
+		Executors []struct {
+			Exec int    `json:"exec"`
+			Host string `json:"host"`
+		} `json:"executors"`
+	}
+	if code := getJSON(t, base+"/debug/sparker/topology", &topo); code != http.StatusOK {
+		t.Fatalf("/debug/sparker/topology: code %d", code)
+	}
+	if len(topo.Executors) != 2 {
+		t.Fatalf("topology reports %d executors, want 2", len(topo.Executors))
+	}
+
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline: code %d", resp.StatusCode)
+	}
+}

@@ -9,20 +9,24 @@
 //
 // Endpoints (JSON over HTTP, plus one WebSocket):
 //
-//	POST /api/v1/jobs                  submit a training job
-//	GET  /api/v1/jobs                  list jobs
-//	GET  /api/v1/jobs/{id}             job status/result
-//	GET  /api/v1/tenants               tenant accounts (fair-share + admission)
-//	PUT  /api/v1/tenants/{name}        configure a tenant
-//	GET  /api/v1/models                served models
-//	POST /api/v1/models/{name}/predict score a batch of points
-//	GET  /metrics                      Prometheus text exposition
-//	GET  /ws/events                    live event-log stream (WebSocket)
+//	POST   /api/v1/jobs                  submit a training job
+//	GET    /api/v1/jobs                  list jobs (includes restored history)
+//	GET    /api/v1/jobs/{id}             job status/result
+//	DELETE /api/v1/jobs/{id}             cancel a queued or running job
+//	GET    /api/v1/tenants               tenant accounts (fair-share + admission)
+//	PUT    /api/v1/tenants/{name}        configure a tenant
+//	GET    /api/v1/models                served models
+//	POST   /api/v1/models/{name}/predict score a batch of points
+//	GET    /metrics                      Prometheus text exposition
+//	GET    /ws/events                    live event-log stream (WebSocket, ?since=N resumes)
+//	GET    /healthz, /buildinfo          liveness and build identification
+//	GET    /debug/sparker/*, /debug/pprof/*  live introspection + profiling
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync"
@@ -53,6 +57,10 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for in-flight jobs
 	// (default 30s).
 	DrainTimeout time.Duration
+	// HistoryDir, when set, persists the event log to an append-only
+	// events.jsonl and terminal job records to jobs.jsonl under this
+	// directory; on boot jobs.jsonl is replayed into GET /api/v1/jobs.
+	HistoryDir string
 }
 
 // Server is the long-lived multi-tenant driver.
@@ -65,6 +73,8 @@ type Server struct {
 	jobs    *jobManager
 	models  *modelRegistry
 	reg     *metrics.Registry
+
+	history *jobHistory
 
 	lis     net.Listener
 	httpSrv *http.Server
@@ -93,16 +103,33 @@ func New(conf Config) (*Server, error) {
 		closing:   make(chan struct{}),
 		flushDone: make(chan struct{}),
 	}
-	s.logger = eventlog.New(s.bus)
+	var logSink io.Writer = s.bus
+	if conf.HistoryDir != "" {
+		h, err := openJobHistory(conf.HistoryDir)
+		if err != nil {
+			return nil, err
+		}
+		s.history = h
+		logSink = io.MultiWriter(s.bus, h.eventWriter())
+	}
+	s.logger = eventlog.New(logSink)
 	conf.Cluster.EventLog = s.logger
 
 	ctx, err := rdd.NewContext(conf.Cluster)
 	if err != nil {
+		s.history.close()
 		return nil, err
 	}
 	s.ctx = ctx
 	s.tenants = newTenantRegistry(conf.DefaultTenant, ctx.ConfigureTenant)
 	s.jobs = newJobManager(conf.MaxConcurrentJobs)
+	if conf.HistoryDir != "" {
+		if n, err := replayJobHistory(conf.HistoryDir, s.jobs.restore); err != nil {
+			s.logger.Marker("history-replay-error", err.Error())
+		} else if n > 0 {
+			s.logger.Marker("history-replay", fmt.Sprintf("%d jobs restored", n))
+		}
+	}
 	s.models = newModelRegistry(conf.Batch, s.reg)
 
 	lis, err := net.Listen("tcp", conf.Addr)
@@ -172,6 +199,7 @@ func (s *Server) Close() error {
 		}
 		s.models.close()
 		<-s.flushDone
+		s.history.close()
 		if stopErr := s.ctx.Stop(s.conf.DrainTimeout); stopErr != nil && err == nil {
 			err = stopErr
 		}
@@ -184,12 +212,17 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /api/v1/tenants", s.handleListTenants)
 	mux.HandleFunc("PUT /api/v1/tenants/{name}", s.handleConfigureTenant)
 	mux.HandleFunc("GET /api/v1/models", s.handleListModels)
 	mux.HandleFunc("POST /api/v1/models/{name}/predict", s.handlePredict)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /ws/events", s.serveEventSocket)
+	mux.Handle("GET /healthz", metrics.HealthzHandler())
+	mux.Handle("GET /buildinfo", metrics.BuildInfoHandler())
+	// Live introspection + continuous profiling for the shared driver.
+	mux.Handle("/debug/", s.ctx.DebugHandler())
 	return mux
 }
 
@@ -242,6 +275,25 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleCancelJob implements DELETE /api/v1/jobs/{id}: cancel the
+// job's context so the training loop aborts at its next iteration
+// boundary (queued jobs abort immediately). Terminal jobs return 409.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	st := j.view()
+	if st.State.terminal() {
+		writeError(w, http.StatusConflict, "job %s already %s", st.ID, st.State)
+		return
+	}
+	s.logger.Marker("job-cancel", fmt.Sprintf("%s tenant=%s", st.ID, st.Tenant))
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": st.ID, "cancelling": true})
 }
 
 // tenantView merges server-side admission state with the scheduler's

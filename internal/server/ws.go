@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -150,14 +151,38 @@ func wsReadFrame(r *bufio.Reader) (opcode byte, payload []byte, err error) {
 
 // serveEventSocket streams event-bus lines as text frames until the
 // client closes, the connection errors, or the server shuts down.
+// With ?since=N the retained tail with seq > N is replayed first, so a
+// reconnecting client resumes from its last seen sequence number
+// without gaps or duplicates (as long as the gap fits the retain
+// window).
 func (s *Server) serveEventSocket(w http.ResponseWriter, r *http.Request) {
+	since := int64(-1)
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
 	conn, brw, err := wsUpgrade(w, r)
 	if err != nil {
 		return
 	}
 	defer conn.Close()
-	events, unsubscribe := s.bus.Subscribe()
+	events, replay, unsubscribe := s.bus.SubscribeSince(since)
 	defer unsubscribe()
+	for _, line := range replay {
+		conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if err := wsWriteFrame(brw, wsOpText, []byte(line)); err != nil {
+			return
+		}
+	}
+	if len(replay) > 0 {
+		if err := brw.Flush(); err != nil {
+			return
+		}
+	}
 
 	// Read loop: service pings, notice close frames, absorb anything
 	// else. Ends (and signals the writer) when the peer goes away.

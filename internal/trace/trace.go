@@ -97,6 +97,46 @@ type Tracer struct {
 // whose spans are timed but dropped (useful for overhead measurement).
 func New(exp Exporter) *Tracer { return &Tracer{exp: exp} }
 
+// Exporter returns the tracer's exporter (nil on a nil or exporterless
+// tracer) — used to tee an existing tracer into another sink.
+func (t *Tracer) Exporter() Exporter {
+	if t == nil {
+		return nil
+	}
+	return t.exp
+}
+
+// MultiExporter fans each finished span out to every non-nil exporter,
+// in order. Tee builds one, flattening nils and single elements.
+type MultiExporter []Exporter
+
+// ExportSpan implements Exporter.
+func (m MultiExporter) ExportSpan(s Span) {
+	for _, e := range m {
+		if e != nil {
+			e.ExportSpan(s)
+		}
+	}
+}
+
+// Tee combines exporters into one, dropping nils. Returns nil when
+// none remain, and the exporter itself when exactly one does.
+func Tee(exps ...Exporter) Exporter {
+	var m MultiExporter
+	for _, e := range exps {
+		if e != nil {
+			m = append(m, e)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
 // Enabled reports whether spans will actually be recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
 
