@@ -17,25 +17,30 @@ vet:
 test: build
 	$(GO) test ./...
 
-# The reduction data plane (pooled wire buffers, persistent channel
-# senders, fused decode-reduce) plus the rdd engine that drives it, the
-# telemetry instruments, and the span exporters.
+# The reduction data plane (pooled wire buffers, persistent senders,
+# fused decode-reduce) plus the rdd engine that drives it, the packed
+# compute plane (shared scratch free list, ParallelFor pool, cached CSC
+# views), the telemetry instruments, and the span exporters.
 race:
-	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace ./internal/server ./internal/obsv
+	$(GO) test -race ./internal/collective ./internal/comm ./internal/rdd ./internal/sched ./internal/transport ./internal/metrics ./internal/trace ./internal/server ./internal/obsv ./internal/linalg ./internal/mllib
 
 # Fault-injection suites (see DESIGN.md "Fault model"): kill/drop/delay
-# matrices over the raw collectives and end-to-end core.Aggregate,
-# always under the race detector.
+# matrices over the raw collectives, end-to-end core.Aggregate, and
+# packed training riding the ring fallback, always under the race
+# detector.
 test-chaos:
-	$(GO) test -race -run 'Chaos|Straggler' ./internal/collective ./internal/core ./internal/rdd
+	$(GO) test -race -run 'Chaos|Straggler' ./internal/collective ./internal/core ./internal/rdd ./internal/mllib
 
 # Telemetry overhead gate (see DESIGN.md "Observability"): with tracing
 # off the ring hot path must allocate no more per op than the PR 1
 # baselines — both the default path and the chunked pipelined path with
 # chunking pinned on. Fails the build if disabled telemetry (or the
-# chunk pipeline) stops being allocation-free.
+# chunk pipeline) stops being allocation-free. The packed gate holds
+# the compute plane to the same bar: steady-state fused kernel calls
+# must allocate nothing per pass (DESIGN.md "Packed compute plane").
 overhead:
 	$(GO) test -run 'TelemetryOverhead|PipelineOverhead' -v ./internal/collective
+	$(GO) test -run 'PackedKernelOverhead' -v ./internal/linalg
 
 # End-to-end tracing demo: a traced LR run whose event log must convert
 # to a Perfetto-loadable Chrome trace with >= 2 executor tracks,
@@ -92,3 +97,5 @@ bench-compare:
 	@cat BENCH_PR6.json
 	$(GO) run ./cmd/sparkerbench -only serve -json > BENCH_PR7.json
 	@cat BENCH_PR7.json
+	$(GO) run ./cmd/sparkerbench -only compute -json > BENCH_PR9.json
+	@cat BENCH_PR9.json

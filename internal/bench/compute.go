@@ -1,0 +1,282 @@
+package bench
+
+// ComputeSweep is the evidence figure for the packed compute plane
+// (DESIGN.md §16): real RunGradientDescent iterations through the real
+// engine, per-point fold vs CSR-packed fused kernels, at 1 and 4
+// within-task cores. It reports ns/iteration and points/sec per
+// (profile, mode, cores) cell, asserts inside the bench that every
+// packed run trains bitwise-identical weights and losses to the
+// per-point path, and computes the two headline ratios:
+//
+//   - single-core speedup: per-point c1 wall / packed c1 wall, on the
+//     dense-uniform profile;
+//   - within-task scaling at 4 cores on the sparse power-law profile,
+//     reported as projected wall = cpu(c4)/4 against packed c1 wall.
+//
+// The projection is necessary because CI containers often pin
+// GOMAXPROCS=1: the four shard workers then timeslice one OS core, so
+// a 4-core wall clock is meaningless there, but CPU time (getrusage)
+// still measures the total work the shards did. Perfect scaling means
+// cpu(c4) == wall(c1) and the projection reports 4.00×; every bit of
+// sharding overhead (phase split, column-segment scan) lands in
+// cpu(c4) and lowers it. gomaxprocs/host_cores are recorded alongside
+// so readers can tell a projected number from a measured one.
+//
+// `make bench-compare` renders this as BENCH_PR9.json.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sparker/internal/data"
+	"sparker/internal/mllib"
+	"sparker/internal/rdd"
+)
+
+// computeProfile is one dataset/model cell of the sweep.
+type computeProfile struct {
+	name string
+	spec data.ClassificationSpec
+	grad mllib.Gradient
+	desc string
+}
+
+// computeProfiles returns the sweep's dataset/model grid. scale
+// divides the full-size sample counts so tests can run the grid small.
+func computeProfiles(scale int) []computeProfile {
+	return []computeProfile{
+		{
+			// The headline dense cell: uniform nnz rows, linear
+			// regression. Least-squares is the pure data-plane model —
+			// no transcendentals — so this cell isolates exactly what
+			// the packed layout changes: layout, dispatch, and fusion.
+			name: "dense",
+			spec: data.ClassificationSpec{Samples: 100_000 / scale, Features: 400, NNZPerSample: 16, Seed: 9},
+			grad: mllib.LeastSquaresGradient{},
+			desc: "uniform nnz=16, least-squares",
+		},
+		{
+			// Same shape under logistic: math.Exp/math.Log1p put a
+			// transcendental floor under BOTH paths, so the ratio here
+			// is structurally lower — kept as the honesty row.
+			name: "dense-logistic",
+			spec: data.ClassificationSpec{Samples: 100_000 / scale, Features: 400, NNZPerSample: 16, Seed: 9},
+			grad: mllib.LogisticGradient{},
+			desc: "uniform nnz=16, logistic",
+		},
+		{
+			// The avazu shape: power-law rows, head-heavy features.
+			// This is the within-task-scaling cell — skewed rows are
+			// where static row sharding alone would imbalance, and the
+			// kernel's row+column two-phase split must still scale.
+			name: "sparse-powerlaw",
+			spec: data.ClassificationSpec{Samples: 24_000 / scale, Features: 1000, NNZPerSample: 30, NNZAlpha: 1.5, Seed: 11},
+			grad: mllib.LeastSquaresGradient{},
+			desc: "power-law nnz α=1.5, least-squares",
+		},
+	}
+}
+
+// cpuNow reads the process's cumulative user+system CPU time.
+func cpuNow() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// computeRun is one measured (mode, cores) training run.
+type computeRun struct {
+	wallPerIter  time.Duration
+	cpuPerIter   time.Duration
+	pointsPerSec int64
+	weights      []float64
+	losses       []float64
+}
+
+// computeReps is how many times each cell's measured run repeats; the
+// cell reports the minimum per-iteration wall and CPU across
+// repetitions — the noise-robust estimator on shared machines, where
+// the minimum is the run least disturbed by co-tenants and GC. The
+// sweep additionally interleaves whole passes over the cell grid (see
+// computeSweep), so a noise burst in one time window cannot land on
+// just one side of a ratio.
+const computeReps = 3
+
+// runComputeMode trains iters full-batch GD iterations on a fresh
+// single-executor context with the given within-task core count and
+// packed mode, measuring steady state: a warmup iteration first packs
+// and block-caches the partition (packed mode) so the measured runs are
+// iterations 2..N — the regime training actually lives in.
+func runComputeMode(pts []mllib.LabeledPoint, grad mllib.Gradient, dim, cores, iters int, packed mllib.PackedMode, name string) (computeRun, error) {
+	var res computeRun
+	ctx, err := rdd.NewContext(rdd.Config{Name: name, NumExecutors: 1, CoresPerExecutor: cores})
+	if err != nil {
+		return res, err
+	}
+	defer ctx.Close()
+	train := rdd.FromSlice(ctx, pts, 1).Cache()
+	cfg := mllib.GDConfig{StepSize: 0.1, Strategy: mllib.StrategyTree, Packed: packed}
+	warm := cfg
+	warm.Iterations = 1
+	if _, _, err := mllib.RunGradientDescent(train, grad, mllib.SimpleUpdater{}, make([]float64, dim), warm); err != nil {
+		return res, err
+	}
+	cfg.Iterations = iters
+	for rep := 0; rep < computeReps; rep++ {
+		cpu0, start := cpuNow(), time.Now()
+		w, losses, err := mllib.RunGradientDescent(train, grad, mllib.SimpleUpdater{}, make([]float64, dim), cfg)
+		wall, cpu := time.Since(start), cpuNow()-cpu0
+		if err != nil {
+			return res, err
+		}
+		// Training is deterministic, so every repetition computes the
+		// same weights; only the timings differ.
+		res.weights, res.losses = w, losses
+		if wallIter := wall / time.Duration(iters); rep == 0 || wallIter < res.wallPerIter {
+			res.wallPerIter = wallIter
+			if wall > 0 {
+				res.pointsPerSec = int64(float64(len(pts)) * float64(iters) / wall.Seconds())
+			}
+		}
+		if cpuIter := cpu / time.Duration(iters); rep == 0 || cpuIter < res.cpuPerIter {
+			res.cpuPerIter = cpuIter
+		}
+	}
+	return res, nil
+}
+
+// bitsEqual reports exact (bitwise) equality of two float slices.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ratioMilliOf is a×1000/b with rounding, 0 when b is 0.
+func ratioMilliOf(a, b time.Duration) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return int64(float64(a)/float64(b)*1000 + 0.5)
+}
+
+// computeSweep runs the grid. Split from ComputeSweep so tests can run
+// it small.
+func computeSweep(scale, iters int) (*Report, error) {
+	r := &Report{
+		Title:     "Compute-plane sweep: per-point fold vs packed fused kernels (real engine, 1 executor, 1 partition)",
+		Header:    []string{"Profile", "Mode", "Cores", "ns/iter", "CPU ns/iter", "Points/sec", "vs per-point c1"},
+		Quantiles: map[string]int64{},
+	}
+	r.Quantiles["compute/gomaxprocs"] = int64(runtime.GOMAXPROCS(0))
+	r.Quantiles["compute/host_cores"] = int64(runtime.NumCPU())
+
+	type cell struct {
+		mode   string
+		cores  int
+		packed mllib.PackedMode
+	}
+	cells := []cell{
+		{"perpoint", 1, mllib.PackedOff},
+		{"packed", 1, mllib.PackedOn},
+		{"packed", 4, mllib.PackedOn},
+	}
+	for _, p := range computeProfiles(scale) {
+		pts := data.GenClassification(p.spec)
+		// Shuffle the slice: generation allocates each point's vectors
+		// back-to-back, handing the per-point fold the packed layout's
+		// locality for free. Cached partitions do not look like that —
+		// their vectors were heap-allocated by deserialization or
+		// shuffles in arbitrary order — so the fold must traverse
+		// heap-scattered vectors here too. Packing restores contiguity
+		// from exactly this layout; both modes fold the same shuffled
+		// order, so results stay bitwise-comparable.
+		rng := rand.New(rand.NewSource(p.spec.Seed * 7919))
+		rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		dim := p.spec.Features
+		// Two interleaved passes over the cell grid, keeping the minimum
+		// per cell: the cells of a ratio are measured in adjacent time
+		// windows twice, so a co-tenant noise burst cannot inflate one
+		// side of a ratio without also getting a clean second sample.
+		const gridPasses = 2
+		runs := make([]computeRun, len(cells))
+		for pass := 0; pass < gridPasses; pass++ {
+			for ci, c := range cells {
+				run, err := runComputeMode(pts, p.grad, dim, c.cores, iters,
+					c.packed, fmt.Sprintf("bench-compute-%s-%s-c%d", p.name, c.mode, c.cores))
+				if err != nil {
+					return nil, fmt.Errorf("bench: compute %s/%s/c%d: %w", p.name, c.mode, c.cores, err)
+				}
+				if pass == 0 {
+					runs[ci] = run
+					continue
+				}
+				if run.wallPerIter < runs[ci].wallPerIter {
+					runs[ci].wallPerIter, runs[ci].pointsPerSec = run.wallPerIter, run.pointsPerSec
+				}
+				if run.cpuPerIter < runs[ci].cpuPerIter {
+					runs[ci].cpuPerIter = run.cpuPerIter
+				}
+			}
+		}
+		base := runs[0] // per-point c1: the reference for ratios and bitwise identity
+		for ci, c := range cells {
+			run := runs[ci]
+			if ci > 0 && (!bitsEqual(run.weights, base.weights) || !bitsEqual(run.losses, base.losses)) {
+				return nil, fmt.Errorf("bench: compute %s/%s/c%d: packed result not bitwise-identical to per-point",
+					p.name, c.mode, c.cores)
+			}
+			speedup := ratioMilliOf(base.wallPerIter, run.wallPerIter)
+			r.AddRow(p.name, c.mode, fmt.Sprint(c.cores),
+				fmt.Sprintf("%d", run.wallPerIter.Nanoseconds()),
+				fmt.Sprintf("%d", run.cpuPerIter.Nanoseconds()),
+				fmt.Sprintf("%d", run.pointsPerSec),
+				fmt.Sprintf("%.2f×", float64(speedup)/1000))
+			pre := fmt.Sprintf("compute/%s/%s/c%d", p.name, c.mode, c.cores)
+			r.Quantiles[pre+"/ns_per_iter"] = run.wallPerIter.Nanoseconds()
+			r.Quantiles[pre+"/cpu_ns_per_iter"] = run.cpuPerIter.Nanoseconds()
+			r.Quantiles[pre+"/points_per_sec"] = run.pointsPerSec
+			switch {
+			case c.mode == "packed" && c.cores == 1:
+				r.Quantiles["compute/"+p.name+"/speedup_milli/c1"] = speedup
+			case c.mode == "packed" && c.cores == 4:
+				// Projected 4-core wall = total shard CPU / 4; scaling
+				// is packed-c1 wall against that projection.
+				projected := run.cpuPerIter / 4
+				r.Quantiles["compute/"+p.name+"/packed_scaling_milli/c4_projected"] = ratioMilliOf(
+					r.quantileDur("compute/"+p.name+"/packed/c1/ns_per_iter"), projected)
+				r.Quantiles["compute/"+p.name+"/speedup_milli/c4_projected"] = ratioMilliOf(base.wallPerIter, projected)
+			}
+		}
+		r.Quantiles["compute/"+p.name+"/bitwise_identical"] = 1
+		r.AddNote("%s: %s — n=%d, dim=%d; packed results verified bitwise-identical to per-point", p.name, p.desc, p.spec.Samples, p.spec.Features)
+	}
+	r.AddNote("real RunGradientDescent on 1 executor × 1 partition: ns/iter is a full engine iteration (map + tree reduce + updater); warmup iteration pre-packs the CSR block cache so this is the steady state")
+	r.AddNote("per-point at 4 cores is omitted: with one partition the fold has no intra-task parallelism to use — that gap is what the packed kernels close")
+	r.AddNote("c4_projected = packed c1 wall ÷ (packed c4 CPU/4): on GOMAXPROCS=%d shard workers timeslice, so wall is meaningless but shard CPU (getrusage) still prices the overhead; 4.00× = perfect scaling", runtime.GOMAXPROCS(0))
+	r.AddNote("dense-logistic is the transcendental-floor row: math.Exp/Log1p dominate both paths, capping the fused ratio by design")
+	return r, nil
+}
+
+// quantileDur fetches an already-recorded ns quantile as a duration.
+func (r *Report) quantileDur(key string) time.Duration {
+	return time.Duration(r.Quantiles[key])
+}
+
+// ComputeSweep runs the full grid. Reach it via `sparkerbench -only
+// compute` or `make bench-compare` (BENCH_PR9.json).
+func ComputeSweep() (*Report, error) {
+	return computeSweep(1, 8)
+}

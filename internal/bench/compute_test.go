@@ -1,0 +1,53 @@
+package bench
+
+import "testing"
+
+// TestComputeSweepSmall runs the compute-plane sweep machinery at a
+// reduced scale: the full-size grid is for `make bench-compare`
+// (BENCH_PR9.json), but the cell plumbing, the quantile keys the JSON
+// diff relies on, and — most importantly — the in-bench assertion that
+// every packed run trains bitwise-identical results to the per-point
+// path must be covered by `go test`. Timing ratios are NOT asserted
+// here: at this scale on a loaded CI machine they carry no signal.
+func TestComputeSweepSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short")
+	}
+	r, err := computeSweep(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := computeProfiles(20)
+	// 3 cells per profile.
+	if want := 3 * len(profiles); len(r.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Header) {
+			t.Fatalf("row width %d != header width %d: %v", len(row), len(r.Header), row)
+		}
+	}
+	for _, p := range profiles {
+		// computeSweep fails hard on a bitwise mismatch, so reaching
+		// this marker means every packed cell of the profile matched
+		// the per-point fold bit for bit.
+		if r.Quantiles["compute/"+p.name+"/bitwise_identical"] != 1 {
+			t.Errorf("%s: bitwise_identical marker missing", p.name)
+		}
+		for _, cell := range []string{"perpoint/c1", "packed/c1", "packed/c4"} {
+			key := "compute/" + p.name + "/" + cell + "/ns_per_iter"
+			if r.Quantiles[key] <= 0 {
+				t.Errorf("%s: missing or zero", key)
+			}
+		}
+		for _, ratio := range []string{"speedup_milli/c1", "packed_scaling_milli/c4_projected"} {
+			key := "compute/" + p.name + "/" + ratio
+			if r.Quantiles[key] <= 0 {
+				t.Errorf("%s: missing or zero", key)
+			}
+		}
+	}
+	if r.Quantiles["compute/gomaxprocs"] <= 0 {
+		t.Error("compute/gomaxprocs not recorded")
+	}
+}

@@ -433,11 +433,12 @@ func ByID(id string) (*Report, error) {
 		"pipeline":           PipelineSweep,
 		"sched":              SchedStraggler,
 		"compress":           CompressSweep,
+		"compute":            ComputeSweep,
 		"serve":              ServeBench,
 	}
 	f, ok := m[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched, compress, serve)", id)
+		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched, compress, compute, serve)", id)
 	}
 	return f()
 }

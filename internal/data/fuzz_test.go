@@ -1,12 +1,15 @@
 package data
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
 
 // FuzzReadLibSVM: arbitrary text input must parse or error, never
-// panic, and parsed rows must satisfy the sparse-vector invariants.
+// panic; parsed rows must satisfy the sparse-vector invariants; and
+// the packed CSR parse must agree with the point-slice view exactly
+// (same accept/reject decision, same labels, indices and values).
 func FuzzReadLibSVM(f *testing.F) {
 	f.Add("1 1:0.5 3:2\n-1 2:1\n")
 	f.Add("+1 1:1\n")
@@ -14,12 +17,24 @@ func FuzzReadLibSVM(f *testing.F) {
 	f.Add("# comment only\n")
 	f.Add("0 5:nan\n")
 	f.Add("1 1:1 1:2\n") // duplicate index
+	f.Add("1 2:1 1:2\n") // out-of-order indices
+	f.Add("-1\n1\n")     // feature-less rows
 	f.Fuzz(func(t *testing.T, input string) {
 		pts, err := ReadLibSVM(strings.NewReader(input), 0)
+		m, perr := ReadLibSVMPacked(strings.NewReader(input), 3, 0)
+		if (err == nil) != (perr == nil) {
+			t.Fatalf("packed/slice accept mismatch: %v vs %v", err, perr)
+		}
 		if err != nil {
 			return
 		}
-		for _, p := range pts {
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("packed parse violates CSR invariants: %v", verr)
+		}
+		if m.Part != 3 || m.Rows() != len(pts) {
+			t.Fatalf("packed parse: part %d rows %d, want 3, %d", m.Part, m.Rows(), len(pts))
+		}
+		for i, p := range pts {
 			if p.Features.NNZ() != len(p.Features.Values) {
 				t.Fatal("inconsistent sparse vector")
 			}
@@ -29,6 +44,19 @@ func FuzzReadLibSVM(f *testing.F) {
 					t.Fatalf("invariant violated: idx %d after %d (dim %d)", ix, prev, p.Features.Dim)
 				}
 				prev = ix
+			}
+			row := m.Row(i)
+			if math.Float64bits(m.Label(i)) != math.Float64bits(p.Label) {
+				t.Fatalf("row %d: packed label %v != %v", i, m.Label(i), p.Label)
+			}
+			if len(row.Indices) != len(p.Features.Indices) || row.Dim != p.Features.Dim {
+				t.Fatalf("row %d: packed shape mismatch", i)
+			}
+			for j := range row.Indices {
+				if row.Indices[j] != p.Features.Indices[j] ||
+					math.Float64bits(row.Values[j]) != math.Float64bits(p.Features.Values[j]) {
+					t.Fatalf("row %d entry %d: packed/slice mismatch", i, j)
+				}
 			}
 		}
 	})

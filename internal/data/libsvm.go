@@ -12,14 +12,16 @@ import (
 	"sparker/internal/mllib"
 )
 
-// ReadLibSVM parses the libsvm text format ("label idx:val idx:val …",
-// 1-based indices) used by the paper's classification datasets.
-// numFeatures 0 means infer from the data.
-func ReadLibSVM(r io.Reader, numFeatures int) ([]mllib.LabeledPoint, error) {
+// ReadLibSVMPacked parses the libsvm text format ("label idx:val
+// idx:val …", 1-based indices) straight into a packed CSR partition:
+// each entry streams into the shared arenas as it is parsed, with no
+// per-row intermediate slices. part tags the matrix's partition index
+// (minibatch sampling keys its RNG stream off it); numFeatures 0 means
+// infer dimensionality from the data.
+func ReadLibSVMPacked(r io.Reader, part, numFeatures int) (*linalg.CSRMatrix, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var rows []rawRow
-	maxIdx := int32(0)
+	b := linalg.NewCSRBuilder(numFeatures, 0, 0)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -36,7 +38,7 @@ func ReadLibSVM(r io.Reader, numFeatures int) ([]mllib.LabeledPoint, error) {
 		if label == -1 {
 			label = 0
 		}
-		row := rawRow{label: label}
+		b.StartRow(label)
 		for _, f := range fields[1:] {
 			colon := strings.IndexByte(f, ':')
 			if colon < 0 {
@@ -50,37 +52,38 @@ func ReadLibSVM(r io.Reader, numFeatures int) ([]mllib.LabeledPoint, error) {
 			if err != nil {
 				return nil, fmt.Errorf("data: line %d: bad value %q", lineNo, f[colon+1:])
 			}
-			ix := int32(idx - 1) // libsvm is 1-based
-			if ix > maxIdx {
-				maxIdx = ix
+			// libsvm is 1-based; the builder enforces strictly increasing
+			// in-range indices (duplicates and disorder error here, as
+			// NewSparse did for the slice path).
+			if err := b.AppendEntry(int32(idx-1), val); err != nil {
+				return nil, fmt.Errorf("data: line %d: %w", lineNo, err)
 			}
-			row.idx = append(row.idx, ix)
-			row.val = append(row.val, val)
 		}
-		rows = append(rows, row)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	dim := numFeatures
-	if dim == 0 {
-		dim = int(maxIdx) + 1
+	m, err := b.Build()
+	if err != nil {
+		return nil, err
 	}
-	out := make([]mllib.LabeledPoint, len(rows))
-	for i, row := range rows {
-		v, err := linalg.NewSparse(dim, row.idx, row.val)
-		if err != nil {
-			return nil, fmt.Errorf("data: row %d: %w", i, err)
-		}
-		out[i] = mllib.LabeledPoint{Label: row.label, Features: v}
-	}
-	return out, nil
+	m.Part = part
+	return m, nil
 }
 
-type rawRow struct {
-	label float64
-	idx   []int32
-	val   []float64
+// ReadLibSVM parses libsvm text into labeled points. It is a thin
+// wrapper over ReadLibSVMPacked: rows are zero-copy views into one
+// packed arena, so the slice costs O(rows) headers, not O(nnz) copies.
+func ReadLibSVM(r io.Reader, numFeatures int) ([]mllib.LabeledPoint, error) {
+	m, err := ReadLibSVMPacked(r, 0, numFeatures)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mllib.LabeledPoint, m.Rows())
+	for i := range out {
+		out[i] = mllib.LabeledPoint{Label: m.Label(i), Features: m.Row(i)}
+	}
+	return out, nil
 }
 
 // WriteLibSVM renders points in libsvm format.

@@ -1,0 +1,287 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randCSR builds a random labeled CSR matrix. density < 0 mixes empty,
+// single-entry, and heavy rows to exercise degenerate shapes.
+func randCSR(rng *rand.Rand, rows, dim int, density float64) *CSRMatrix {
+	b := NewCSRBuilder(dim, rows, 0)
+	for r := 0; r < rows; r++ {
+		label := float64(rng.Intn(2))
+		b.StartRow(label)
+		d := density
+		if d < 0 {
+			switch rng.Intn(4) {
+			case 0:
+				d = 0 // empty row
+			case 1:
+				d = 1.0 / float64(dim) // ~single entry
+			case 2:
+				d = 0.9
+			default:
+				d = 0.2
+			}
+		}
+		for j := 0; j < dim; j++ {
+			if rng.Float64() < d {
+				v := rng.NormFloat64()
+				switch rng.Intn(16) {
+				case 0:
+					v = 1e16 // adversarial magnitudes: catch any reassociation
+				case 1:
+					v = 1e-16
+				case 2:
+					v = 0
+				}
+				if err := b.AppendEntry(int32(j), v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	m.Part = rng.Intn(8)
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func csrEqual(t *testing.T, a, b *CSRMatrix) {
+	t.Helper()
+	if a.Part != b.Part || a.Dim != b.Dim || a.Rows() != b.Rows() || a.NNZ() != b.NNZ() {
+		t.Fatalf("shape mismatch: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			a.Part, a.Dim, a.Rows(), a.NNZ(), b.Part, b.Dim, b.Rows(), b.NNZ())
+	}
+	for i := range a.RowOffsets {
+		if a.RowOffsets[i] != b.RowOffsets[i] {
+			t.Fatalf("offset %d: %d vs %d", i, a.RowOffsets[i], b.RowOffsets[i])
+		}
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			t.Fatalf("index %d: %d vs %d", i, a.Indices[i], b.Indices[i])
+		}
+	}
+	for i := range a.Values {
+		if math.Float64bits(a.Values[i]) != math.Float64bits(b.Values[i]) {
+			t.Fatalf("value %d: %v vs %v", i, a.Values[i], b.Values[i])
+		}
+	}
+	if (a.Labels == nil) != (b.Labels == nil) {
+		t.Fatalf("labels presence: %v vs %v", a.Labels != nil, b.Labels != nil)
+	}
+	for i := range a.Labels {
+		if math.Float64bits(a.Labels[i]) != math.Float64bits(b.Labels[i]) {
+			t.Fatalf("label %d: %v vs %v", i, a.Labels[i], b.Labels[i])
+		}
+	}
+}
+
+// TestCSRRoundTrip is the wire-format property test: encode → decode
+// reproduces the matrix exactly, through the zero-copy aliasing path,
+// the forced-copy (unaligned) path, and the serde Unmarshaler path.
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ rows, dim int }{
+		{0, 1}, {1, 1}, {1, 50}, {7, 13}, {100, 64}, {33, 1000},
+	}
+	for trial := 0; trial < 20; trial++ {
+		s := shapes[trial%len(shapes)]
+		m := randCSR(rng, s.rows, s.dim, -1)
+		if trial%3 == 0 {
+			m.Labels = nil // unlabeled variant
+		}
+		enc := AppendCSR(nil, m)
+		if len(enc) != m.EncodedSize() {
+			t.Fatalf("EncodedSize %d but wrote %d", m.EncodedSize(), len(enc))
+		}
+
+		// Aligned decode (zero-copy on little-endian hosts).
+		got, n, err := DecodeCSR(enc)
+		if err != nil {
+			t.Fatalf("DecodeCSR: %v", err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		csrEqual(t, m, got)
+
+		// Unaligned decode must fall back to copying, same result.
+		mis := make([]byte, len(enc)+1)
+		copy(mis[1:], enc)
+		got2, n2, err := DecodeCSR(mis[1:])
+		if err != nil {
+			t.Fatalf("unaligned DecodeCSR: %v", err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("unaligned consumed %d of %d", n2, len(enc))
+		}
+		csrEqual(t, m, got2)
+
+		// Serde path (always copies).
+		var got3 CSRMatrix
+		n3, err := got3.UnmarshalBinaryFrom(enc)
+		if err != nil {
+			t.Fatalf("UnmarshalBinaryFrom: %v", err)
+		}
+		if n3 != len(enc) {
+			t.Fatalf("serde consumed %d of %d", n3, len(enc))
+		}
+		csrEqual(t, m, &got3)
+
+		// Serde decode must not alias: mutating the frame afterwards
+		// (pooled-buffer recycling) must not corrupt the matrix.
+		if got3.NNZ() > 0 {
+			want := got3.Values[0]
+			for i := range enc {
+				enc[i] ^= 0xFF
+			}
+			if math.Float64bits(got3.Values[0]) != math.Float64bits(want) {
+				t.Fatal("serde decode aliased the input buffer")
+			}
+		}
+	}
+}
+
+func TestCSRZeroCopyAliases(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("zero-copy decode requires a little-endian host")
+	}
+	rng := rand.New(rand.NewSource(7))
+	m := randCSR(rng, 20, 40, 0.3)
+	enc := AppendCSR(nil, m)
+	got, _, err := DecodeCSR(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() == 0 {
+		t.Fatal("want nonempty matrix")
+	}
+	// Flip a stored value byte-wise in the source buffer; the aliasing
+	// decode must observe it.
+	before := got.Values[0]
+	off := (csrHeaderSize + 8*len(m.RowOffsets) + 4*len(m.Indices) + 7) &^ 7
+	enc[off] ^= 0x01
+	if math.Float64bits(got.Values[0]) == math.Float64bits(before) {
+		t.Fatal("decode copied: expected zero-copy aliasing of src arenas")
+	}
+}
+
+func TestCSRBuilderStreamingMatchesAppendRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randCSR(rng, 50, 30, -1)
+	b := NewCSRBuilder(m.Dim, 0, 0)
+	for r := 0; r < m.Rows(); r++ {
+		row := m.Row(r)
+		if err := b.AppendRow(m.Label(r), row.Indices, row.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Part = m.Part
+	csrEqual(t, m, got)
+}
+
+func TestCSRBuilderErrors(t *testing.T) {
+	b := NewCSRBuilder(10, 0, 0)
+	if err := b.AppendEntry(0, 1); err == nil {
+		t.Fatal("AppendEntry with no open row should fail")
+	}
+	b.StartRow(1)
+	if err := b.AppendEntry(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendEntry(3, 2); err == nil {
+		t.Fatal("duplicate index should fail")
+	}
+	if err := b.AppendEntry(2, 2); err == nil {
+		t.Fatal("decreasing index should fail")
+	}
+	if err := b.AppendEntry(10, 2); err == nil {
+		t.Fatal("out-of-dim index should fail")
+	}
+}
+
+func TestCSRBuilderInfersDim(t *testing.T) {
+	b := NewCSRBuilder(0, 0, 0)
+	if err := b.AppendRow(1, []int32{2, 17}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim != 18 {
+		t.Fatalf("inferred dim %d, want 18", m.Dim)
+	}
+	// Empty input infers the minimum dim of 1.
+	m2, err := NewCSRBuilder(0, 0, 0).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Dim != 1 || m2.Rows() != 0 {
+		t.Fatalf("empty build: dim=%d rows=%d", m2.Dim, m2.Rows())
+	}
+}
+
+func TestDecodeCSRRejectsCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randCSR(rng, 10, 20, 0.4)
+	enc := AppendCSR(nil, m)
+	cases := map[string]func([]byte){
+		"short header": func(b []byte) {},
+		"bad magic":    func(b []byte) { b[0] ^= 0xFF },
+		"huge nnz":     func(b []byte) { b[32], b[33] = 0xFF, 0xFF },
+		"neg rows":     func(b []byte) { b[31] = 0x80 },
+	}
+	for name, mut := range cases {
+		buf := append([]byte(nil), enc...)
+		if name == "short header" {
+			buf = buf[:csrHeaderSize-1]
+		}
+		mut(buf)
+		if _, _, err := DecodeCSR(buf); err == nil {
+			t.Errorf("%s: want decode error", name)
+		}
+	}
+	// Truncated body.
+	if _, _, err := DecodeCSR(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated body: want decode error")
+	}
+}
+
+func TestCSRCutsCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randCSR(rng, 200, 500, -1)
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		rc := m.rowCutsInto(nil, nil, m.Rows(), workers)
+		if len(rc) != workers+1 || rc[0] != 0 || rc[workers] != m.Rows() {
+			t.Fatalf("row cuts %v don't cover [0,%d)", rc, m.Rows())
+		}
+		for i := 1; i < len(rc); i++ {
+			if rc[i] < rc[i-1] {
+				t.Fatalf("row cuts not monotone: %v", rc)
+			}
+		}
+		cc := m.colCutsInto(nil, workers)
+		if len(cc) != workers+1 || cc[0] != 0 || int(cc[workers]) != m.Dim {
+			t.Fatalf("col cuts %v don't cover [0,%d)", cc, m.Dim)
+		}
+		for i := 1; i < len(cc); i++ {
+			if cc[i] < cc[i-1] {
+				t.Fatalf("col cuts not monotone: %v", cc)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type benchPoint struct {
+	idx   []int32
+	vals  []float64
+	label float64
+}
+
+type benchGradIface interface {
+	compute(idx []int32, vals []float64, label float64, w, cum []float64) float64
+}
+
+type benchLogistic struct{}
+
+func (benchLogistic) compute(idx []int32, vals []float64, label float64, w, cum []float64) float64 {
+	x := SparseVector{Dim: len(w), Indices: idx, Values: vals}
+	margin := -Dot(w, x)
+	mult := 1.0/(1.0+mathExp(margin)) - label
+	Axpy(mult, x, cum)
+	if label > 0 {
+		return Log1pExp(margin)
+	}
+	return Log1pExp(margin) - margin
+}
+
+func mathExp(x float64) float64 { return math.Exp(x) }
+
+func BenchmarkGradPerPointScattered(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	const rows, dim = 20000, 1000
+	pts := make([]benchPoint, rows)
+	for r := range pts {
+		nnz := 15 + rng.Intn(6)
+		stride := dim / nnz
+		pts[r].idx = make([]int32, nnz)
+		pts[r].vals = make([]float64, nnz)
+		for j := 0; j < nnz; j++ {
+			pts[r].idx[j] = int32(j*stride + rng.Intn(stride))
+			pts[r].vals[j] = rng.NormFloat64()
+		}
+		pts[r].label = float64(rng.Intn(2))
+	}
+	w := make([]float64, dim)
+	cum := make([]float64, dim)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	var g benchGradIface = benchLogistic{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var loss float64
+		for _, p := range pts {
+			loss += g.compute(p.idx, p.vals, p.label, w, cum)
+		}
+		_ = loss
+	}
+}

@@ -50,6 +50,13 @@ const (
 	// HistSchedWaitNS is the queue wait of each launched attempt
 	// (enqueue to slot acquisition).
 	HistSchedWaitNS = "sched.wait.ns"
+	// HistComputeMapNS is the per-partition map-phase kernel time of
+	// packed compute (one observation per fused gradient/kmeans pass).
+	HistComputeMapNS = "compute.map.ns"
+	// GaugeComputePointsPerSec is the most recent packed map-phase
+	// throughput per executor (points folded / kernel seconds); the
+	// driver-side merged registry sums executors into an aggregate rate.
+	GaugeComputePointsPerSec = "compute.points.per.sec"
 )
 
 // Registry is a named collection of instruments. Each executor owns

@@ -27,13 +27,10 @@ func (LogisticGradient) Compute(x linalg.SparseVector, label float64, w, cum []f
 	return log1pExp(margin) - margin
 }
 
-// log1pExp computes log(1 + exp(m)) stably.
-func log1pExp(m float64) float64 {
-	if m > 0 {
-		return m + math.Log1p(math.Exp(-m))
-	}
-	return math.Log1p(math.Exp(m))
-}
+// log1pExp computes log(1 + exp(m)) stably. It delegates to the
+// linalg copy so the fused CSR kernels and this scalar path share one
+// definition and therefore identical bits.
+func log1pExp(m float64) float64 { return linalg.Log1pExp(m) }
 
 // HingeGradient is the SVM hinge loss (labels in {0, 1}, internally
 // rescaled to {-1, +1} as MLlib does).

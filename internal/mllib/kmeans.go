@@ -33,6 +33,10 @@ type KMeansConfig struct {
 	// it and the per-iteration aggregations derive from it, so
 	// cancelling Ctx aborts training promptly with context.Canceled.
 	Ctx context.Context
+	// Packed selects the CSR compute plane (default PackedAuto, which
+	// is always packed for KMeans — the nearest-center kernel covers
+	// every configuration). See GDConfig.Packed.
+	Packed PackedMode
 }
 
 func (c *KMeansConfig) fill() error {
@@ -157,6 +161,13 @@ func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMean
 	tr, root, tctx := startTrainSpan(points.Context(), "kmeans", cfg.Strategy, cfg.Ctx)
 	defer func() { root.End() }()
 
+	var plan *packedPlan
+	if cfg.Packed != PackedOff {
+		plan = newPackedVecPlan(points, dim)
+		defer plan.release()
+	}
+	root.SetAttr("packed", fmt.Sprint(plan != nil))
+
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
@@ -169,18 +180,35 @@ func TrainKMeans(points *rdd.RDD[linalg.SparseVector], cfg KMeansConfig) (*KMean
 			snapshot[i] = append([]float64(nil), c...)
 		}
 		it, ictx := startIteration(tr, root, tctx, iter+1)
-		agg, err := AggregateF64Ctx(ictx, points, aggDim, func(acc []float64, x linalg.SparseVector) []float64 {
-			best, bestDist := 0, math.Inf(1)
-			for c, center := range snapshot {
-				if d := sqDist(center, x); d < bestDist {
-					best, bestDist = c, d
-				}
+		var agg []float64
+		var err error
+		if plan != nil {
+			// Packed plane: flatten the snapshot, precompute center norms
+			// once per iteration (same arithmetic sequence as sqDist —
+			// assignments stay bitwise identical), fuse per partition.
+			flat := make([]float64, k*dim)
+			for i, c := range snapshot {
+				copy(flat[i*dim:(i+1)*dim], c)
 			}
-			linalg.Axpy(1, x, acc[best*dim:(best+1)*dim])
-			acc[k*dim+best]++
-			acc[k*dim+k] += bestDist
-			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, tenantOptions(cfg.Tenant)...)
+			cNorms := make([]float64, k)
+			linalg.CSRKMeansCenterNorms(flat, k, dim, cNorms)
+			agg, err = AggregateF64Ctx(ictx, plan.packed, aggDim,
+				packedKMeansSeqOp(flat, cNorms, k, dim),
+				cfg.Strategy, cfg.Depth, cfg.Parallelism, tenantOptions(cfg.Tenant)...)
+		} else {
+			agg, err = AggregateF64Ctx(ictx, points, aggDim, func(acc []float64, x linalg.SparseVector) []float64 {
+				best, bestDist := 0, math.Inf(1)
+				for c, center := range snapshot {
+					if d := sqDist(center, x); d < bestDist {
+						best, bestDist = c, d
+					}
+				}
+				linalg.Axpy(1, x, acc[best*dim:(best+1)*dim])
+				acc[k*dim+best]++
+				acc[k*dim+k] += bestDist
+				return acc
+			}, cfg.Strategy, cfg.Depth, cfg.Parallelism, tenantOptions(cfg.Tenant)...)
+		}
 		if err != nil {
 			it.EndErr(err)
 			root.SetAttr("error", err.Error())

@@ -36,6 +36,10 @@ type LBFGSConfig struct {
 	// candidate points per iteration, so residuals mix gradients from
 	// different weights — but quantization without feedback is safe.
 	Compression collective.Compression
+	// Packed selects the CSR compute plane (default PackedAuto; see
+	// GDConfig.Packed). Line-search probes reuse the same packed
+	// partitions, so every cost evaluation skips the per-point fold.
+	Packed PackedMode
 }
 
 func (c *LBFGSConfig) fill() {
@@ -70,17 +74,36 @@ func RunLBFGS(data *rdd.RDD[LabeledPoint], grad Gradient, initial []float64, cfg
 	defer func() { root.EndErr(retErr) }()
 	guard := newCompressGuard(cfg.Compression)
 
+	var plan *packedPlan
+	var kind linalg.CSRGradKind
+	if k, ok := packedKind(grad); ok && cfg.Packed != PackedOff {
+		kind = k
+		plan = newPackedPlan(data, dim)
+		defer plan.release()
+	} else if cfg.Packed == PackedOn {
+		return nil, nil, fmt.Errorf("mllib: Packed=on but %T has no fused kernel", grad)
+	}
+	root.SetAttr("packed", fmt.Sprint(plan != nil))
+
 	// costAt evaluates (loss, gradient) at w with one aggregation,
 	// parented under the caller's span (line-search probes share their
 	// iteration's span).
 	costAt := func(ictx context.Context, w []float64) (float64, []float64, error) {
 		snapshot := append([]float64(nil), w...)
-		agg, err := AggregateF64Ctx(ictx, data, dim+2, func(acc []float64, p LabeledPoint) []float64 {
-			loss := grad.Compute(p.Features, p.Label, snapshot, acc[:dim])
-			acc[dim] += loss
-			acc[dim+1]++
-			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, guard.options()...)
+		var agg []float64
+		var err error
+		if plan != nil {
+			agg, err = AggregateF64Ctx(ictx, plan.packed, dim+2,
+				packedGradSeqOp(kind, snapshot, dim, 1, 0, 0),
+				cfg.Strategy, cfg.Depth, cfg.Parallelism, guard.options()...)
+		} else {
+			agg, err = AggregateF64Ctx(ictx, data, dim+2, func(acc []float64, p LabeledPoint) []float64 {
+				loss := grad.Compute(p.Features, p.Label, snapshot, acc[:dim])
+				acc[dim] += loss
+				acc[dim+1]++
+				return acc
+			}, cfg.Strategy, cfg.Depth, cfg.Parallelism, guard.options()...)
+		}
 		if err != nil {
 			return 0, nil, err
 		}

@@ -9,6 +9,7 @@ import (
 
 	"sparker/internal/collective"
 	"sparker/internal/core"
+	"sparker/internal/linalg"
 	"sparker/internal/metrics"
 	"sparker/internal/rdd"
 	"sparker/internal/trace"
@@ -193,6 +194,11 @@ type GDConfig struct {
 	// run and records metrics.CounterCompressDisabled — lossy codecs must
 	// never convert a converging run into a diverging one silently.
 	Compression collective.Compression
+	// Packed selects the CSR compute plane (default PackedAuto: packed
+	// whenever the Gradient has a fused kernel). The packed fold is
+	// bitwise-identical to the per-point path, so results never depend
+	// on this knob.
+	Packed PackedMode
 }
 
 func (c *GDConfig) fill() {
@@ -229,6 +235,17 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 	defer func() { root.EndErr(retErr) }()
 	guard := newCompressGuard(cfg.Compression)
 
+	var plan *packedPlan
+	var kind linalg.CSRGradKind
+	if k, ok := packedKind(grad); ok && cfg.Packed != PackedOff {
+		kind = k
+		plan = newPackedPlan(data, dim)
+		defer plan.release()
+	} else if cfg.Packed == PackedOn {
+		return nil, nil, fmt.Errorf("mllib: Packed=on but %T has no fused kernel", grad)
+	}
+	root.SetAttr("packed", fmt.Sprint(plan != nil))
+
 	for iter := 1; iter <= cfg.Iterations; iter++ {
 		if cfg.Ctx != nil {
 			if err := cfg.Ctx.Err(); err != nil {
@@ -238,10 +255,6 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		w := make([]float64, dim)
 		copy(w, weights) // snapshot captured by this iteration's tasks
 
-		batch := data
-		if cfg.MiniBatchFraction < 1.0 {
-			batch = sampleRDD(data, cfg.MiniBatchFraction, cfg.Seed, iter)
-		}
 		it, ictx := startIteration(tr, root, tctx, iter)
 		extra := guard.options()
 		if cfg.Tenant != "" {
@@ -252,12 +265,27 @@ func RunGradientDescent(data *rdd.RDD[LabeledPoint], grad Gradient, up Updater, 
 		}
 		// Aggregator layout: [0,dim) gradient sum, [dim] loss sum,
 		// [dim+1] sample count.
-		agg, err := AggregateF64Ctx(ictx, batch, dim+2, func(acc []float64, p LabeledPoint) []float64 {
-			loss := grad.Compute(p.Features, p.Label, w, acc[:dim])
-			acc[dim] += loss
-			acc[dim+1]++
-			return acc
-		}, cfg.Strategy, cfg.Depth, cfg.Parallelism, extra...)
+		var agg []float64
+		var err error
+		if plan != nil {
+			// Packed plane: one fused kernel pass per partition, with
+			// in-kernel minibatch sampling over the same RNG stream
+			// sampleRDD would use.
+			agg, err = AggregateF64Ctx(ictx, plan.packed, dim+2,
+				packedGradSeqOp(kind, w, dim, cfg.MiniBatchFraction, cfg.Seed, iter),
+				cfg.Strategy, cfg.Depth, cfg.Parallelism, extra...)
+		} else {
+			batch := data
+			if cfg.MiniBatchFraction < 1.0 {
+				batch = sampleRDD(data, cfg.MiniBatchFraction, cfg.Seed, iter)
+			}
+			agg, err = AggregateF64Ctx(ictx, batch, dim+2, func(acc []float64, p LabeledPoint) []float64 {
+				loss := grad.Compute(p.Features, p.Label, w, acc[:dim])
+				acc[dim] += loss
+				acc[dim+1]++
+				return acc
+			}, cfg.Strategy, cfg.Depth, cfg.Parallelism, extra...)
+		}
 		if err != nil {
 			it.EndErr(err)
 			return nil, nil, fmt.Errorf("mllib: iteration %d: %w", iter, err)
@@ -359,7 +387,10 @@ func converged(prev, next []float64, tol float64) bool {
 
 // sampleRDD subsamples deterministically per (seed, iter, partition),
 // so task retries observe identical batches — the determinism Spark
-// gets from seeded samplers.
+// gets from seeded samplers. It is the per-point fallback only: it
+// allocates a fresh []LabeledPoint per iteration, which is exactly the
+// churn the packed plane's samplePackedRows (pooled row indices over
+// the resident CSR arenas, same RNG stream) eliminates.
 func sampleRDD(data *rdd.RDD[LabeledPoint], frac float64, seed int64, iter int) *rdd.RDD[LabeledPoint] {
 	return rdd.MapPartitions(data, func(part int, in []LabeledPoint) ([]LabeledPoint, error) {
 		rng := rand.New(rand.NewSource(seed ^ int64(iter)*1_000_003 ^ int64(part)*7_777_777))

@@ -18,6 +18,7 @@ import (
 
 	"sparker/internal/blockmanager"
 	"sparker/internal/comm"
+	"sparker/internal/metrics"
 	"sparker/internal/obsv"
 )
 
@@ -192,6 +193,58 @@ func (ctx *Context) blocksView() blocksView {
 	return bv
 }
 
+// computeView is the /debug/sparker/compute payload: per-executor
+// packed map-phase kernel latency and throughput, plus the merged
+// cluster aggregate — the compute-plane sibling of
+// /debug/sparker/collectives.
+type computeView struct {
+	Executors []computeExec `json:"executors"`
+	Cluster   computeStats  `json:"cluster"`
+}
+
+type computeExec struct {
+	Exec int `json:"exec"`
+	computeStats
+}
+
+type computeStats struct {
+	// Passes is the number of fused kernel invocations observed.
+	Passes int64 `json:"passes"`
+	// MapP50NS/MapP95NS/MapP99NS are map-phase kernel latency quantiles.
+	MapP50NS int64 `json:"map_p50_ns"`
+	MapP95NS int64 `json:"map_p95_ns"`
+	MapP99NS int64 `json:"map_p99_ns"`
+	// TotalMapNS is the cumulative kernel time.
+	TotalMapNS int64 `json:"total_map_ns"`
+	// PointsPerSec is the most recent per-pass throughput (summed
+	// across executors in the cluster view).
+	PointsPerSec int64 `json:"points_per_sec"`
+}
+
+func computeStatsOf(reg *metrics.Registry) computeStats {
+	h := reg.Histogram(metrics.HistComputeMapNS)
+	return computeStats{
+		Passes:       h.Count(),
+		MapP50NS:     h.Quantile(0.50),
+		MapP95NS:     h.Quantile(0.95),
+		MapP99NS:     h.Quantile(0.99),
+		TotalMapNS:   h.Sum(),
+		PointsPerSec: reg.Gauge(metrics.GaugeComputePointsPerSec).Value(),
+	}
+}
+
+func (ctx *Context) computeView() computeView {
+	var cv computeView
+	for i, e := range ctx.executors {
+		if e == nil {
+			continue
+		}
+		cv.Executors = append(cv.Executors, computeExec{Exec: i, computeStats: computeStatsOf(e.reg)})
+	}
+	cv.Cluster = computeStatsOf(ctx.MergedMetrics())
+	return cv
+}
+
 // DebugHandler returns the live-introspection plane: the
 // /debug/sparker/* endpoints plus /debug/pprof/*. Mount it at "/" on
 // any mux (paths are absolute). Handlers are safe while jobs run.
@@ -218,6 +271,9 @@ func (ctx *Context) DebugHandler() http.Handler {
 		writeJSON(w, struct {
 			Inflight []CollectiveInfo `json:"inflight"`
 		}{Inflight: ctx.InflightCollectives()})
+	})
+	mux.HandleFunc("GET /debug/sparker/compute", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctx.computeView())
 	})
 	mux.HandleFunc("GET /debug/sparker/obsv", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ctx.conf.Obsv.Status())

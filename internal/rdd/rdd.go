@@ -297,6 +297,19 @@ func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
 	})
 }
 
+// Derive builds a partition-preserving RDD whose compute function
+// sees the executor context and materializes the parent lazily. It is
+// the hook for executor-aware transformations — f can consult the
+// executor's block store or core budget, and skip parent
+// materialization entirely when it can produce the partition from
+// cached state (e.g. the packed-partition plan, which decodes a
+// block-manager block zero-copy instead of re-packing the parent).
+func Derive[T, U any](r *RDD[T], f func(ec *ExecContext, part int, parent func() ([]T, error)) ([]U, error)) *RDD[U] {
+	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]U, error) {
+		return f(ec, part, func() ([]T, error) { return r.Materialize(ec, part) })
+	})
+}
+
 // MapPartitions applies f to each whole partition.
 func MapPartitions[T, U any](r *RDD[T], f func(part int, in []T) ([]U, error)) *RDD[U] {
 	return newRDD(r.ctx, r.parts, func(ec *ExecContext, part int) ([]U, error) {
