@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race test-chaos overhead trace-demo serve-demo obsv-demo check bench benchjson bench-compare
+.PHONY: build vet test race test-chaos chaos-elastic overhead trace-demo serve-demo obsv-demo check bench benchjson bench-compare
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,14 @@ race:
 # detector.
 test-chaos:
 	$(GO) test -race -run 'Chaos|Straggler' ./internal/collective ./internal/core ./internal/rdd ./internal/mllib
+
+# Elastic-membership chaos gate (DESIGN.md §17): kill/evict/join/rejoin
+# protocol suites plus training that rides through a kill-and-replace,
+# and the scaled-down churn benchmark with its convergence and
+# iteration-blowup claims — always under the race detector.
+chaos-elastic:
+	$(GO) test -race ./internal/membership
+	$(GO) test -race -run 'Elastic' ./internal/rdd ./internal/core ./internal/mllib ./internal/bench
 
 # Telemetry overhead gate (see DESIGN.md "Observability"): with tracing
 # off the ring hot path must allocate no more per op than the PR 1
@@ -72,7 +80,7 @@ obsv-demo:
 	$(GO) run ./cmd/sparker-analyze -postmortem -validate \
 		"$$(ls -t /tmp/sparker-obsv-demo/bundle-*.json | head -n1)"
 
-check: vet test race test-chaos overhead trace-demo serve-demo obsv-demo
+check: vet test race test-chaos chaos-elastic overhead trace-demo serve-demo obsv-demo
 
 # Hot-path microbenchmarks: the before/after evidence for the
 # zero-allocation reduction work (see DESIGN.md "Performance notes").
@@ -99,3 +107,5 @@ bench-compare:
 	@cat BENCH_PR7.json
 	$(GO) run ./cmd/sparkerbench -only compute -json > BENCH_PR9.json
 	@cat BENCH_PR9.json
+	$(GO) run ./cmd/sparkerbench -only elastic -json > BENCH_PR10.json
+	@cat BENCH_PR10.json

@@ -40,6 +40,33 @@ type repeatedFlag []string
 func (f *repeatedFlag) String() string     { return strings.Join(*f, ",") }
 func (f *repeatedFlag) Set(v string) error { *f = append(*f, v); return nil }
 
+// authHeader is the Authorization value the process's own API clients
+// (tenant bootstrap, smoke test) attach, matching -auth-token.
+var authHeader string
+
+func httpGet(url string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if authHeader != "" {
+		req.Header.Set("Authorization", authHeader)
+	}
+	return http.DefaultClient.Do(req)
+}
+
+func httpPostJSON(url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if authHeader != "" {
+		req.Header.Set("Authorization", authHeader)
+	}
+	return http.DefaultClient.Do(req)
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	executors := flag.Int("executors", 4, "simulated executors")
@@ -48,6 +75,8 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 4, "max concurrently running training jobs")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
 	historyDir := flag.String("history-dir", "", "persist the event log and job outcomes to this directory and replay them on boot")
+	authToken := flag.String("auth-token", os.Getenv("SPARKER_AUTH_TOKEN"),
+		"bearer token required on /api/v1/* (default $SPARKER_AUTH_TOKEN; empty disables auth)")
 	smoke := flag.Bool("smoke", false, "run an in-process end-to-end check and exit")
 	var models, tenants repeatedFlag
 	flag.Var(&models, "model", "preload a saved model: name=path (repeatable)")
@@ -56,6 +85,9 @@ func main() {
 
 	if *smoke {
 		*addr = "127.0.0.1:0"
+	}
+	if *authToken != "" {
+		authHeader = "Bearer " + *authToken
 	}
 	srv, err := server.New(server.Config{
 		Addr: *addr,
@@ -67,6 +99,7 @@ func main() {
 		MaxConcurrentJobs: *maxJobs,
 		DrainTimeout:      *drain,
 		HistoryDir:        *historyDir,
+		AuthToken:         *authToken,
 	})
 	if err != nil {
 		fail(err)
@@ -138,6 +171,9 @@ func configureTenants(addr string, specs []string) error {
 		if err != nil {
 			return err
 		}
+		if authHeader != "" {
+			req.Header.Set("Authorization", authHeader)
+		}
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return err
@@ -161,7 +197,7 @@ func runSmoke(srv *server.Server) error {
 		if err != nil {
 			return 0, nil, err
 		}
-		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		resp, err := httpPostJSON(url, b)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -192,7 +228,7 @@ func runSmoke(srv *server.Server) error {
 
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		resp, err := http.Get(base + "/api/v1/jobs/" + st.ID)
+		resp, err := httpGet(base + "/api/v1/jobs/" + st.ID)
 		if err != nil {
 			return err
 		}

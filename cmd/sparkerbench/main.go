@@ -60,7 +60,7 @@ func main() {
 		return
 	}
 	if *list {
-		fmt.Println("table1 table2 table3 fig1 fig2 fig3 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig12-aws fig13-aws fig16-aws ablation-imm ablation-algos ablation-allreduce engine-metrics pipeline sched compress compute serve")
+		fmt.Println("table1 table2 table3 fig1 fig2 fig3 fig4 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig12-aws fig13-aws fig16-aws ablation-imm ablation-algos ablation-allreduce engine-metrics pipeline sched compress compute serve elastic")
 		return
 	}
 	if *only != "" {

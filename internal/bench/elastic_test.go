@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestElasticChurnSmall runs a scaled-down kill-and-replace
+// comparison: a smaller dataset and fewer iterations, but the same
+// churn schedule, convergence check and ≤3× reconfiguration gate as
+// the full `-only elastic` report.
+func TestElasticChurnSmall(t *testing.T) {
+	p := defaultElasticParams
+	p.scale = 2000
+	p.iters = 16
+	p.warmup = 1
+	p.killAt = 5
+	p.rejoinAt = 11
+	r, err := elasticChurn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"elastic/churn/wall_p50_ns",
+		"elastic/churn/reconf_max_ns",
+		"elastic/churn/iters_to_target",
+		"elastic/nochurn/iters_to_target",
+		"elastic/reconf_vs_steady_milli",
+	} {
+		if _, ok := r.Quantiles[key]; !ok {
+			t.Fatalf("report missing quantile %q", key)
+		}
+	}
+	if r.Quantiles["elastic/churn/evicts"] < 1 || r.Quantiles["elastic/churn/joins"] < 1 {
+		t.Fatalf("churn run recorded evicts=%d joins=%d",
+			r.Quantiles["elastic/churn/evicts"], r.Quantiles["elastic/churn/joins"])
+	}
+	if r.Quantiles["elastic/nochurn/evicts"] != 0 {
+		t.Fatal("undisturbed run evicted an executor")
+	}
+	if r.Quantiles["elastic/churn/live"] != int64(p.execs) {
+		t.Fatalf("churn run ended with %d live executors, want %d",
+			r.Quantiles["elastic/churn/live"], p.execs)
+	}
+}

@@ -435,10 +435,11 @@ func ByID(id string) (*Report, error) {
 		"compress":           CompressSweep,
 		"compute":            ComputeSweep,
 		"serve":              ServeBench,
+		"elastic":            ElasticChurn,
 	}
 	f, ok := m[id]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched, compress, compute, serve)", id)
+		return nil, fmt.Errorf("bench: unknown report %q (tables 1-3, figures 1-4 and 12-18, ablation-imm/algos/allreduce, engine-metrics, pipeline, sched, compress, compute, serve, elastic)", id)
 	}
 	return f()
 }

@@ -216,6 +216,14 @@ type Store struct {
 	peerMu    sync.Mutex
 	peerConns map[string]*peerConn
 
+	// accepted tracks inbound serving conns so Close severs them: a
+	// killed store must stop answering fetches through conns its peers
+	// cached, or a replacement's clients could read the dead
+	// incarnation's stale blocks.
+	acceptMu sync.Mutex
+	accepted map[transport.Conn]struct{}
+	closed   bool
+
 	// inst, when set, carries the put/get histograms of the owning
 	// executor's registry. Atomic pointer so SetMetrics is safe against
 	// in-flight block traffic; nil keeps the store uninstrumented (one
@@ -267,6 +275,7 @@ func NewStore(net transport.Network, name string) (*Store, error) {
 		lis:       lis,
 		blocks:    map[string][]byte{},
 		peerConns: map[string]*peerConn{},
+		accepted:  map[transport.Conn]struct{}{},
 	}
 	go s.serve()
 	return s, nil
@@ -281,12 +290,25 @@ func (s *Store) serve() {
 		if err != nil {
 			return
 		}
+		s.acceptMu.Lock()
+		if s.closed {
+			s.acceptMu.Unlock()
+			c.Close()
+			return
+		}
+		s.accepted[c] = struct{}{}
+		s.acceptMu.Unlock()
 		go s.handle(c)
 	}
 }
 
 func (s *Store) handle(c transport.Conn) {
-	defer c.Close()
+	defer func() {
+		s.acceptMu.Lock()
+		delete(s.accepted, c)
+		s.acceptMu.Unlock()
+		c.Close()
+	}()
 	for {
 		req, err := c.Recv()
 		if err != nil {
@@ -360,17 +382,32 @@ func (s *Store) peer(name string, req []byte) ([]byte, error) {
 
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if pc.conn == nil {
-		c, err := s.net.Dial(storeAddr(name))
-		if err != nil {
+	// One redial on failure: a cached conn goes stale when the peer
+	// dies, and under elastic membership a replacement may be serving
+	// the same store address by the time we retry.
+	for attempt := 0; ; attempt++ {
+		if pc.conn == nil {
+			c, err := s.net.Dial(storeAddr(name))
+			if err != nil {
+				return nil, err
+			}
+			pc.conn = c
+		}
+		resp, err := func() ([]byte, error) {
+			if err := pc.conn.Send(req); err != nil {
+				return nil, err
+			}
+			return pc.conn.Recv()
+		}()
+		if err == nil {
+			return resp, nil
+		}
+		pc.conn.Close()
+		pc.conn = nil
+		if attempt >= 1 {
 			return nil, err
 		}
-		pc.conn = c
 	}
-	if err := pc.conn.Send(req); err != nil {
-		return nil, err
-	}
-	return pc.conn.Recv()
 }
 
 // Put stores a block locally and registers its location with the
@@ -594,5 +631,12 @@ func (s *Store) Close() error {
 	}
 	s.peerConns = map[string]*peerConn{}
 	s.peerMu.Unlock()
+	s.acceptMu.Lock()
+	s.closed = true
+	for c := range s.accepted {
+		c.Close()
+	}
+	s.accepted = map[transport.Conn]struct{}{}
+	s.acceptMu.Unlock()
 	return s.lis.Close()
 }

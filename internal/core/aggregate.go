@@ -32,9 +32,27 @@ import (
 	"sparker/internal/comm"
 	"sparker/internal/metrics"
 	"sparker/internal/rdd"
+	"sparker/internal/sched"
 	"sparker/internal/serde"
 	"sparker/internal/trace"
 )
+
+// ErrMembershipChanged classifies a collective failure whose cause was
+// a membership reconfiguration (an executor died or left mid-ring and
+// the driver installed a new epoch). Aggregate retries such failures
+// once, whole, against the new epoch — the surviving-path fallback is
+// only sound when the executor set is unchanged, since a dead member's
+// IMM aggregator is gone. Aliases rdd.ErrMembershipChanged so the
+// classification survives the task result frame (the wire codec maps
+// the sentinel to a status byte and re-attaches it driver-side).
+var ErrMembershipChanged = rdd.ErrMembershipChanged
+
+// elasticRetryWait bounds how long a classified ring failure waits for
+// the suspected membership reconfiguration to install before concluding
+// the executor set is stable (and degrading to the tree fallback
+// instead). Ctrl-connection eviction is near-instant, so churn-caused
+// failures see the new epoch well inside this window.
+const elasticRetryWait = 500 * time.Millisecond
 
 // Strategy selects the reduction an Aggregate call runs.
 type Strategy int
@@ -260,7 +278,7 @@ func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, 
 	}
 	strategy := o.Strategy
 	if strategy == StrategyAuto {
-		if rc.NumExecutors() == 1 {
+		if rc.NumLiveExecutors() == 1 {
 			strategy = StrategyIMM
 		} else {
 			strategy = StrategySplit
@@ -297,18 +315,46 @@ func Aggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, 
 		}
 		return fns.SplitOp(u, 0, 1), nil
 	case StrategySplit:
-		return ringAggregate(ctx, r, fns, o, false)
+		return ringAggregateElastic(ctx, r, fns, o, false)
 	case StrategyAllReduce:
-		return ringAggregate(ctx, r, fns, o, true)
+		return ringAggregateElastic(ctx, r, fns, o, true)
 	default:
 		return zv, fmt.Errorf("core: unknown strategy %v", o.Strategy)
 	}
 }
 
 // isPeerFailure reports whether err is a classified collective failure
-// the fallback path can recover from.
+// the recovery paths can act on: a peer stopped answering
+// (comm.ErrPeerTimeout), its transport died (comm.ErrPeerDown), or the
+// scheduler lost the executor outright (sched.ErrExecutorLost).
 func isPeerFailure(err error) bool {
-	return errors.Is(err, comm.ErrPeerTimeout) || errors.Is(err, comm.ErrPeerDown)
+	return errors.Is(err, comm.ErrPeerTimeout) || errors.Is(err, comm.ErrPeerDown) ||
+		errors.Is(err, sched.ErrExecutorLost)
+}
+
+// maxElasticRetries bounds how many times a churn-broken collective is
+// re-run whole. Each retry requires a fresh ErrMembershipChanged
+// classification — which itself requires an observed epoch change — so
+// the loop is bounded by actual churn events; the cap guards against a
+// cluster reconfiguring faster than it can complete one collective.
+const maxElasticRetries = 3
+
+// ringAggregateElastic wraps ringAggregate with the elastic retry: a
+// collective that failed because the membership epoch moved underneath
+// it is re-run whole (fresh op id, fresh IMM stage, the new epoch's
+// ring) against the reconfigured cluster, up to maxElasticRetries
+// times — back-to-back churn (an eviction immediately followed by a
+// replacement join) can break two attempts in a row. Any failure with
+// stable membership surfaces normally.
+func ringAggregateElastic[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs[T, U, V], o AggOptions, allGather bool) (V, error) {
+	rc := r.Context()
+	res, err := ringAggregate(ctx, r, fns, o, allGather)
+	for retry := 0; retry < maxElasticRetries && err != nil && errors.Is(err, ErrMembershipChanged); retry++ {
+		rc.RecordMarker(metrics.CounterElasticRetry,
+			fmt.Sprintf("retrying collective against epoch %d: %v", rc.MembershipEpoch(), err))
+		res, err = ringAggregate(ctx, r, fns, o, allGather)
+	}
+	return res, err
 }
 
 // ringAggregate runs the split (and, with allGather, allreduce)
@@ -324,6 +370,7 @@ func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs
 		kind = "allreduce"
 	}
 	opID := rc.NewOpID()
+	epoch0 := rc.MembershipEpoch()
 	prefix := fmt.Sprintf("%s/%d/", kind, opID)
 	if o.KeepKey == "" {
 		defer cleanupIMM(rc, prefix)
@@ -350,7 +397,34 @@ func ringAggregate[T, U, V any](ctx context.Context, r *rdd.RDD[T], fns AggFuncs
 	if ringErr == nil {
 		return out, nil
 	}
-	if o.NoFallback || !isPeerFailure(ringErr) {
+	if errors.Is(ringErr, ErrMembershipChanged) {
+		// The stage itself detected the churn (stale ring geometry).
+		// Executors swap endpoints before the driver installs the epoch,
+		// so wait briefly for the install — a retry planned against the
+		// still-stale view would fail the same way.
+		rc.AwaitReconfigured(epoch0, elasticRetryWait)
+		return zv, ringErr
+	}
+	// comm.ErrClosed from a ring task means the task's collective
+	// endpoint was closed under it — which during churn is exactly the
+	// atomic endpoint swap of a reconfiguration. It is not a peer
+	// failure (the fallback would be pointless on a closed endpoint),
+	// but it is retry-eligible when the epoch confirms the churn.
+	if !isPeerFailure(ringErr) && !errors.Is(ringErr, comm.ErrClosed) {
+		return zv, ringErr
+	}
+	// Classified peer failure. If the membership epoch moved (or moves
+	// within the grace window — ctrl-connection eviction is racing this
+	// very error), the failure was churn: the surviving-path fallback is
+	// unsound (the departed member's IMM aggregator is gone), so classify
+	// for the whole-collective retry against the new epoch instead.
+	if rc.AwaitReconfigured(epoch0, elasticRetryWait) {
+		return zv, fmt.Errorf("core: %s ring failed across epochs %d->%d: %v: %w",
+			kind, epoch0, rc.MembershipEpoch(), ringErr, ErrMembershipChanged)
+	}
+	if o.NoFallback || errors.Is(ringErr, comm.ErrClosed) {
+		// Stable epoch: a closed endpoint here is a genuine local
+		// shutdown, not churn — surface it rather than degrade.
 		return zv, ringErr
 	}
 
@@ -402,7 +476,9 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 	if o.ChunkBytes != 0 {
 		sctx = collective.WithChunkBytes(sctx, o.ChunkBytes)
 	}
-	nExec := rc.NumExecutors()
+	// Ring size is the LIVE executor count of the installed epoch, not
+	// the slot-table width: dead slots hold no rank in the epoch's ring.
+	nExec := rc.NumLiveExecutors()
 	nSegs := o.Parallelism * nExec
 	ops := serdeOps[V](fns.ReduceOp)
 	if fns.Ops != nil {
@@ -462,6 +538,16 @@ func runRingStage[T, U, V any](ctx context.Context, rc *rdd.Context, opID int64,
 					}).Value().(*collective.CompressionState)
 				}
 				cctx = collective.WithCompression(cctx, spec)
+			}
+			// Stale-geometry guard: the stage was planned against an
+			// installed epoch's live count, but executors refresh their
+			// collective endpoint per dispatch — a reconfiguration landing
+			// between planning and launch would run an nExec-wide plan on a
+			// different-width ring. Bail with the churn classification so
+			// the whole collective retries against the new epoch.
+			if got := ec.Comm.Size(); got != nExec {
+				return nil, fmt.Errorf("core: ring width changed under the stage (planned %d ranks, endpoint has %d): %w",
+					nExec, got, ErrMembershipChanged)
 			}
 			agg := sharedAgg(ec, prefix+"agg", fns.Zero)
 			segs := splitParallel(agg, nSegs, ec.Cores, fns.SplitOp)
@@ -546,7 +632,7 @@ func fallbackGather[U any](rc *rdd.Context, prefix string, zero func() U, mergeO
 		return nil, nil
 	})
 	acc := zero()
-	for i := 0; i < rc.NumExecutors(); i++ {
+	for _, i := range rc.LiveExecutors() {
 		wire, err := rc.DriverStore().FetchFrom(rc.ExecutorStoreName(i), blockID)
 		if err != nil {
 			return zu, err

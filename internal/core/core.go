@@ -135,14 +135,15 @@ func runIMMStage[T, U any](r *rdd.RDD[T], prefix string, parent trace.SpanContex
 	return err
 }
 
-// runOnAllExecutorsTenant mirrors rdd.RunOnAllExecutors (task i on
-// executor i) with the stage charged to a fair-share tenant.
+// runOnAllExecutorsTenant mirrors rdd.RunOnAllExecutors (one task per
+// LIVE executor) with the stage charged to a fair-share tenant. The
+// returned payloads are dense, in live order.
 func runOnAllExecutorsTenant(ctx *rdd.Context, tenant string, fn func(ec *rdd.ExecContext, task, attempt int) ([]byte, error)) ([][]byte, error) {
-	placement := make([]int, ctx.NumExecutors())
-	for i := range placement {
-		placement[i] = i
+	placement := append([]int(nil), ctx.LiveExecutors()...)
+	if len(placement) == 0 {
+		return nil, nil
 	}
-	return ctx.RunJob(rdd.JobSpec{Tenant: tenant, Tasks: ctx.NumExecutors(), Placement: placement, Fn: fn})
+	return ctx.RunJob(rdd.JobSpec{Tenant: tenant, Tasks: len(placement), Placement: placement, Fn: fn})
 }
 
 // cleanupIMM drops the aggregation's shared state everywhere.

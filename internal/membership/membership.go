@@ -1,0 +1,266 @@
+// Package membership is the driver-side executor membership registry:
+// the single source of truth for which executor slots are alive, keyed
+// by a monotonically increasing membership epoch.
+//
+// The model is slot-based: executor IDs are dense indices into a slot
+// table that only grows. A member that leaves or is evicted turns its
+// slot Dead; a later join preferentially adopts the oldest dead slot
+// (same executor ID, fresh incarnation) so owner math, block-store
+// names and scheduler bookkeeping stay stable across a kill-and-replace
+// cycle — the replacement literally takes over the dead rank. Joins
+// beyond the slot table grow it.
+//
+// Every mutation produces a new immutable View with Epoch+1. Consumers
+// (the rdd context, the scheduler, collectives) hold a View snapshot
+// and resolve all partition-owner math through it: OwnerOf is the one
+// placement-resolution path that used to be scattered p % NumExecutors
+// expressions.
+package membership
+
+import (
+	"fmt"
+	"sync"
+)
+
+// State is one slot's liveness.
+type State uint8
+
+const (
+	// Alive: the slot has a running executor.
+	Alive State = iota
+	// Dead: the slot's executor left, died or was evicted; a joining
+	// replacement may adopt it.
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == Alive {
+		return "alive"
+	}
+	return "dead"
+}
+
+// Member is one slot of the membership table.
+type Member struct {
+	// ID is the slot index — the executor ID every other subsystem uses.
+	ID int `json:"id"`
+	// Host is the member's hostname (topology-aware rank ordering).
+	Host string `json:"host"`
+	// State is the slot's liveness.
+	State State `json:"state"`
+	// Incarnation counts how many executors have occupied this slot; it
+	// distinguishes a replacement from the member it replaced.
+	Incarnation int `json:"incarnation"`
+}
+
+// View is one immutable epoch of the membership: the slot table plus
+// the derived live set. Views are shared freely across goroutines.
+type View struct {
+	// Epoch is the view's version; every membership change bumps it.
+	Epoch uint64
+	// Members is the slot table, indexed by executor ID.
+	Members []Member
+
+	live []int // ascending IDs of Alive slots
+}
+
+// NumSlots returns the slot-table size (dead slots included) — the
+// bound for any per-executor indexed array.
+func (v *View) NumSlots() int { return len(v.Members) }
+
+// NumLive returns the live executor count.
+func (v *View) NumLive() int { return len(v.live) }
+
+// Live returns the ascending IDs of live executors. Callers must not
+// mutate the returned slice.
+func (v *View) Live() []int { return v.live }
+
+// IsLive reports whether slot id currently has a running executor.
+func (v *View) IsLive(id int) bool {
+	return id >= 0 && id < len(v.Members) && v.Members[id].State == Alive
+}
+
+// OwnerOf returns the live executor that owns partition part — the one
+// placement-resolution path (formerly scattered p % NumExecutors
+// expressions). With every slot alive it is exactly part % NumSlots,
+// byte-compatible with the fixed-membership engine; with dead slots the
+// live set is indexed cyclically so ownership stays dense.
+func (v *View) OwnerOf(part int) int { return OwnerOf(v.live, part) }
+
+// HostOf returns slot id's hostname ("" out of range).
+func (v *View) HostOf(id int) string {
+	if id < 0 || id >= len(v.Members) {
+		return ""
+	}
+	return v.Members[id].Host
+}
+
+// OwnerOf is the shared owner math over an ascending live set: partition
+// part belongs to live[part % len(live)]. Exported package-level so the
+// scheduler's StageView and the rdd context's Membership view resolve
+// through literally the same function.
+func OwnerOf(live []int, part int) int {
+	if len(live) == 0 {
+		return -1
+	}
+	if part < 0 {
+		part = -part
+	}
+	return live[part%len(live)]
+}
+
+func deriveLive(members []Member) []int {
+	live := make([]int, 0, len(members))
+	for _, m := range members {
+		if m.State == Alive {
+			live = append(live, m.ID)
+		}
+	}
+	return live
+}
+
+// Registry is the driver-side membership authority. All mutations are
+// serialized internally; View returns the latest committed view.
+//
+// Note the registry records membership *decisions*; pushing a decided
+// view out to executors (endpoint rebuilds, scheduler slot changes) is
+// the rdd layer's reconfiguration loop, which trails the registry by
+// design — see rdd.Context's installed view.
+type Registry struct {
+	mu      sync.Mutex
+	view    *View
+	subs    []func(*View)
+	history []Event
+}
+
+// Event records one membership change for the debug plane.
+type Event struct {
+	Epoch  uint64 `json:"epoch"`
+	Kind   string `json:"kind"` // "boot", "join", "leave", "evict"
+	Exec   int    `json:"exec"`
+	Host   string `json:"host,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewRegistry boots a registry with one Alive member per host at
+// epoch 1.
+func NewRegistry(hosts []string) *Registry {
+	members := make([]Member, len(hosts))
+	for i, h := range hosts {
+		members[i] = Member{ID: i, Host: h, State: Alive, Incarnation: 1}
+	}
+	v := &View{Epoch: 1, Members: members, live: deriveLive(members)}
+	return &Registry{
+		view:    v,
+		history: []Event{{Epoch: 1, Kind: "boot", Exec: -1, Detail: fmt.Sprintf("%d executors", len(hosts))}},
+	}
+}
+
+// View returns the latest committed view.
+func (r *Registry) View() *View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// Subscribe registers f to be called (synchronously, in registration
+// order, without the registry lock) after every committed change.
+func (r *Registry) Subscribe(f func(*View)) {
+	r.mu.Lock()
+	r.subs = append(r.subs, f)
+	r.mu.Unlock()
+}
+
+// History returns a copy of the recorded membership events, oldest
+// first.
+func (r *Registry) History() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.history...)
+}
+
+// commit installs next (Epoch already bumped), records ev, and notifies
+// subscribers outside the lock.
+func (r *Registry) commit(next *View, ev Event) {
+	r.view = next
+	ev.Epoch = next.Epoch
+	r.history = append(r.history, ev)
+	subs := append([]func(*View){}, r.subs...)
+	r.mu.Unlock()
+	for _, f := range subs {
+		f(next)
+	}
+	r.mu.Lock()
+}
+
+// mutate clones the current slot table, applies f (returning the event
+// to record and whether to commit), and bumps the epoch.
+func (r *Registry) mutate(f func(members []Member) (Event, bool)) *View {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	members := append([]Member(nil), r.view.Members...)
+	ev, ok := f(members)
+	if !ok {
+		return r.view
+	}
+	next := &View{Epoch: r.view.Epoch + 1, Members: members, live: deriveLive(members)}
+	r.commit(next, ev)
+	return next
+}
+
+// Join admits a new executor on host: the oldest dead slot is adopted
+// (fresh incarnation), or the table grows by one. Returns the assigned
+// executor ID and the committed view.
+func (r *Registry) Join(host string) (int, *View) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	members := append([]Member(nil), r.view.Members...)
+	id := -1
+	detail := ""
+	for i := range members {
+		if members[i].State == Dead {
+			id = i
+			members[i].Host = host
+			members[i].State = Alive
+			members[i].Incarnation++
+			detail = fmt.Sprintf("adopted dead slot, incarnation %d", members[i].Incarnation)
+			break
+		}
+	}
+	if id < 0 {
+		id = len(members)
+		members = append(members, Member{ID: id, Host: host, State: Alive, Incarnation: 1})
+		detail = "new slot"
+	}
+	next := &View{Epoch: r.view.Epoch + 1, Members: members, live: deriveLive(members)}
+	r.commit(next, Event{Kind: "join", Exec: id, Host: host, Detail: detail})
+	return id, next
+}
+
+// Leave records a voluntary departure of executor id. Idempotent:
+// leaving a dead slot is a no-op.
+func (r *Registry) Leave(id int) *View {
+	v, _ := r.depart(id, "leave", "voluntary leave")
+	return v
+}
+
+// Evict records a failure-detector eviction of executor id, returning
+// the committed view and whether the call actually changed state (false
+// when the slot was already dead — detector races are expected).
+func (r *Registry) Evict(id int, reason string) (*View, bool) {
+	return r.depart(id, "evict", reason)
+}
+
+func (r *Registry) depart(id int, kind, detail string) (*View, bool) {
+	var changed bool
+	v := r.mutate(func(members []Member) (Event, bool) {
+		if id < 0 || id >= len(members) || members[id].State != Alive {
+			return Event{}, false
+		}
+		members[id].State = Dead
+		changed = true
+		return Event{Kind: kind, Exec: id, Host: members[id].Host, Detail: detail}, true
+	})
+	return v, changed
+}

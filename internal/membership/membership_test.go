@@ -1,0 +1,133 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBootView(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1", "h2"})
+	v := r.View()
+	if v.Epoch != 1 {
+		t.Fatalf("boot epoch = %d, want 1", v.Epoch)
+	}
+	if v.NumSlots() != 3 || v.NumLive() != 3 {
+		t.Fatalf("slots=%d live=%d, want 3/3", v.NumSlots(), v.NumLive())
+	}
+	for p := 0; p < 12; p++ {
+		if got := v.OwnerOf(p); got != p%3 {
+			t.Fatalf("OwnerOf(%d) = %d, want %d (full membership must match p %% N)", p, got, p%3)
+		}
+	}
+}
+
+func TestEvictShiftsOwnership(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1", "h2", "h3"})
+	v, changed := r.Evict(1, "test")
+	if !changed || v.Epoch != 2 {
+		t.Fatalf("evict: changed=%v epoch=%d, want true/2", changed, v.Epoch)
+	}
+	if v.NumLive() != 3 || v.IsLive(1) {
+		t.Fatalf("after evict: live=%d isLive(1)=%v", v.NumLive(), v.IsLive(1))
+	}
+	// Live set {0,2,3}: ownership cycles over survivors only.
+	want := []int{0, 2, 3, 0, 2, 3}
+	for p, w := range want {
+		if got := v.OwnerOf(p); got != w {
+			t.Fatalf("OwnerOf(%d) = %d, want %d", p, got, w)
+		}
+	}
+	// Double-evict is a no-op.
+	v2, changed2 := r.Evict(1, "again")
+	if changed2 || v2.Epoch != v.Epoch {
+		t.Fatalf("double evict: changed=%v epoch=%d", changed2, v2.Epoch)
+	}
+}
+
+func TestJoinAdoptsDeadSlot(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1", "h2"})
+	r.Evict(2, "killed")
+	id, v := r.Join("h2b")
+	if id != 2 {
+		t.Fatalf("join assigned slot %d, want adoption of dead slot 2", id)
+	}
+	if v.Epoch != 3 || v.NumSlots() != 3 || v.NumLive() != 3 {
+		t.Fatalf("after adopt: epoch=%d slots=%d live=%d", v.Epoch, v.NumSlots(), v.NumLive())
+	}
+	if v.Members[2].Incarnation != 2 || v.HostOf(2) != "h2b" {
+		t.Fatalf("adopted slot: inc=%d host=%q", v.Members[2].Incarnation, v.HostOf(2))
+	}
+	// Ownership identical to boot again.
+	for p := 0; p < 9; p++ {
+		if got := v.OwnerOf(p); got != p%3 {
+			t.Fatalf("OwnerOf(%d) = %d after adoption, want %d", p, got, p%3)
+		}
+	}
+}
+
+func TestJoinGrowsTable(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1"})
+	id, v := r.Join("h2")
+	if id != 2 || v.NumSlots() != 3 || v.NumLive() != 3 {
+		t.Fatalf("grow join: id=%d slots=%d live=%d", id, v.NumSlots(), v.NumLive())
+	}
+	if v.Members[2].Incarnation != 1 {
+		t.Fatalf("fresh slot incarnation = %d, want 1", v.Members[2].Incarnation)
+	}
+}
+
+func TestSubscribeAndHistory(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1"})
+	var got []uint64
+	r.Subscribe(func(v *View) { got = append(got, v.Epoch) })
+	r.Evict(0, "x")
+	r.Join("h0b")
+	r.Leave(1)
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("subscriber epochs = %v, want [2 3 4]", got)
+	}
+	h := r.History()
+	kinds := make([]string, len(h))
+	for i, e := range h {
+		kinds[i] = e.Kind
+	}
+	want := []string{"boot", "evict", "join", "leave"}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("history kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestViewImmutableUnderConcurrentMutation(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1", "h2", "h3"})
+	v1 := r.View()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				r.Evict(i%4, "chaos")
+			} else {
+				r.Join("hx")
+			}
+		}(i)
+	}
+	// Readers against the old snapshot while mutations fly.
+	for p := 0; p < 100; p++ {
+		if got := v1.OwnerOf(p); got != p%4 {
+			t.Fatalf("snapshot OwnerOf(%d) changed to %d", p, got)
+		}
+	}
+	wg.Wait()
+	if r.View().Epoch < 2 {
+		t.Fatalf("epoch did not advance: %d", r.View().Epoch)
+	}
+}
+
+func TestOwnerOfEmpty(t *testing.T) {
+	if got := OwnerOf(nil, 3); got != -1 {
+		t.Fatalf("OwnerOf(empty) = %d, want -1", got)
+	}
+}

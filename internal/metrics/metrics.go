@@ -57,6 +57,22 @@ const (
 	// CounterJobCancelled counts server jobs cancelled by a client
 	// (DELETE /api/v1/jobs/{id}) or by server shutdown.
 	CounterJobCancelled = "job-cancelled"
+	// CounterExecutorJoin counts executors admitted into the membership
+	// (dead-slot adoption and table growth alike).
+	CounterExecutorJoin = "executor-join"
+	// CounterExecutorLeave counts voluntary executor departures.
+	CounterExecutorLeave = "executor-leave"
+	// CounterExecutorEvict counts failure-detector evictions (heartbeat
+	// deadline or severed control connection).
+	CounterExecutorEvict = "executor-evict"
+	// CounterElasticRetry counts collectives that failed against a
+	// membership epoch that then changed, and were retried whole against
+	// the new epoch.
+	CounterElasticRetry = "elastic-retry"
+	// CounterCheckpointRepair counts checkpoint repair passes run after
+	// a membership change (replica promotion, lineage recompute, and
+	// replica restoration are one pass).
+	CounterCheckpointRepair = "checkpoint-repair"
 )
 
 // Recorder accumulates named durations and event counters. It is safe

@@ -57,6 +57,13 @@ const (
 	// throughput per executor (points folded / kernel seconds); the
 	// driver-side merged registry sums executors into an aggregate rate.
 	GaugeComputePointsPerSec = "compute.points.per.sec"
+	// GaugeLiveExecutors is the current number of live executors in the
+	// installed membership view (driver registry only).
+	GaugeLiveExecutors = "membership.live.executors"
+	// GaugeMembershipEpoch is the installed membership epoch (driver
+	// registry only) — together with GaugeLiveExecutors this makes
+	// reconfiguration visible on any metrics scrape.
+	GaugeMembershipEpoch = "membership.epoch"
 )
 
 // Registry is a named collection of instruments. Each executor owns

@@ -1,0 +1,75 @@
+package mllib
+
+// Chaos: gradient-descent training rides through real membership churn.
+// An executor is killed mid-training and a replacement adopts its slot
+// while the optimizer loop keeps submitting collectives; because the
+// elastic retry re-runs a churn-broken aggregation whole against the
+// new epoch (and the ring fallback is exact when membership is
+// stable), every gradient stays exact and the model converges to the
+// same quality as an undisturbed run. Runs under the race detector via
+// `make test-chaos` / `make chaos-elastic`.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sparker/internal/rdd"
+)
+
+func TestChaosElasticTrainingKillAndReplace(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	const n, dim = 400, 2
+	train := trainingSet(ctx, n, dim, 6)
+
+	// Kill one executor shortly after training starts, wait for the
+	// eviction epoch, then join a replacement — all while the GD loop
+	// below is submitting ring collectives.
+	churn := make(chan error, 1)
+	go func() {
+		churn <- func() error {
+			time.Sleep(10 * time.Millisecond)
+			e0 := ctx.MembershipEpoch()
+			if err := ctx.KillExecutor(2); err != nil {
+				return err
+			}
+			if !ctx.AwaitReconfigured(e0, 10*time.Second) {
+				return fmt.Errorf("kill never installed a new epoch")
+			}
+			id, err := ctx.AddExecutor("replacement")
+			if err != nil {
+				return err
+			}
+			if id != 2 {
+				return fmt.Errorf("replacement adopted slot %d, want 2", id)
+			}
+			return nil
+		}()
+	}()
+
+	m, err := TrainLogisticRegression(train, LogisticRegressionConfig{
+		NumFeatures: dim,
+		GD:          GDConfig{Iterations: 40, StepSize: 5, Strategy: StrategySplit},
+	})
+	if err != nil {
+		t.Fatalf("training across churn: %v", err)
+	}
+	if err := <-churn; err != nil {
+		t.Fatal(err)
+	}
+
+	pts, err := rdd.Collect(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(pts); acc < 0.9 {
+		t.Fatalf("accuracy %v < 0.9 after kill-and-replace", acc)
+	}
+	if m.Losses[len(m.Losses)-1] >= m.Losses[0] {
+		t.Fatalf("loss did not improve across churn: %v -> %v",
+			m.Losses[0], m.Losses[len(m.Losses)-1])
+	}
+	if live := ctx.NumLiveExecutors(); live != 3 {
+		t.Fatalf("live executors = %d after replace, want 3", live)
+	}
+}

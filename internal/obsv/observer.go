@@ -32,6 +32,7 @@ func DefaultTriggers() []string {
 		metrics.CounterCompressDisabled,
 		metrics.CounterJobFailed,
 		metrics.CounterJobCancelled,
+		metrics.CounterExecutorEvict,
 		TriggerP99Regression,
 	}
 }
@@ -238,6 +239,23 @@ func (o *Observer) Bind(b Binding) {
 	// guaranteed a pre-trigger metric snapshot in its bundle.
 	o.snapshot()
 	go o.monitor(quit, done)
+}
+
+// EnsureExecRings grows the per-executor ring table through n slots —
+// the elastic-membership hook: a join that outgrows the boot executor
+// count gets its own flight-recorder ring instead of silently dropping
+// records (ExecRing would return nil for the new slot). Existing rings
+// and their contents are untouched; shrinking never happens, a dead
+// slot's ring stays readable for postmortems.
+func (o *Observer) EnsureExecRings(n int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	for len(o.execs) < n {
+		o.execs = append(o.execs, NewRing(o.cfg.RingSize))
+	}
+	o.mu.Unlock()
 }
 
 // Unbind stops the monitor goroutine, draining any queued trigger

@@ -1,0 +1,228 @@
+package rdd
+
+// Checkpoint replication and repair. A checkpointed RDD keeps each
+// partition's bytes in two block stores: the primary on the partition's
+// owner (wherever the checkpoint stage actually ran) and a buddy
+// replica on the next live executor after the owner in live order.
+// When membership changes, repairCheckpoint re-establishes the
+// invariant: a dead owner's partition is promoted from its replica (or,
+// if both copies died, recomputed from lineage — checkpointing here
+// truncates reads, not the recipe), and missing replicas are restored.
+// This is what lets a replacement executor adopt a dead rank's blocks
+// mid-training instead of forcing a full recompute.
+
+import (
+	"fmt"
+
+	"sparker/internal/membership"
+	"sparker/internal/metrics"
+)
+
+// checkpointReplicaID names the buddy replica block of a checkpointed
+// partition, distinct from the primary checkpointBlockID so both can
+// coexist on one store after a promotion.
+func (r *RDD[T]) checkpointReplicaID(part int) string {
+	return fmt.Sprintf("ckpt/%d/%d/r", r.id, part)
+}
+
+// ckptOwnerOf returns the executor holding partition part's primary
+// checkpoint block (falling back to the epoch's owner math when the
+// checkpoint stage recorded nothing).
+func (r *RDD[T]) ckptOwnerOf(part int) int {
+	if owners := r.ckptOwners.Load(); owners != nil &&
+		part < len(*owners) && (*owners)[part] >= 0 {
+		return (*owners)[part]
+	}
+	return r.ctx.OwnerOf(part)
+}
+
+// ckptReplicaOf returns the executor holding partition part's buddy
+// replica, or -1 when none exists.
+func (r *RDD[T]) ckptReplicaOf(part int) int {
+	if reps := r.ckptReplicas.Load(); reps != nil && part < len(*reps) {
+		return (*reps)[part]
+	}
+	return -1
+}
+
+// buddyOf picks the replica executor for a partition owned by owner:
+// the next live executor after the owner in live order, so replicas
+// spread instead of piling onto one survivor. Returns -1 when the
+// cluster is too small to replicate.
+func buddyOf(owner int, live []int) int {
+	if len(live) < 2 {
+		return -1
+	}
+	for i, e := range live {
+		if e == owner {
+			return live[(i+1)%len(live)]
+		}
+	}
+	return live[0]
+}
+
+func liveContains(live []int, e int) bool {
+	for _, l := range live {
+		if l == e {
+			return true
+		}
+	}
+	return false
+}
+
+// installCkptRepairHook subscribes the RDD's repair pass to membership
+// reconfigurations. Registered once per RDD via ckptHook.
+func (r *RDD[T]) installCkptRepairHook() {
+	r.ctx.OnReconfigure(func(*membership.View) { r.repairCheckpoint() })
+}
+
+// replicateCheckpoint establishes the buddy replica for every
+// checkpointed partition. Called right after the checkpoint stage and
+// again (via restoreReplicasLocked) during repair.
+func (r *RDD[T]) replicateCheckpoint() error {
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	return r.restoreReplicasLocked()
+}
+
+// restoreReplicasLocked copies the primary block of every partition
+// whose replica is missing, dead, or colocated with its owner onto the
+// owner's buddy, then records the replica map. Caller holds ckptMu.
+func (r *RDD[T]) restoreReplicasLocked() error {
+	live := r.ctx.LiveExecutors()
+	reps := make([]int, r.parts)
+	var copyParts, copyDst, copySrc []int
+	for p := 0; p < r.parts; p++ {
+		owner := r.ckptOwnerOf(p)
+		cur := r.ckptReplicaOf(p)
+		if cur >= 0 && cur != owner && liveContains(live, cur) {
+			reps[p] = cur // existing replica still valid; keep it
+			continue
+		}
+		buddy := buddyOf(owner, live)
+		reps[p] = buddy
+		if buddy < 0 {
+			continue // cluster too small to replicate
+		}
+		copyParts = append(copyParts, p)
+		copyDst = append(copyDst, buddy)
+		copySrc = append(copySrc, owner)
+	}
+	if len(copyParts) > 0 {
+		h, err := r.ctx.SubmitJob(JobSpec{
+			Tasks:     len(copyParts),
+			Placement: copyDst,
+			Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+				p := copyParts[task]
+				wire, err := ec.Store.FetchFrom(
+					r.ctx.ExecutorStoreName(copySrc[task]), r.checkpointBlockID(p))
+				if err != nil {
+					return nil, fmt.Errorf("replicate partition %d: %w", p, err)
+				}
+				ec.Store.PutLocal(r.checkpointReplicaID(p), wire)
+				return nil, nil
+			},
+		})
+		if err == nil {
+			_, err = h.Wait()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	r.ckptReplicas.Store(&reps)
+	return nil
+}
+
+// repairCheckpoint restores the primary+replica invariant after a
+// membership change. It runs from the reconfiguration hook (and is
+// safe to call directly): promote replicas whose owner died, recompute
+// partitions that lost both copies, then restore missing replicas.
+// Failures are recorded but non-fatal — reads degrade through the
+// replica and lineage ladder until a later repair succeeds.
+func (r *RDD[T]) repairCheckpoint() {
+	if !r.checkpointed.Load() {
+		return
+	}
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	live := r.ctx.LiveExecutors()
+	if len(live) == 0 {
+		return
+	}
+	owners := make([]int, r.parts)
+	for p := 0; p < r.parts; p++ {
+		owners[p] = r.ckptOwnerOf(p)
+	}
+	// Phase 1: re-home partitions whose primary owner died. Promotion
+	// runs on the replica's executor (a local block copy); partitions
+	// with no surviving copy recompute from lineage on their new owner.
+	var lostParts, newOwners []int
+	var fromReplica []bool
+	for p := 0; p < r.parts; p++ {
+		if liveContains(live, owners[p]) {
+			continue
+		}
+		if rep := r.ckptReplicaOf(p); rep >= 0 && liveContains(live, rep) {
+			lostParts = append(lostParts, p)
+			newOwners = append(newOwners, rep)
+			fromReplica = append(fromReplica, true)
+		} else {
+			lostParts = append(lostParts, p)
+			newOwners = append(newOwners, r.ctx.OwnerOf(p))
+			fromReplica = append(fromReplica, false)
+		}
+	}
+	repaired := 0
+	if len(lostParts) > 0 {
+		h, err := r.ctx.SubmitJob(JobSpec{
+			Tasks:     len(lostParts),
+			Placement: newOwners,
+			Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+				p := lostParts[task]
+				if fromReplica[task] {
+					// The task runs on the replica's executor, so this
+					// fetch resolves locally.
+					wire, err := ec.Store.FetchFrom(
+						r.ctx.ExecutorStoreName(newOwners[task]), r.checkpointReplicaID(p))
+					if err == nil {
+						ec.Store.PutLocal(r.checkpointBlockID(p), wire)
+						return nil, nil
+					}
+				}
+				data, err := r.compute(ec, p)
+				if err != nil {
+					return nil, fmt.Errorf("recompute partition %d: %w", p, err)
+				}
+				wire, err := encodeSlice(data)
+				if err != nil {
+					return nil, err
+				}
+				ec.Store.PutLocal(r.checkpointBlockID(p), wire)
+				return nil, nil
+			},
+		})
+		if err == nil {
+			_, err = h.Wait()
+		}
+		if err != nil {
+			r.ctx.RecordMarker(metrics.CounterCheckpointRepair,
+				fmt.Sprintf("rdd=%d primary repair failed: %v", r.id, err))
+			return
+		}
+		for i, p := range lostParts {
+			owners[p] = newOwners[i]
+		}
+		repaired = len(lostParts)
+	}
+	r.ckptOwners.Store(&owners)
+	// Phase 2: restore the replica invariant against the new live set.
+	if err := r.restoreReplicasLocked(); err != nil {
+		r.ctx.RecordMarker(metrics.CounterCheckpointRepair,
+			fmt.Sprintf("rdd=%d replica restore failed: %v", r.id, err))
+		return
+	}
+	r.ctx.RecordMarker(metrics.CounterCheckpointRepair,
+		fmt.Sprintf("rdd=%d epoch=%d promoted-or-recomputed=%d live=%d",
+			r.id, r.ctx.MembershipEpoch(), repaired, len(live)))
+}

@@ -156,9 +156,18 @@ type Context struct {
 
 	master      *blockmanager.Master
 	driverStore *blockmanager.Store
-	executors   []*Executor
-	topo        comm.Topology // rank <-> executor assignment
+	topo        comm.Topology // boot-time rank <-> executor assignment
 	sched       *sched.Scheduler
+
+	// memb is the membership plane: registry, control channel,
+	// reconfiguration loop and the installed clusterView every
+	// owner-math and placement decision resolves against.
+	memb *memberSvc
+
+	// execMu guards executors: the slot table grows when joins outrun
+	// the boot size and entries nil out when members depart.
+	execMu    sync.RWMutex
+	executors []*Executor
 
 	jobs   sync.Map // int64 -> *job
 	nextID atomic.Int64
@@ -174,7 +183,7 @@ type Context struct {
 
 	connMu sync.Mutex
 	conns  [][]*lockedConn // driver -> executor task connections, striped
-	connRR []atomic.Uint32 // round-robin stripe cursor per executor
+	connRR []uint32        // round-robin stripe cursor per executor (under connMu)
 
 	rec *metrics.Recorder
 	reg *metrics.Registry // driver-side instruments (driver store I/O)
@@ -222,6 +231,14 @@ func NewContext(conf Config) (*Context, error) {
 		ctx.topo = comm.IdentityTopology(conf.NumExecutors)
 	}
 
+	// The membership plane comes up before the executors: they dial its
+	// control channel as part of boot.
+	ctx.memb, err = newMemberSvc(ctx)
+	if err != nil {
+		ctx.Close()
+		return nil, err
+	}
+
 	ctx.sched, err = sched.New(sched.Config{
 		NumExecutors:          conf.NumExecutors,
 		CoresPerExecutor:      conf.CoresPerExecutor,
@@ -242,21 +259,18 @@ func NewContext(conf Config) (*Context, error) {
 		return nil, fmt.Errorf("rdd: starting scheduler: %w", err)
 	}
 
-	ctx.executors = make([]*Executor, conf.NumExecutors)
 	for i := 0; i < conf.NumExecutors; i++ {
-		e, err := newExecutor(ctx, i, conf.Hosts[i], ctx.topo.RankOfExecutor(i))
+		e, err := newExecutor(ctx, i, conf.Hosts[i], ctx.topo.RankOfExecutor(i), 1)
 		if err != nil {
 			ctx.Close()
 			return nil, fmt.Errorf("rdd: starting executor %d: %w", i, err)
 		}
-		ctx.executors[i] = e
+		ctx.setExecutor(i, e)
 	}
 	// Eagerly wire the PDR so connection setup stays out of timed paths.
-	for _, e := range ctx.executors {
-		if err := e.comm.ConnectRing(conf.RingParallelism); err != nil {
-			ctx.Close()
-			return nil, fmt.Errorf("rdd: connecting ring: %w", err)
-		}
+	if err := ctx.connectBootRing(); err != nil {
+		ctx.Close()
+		return nil, fmt.Errorf("rdd: connecting ring: %w", err)
 	}
 	if conf.Obsv != nil {
 		conf.Obsv.Bind(obsv.Binding{
@@ -275,14 +289,25 @@ func NewContext(conf Config) (*Context, error) {
 	return ctx, nil
 }
 
-// NumExecutors returns the executor count.
-func (ctx *Context) NumExecutors() int { return ctx.conf.NumExecutors }
+// NumExecutors returns the slot-table size of the installed membership
+// epoch: the bound for executor indices, dead slots included. At boot
+// (and under fixed membership forever) this equals conf.NumExecutors;
+// joins that outgrow the boot table raise it.
+func (ctx *Context) NumExecutors() int {
+	if cv := ctx.clusterView(); cv != nil {
+		return cv.view.NumSlots()
+	}
+	return ctx.conf.NumExecutors
+}
 
 // CoresPerExecutor returns task slots per executor.
 func (ctx *Context) CoresPerExecutor() int { return ctx.conf.CoresPerExecutor }
 
-// TotalCores returns the cluster-wide slot count.
+// TotalCores returns the cluster-wide slot count over live executors.
 func (ctx *Context) TotalCores() int {
+	if cv := ctx.clusterView(); cv != nil {
+		return cv.view.NumLive() * ctx.conf.CoresPerExecutor
+	}
 	return ctx.conf.NumExecutors * ctx.conf.CoresPerExecutor
 }
 
@@ -305,7 +330,7 @@ func (ctx *Context) Registry() *metrics.Registry { return ctx.reg }
 func (ctx *Context) MergedMetrics() *metrics.Registry {
 	out := metrics.NewRegistry()
 	out.Merge(ctx.reg)
-	for _, e := range ctx.executors {
+	for _, e := range ctx.executorSnapshot() {
 		if e != nil {
 			out.Merge(e.reg)
 		}
@@ -342,25 +367,58 @@ func (ctx *Context) ExecutorStoreName(i int) string {
 	return fmt.Sprintf("%s/exec-%d", ctx.conf.Name, i)
 }
 
-// RankOfExecutor returns the ring rank of executor i.
-func (ctx *Context) RankOfExecutor(i int) int { return ctx.topo.RankOfExecutor(i) }
+// RankOfExecutor returns the ring rank of executor i under the
+// installed membership epoch (-1 for dead or out-of-range slots).
+func (ctx *Context) RankOfExecutor(i int) int {
+	cv := ctx.clusterView()
+	if cv == nil {
+		return ctx.topo.RankOfExecutor(i)
+	}
+	if i < 0 || i >= len(cv.rankOfExec) {
+		return -1
+	}
+	return cv.rankOfExec[i]
+}
 
-// ExecutorOfRank returns the executor index holding ring rank r.
-func (ctx *Context) ExecutorOfRank(r int) int { return ctx.topo.ExecutorOfRank(r) }
+// ExecutorOfRank returns the executor index holding ring rank r under
+// the installed membership epoch (-1 when out of range).
+func (ctx *Context) ExecutorOfRank(r int) int {
+	cv := ctx.clusterView()
+	if cv == nil {
+		return ctx.topo.ExecutorOfRank(r)
+	}
+	if r < 0 || r >= len(cv.execOfRank) {
+		return -1
+	}
+	return cv.execOfRank[r]
+}
 
-// Topology returns the rank <-> executor assignment.
+// Topology returns the boot-time rank <-> executor assignment (epoch
+// 1, every configured executor alive). After a reconfiguration the
+// live assignment is RankOfExecutor/ExecutorOfRank, which resolve
+// through the installed membership epoch.
 func (ctx *Context) Topology() comm.Topology { return ctx.topo }
 
 // TopologyPolicy returns a placement policy aligning task index with
-// ring rank: collective stage task i lands on the executor holding
-// rank i, so segment ownership and endpoint rank coincide.
+// ring rank under the installed membership epoch: collective stage
+// task i lands on the executor holding rank i, so segment ownership
+// and endpoint rank coincide.
 func (ctx *Context) TopologyPolicy() sched.PlacementPolicy {
+	if cv := ctx.clusterView(); cv != nil {
+		return sched.NewTopologyAware(cv.execOfRank)
+	}
 	return sched.NewTopologyAware(ctx.topo.ExecOfRank())
 }
 
 // Close shuts the cluster down.
 func (ctx *Context) Close() error {
 	ctx.closeOnce.Do(func() {
+		// The membership plane goes first: it stops evicting members over
+		// conns the shutdown below is about to sever, and quiets the
+		// reconfiguration loop.
+		if ctx.memb != nil {
+			ctx.memb.close()
+		}
 		ctx.connMu.Lock()
 		for _, stripes := range ctx.conns {
 			for _, lc := range stripes {
@@ -379,7 +437,7 @@ func (ctx *Context) Close() error {
 		// After the scheduler: a monitor mid-collection fails fast and
 		// falls back to in-process ring snapshots for any queued dump.
 		ctx.conf.Obsv.Unbind()
-		for _, e := range ctx.executors {
+		for _, e := range ctx.executorSnapshot() {
 			if e != nil {
 				e.close()
 			}

@@ -18,6 +18,7 @@ import (
 
 	"sparker/internal/blockmanager"
 	"sparker/internal/comm"
+	"sparker/internal/membership"
 	"sparker/internal/metrics"
 	"sparker/internal/obsv"
 )
@@ -78,14 +79,16 @@ func sortCollectives(cs []CollectiveInfo) {
 // a dead scheduler doesn't lose them).
 func (ctx *Context) collectExecRings() []obsv.ExecDump {
 	obs := ctx.conf.Obsv
-	n := ctx.conf.NumExecutors
+	n := ctx.NumExecutors()
 	payloads, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
 		return json.Marshal(obs.ExecRing(ec.ID).Snapshot())
 	})
 	out := make([]obsv.ExecDump, n)
 	for i := range out {
 		out[i] = obsv.ExecDump{Exec: i}
-		if err == nil && i < len(payloads) {
+		// Dead slots have a nil payload (RunOnAllExecutors covers the
+		// live set); their rings are still readable in-process below.
+		if err == nil && i < len(payloads) && payloads[i] != nil {
 			var dump obsv.RingDump
 			if uerr := json.Unmarshal(payloads[i], &dump); uerr == nil {
 				out[i].Source = "transport"
@@ -101,6 +104,35 @@ func (ctx *Context) collectExecRings() []obsv.ExecDump {
 		}
 	}
 	return out
+}
+
+// membershipView is the /debug/sparker/membership payload: the
+// installed epoch's slot table and rank geometry plus the registry's
+// full event history — enough to reconstruct every reconfiguration the
+// cluster went through.
+type membershipView struct {
+	Epoch      uint64              `json:"epoch"`
+	Group      string              `json:"group"`
+	NumSlots   int                 `json:"num_slots"`
+	NumLive    int                 `json:"num_live"`
+	Live       []int               `json:"live"`
+	Members    []membership.Member `json:"members"`
+	ExecOfRank []int               `json:"exec_of_rank"`
+	History    []membership.Event  `json:"history"`
+}
+
+func (ctx *Context) membershipView() membershipView {
+	cv := ctx.clusterView()
+	return membershipView{
+		Epoch:      cv.view.Epoch,
+		Group:      cv.group,
+		NumSlots:   cv.view.NumSlots(),
+		NumLive:    cv.view.NumLive(),
+		Live:       cv.view.Live(),
+		Members:    cv.view.Members,
+		ExecOfRank: cv.execOfRank,
+		History:    ctx.MembershipHistory(),
+	}
 }
 
 // --- /debug/sparker/* handlers ----------------------------------------
@@ -133,18 +165,24 @@ type topologyExec struct {
 
 func (ctx *Context) topologyView() topologyView {
 	var tv topologyView
-	for i, e := range ctx.executors {
+	for i, e := range ctx.executorSnapshot() {
 		if e == nil {
 			continue
 		}
-		in, out := e.comm.OpenConns()
+		ep := e.endpoint()
+		if ep == nil {
+			// A joiner not yet committed into a ring has no endpoint.
+			tv.Executors = append(tv.Executors, topologyExec{Exec: i, Host: e.host, Rank: -1})
+			continue
+		}
+		in, out := ep.OpenConns()
 		te := topologyExec{
 			Exec:          i,
 			Host:          e.host,
-			Rank:          e.rank,
-			Next:          e.comm.Next(),
-			Prev:          e.comm.Prev(),
-			Stats:         e.comm.Stats(),
+			Rank:          e.rankNow(),
+			Next:          ep.Next(),
+			Prev:          ep.Prev(),
+			Stats:         ep.Stats(),
 			InboundConns:  in,
 			OutboundConns: out,
 		}
@@ -185,7 +223,7 @@ func storeViewOf(name string, s *blockmanager.Store) storeView {
 func (ctx *Context) blocksView() blocksView {
 	var bv blocksView
 	bv.Stores = append(bv.Stores, storeViewOf(ctx.conf.Name+"/driver", ctx.driverStore))
-	for i, e := range ctx.executors {
+	for i, e := range ctx.executorSnapshot() {
 		if e != nil {
 			bv.Stores = append(bv.Stores, storeViewOf(ctx.ExecutorStoreName(i), e.store))
 		}
@@ -235,7 +273,7 @@ func computeStatsOf(reg *metrics.Registry) computeStats {
 
 func (ctx *Context) computeView() computeView {
 	var cv computeView
-	for i, e := range ctx.executors {
+	for i, e := range ctx.executorSnapshot() {
 		if e == nil {
 			continue
 		}
@@ -266,6 +304,9 @@ func (ctx *Context) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("GET /debug/sparker/blocks", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, ctx.blocksView())
+	})
+	mux.HandleFunc("GET /debug/sparker/membership", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, ctx.membershipView())
 	})
 	mux.HandleFunc("GET /debug/sparker/collectives", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, struct {

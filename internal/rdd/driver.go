@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"sparker/internal/comm"
 	"sparker/internal/metrics"
@@ -40,17 +39,32 @@ const (
 	resultOK          = 1
 	resultPeerTimeout = 2 // comm.ErrPeerTimeout
 	resultPeerDown    = 3 // comm.ErrPeerDown
+	resultClosed      = 4 // comm.ErrClosed (endpoint closed under the task)
+	resultMembership  = 5 // ErrMembershipChanged (stale epoch geometry)
 )
+
+// ErrMembershipChanged classifies a task failure whose cause was a
+// membership reconfiguration racing the stage: the epoch (and with it
+// ring geometry, endpoints, placement) moved between planning and
+// execution. Collective callers retry such failures whole against the
+// installed epoch. Defined here — not in core — because the sentinel
+// must survive the result-frame wire crossing, and the frame codec
+// lives at this layer.
+var ErrMembershipChanged = errors.New("rdd: membership changed under the stage")
 
 // resultStatus classifies a task error for the wire.
 func resultStatus(err error) byte {
 	switch {
 	case err == nil:
 		return resultOK
+	case errors.Is(err, ErrMembershipChanged):
+		return resultMembership
 	case errors.Is(err, comm.ErrPeerTimeout):
 		return resultPeerTimeout
 	case errors.Is(err, comm.ErrPeerDown):
 		return resultPeerDown
+	case errors.Is(err, comm.ErrClosed):
+		return resultClosed
 	default:
 		return resultErr
 	}
@@ -73,6 +87,10 @@ func decodeWireError(status byte, msg string) error {
 		return &wireError{msg: msg, sentinel: comm.ErrPeerTimeout}
 	case resultPeerDown:
 		return &wireError{msg: msg, sentinel: comm.ErrPeerDown}
+	case resultClosed:
+		return &wireError{msg: msg, sentinel: comm.ErrClosed}
+	case resultMembership:
+		return &wireError{msg: msg, sentinel: ErrMembershipChanged}
 	default:
 		return errors.New(msg)
 	}
@@ -230,9 +248,10 @@ var ErrJobFailed = errors.New("rdd: job failed")
 // serializes concurrent jobs' launches while stripes let them overlap.
 func (ctx *Context) executorConn(i int) (*lockedConn, error) {
 	ctx.connMu.Lock()
-	if ctx.conns == nil {
-		ctx.conns = make([][]*lockedConn, ctx.conf.NumExecutors)
-		ctx.connRR = make([]atomic.Uint32, ctx.conf.NumExecutors)
+	// The slot table can outgrow the boot size under elastic joins.
+	for len(ctx.conns) <= i {
+		ctx.conns = append(ctx.conns, nil)
+		ctx.connRR = append(ctx.connRR, 0)
 	}
 	if ctx.conns[i] == nil {
 		stripes := make([]*lockedConn, 0, ctx.conf.TaskConnStripes)
@@ -251,8 +270,25 @@ func (ctx *Context) executorConn(i int) (*lockedConn, error) {
 		ctx.conns[i] = stripes
 	}
 	stripes := ctx.conns[i]
+	ctx.connRR[i]++
+	lc := stripes[int(ctx.connRR[i])%len(stripes)]
 	ctx.connMu.Unlock()
-	return stripes[int(ctx.connRR[i].Add(1))%len(stripes)], nil
+	return lc, nil
+}
+
+// closeExecutorConns severs the driver's task connections to a
+// departed executor; a replacement adopting the slot dials fresh ones.
+func (ctx *Context) closeExecutorConns(i int) {
+	ctx.connMu.Lock()
+	if i >= 0 && i < len(ctx.conns) {
+		for _, lc := range ctx.conns[i] {
+			if lc != nil {
+				lc.c.Close()
+			}
+		}
+		ctx.conns[i] = nil
+	}
+	ctx.connMu.Unlock()
 }
 
 // readResults routes result frames from one executor connection into
@@ -341,10 +377,12 @@ func (ctx *Context) SubmitJob(spec JobSpec) (*JobHandle, error) {
 			return nil, fmt.Errorf("rdd: len(Placement)=%d != Tasks=%d", len(spec.Placement), spec.Tasks)
 		}
 		for t, e := range spec.Placement {
-			if e < 0 || e >= ctx.conf.NumExecutors {
+			if e < 0 || e >= ctx.NumExecutors() {
 				return nil, fmt.Errorf("rdd: task %d placed on invalid executor %d", t, e)
 			}
 		}
+		// Liveness (a slot inside bounds may be dead) is validated by the
+		// scheduler against its own live view, the single source of truth.
 		policy = sched.Fixed(spec.Placement)
 	}
 
@@ -362,9 +400,15 @@ func (ctx *Context) launcherFor(id int64, tc trace.SpanContext) func(task, attem
 	return func(task, attempt, executor int) error {
 		lc, err := ctx.executorConn(executor)
 		if err != nil {
-			return err
+			// An unreachable task channel is a down peer: classify it so
+			// retry/fallback decisions see the same sentinel a severed ring
+			// connection produces.
+			return fmt.Errorf("rdd: dial executor %d: %v: %w", executor, err, comm.ErrPeerDown)
 		}
-		return lc.send(encodeTaskFrame(id, task, attempt, tc))
+		if err := lc.send(encodeTaskFrame(id, task, attempt, tc)); err != nil {
+			return fmt.Errorf("rdd: send to executor %d: %v: %w", executor, err, comm.ErrPeerDown)
+		}
+		return nil
 	}
 }
 
@@ -530,14 +574,14 @@ func (ctx *Context) submitWholeRetry(spec JobSpec, policy sched.PlacementPolicy)
 	}}, nil
 }
 
-// runCleanup runs cleanup once on every executor.
+// runCleanup runs cleanup once on every live executor.
 func (ctx *Context) runCleanup(cleanup func(ec *ExecContext) error) error {
-	placement := make([]int, ctx.conf.NumExecutors)
-	for i := range placement {
-		placement[i] = i
+	placement := append([]int(nil), ctx.LiveExecutors()...)
+	if len(placement) == 0 {
+		return nil
 	}
 	_, err := ctx.RunJob(JobSpec{
-		Tasks:     ctx.conf.NumExecutors,
+		Tasks:     len(placement),
 		Placement: placement,
 		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
 			return nil, cleanup(ec)
@@ -546,12 +590,24 @@ func (ctx *Context) runCleanup(cleanup func(ec *ExecContext) error) error {
 	return err
 }
 
-// RunOnAllExecutors runs fn once per executor (task i on executor i)
-// and returns the payloads indexed by executor.
+// RunOnAllExecutors runs fn once per live executor and returns the
+// payloads indexed by executor ID over the full slot table — dead
+// slots hold nil, so callers that address results by executor keep
+// working across membership change.
 func (ctx *Context) RunOnAllExecutors(fn func(ec *ExecContext, task, attempt int) ([]byte, error)) ([][]byte, error) {
-	placement := make([]int, ctx.conf.NumExecutors)
-	for i := range placement {
-		placement[i] = i
+	placement := append([]int(nil), ctx.LiveExecutors()...)
+	res := make([][]byte, ctx.NumExecutors())
+	if len(placement) == 0 {
+		return res, nil
 	}
-	return ctx.RunJob(JobSpec{Tasks: ctx.conf.NumExecutors, Placement: placement, Fn: fn})
+	out, err := ctx.RunJob(JobSpec{Tasks: len(placement), Placement: placement, Fn: fn})
+	if err != nil {
+		return nil, err
+	}
+	for i, e := range placement {
+		if e < len(res) {
+			res[e] = out[i]
+		}
+	}
+	return res, nil
 }

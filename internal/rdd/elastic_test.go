@@ -1,0 +1,277 @@
+package rdd
+
+// Elastic-membership tests: executors joining, leaving, and dying
+// against a live Context. Everything here must stay correct under the
+// race detector — membership installs race with job submission by
+// design.
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// awaitLive waits until the installed epoch's live count reaches n.
+func awaitLive(t *testing.T, ctx *Context, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for ctx.NumLiveExecutors() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("live executors = %d, want %d (epoch %d)",
+				ctx.NumLiveExecutors(), n, ctx.MembershipEpoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func collectAndCheck(t *testing.T, r *RDD[int64], want []int64) {
+	t.Helper()
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Collect after churn: got %d elems, want %d", len(got), len(want))
+	}
+}
+
+// TestElasticKillEvictReplace is the kill-and-replace cycle: a killed
+// executor is evicted by the failure detector, jobs keep running on the
+// survivors, and a replacement adopts the dead slot.
+func TestElasticKillEvictReplace(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	data := ints(120)
+	r := FromSlice(ctx, data, 9)
+	collectAndCheck(t, r, data)
+
+	e0 := ctx.MembershipEpoch()
+	if err := ctx.KillExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.AwaitReconfigured(e0, 10*time.Second) {
+		t.Fatal("kill was not detected within 10s")
+	}
+	awaitLive(t, ctx, 2)
+	if ctx.Membership().IsLive(2) {
+		t.Fatal("executor 2 still live after kill")
+	}
+	// Slot table keeps its width; the live set shrinks.
+	if ctx.NumExecutors() != 3 {
+		t.Fatalf("NumExecutors = %d, want 3 slots", ctx.NumExecutors())
+	}
+	collectAndCheck(t, r, data)
+
+	id, err := ctx.AddExecutor("replacement-host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("replacement adopted slot %d, want dead slot 2", id)
+	}
+	awaitLive(t, ctx, 3)
+	collectAndCheck(t, r, data)
+
+	// The replacement must actually receive work: one task per live
+	// executor, scattered by executor id.
+	res, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		return []byte{byte(ec.ID)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 || res[2] == nil || res[2][0] != 2 {
+		t.Fatalf("replacement executor ran nothing: %v", res)
+	}
+}
+
+// TestElasticLeaveThenRejoinSameAddress: a graceful leave frees the
+// slot's listeners (ctrl, task, block store), so a rejoin on the same
+// slot — same addresses — must come up cleanly.
+func TestElasticLeaveThenRejoinSameAddress(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	e0 := ctx.MembershipEpoch()
+	if err := ctx.RemoveExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.AwaitReconfigured(e0, 10*time.Second) {
+		t.Fatal("leave did not install a new epoch")
+	}
+	awaitLive(t, ctx, 2)
+
+	var sawLeave bool
+	for _, ev := range ctx.MembershipHistory() {
+		if ev.Kind == "leave" && ev.Exec == 1 {
+			sawLeave = true
+		}
+	}
+	if !sawLeave {
+		t.Fatal("no leave event recorded in membership history")
+	}
+
+	id, err := ctx.AddExecutor("node-001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("rejoin adopted slot %d, want 1", id)
+	}
+	awaitLive(t, ctx, 3)
+
+	data := ints(60)
+	collectAndCheck(t, FromSlice(ctx, data, 6), data)
+}
+
+// TestElasticOwnerMathCyclesOverSurvivors: the single placement-
+// resolution path (Membership.OwnerOf) must map partitions onto live
+// executors only, and equal p % N at full membership.
+func TestElasticOwnerMathCyclesOverSurvivors(t *testing.T) {
+	ctx := testContext(t, 4, 1)
+	for p := 0; p < 8; p++ {
+		if got := ctx.OwnerOf(p); got != p%4 {
+			t.Fatalf("full membership: OwnerOf(%d) = %d, want %d", p, got, p%4)
+		}
+	}
+	e0 := ctx.MembershipEpoch()
+	if err := ctx.KillExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.AwaitReconfigured(e0, 10*time.Second) {
+		t.Fatal("kill not detected")
+	}
+	awaitLive(t, ctx, 3)
+	live := append([]int(nil), ctx.LiveExecutors()...)
+	sort.Ints(live)
+	if !reflect.DeepEqual(live, []int{0, 2, 3}) {
+		t.Fatalf("live = %v, want [0 2 3]", live)
+	}
+	r := FromSlice(ctx, ints(30), 6)
+	for p := 0; p < 6; p++ {
+		owner := ctx.OwnerOf(p)
+		if owner == 1 {
+			t.Fatalf("OwnerOf(%d) routed to dead executor", p)
+		}
+		if got := r.PlacementOf(p); got == 1 {
+			t.Fatalf("PlacementOf(%d) routed to dead executor", p)
+		}
+		if owner != live[p%3] {
+			t.Fatalf("OwnerOf(%d) = %d, want cycle over survivors %d", p, owner, live[p%3])
+		}
+	}
+}
+
+// TestElasticCheckpointSurvivesOwnerDeath: a checkpointed partition
+// whose owner dies must still be readable — first from the buddy
+// replica (promoted by the repair hook), and in the worst case from
+// lineage.
+func TestElasticCheckpointSurvivesOwnerDeath(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	data := ints(90)
+	r := FromSlice(ctx, data, 6)
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	collectAndCheck(t, r, data)
+
+	// Partition 0's primary lives on executor 0. Kill it.
+	e0 := ctx.MembershipEpoch()
+	if err := ctx.KillExecutor(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ctx.AwaitReconfigured(e0, 10*time.Second) {
+		t.Fatal("kill not detected")
+	}
+	awaitLive(t, ctx, 2)
+	// Readable immediately (replica or lineage), regardless of whether
+	// the repair pass has finished.
+	collectAndCheck(t, r, data)
+
+	// After a replacement joins and repair settles, still exact.
+	if _, err := ctx.AddExecutor(""); err != nil {
+		t.Fatal(err)
+	}
+	awaitLive(t, ctx, 3)
+	collectAndCheck(t, r, data)
+}
+
+// TestElasticGangStageAcrossEpochForming: a gang stage admitted under
+// epoch E must complete while epoch E+1 is forming (a join racing the
+// stage), and the new epoch must be usable right after.
+func TestElasticGangStageAcrossEpochForming(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+	gangDone := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := ctx.RunJob(JobSpec{
+			Tasks:       3,
+			Gang:        true,
+			MaxAttempts: 1,
+			Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+				time.Sleep(100 * time.Millisecond) // stretch the stage across the join
+				return []byte{1}, nil
+			},
+		})
+		gangDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the gang launch under epoch E
+	id, err := ctx.AddExecutor("late-joiner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-gangDone; err != nil {
+		t.Fatalf("gang stage admitted under old epoch failed: %v", err)
+	}
+	wg.Wait()
+	awaitLive(t, ctx, 4)
+	// The formed epoch is immediately schedulable, joiner included.
+	res, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		return []byte{byte(ec.ID)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[id] == nil {
+		t.Fatalf("joined executor %d ran no task", id)
+	}
+}
+
+// TestElasticMembershipViewAndGauges: the introspection surface tracks
+// churn — epoch, live set, history, and the live-executor gauge.
+func TestElasticMembershipViewAndGauges(t *testing.T) {
+	ctx := testContext(t, 2, 1)
+	v := ctx.membershipView()
+	if v.Epoch != 1 || v.NumLive != 2 || v.NumSlots != 2 {
+		t.Fatalf("boot view: %+v", v)
+	}
+	e0 := ctx.MembershipEpoch()
+	id, err := ctx.AddExecutor("grown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("growth join got slot %d, want 2", id)
+	}
+	if !ctx.AwaitReconfigured(e0, 10*time.Second) {
+		t.Fatal("join did not install")
+	}
+	awaitLive(t, ctx, 3)
+	v = ctx.membershipView()
+	if v.NumLive != 3 || v.NumSlots != 3 || v.Epoch <= e0 {
+		t.Fatalf("post-join view: %+v", v)
+	}
+	if len(v.History) == 0 || v.History[len(v.History)-1].Kind != "join" {
+		t.Fatalf("history missing join: %+v", v.History)
+	}
+	// The marker lands after the view installs (postReconfigure runs on
+	// the reconfiguration goroutine), so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for ctx.Metrics().Count("executor-join") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("executor-join marker not recorded")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

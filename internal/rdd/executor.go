@@ -2,11 +2,14 @@ package rdd
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sparker/internal/blockmanager"
 	"sparker/internal/comm"
@@ -21,15 +24,29 @@ import (
 // concurrent slots, a block store shard, a mutable object manager and a
 // communicator endpoint. It receives task descriptions from the driver
 // over the transport and returns serialized results the same way.
+//
+// Under elastic membership the endpoint and ring rank are no longer
+// fixed at boot: the driver's reconfiguration protocol pushes a fresh
+// endpoint (new comm group, new rank, new ring size) over the control
+// channel at each membership epoch, and the executor swaps it in
+// atomically. Tasks read the rank/endpoint at dispatch time, so a task
+// admitted under epoch E that starts after E+1 installs uses E+1's
+// ring — stale-epoch traffic cannot form.
 type Executor struct {
 	ctx  *Context
 	id   int
 	host string
-	rank int
+	// gen is the registry epoch this incarnation joined at (1 for boot
+	// executors). Slot ids are reused across kill-and-replace, so
+	// teardown keyed by id alone would clobber a replacement that
+	// adopted the slot; the generation identifies exactly one
+	// incarnation.
+	gen  uint64
+	rank atomic.Int32
 
 	store *blockmanager.Store
 	mut   *mutobj.Manager
-	comm  *comm.Endpoint
+	ep    atomic.Pointer[comm.Endpoint]
 	reg   *metrics.Registry // this executor's instruments
 	cache sync.Map          // "rdd/<id>/<part>" -> materialized partition
 
@@ -37,6 +54,20 @@ type Executor struct {
 	queue chan taskMsg
 	quit  chan struct{}
 	wg    sync.WaitGroup
+
+	// ctrl is this executor's control conn to the driver's member
+	// service; ctrlMu serializes heartbeats and protocol acks on it.
+	ctrl   transport.Conn
+	ctrlMu sync.Mutex
+
+	// pending is the endpoint built in reconfiguration phase 1, swapped
+	// live at phase 2's commit.
+	pendMu      sync.Mutex
+	pending     *comm.Endpoint
+	pendingRank int
+	pendingPar  int
+
+	closeOnce sync.Once
 }
 
 // taskMsg is one task dispatched to this executor, paired with the
@@ -73,43 +104,190 @@ func taskAddr(name string, id int) transport.Addr {
 // executor's task traffic without touching its block stores.
 func TaskChannelAddr(name string, id int) transport.Addr { return taskAddr(name, id) }
 
-func newExecutor(ctx *Context, id int, host string, rank int) (*Executor, error) {
-	store, err := blockmanager.NewStore(ctx.net, ctx.ExecutorStoreName(id))
+// listenRetry retries a transport Listen briefly: a replacement
+// executor adopting a dead slot can race the previous incarnation's
+// teardown for the slot's well-known addresses.
+func listenRetry(net transport.Network, addr transport.Addr) (transport.Listener, error) {
+	var lis transport.Listener
+	var err error
+	for i := 0; i < 40; i++ {
+		if lis, err = net.Listen(addr); err == nil {
+			return lis, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// newExecutor boots one executor. rank >= 0 is the boot path: the
+// epoch-1 endpoint is created inline (the caller wires the ring).
+// rank < 0 is the elastic join path: the executor starts without an
+// endpoint and receives one through the first reconfiguration push.
+// gen is the registry epoch of the incarnation's join (1 at boot).
+func newExecutor(ctx *Context, id int, host string, rank int, gen uint64) (*Executor, error) {
+	var store *blockmanager.Store
+	var err error
+	if rank >= 0 {
+		store, err = blockmanager.NewStore(ctx.net, ctx.ExecutorStoreName(id))
+	} else {
+		// A joiner adopting a dead slot may race the old incarnation's
+		// store teardown; retry until the address frees.
+		for i := 0; i < 40; i++ {
+			if store, err = blockmanager.NewStore(ctx.net, ctx.ExecutorStoreName(id)); err == nil {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	ep, err := comm.NewEndpoint(ctx.net, ctx.conf.Name+"/ring", rank, ctx.conf.NumExecutors)
+	var ep *comm.Endpoint
+	if rank >= 0 {
+		ep, err = comm.NewEndpoint(ctx.net, ringGroup(ctx.conf.Name, 1), rank, ctx.conf.NumExecutors)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+	lis, err := listenRetry(ctx.net, taskAddr(ctx.conf.Name, id))
 	if err != nil {
 		store.Close()
+		if ep != nil {
+			ep.Close()
+		}
 		return nil, err
 	}
-	lis, err := ctx.net.Listen(taskAddr(ctx.conf.Name, id))
+	ctrl, err := ctx.net.Dial(ctrlAddr(ctx.conf.Name))
 	if err != nil {
 		store.Close()
-		ep.Close()
+		if ep != nil {
+			ep.Close()
+		}
+		lis.Close()
 		return nil, err
 	}
 	e := &Executor{
 		ctx:   ctx,
 		id:    id,
 		host:  host,
-		rank:  rank,
+		gen:   gen,
 		store: store,
 		mut:   mutobj.NewManager(),
-		comm:  ep,
 		reg:   metrics.NewRegistry(),
 		lis:   lis,
 		queue: make(chan taskMsg, 4096),
 		quit:  make(chan struct{}),
+		ctrl:  ctrl,
+	}
+	e.rank.Store(int32(rank))
+	if ep != nil {
+		ep.SetMetrics(e.reg)
+		e.ep.Store(ep)
 	}
 	store.SetMetrics(e.reg)
-	ep.SetMetrics(e.reg)
+	if err := e.ctrlSend(ctrlMsg{Kind: ctrlHello, Exec: id, Epoch: gen}); err != nil {
+		e.kill()
+		return nil, fmt.Errorf("rdd: executor %d hello: %w", id, err)
+	}
 	for c := 0; c < ctx.conf.CoresPerExecutor; c++ {
 		e.wg.Add(1)
 		go e.worker()
 	}
 	go e.serve()
+	go e.ctrlRecv()
+	go e.heartbeat()
 	return e, nil
+}
+
+// endpoint returns the executor's current communicator endpoint (nil
+// for a joiner that has not been committed into a ring yet).
+func (e *Executor) endpoint() *comm.Endpoint { return e.ep.Load() }
+
+// rankNow returns the executor's current ring rank (-1 before its
+// first commit).
+func (e *Executor) rankNow() int { return int(e.rank.Load()) }
+
+func (e *Executor) ctrlSend(m ctrlMsg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	e.ctrlMu.Lock()
+	defer e.ctrlMu.Unlock()
+	return e.ctrl.Send(b)
+}
+
+// sendLeave announces a voluntary departure on the control channel.
+func (e *Executor) sendLeave() error {
+	return e.ctrlSend(ctrlMsg{Kind: ctrlLeave, Exec: e.id})
+}
+
+// heartbeat keeps the driver's failure detector fed.
+func (e *Executor) heartbeat() {
+	t := time.NewTicker(hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case <-t.C:
+			if e.ctrlSend(ctrlMsg{Kind: ctrlHB, Exec: e.id}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// ctrlRecv executes the executor side of the reconfiguration protocol:
+// phase 1 (reconf) builds and listens an endpoint for the new epoch's
+// comm group; phase 2 (commit) wires its ring and swaps it live,
+// closing the previous epoch's endpoint so stale collectives fail fast
+// with classified errors. A step that fails sends no ack — the driver's
+// timeout evicts this executor rather than installing a broken ring.
+func (e *Executor) ctrlRecv() {
+	for {
+		b, err := e.ctrl.Recv()
+		if err != nil {
+			return
+		}
+		var m ctrlMsg
+		if json.Unmarshal(b, &m) != nil {
+			continue
+		}
+		switch m.Kind {
+		case ctrlReconf:
+			ep, err := comm.NewEndpoint(e.ctx.net, m.Group, m.Rank, m.Size)
+			if err != nil {
+				continue
+			}
+			ep.SetMetrics(e.reg)
+			e.pendMu.Lock()
+			if e.pending != nil {
+				e.pending.Close()
+			}
+			e.pending, e.pendingRank, e.pendingPar = ep, m.Rank, m.Parallelism
+			e.pendMu.Unlock()
+			e.ctrlSend(ctrlMsg{Kind: ctrlReconfAck, Exec: e.id, Epoch: m.Epoch})
+		case ctrlCommit:
+			e.pendMu.Lock()
+			ep, rank, par := e.pending, e.pendingRank, e.pendingPar
+			e.pending = nil
+			e.pendMu.Unlock()
+			if ep != nil {
+				if err := ep.ConnectRing(par); err != nil {
+					ep.Close()
+					continue
+				}
+				old := e.ep.Swap(ep)
+				e.rank.Store(int32(rank))
+				if old != nil {
+					old.Close()
+				}
+			}
+			e.ctrlSend(ctrlMsg{Kind: ctrlCommitAck, Exec: e.id, Epoch: m.Epoch})
+		}
+	}
 }
 
 // serve accepts task connections (the driver opens one) and feeds the
@@ -142,23 +320,25 @@ func (e *Executor) readTasks(lc *lockedConn) {
 	}
 }
 
-// worker is one core: it pulls tasks and executes them.
+// worker is one core: it pulls tasks and executes them. Rank and
+// endpoint are refreshed per task — membership reconfigurations swap
+// them between dispatches.
 func (e *Executor) worker() {
 	defer e.wg.Done()
 	ec := &ExecContext{
 		ID:       e.id,
 		Host:     e.host,
-		Rank:     e.rank,
 		Cores:    e.ctx.conf.CoresPerExecutor,
 		Store:    e.store,
 		MutObjs:  e.mut,
-		Comm:     e.comm,
 		Registry: e.reg,
 		exec:     e,
 	}
 	for {
 		select {
 		case tm := <-e.queue:
+			ec.Rank = e.rankNow()
+			ec.Comm = e.endpoint()
 			payload, taskErr := e.runTask(ec, tm)
 			frame := encodeResultFrame(tm.jobID, tm.task, tm.attempt, payload, taskErr)
 			tm.conn.send(frame)
@@ -213,21 +393,47 @@ func (e *Executor) runTask(ec *ExecContext, tm taskMsg) (payload []byte, taskErr
 	return jb.fn(ec, tm.task, tm.attempt)
 }
 
-func (e *Executor) close() {
-	select {
-	case <-e.quit:
-	default:
+// shutdown closes every resource the executor owns exactly once.
+func (e *Executor) shutdown() {
+	e.closeOnce.Do(func() {
 		close(e.quit)
-	}
-	e.lis.Close()
-	e.comm.Close()
-	e.store.Close()
+		e.lis.Close()
+		e.ctrl.Close()
+		if ep := e.ep.Load(); ep != nil {
+			ep.Close()
+		}
+		e.pendMu.Lock()
+		if e.pending != nil {
+			e.pending.Close()
+			e.pending = nil
+		}
+		e.pendMu.Unlock()
+		e.store.Close()
+	})
+}
+
+// close is the graceful path: resources close and the call waits for
+// worker slots to drain.
+func (e *Executor) close() {
+	e.shutdown()
 	e.wg.Wait()
+}
+
+// kill is the chaos path: everything closes immediately — severing the
+// ctrl conn, the task channel, the block store and the ring endpoint —
+// and worker drain happens in the background. In-flight ring steps and
+// task sends observe closed conns at once, which is exactly the failure
+// the driver's detector and the collectives' classified-error paths are
+// built to absorb.
+func (e *Executor) kill() {
+	e.shutdown()
+	go e.wg.Wait()
 }
 
 // ExecContext is the executor-side view handed to task closures.
 type ExecContext struct {
-	// ID is the executor index; Host its hostname; Rank its ring rank.
+	// ID is the executor index; Host its hostname; Rank its ring rank
+	// under the membership epoch current at the task's dispatch.
 	ID   int
 	Host string
 	Rank int
@@ -237,7 +443,8 @@ type ExecContext struct {
 	Store *blockmanager.Store
 	// MutObjs is the executor's mutable object manager (IMM state).
 	MutObjs *mutobj.Manager
-	// Comm is the executor's scalable-communicator endpoint.
+	// Comm is the executor's scalable-communicator endpoint for the
+	// membership epoch current at the task's dispatch.
 	Comm *comm.Endpoint
 	// Registry is the executor's instrument registry; hot paths observe
 	// into it contention-free and the driver merges on demand

@@ -3,6 +3,7 @@ package rdd
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"sparker/internal/sched"
@@ -35,6 +36,16 @@ type RDD[T any] struct {
 	// checkpoint stage, which speculation may have moved off the
 	// partition's home executor.
 	ckptOwners atomic.Pointer[[]int]
+	// ckptReplicas records, per partition, the executor holding the
+	// buddy replica of the checkpoint bytes (-1: none). Replicas exist
+	// so a partition survives its owner dying; the membership
+	// reconfiguration hook re-establishes the invariant after churn.
+	ckptReplicas atomic.Pointer[[]int]
+	// ckptMu serializes checkpoint repair against itself (reconfiguration
+	// hooks for back-to-back epochs).
+	ckptMu sync.Mutex
+	// ckptHook registers the repair hook once per RDD.
+	ckptHook sync.Once
 }
 
 type policyBox struct{ p sched.PlacementPolicy }
@@ -69,7 +80,7 @@ func (r *RDD[T]) locateCached(part int) (int, bool) {
 		return 0, false
 	}
 	key := r.cacheKey(part)
-	for i, e := range r.ctx.executors {
+	for i, e := range r.ctx.executorSnapshot() {
 		if e != nil {
 			if _, ok := e.cache.Load(key); ok {
 				return i, true
@@ -149,15 +160,19 @@ func (r *RDD[T]) Materialize(ec *ExecContext, part int) ([]T, error) {
 }
 
 // PlacementOf returns the executor index that would compute partition
-// p under the RDD's effective placement policy.
+// p under the RDD's effective placement policy and the installed
+// membership epoch. The fallback is the cluster-wide owner math
+// (Context.OwnerOf → membership.OwnerOf): with every slot alive it is
+// exactly p % NumExecutors, with dead slots it cycles over survivors.
 func (r *RDD[T]) PlacementOf(p int) int {
+	slots := r.ctx.NumExecutors()
 	if pol := r.placementPolicy(); pol != nil {
-		view := sched.StageView{Tasks: r.parts, NumExecutors: r.ctx.conf.NumExecutors}
-		if e := pol.Place(view, p); e >= 0 && e < r.ctx.conf.NumExecutors {
+		view := sched.StageView{Tasks: r.parts, NumExecutors: slots, Alive: r.ctx.LiveExecutors()}
+		if e := pol.Place(view, p); e >= 0 && e < slots {
 			return e
 		}
 	}
-	return p % r.ctx.conf.NumExecutors
+	return r.ctx.OwnerOf(p)
 }
 
 func (r *RDD[T]) checkpointBlockID(part int) string {
@@ -198,11 +213,20 @@ func (r *RDD[T]) Checkpoint() error {
 	owners := h.Executors()
 	r.ckptOwners.Store(&owners)
 	r.checkpointed.Store(true)
+	// Buddy-replicate each partition so it survives its owner dying,
+	// and keep the invariant alive across membership churn.
+	if err := r.replicateCheckpoint(); err != nil {
+		return fmt.Errorf("rdd: checkpoint replication: %w", err)
+	}
+	r.ckptHook.Do(r.installCkptRepairHook)
 	return nil
 }
 
 // readCheckpoint loads a checkpointed partition (fetching across the
-// transport when the task ran off the owning executor).
+// transport when the task ran off the owning executor). Degraded
+// paths, in order: the owner's primary block, the buddy replica, and
+// finally lineage recomputation — the same ladder Spark's block
+// replication + lineage story gives a lost cached partition.
 func (r *RDD[T]) readCheckpoint(ec *ExecContext, part int) ([]T, error) {
 	ownerExec := r.PlacementOf(part)
 	if owners := r.ckptOwners.Load(); owners != nil &&
@@ -211,10 +235,22 @@ func (r *RDD[T]) readCheckpoint(ec *ExecContext, part int) ([]T, error) {
 	}
 	owner := r.ctx.ExecutorStoreName(ownerExec)
 	wire, err := ec.Store.FetchFrom(owner, r.checkpointBlockID(part))
-	if err != nil {
-		return nil, fmt.Errorf("rdd: reading checkpoint of partition %d: %w", part, err)
+	if err == nil {
+		return decodeSlice[T](wire)
 	}
-	return decodeSlice[T](wire)
+	if rep := r.ckptReplicaOf(part); rep >= 0 && rep != ownerExec {
+		wire, rerr := ec.Store.FetchFrom(r.ctx.ExecutorStoreName(rep), r.checkpointReplicaID(part))
+		if rerr == nil {
+			return decodeSlice[T](wire)
+		}
+	}
+	// Last resort: the lineage is still attached (checkpointing here
+	// truncates reads, not the recipe), so recompute the partition.
+	data, cerr := r.compute(ec, part)
+	if cerr != nil {
+		return nil, fmt.Errorf("rdd: reading checkpoint of partition %d: %w (lineage recompute also failed: %v)", part, err, cerr)
+	}
+	return data, nil
 }
 
 // newRDD wires an RDD into ctx.

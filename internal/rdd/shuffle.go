@@ -157,7 +157,7 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], reduce func(V, V) V, n
 func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
 	RegisterPair[K, int64]()
 	ones := Map(r, func(p Pair[K, V]) Pair[K, int64] { return Pair[K, int64]{Key: p.Key, Value: 1} })
-	counted, err := ReduceByKey(ones, func(a, b int64) int64 { return a + b }, r.ctx.conf.NumExecutors)
+	counted, err := ReduceByKey(ones, func(a, b int64) int64 { return a + b }, r.ctx.NumLiveExecutors())
 	if err != nil {
 		return nil, err
 	}

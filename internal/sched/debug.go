@@ -34,6 +34,8 @@ type AttemptInfo struct {
 type Snapshot struct {
 	TotalSlots    int                `json:"total_slots"`
 	FreeSlots     []int              `json:"free_slots"` // per executor
+	DeadSlots     []int              `json:"dead_slots,omitempty"`
+	LiveExecutors []int              `json:"live_executors"`
 	QueuedStages  []StageInfo        `json:"queued_stages,omitempty"`
 	RunningStages []StageInfo        `json:"running_stages,omitempty"`
 	Inflight      []AttemptInfo      `json:"inflight,omitempty"`
@@ -61,8 +63,14 @@ func (s *Scheduler) Snapshot() (Snapshot, error) {
 	var out Snapshot
 	err := s.onLoop(func() {
 		now := time.Now()
-		out.TotalSlots = s.conf.NumExecutors * s.conf.CoresPerExecutor
+		out.TotalSlots = len(s.live) * s.conf.CoresPerExecutor
 		out.FreeSlots = append([]int(nil), s.free...)
+		out.LiveExecutors = append([]int(nil), s.live...)
+		for e, d := range s.dead {
+			if d {
+				out.DeadSlots = append(out.DeadSlots, e)
+			}
+		}
 		queued := make(map[int64]bool, len(s.queue))
 		for _, st := range s.queue {
 			queued[st.spec.JobID] = true

@@ -1,0 +1,185 @@
+package sched
+
+// Elastic membership support: the slot table can grow and executors
+// can die at runtime. The scheduler tracks a loop-owned dead set plus
+// an atomic live-view snapshot for off-loop Submit validation; the rdd
+// layer's reconfiguration loop drives AddExecutor/RemoveExecutor as the
+// membership registry commits epochs.
+//
+// Invariants after RemoveExecutor(e) returns:
+//   - no pending item targets e (remapped to a live executor, or its
+//     stage doomed with ErrExecutorLost when the work is pinned);
+//   - every in-flight attempt on e has been resolved as a synthetic
+//     ErrExecutorLost failure (late real results for those attempts are
+//     dropped by the usual inflight-map dedup);
+//   - free[e] == 0, and no scheduling path hands e new work until a
+//     replacement executor revives the slot via AddExecutor.
+
+import (
+	"errors"
+	"fmt"
+
+	"sparker/internal/membership"
+)
+
+// ErrExecutorLost marks task failures caused by membership change: the
+// attempt's executor left or was evicted while the attempt was pending
+// or in flight. Collective callers treat it like a classified peer
+// failure and retry against the new membership epoch.
+var ErrExecutorLost = errors.New("sched: executor lost")
+
+// liveSnap is the off-loop view of the slot table: Submit resolves
+// placement against it without touching loop-owned state.
+type liveSnap struct {
+	slots int   // slot-table size (dead included)
+	alive []int // ascending live executor IDs
+}
+
+func (s *Scheduler) publishLive() {
+	alive := make([]int, 0, len(s.free))
+	for e := range s.free {
+		if !s.dead[e] {
+			alive = append(alive, e)
+		}
+	}
+	s.live = alive
+	s.liveView.Store(&liveSnap{slots: len(s.free), alive: alive})
+}
+
+// LiveExecutors returns the ascending IDs of executors currently
+// accepting work. Safe from any goroutine.
+func (s *Scheduler) LiveExecutors() []int {
+	return append([]int(nil), s.liveView.Load().alive...)
+}
+
+// AddExecutor revives slot e (a replacement adopting a dead slot) or
+// grows the slot table through e (new slots between the old table end
+// and e are born dead). The slot's launcher goroutine and free cores
+// come up before the call returns; the executor must already be
+// reachable at its task address. Idempotent for an already-live slot.
+func (s *Scheduler) AddExecutor(e int) error {
+	if e < 0 {
+		return fmt.Errorf("sched: AddExecutor(%d): negative slot", e)
+	}
+	return s.onLoop(func() {
+		for len(s.free) <= e {
+			ch := make(chan launchReq, s.conf.CoresPerExecutor)
+			s.launchers = append(s.launchers, ch)
+			s.launchWG.Add(1)
+			go s.launcher(ch)
+			s.free = append(s.free, 0)
+			s.dead = append(s.dead, true)
+		}
+		if !s.dead[e] {
+			return
+		}
+		s.dead[e] = false
+		s.free[e] = s.conf.CoresPerExecutor
+		s.publishLive()
+	})
+}
+
+// RemoveExecutor takes slot e out of service: pending work leaves it
+// (remap or doom), in-flight attempts on it fail with ErrExecutorLost,
+// and nothing is scheduled onto it until AddExecutor revives the slot.
+// Idempotent for an already-dead slot.
+func (s *Scheduler) RemoveExecutor(e int) error {
+	return s.onLoop(func() {
+		if e < 0 || e >= len(s.free) || s.dead[e] {
+			return
+		}
+		s.dead[e] = true
+		s.publishLive()
+		// Synthesize failures for in-flight attempts on e. handleResult
+		// mutates s.inflight, so collect keys first.
+		var lost []akey
+		for key, ri := range s.inflight {
+			if ri.exec == e {
+				lost = append(lost, key)
+			}
+		}
+		for _, key := range lost {
+			s.handleResult(resultEv{job: key.job, task: key.task, att: key.att,
+				err: fmt.Errorf("attempt was in flight on executor %d: %w", e, ErrExecutorLost)})
+		}
+		// The synthetic failures above released e's slots back into free;
+		// a dead executor has no cores.
+		s.free[e] = 0
+		// Reconcile queued work (including retries the synthetic failures
+		// just enqueued).
+		for _, st := range s.queue {
+			s.reconcileStage(st)
+		}
+		for _, st := range s.stages {
+			s.maybeRetire(st)
+		}
+	})
+}
+
+// reconcileStage moves a stage's queued work off dead executors. Work
+// that cannot move — gang stages (their task count is the ring size of
+// a stale epoch) and NoSpeculation stages (pinned to a specific node) —
+// dooms the stage with ErrExecutorLost so the caller re-plans against
+// the current membership. Loop-only.
+func (s *Scheduler) reconcileStage(st *stage) {
+	if st.doomed || st.delivered {
+		return
+	}
+	hit := false
+	for i := range st.pending {
+		if s.dead[st.pending[i].exec] {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return
+	}
+	if st.spec.Gang || st.spec.NoSpeculation {
+		st.doomed = true
+		st.finalErr = fmt.Errorf("stage %d placed on dead executor: %w", st.spec.JobID, ErrExecutorLost)
+		st.clearPending()
+		if st.inflight == 0 && !st.delivered {
+			s.deliver(st, nil, st.finalErr)
+		}
+		return
+	}
+	for i := range st.pending {
+		p := &st.pending[i]
+		if !s.dead[p.exec] {
+			continue
+		}
+		if e := s.remap(p.task); e >= 0 {
+			p.exec = e
+		} else {
+			// No live executor at all: the stage cannot make progress.
+			st.doomed = true
+			st.finalErr = fmt.Errorf("no live executors: %w", ErrExecutorLost)
+			st.clearPending()
+			if st.inflight == 0 && !st.delivered {
+				s.deliver(st, nil, st.finalErr)
+			}
+			return
+		}
+	}
+}
+
+// remap picks the live owner of task t under the current live set —
+// the same membership.OwnerOf math placement uses, so moved work lands
+// where a fresh submission of the same stage would. Loop-only.
+func (s *Scheduler) remap(t int) int {
+	return membership.OwnerOf(s.live, t)
+}
+
+// retryExec resolves the executor for a retry of task t: the base
+// placement while it is alive, else the current live owner. Loop-only.
+func (s *Scheduler) retryExec(st *stage, t int) int {
+	e := st.place[t]
+	if e >= 0 && e < len(s.dead) && !s.dead[e] {
+		return e
+	}
+	if st.spec.NoSpeculation {
+		return -1 // pinned work cannot move
+	}
+	return s.remap(t)
+}

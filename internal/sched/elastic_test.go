@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRemoveExecutorFailsInflightAndRemapsRetries(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 3, CoresPerExecutor: 2})
+	rec := &recorder{}
+	// Tasks 1 and 4 land on executor 1 (round-robin); hold all results
+	// so the attempts stay in flight when executor 1 dies.
+	h, err := s.Submit(StageSpec{
+		JobID:       7,
+		Tasks:       6,
+		MaxAttempts: 3,
+		Launch:      rec.hook(7, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rec.waitCount(t, 6)
+	if err := s.RemoveExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	// Free the survivors' slots so the remapped retries can dispatch.
+	for _, l := range first {
+		if l.exec != 1 {
+			s.Deliver(7, l.task, l.att, []byte{byte(l.task)}, nil)
+		}
+	}
+	// The two attempts on executor 1 fail synthetically and retry on a
+	// survivor; the retries must never target executor 1.
+	all := rec.waitCount(t, 8)
+	for _, l := range all[6:] {
+		if l.exec == 1 {
+			t.Fatalf("retry landed on removed executor: %+v", l)
+		}
+		s.Deliver(7, l.task, l.att, []byte{byte(l.task)}, nil)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatalf("stage failed after remap: %v", err)
+	}
+}
+
+func TestRemoveExecutorDoomsInflightGang(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 3, CoresPerExecutor: 1})
+	rec := &recorder{}
+	h, err := s.Submit(StageSpec{
+		JobID:   9,
+		Tasks:   3,
+		Gang:    true,
+		GangKey: "collective",
+		WaitAll: true,
+		Launch:  rec.hook(9, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	launches := rec.waitCount(t, 3)
+	if err := s.RemoveExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	// WaitAll: the gang drains only after the surviving members report.
+	for _, l := range launches {
+		if l.exec != 2 {
+			s.Deliver(9, l.task, l.att, nil, errors.New("peer gone"))
+		}
+	}
+	_, err = h.Wait()
+	if !errors.Is(err, ErrExecutorLost) {
+		t.Fatalf("gang error = %v, want ErrExecutorLost", err)
+	}
+}
+
+func TestSubmitAfterRemoveRoutesAroundDeadExecutor(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 4, CoresPerExecutor: 2})
+	if err := s.RemoveExecutor(2); err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	h, err := s.Submit(StageSpec{
+		JobID: 11,
+		Tasks: 8,
+		Launch: rec.hook(11, func(task, att, exec int) error {
+			s.Deliver(11, task, att, []byte{byte(task)}, nil)
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rec.snapshot() {
+		if l.exec == 2 {
+			t.Fatalf("launch on dead executor: %+v", l)
+		}
+	}
+	live := s.LiveExecutors()
+	if fmt.Sprint(live) != "[0 1 3]" {
+		t.Fatalf("LiveExecutors = %v, want [0 1 3]", live)
+	}
+}
+
+func TestAddExecutorRevivesAndGrows(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 2, CoresPerExecutor: 1})
+	if err := s.RemoveExecutor(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddExecutor(0); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the table through slot 3 (slot 2 stays dead until it joins).
+	if err := s.AddExecutor(3); err != nil {
+		t.Fatal(err)
+	}
+	live := s.LiveExecutors()
+	if fmt.Sprint(live) != "[0 1 3]" {
+		t.Fatalf("LiveExecutors = %v, want [0 1 3]", live)
+	}
+	rec := &recorder{}
+	h, err := s.Submit(StageSpec{
+		JobID: 13,
+		Tasks: 6,
+		Launch: rec.hook(13, func(task, att, exec int) error {
+			s.Deliver(13, task, att, []byte{byte(task)}, nil)
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range rec.snapshot() {
+		if l.exec == 2 {
+			t.Fatalf("launch on never-joined slot 2: %+v", l)
+		}
+		seen[l.exec] = true
+	}
+	if !seen[3] {
+		t.Fatalf("grown executor 3 received no work: %v", rec.snapshot())
+	}
+}
+
+func TestFixedPlacementOnDeadExecutorRejected(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 3, CoresPerExecutor: 1})
+	if err := s.RemoveExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Submit(StageSpec{
+		JobID:  15,
+		Tasks:  3,
+		Policy: Fixed([]int{0, 1, 2}),
+		Launch: func(task, att, exec int) error { return nil },
+	})
+	if !errors.Is(err, ErrExecutorLost) {
+		t.Fatalf("Submit err = %v, want ErrExecutorLost", err)
+	}
+}
+
+func TestRemoveExecutorDoomsPinnedPendingWork(t *testing.T) {
+	s := newTestSched(t, Config{NumExecutors: 2, CoresPerExecutor: 1})
+	rec := &recorder{}
+	// Fill executor 1's only slot so the pinned stage queues behind it.
+	blocker, err := s.Submit(StageSpec{
+		JobID:  20,
+		Tasks:  1,
+		Policy: Fixed([]int{1}),
+		Launch: rec.hook(20, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.waitCount(t, 1)
+	pinned, err := s.Submit(StageSpec{
+		JobID:         21,
+		Tasks:         1,
+		Policy:        Fixed([]int{1}),
+		NoSpeculation: true,
+		Launch:        rec.hook(21, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the pinned stage time to reach the queue, then kill its home.
+	time.Sleep(20 * time.Millisecond)
+	if err := s.RemoveExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pinned.Wait(); !errors.Is(err, ErrExecutorLost) {
+		t.Fatalf("pinned stage err = %v, want ErrExecutorLost", err)
+	}
+	if _, err := blocker.Wait(); !errors.Is(err, ErrExecutorLost) {
+		t.Fatalf("blocker err = %v, want ErrExecutorLost", err)
+	}
+}

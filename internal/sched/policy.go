@@ -12,14 +12,52 @@
 // requirement).
 package sched
 
-import "fmt"
+import (
+	"fmt"
+
+	"sparker/internal/membership"
+)
 
 // StageView is the immutable stage geometry a PlacementPolicy sees.
 type StageView struct {
 	// Tasks is the stage's task count.
 	Tasks int
-	// NumExecutors is the cluster's executor count.
+	// NumExecutors is the cluster's slot-table size (dead slots
+	// included) — the bound for executor indices.
 	NumExecutors int
+	// Alive is the ascending live executor set of the membership epoch
+	// the stage was submitted under. Empty means "all slots live"
+	// (fixed-membership callers predating elasticity).
+	Alive []int
+}
+
+// isLive reports whether executor e may accept work under this view.
+func (v StageView) isLive(e int) bool {
+	if e < 0 || e >= v.NumExecutors {
+		return false
+	}
+	if len(v.Alive) == 0 {
+		return true
+	}
+	for _, a := range v.Alive {
+		if a == e {
+			return true
+		}
+	}
+	return false
+}
+
+// OwnerOf resolves task t to its owning live executor through the
+// shared membership.OwnerOf math — the single placement-resolution
+// path. With every slot alive it equals t % NumExecutors.
+func (v StageView) OwnerOf(task int) int {
+	if len(v.Alive) == 0 {
+		if v.NumExecutors <= 0 {
+			return -1
+		}
+		return task % v.NumExecutors
+	}
+	return membership.OwnerOf(v.Alive, task)
 }
 
 // PlacementPolicy maps a task index to the executor that should run
@@ -38,15 +76,17 @@ type PlacementPolicy interface {
 
 type roundRobin struct{}
 
-// RoundRobin is the default policy: task t runs on executor
-// t % NumExecutors — byte-compatible with the engine's historical
-// hardcoded placement, so cached partitions keep their home executors.
+// RoundRobin is the default policy: task t runs on the live executor
+// StageView.OwnerOf(t) picks — with full membership that is exactly
+// t % NumExecutors, byte-compatible with the engine's historical
+// hardcoded placement, so cached partitions keep their home executors;
+// with dead slots it cycles over survivors.
 func RoundRobin() PlacementPolicy { return roundRobin{} }
 
 func (roundRobin) Name() string { return "round-robin" }
 
 func (roundRobin) Place(v StageView, task int) int {
-	return task % v.NumExecutors
+	return v.OwnerOf(task)
 }
 
 // --- Fixed -------------------------------------------------------------
@@ -117,7 +157,9 @@ func (p cacheAware) Name() string {
 
 func (p cacheAware) Place(v StageView, task int) int {
 	if p.locate != nil {
-		if e, ok := p.locate(task); ok && e >= 0 && e < v.NumExecutors {
+		// A cached copy on a dead executor is unreachable; fall through to
+		// the fallback policy rather than pinning the task to a corpse.
+		if e, ok := p.locate(task); ok && v.isLive(e) {
 			return e
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sparker/internal/eventlog"
@@ -245,12 +246,18 @@ type Scheduler struct {
 	closed  bool
 
 	// Loop-owned (no locks: touched only by run()).
-	free     []int // free slots per executor
+	free     []int  // free slots per executor
+	dead     []bool // slots out of service (evicted / not yet joined)
+	live     []int  // ascending live executor IDs (derived from dead)
 	queue    []*stage
 	stages   map[int64]*stage
 	inflight map[akey]runInfo
 	tenants  map[string]*tenantState
 	seqCtr   int64
+
+	// liveView is the off-loop snapshot of the slot table; Submit reads
+	// it to resolve placement without touching loop state.
+	liveView atomic.Pointer[liveSnap]
 
 	gaugeQueue *metrics.Gauge
 	histTask   *metrics.Histogram
@@ -287,6 +294,8 @@ func New(conf Config) (*Scheduler, error) {
 	for e := range s.free {
 		s.free[e] = conf.CoresPerExecutor
 	}
+	s.dead = make([]bool, conf.NumExecutors)
+	s.publishLive()
 	s.launchers = make([]chan launchReq, conf.NumExecutors)
 	for e := range s.launchers {
 		// A launch is only issued while holding one of the executor's
@@ -340,14 +349,22 @@ func (s *Scheduler) Submit(spec StageSpec) (*StageHandle, error) {
 	if pol == nil {
 		pol = s.conf.DefaultPolicy
 	}
-	view := StageView{Tasks: spec.Tasks, NumExecutors: s.conf.NumExecutors}
+	snap := s.liveView.Load()
+	view := StageView{Tasks: spec.Tasks, NumExecutors: snap.slots, Alive: snap.alive}
 	place := make([]int, spec.Tasks)
-	need := make([]int, s.conf.NumExecutors)
+	need := make([]int, snap.slots)
 	for t := range place {
 		e := pol.Place(view, t)
-		if e < 0 || e >= s.conf.NumExecutors {
+		if e < 0 || e >= snap.slots {
 			return nil, fmt.Errorf("sched: policy %s placed task %d on invalid executor %d",
 				pol.Name(), t, e)
+		}
+		if !view.isLive(e) {
+			// The caller resolved placement against a stale membership
+			// view; surface it as a lost-executor failure so collective
+			// callers re-plan against the current epoch.
+			return nil, fmt.Errorf("sched: policy %s placed task %d on dead executor %d: %w",
+				pol.Name(), t, e, ErrExecutorLost)
 		}
 		place[t] = e
 		need[e]++
@@ -471,6 +488,12 @@ func (s *Scheduler) run() {
 			st.tenant = s.tenantFor(st.spec.Tenant)
 			s.stages[st.spec.JobID] = st
 			s.queue = append(s.queue, st)
+			// The submitter resolved placement against a liveView snapshot
+			// that a racing RemoveExecutor may have invalidated before this
+			// stage reached the loop; reconcile so no queued item targets a
+			// dead slot (it would never dispatch).
+			s.reconcileStage(st)
+			s.maybeRetire(st)
 			s.trySchedule()
 		case ev := <-s.results:
 			s.handleResult(ev)
@@ -713,11 +736,23 @@ func (s *Scheduler) handleResult(ev resultEv) {
 		return // stage already failing; no point resubmitting
 	}
 	// Retry on the task's base placement (retries must observe the same
-	// executor-local state the first attempt did).
+	// executor-local state the first attempt did) — unless membership
+	// change killed that executor, in which case the retry follows the
+	// live owner, or dooms pinned work.
+	exec := s.retryExec(st, ev.task)
+	if exec < 0 {
+		st.doomed = true
+		st.finalErr = fmt.Errorf("task %d retry has no live executor: %w", ev.task, ErrExecutorLost)
+		st.clearPending()
+		if !st.spec.WaitAll && !st.delivered {
+			s.deliver(st, nil, st.finalErr)
+		}
+		return
+	}
 	att := st.nextAtt[ev.task]
 	st.nextAtt[ev.task]++
 	st.pending = append(st.pending, pendItem{
-		task: ev.task, att: att, exec: st.place[ev.task], since: time.Now(),
+		task: ev.task, att: att, exec: exec, since: time.Now(),
 	})
 	s.enqueue(st)
 }
@@ -845,12 +880,12 @@ func (s *Scheduler) threshold(st *stage) (time.Duration, bool) {
 	return thr, true
 }
 
-// freeExecutorNot returns an executor with a free slot other than not,
-// preferring the most idle one; -1 when none qualifies.
+// freeExecutorNot returns a live executor with a free slot other than
+// not, preferring the most idle one; -1 when none qualifies.
 func (s *Scheduler) freeExecutorNot(not int) int {
 	best, bestFree := -1, 0
 	for e, f := range s.free {
-		if e != not && f > bestFree {
+		if e != not && !s.dead[e] && f > bestFree {
 			best, bestFree = e, f
 		}
 	}

@@ -24,11 +24,14 @@
 package server
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +64,11 @@ type Config struct {
 	// events.jsonl and terminal job records to jobs.jsonl under this
 	// directory; on boot jobs.jsonl is replayed into GET /api/v1/jobs.
 	HistoryDir string
+	// AuthToken, when non-empty, gates every /api/v1/* request behind
+	// "Authorization: Bearer <token>" (exact match, constant-time).
+	// Liveness (/healthz, /buildinfo), metrics, the event stream, and
+	// the debug plane stay open — they carry no mutation surface.
+	AuthToken string
 }
 
 // Server is the long-lived multi-tenant driver.
@@ -223,7 +231,36 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("GET /buildinfo", metrics.BuildInfoHandler())
 	// Live introspection + continuous profiling for the shared driver.
 	mux.Handle("/debug/", s.ctx.DebugHandler())
-	return mux
+	return s.withAuth(mux)
+}
+
+// withAuth enforces Config.AuthToken on the API surface: requests under
+// /api/v1/ must present "Authorization: Bearer <token>" or are refused
+// with 401 before reaching a handler. All other paths (notably
+// /healthz, so load balancers can probe an authenticated server) pass
+// through. A zero-value token disables the check.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	token := s.conf.AuthToken
+	if token == "" {
+		return next
+	}
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/api/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		// Hash both sides so the comparison is constant-time even for
+		// mismatched lengths.
+		sum := sha256.Sum256([]byte(got))
+		if !ok || subtle.ConstantTimeCompare(sum[:], want[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="sparker"`)
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
