@@ -52,6 +52,11 @@ type Member struct {
 	// Incarnation counts how many executors have occupied this slot; it
 	// distinguishes a replacement from the member it replaced.
 	Incarnation int `json:"incarnation"`
+	// JoinEpoch is the registry epoch at which the current incarnation
+	// joined (1 for boot members). It is the generation executors carry
+	// in their control-channel hello, so connections and executor
+	// objects can be matched to exactly one incarnation of a slot.
+	JoinEpoch uint64 `json:"joinEpoch"`
 }
 
 // View is one immutable epoch of the membership: the slot table plus
@@ -94,6 +99,33 @@ func (v *View) HostOf(id int) string {
 		return ""
 	}
 	return v.Members[id].Host
+}
+
+// IncarnationOf returns slot id's incarnation count (0 out of range).
+func (v *View) IncarnationOf(id int) int {
+	if id < 0 || id >= len(v.Members) {
+		return 0
+	}
+	return v.Members[id].Incarnation
+}
+
+// JoinEpochOf returns the registry epoch slot id's current incarnation
+// joined at (0 out of range).
+func (v *View) JoinEpochOf(id int) uint64 {
+	if id < 0 || id >= len(v.Members) {
+		return 0
+	}
+	return v.Members[id].JoinEpoch
+}
+
+// SameIncarnation reports whether slot id is live in both views with an
+// unchanged incarnation — the condition under which the slot's executor,
+// connections and scheduler state carry over between the epochs. A slot
+// that died and was re-adopted between the views is live in both but NOT
+// the same incarnation; treating it as unchanged would leak the dead
+// incarnation's resources.
+func SameIncarnation(a, b *View, id int) bool {
+	return a.IsLive(id) && b.IsLive(id) && a.IncarnationOf(id) == b.IncarnationOf(id)
 }
 
 // OwnerOf is the shared owner math over an ascending live set: partition
@@ -148,7 +180,7 @@ type Event struct {
 func NewRegistry(hosts []string) *Registry {
 	members := make([]Member, len(hosts))
 	for i, h := range hosts {
-		members[i] = Member{ID: i, Host: h, State: Alive, Incarnation: 1}
+		members[i] = Member{ID: i, Host: h, State: Alive, Incarnation: 1, JoinEpoch: 1}
 	}
 	v := &View{Epoch: 1, Members: members, live: deriveLive(members)}
 	return &Registry{
@@ -216,6 +248,7 @@ func (r *Registry) Join(host string) (int, *View) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	members := append([]Member(nil), r.view.Members...)
+	epoch := r.view.Epoch + 1
 	id := -1
 	detail := ""
 	for i := range members {
@@ -224,13 +257,14 @@ func (r *Registry) Join(host string) (int, *View) {
 			members[i].Host = host
 			members[i].State = Alive
 			members[i].Incarnation++
+			members[i].JoinEpoch = epoch
 			detail = fmt.Sprintf("adopted dead slot, incarnation %d", members[i].Incarnation)
 			break
 		}
 	}
 	if id < 0 {
 		id = len(members)
-		members = append(members, Member{ID: id, Host: host, State: Alive, Incarnation: 1})
+		members = append(members, Member{ID: id, Host: host, State: Alive, Incarnation: 1, JoinEpoch: epoch})
 		detail = "new slot"
 	}
 	next := &View{Epoch: r.view.Epoch + 1, Members: members, live: deriveLive(members)}
@@ -250,6 +284,25 @@ func (r *Registry) Leave(id int) *View {
 // when the slot was already dead — detector races are expected).
 func (r *Registry) Evict(id int, reason string) (*View, bool) {
 	return r.depart(id, "evict", reason)
+}
+
+// EvictIncarnation evicts slot id only while its current incarnation's
+// join epoch still equals joinEpoch. Failure detectors use it so a
+// verdict reached against one incarnation (a severed ctrl conn, a
+// missed heartbeat) can never evict a replacement that has since
+// adopted the slot — the classic ABA hazard of reused slot IDs.
+func (r *Registry) EvictIncarnation(id int, joinEpoch uint64, reason string) (*View, bool) {
+	var changed bool
+	v := r.mutate(func(members []Member) (Event, bool) {
+		if id < 0 || id >= len(members) || members[id].State != Alive ||
+			members[id].JoinEpoch != joinEpoch {
+			return Event{}, false
+		}
+		members[id].State = Dead
+		changed = true
+		return Event{Kind: "evict", Exec: id, Host: members[id].Host, Detail: reason}, true
+	})
+	return v, changed
 }
 
 func (r *Registry) depart(id int, kind, detail string) (*View, bool) {

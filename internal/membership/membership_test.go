@@ -131,3 +131,66 @@ func TestOwnerOfEmpty(t *testing.T) {
 		t.Fatalf("OwnerOf(empty) = %d, want -1", got)
 	}
 }
+
+func TestJoinEpochTracksIncarnations(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1"})
+	if got := r.View().JoinEpochOf(0); got != 1 {
+		t.Fatalf("boot JoinEpoch = %d, want 1", got)
+	}
+	r.Evict(1, "killed")             // epoch 2
+	_, v := r.Join("h1b")            // epoch 3, adopts slot 1
+	if got := v.JoinEpochOf(1); got != 3 {
+		t.Fatalf("adopted slot JoinEpoch = %d, want 3", got)
+	}
+	if got := v.JoinEpochOf(0); got != 1 {
+		t.Fatalf("untouched slot JoinEpoch = %d, want 1", got)
+	}
+	id, v2 := r.Join("h2") // epoch 4, grows table
+	if got := v2.JoinEpochOf(id); got != 4 {
+		t.Fatalf("grown slot JoinEpoch = %d, want 4", got)
+	}
+}
+
+func TestSameIncarnation(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1"})
+	a := r.View()
+	r.Evict(1, "killed")
+	r.Join("h1b") // re-adopts slot 1 with incarnation 2
+	b := r.View()
+	if !SameIncarnation(a, b, 0) {
+		t.Fatal("slot 0 unchanged but SameIncarnation = false")
+	}
+	// Slot 1 is live in both views, but the occupant changed — it must
+	// NOT read as the same incarnation (the coalesced evict+rejoin case).
+	if SameIncarnation(a, b, 1) {
+		t.Fatal("slot 1 replaced between views but SameIncarnation = true")
+	}
+	if SameIncarnation(a, b, 7) {
+		t.Fatal("out-of-range slot reads as same incarnation")
+	}
+}
+
+func TestEvictIncarnationGuard(t *testing.T) {
+	r := NewRegistry([]string{"h0", "h1"})
+	r.Evict(1, "killed")  // epoch 2
+	_, v := r.Join("h1b") // epoch 3: slot 1, incarnation 2, JoinEpoch 3
+	// A verdict reached against the dead incarnation (JoinEpoch 1) must
+	// not evict the replacement.
+	if _, changed := r.EvictIncarnation(1, 1, "stale conn died"); changed {
+		t.Fatal("EvictIncarnation with stale generation evicted the replacement")
+	}
+	if !r.View().IsLive(1) {
+		t.Fatal("replacement no longer live after stale-generation evict")
+	}
+	// A verdict against the current incarnation goes through.
+	if _, changed := r.EvictIncarnation(1, v.JoinEpochOf(1), "real failure"); !changed {
+		t.Fatal("EvictIncarnation with matching generation was refused")
+	}
+	if r.View().IsLive(1) {
+		t.Fatal("slot still live after matching-generation evict")
+	}
+	// And is idempotent once the slot is dead.
+	if _, changed := r.EvictIncarnation(1, v.JoinEpochOf(1), "again"); changed {
+		t.Fatal("EvictIncarnation evicted a dead slot")
+	}
+}

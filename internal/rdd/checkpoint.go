@@ -72,8 +72,34 @@ func liveContains(live []int, e int) bool {
 
 // installCkptRepairHook subscribes the RDD's repair pass to membership
 // reconfigurations. Registered once per RDD via ckptHook.
+//
+// Repair is a cluster-wide copy/recompute job, so it must not run on
+// the reconfiguration goroutine itself: blocking there would freeze
+// epoch installs for the whole repair (evictions during repair would go
+// unacted-on, and the window in which epochs coalesce would widen to
+// the repair duration). The hook therefore only kicks a dedicated
+// repair goroutine; repeated triggers while a repair is in flight
+// coalesce into one follow-up pass, which re-reads the then-current
+// live set and so covers every epoch that installed meanwhile.
 func (r *RDD[T]) installCkptRepairHook() {
-	r.ctx.OnReconfigure(func(*membership.View) { r.repairCheckpoint() })
+	kick := make(chan struct{}, 1)
+	quit := r.ctx.memb.quit
+	r.ctx.OnReconfigure(func(*membership.View) {
+		select {
+		case kick <- struct{}{}:
+		default:
+		}
+	})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case <-kick:
+				r.repairCheckpoint()
+			}
+		}
+	}()
 }
 
 // replicateCheckpoint establishes the buddy replica for every

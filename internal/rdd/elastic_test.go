@@ -6,11 +6,15 @@ package rdd
 // design.
 
 import (
+	"errors"
 	"reflect"
 	"sort"
 	"sync"
 	"testing"
 	"time"
+
+	"sparker/internal/membership"
+	"sparker/internal/sched"
 )
 
 // awaitLive waits until the installed epoch's live count reaches n.
@@ -235,6 +239,150 @@ func TestElasticGangStageAcrossEpochForming(t *testing.T) {
 	}
 	if res[id] == nil {
 		t.Fatalf("joined executor %d ran no task", id)
+	}
+}
+
+// TestElasticCoalescedEvictRejoin forces the failure-detector eviction
+// of a slot AND the replacement join of the same slot to land in one
+// installed epoch: the reconfiguration loop coalesces registry epochs
+// (cur -> newest view), so when it is busy — here, parked in an
+// OnReconfigure hook — the installed diff sees the slot live on both
+// sides. The slot must still be treated as remove-then-add (the
+// incarnation changed): in-flight attempts on the dead incarnation
+// fail over as ErrExecutorLost instead of hanging forever, the dead
+// incarnation's cached task conns are severed, and the replacement
+// receives work over fresh ones.
+func TestElasticCoalescedEvictRejoin(t *testing.T) {
+	ctx := testContext(t, 3, 2)
+
+	// Park the reconfiguration loop in a hook until released. install()
+	// publishes the view and wakes epoch waiters BEFORE hooks run, so
+	// AddExecutor still returns while the loop is parked.
+	release := make(chan struct{})
+	ctx.OnReconfigure(func(*membership.View) { <-release })
+	defer func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+	}()
+
+	// A benign epoch parks the loop: grow the table by one.
+	if _, err := ctx.AddExecutor("extra"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin a long-running task to executor 1 and wait for it to be in
+	// flight on that incarnation.
+	started := make(chan struct{}, 1)
+	taskGate := make(chan struct{})
+	defer close(taskGate)
+	h, err := ctx.SubmitJob(JobSpec{
+		Tasks:       1,
+		Placement:   []int{1},
+		MaxAttempts: 1,
+		Fn: func(ec *ExecContext, task, attempt int) ([]byte, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-taskGate
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pinned task never started")
+	}
+
+	// With the loop parked: kill executor 1 (detector evicts, registry
+	// epoch bumps, nothing installs) and join a replacement (adopts the
+	// dead slot, registry bumps again). Both changes are now pending in
+	// one coalesced install.
+	epochBefore := ctx.MembershipEpoch()
+	waitEvent := func(kind string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			for _, ev := range ctx.MembershipHistory() {
+				if ev.Kind == kind && ev.Exec == 1 && ev.Epoch > epochBefore {
+					return
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("no %s event for slot 1 while loop parked", kind)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if err := ctx.KillExecutor(1); err != nil {
+		t.Fatal(err)
+	}
+	// The eviction must be committed before the replacement joins, or
+	// the join would grow the table instead of adopting slot 1.
+	waitEvent("evict")
+	addErr := make(chan error, 1)
+	go func() {
+		id, err := ctx.AddExecutor("replacement-host")
+		if err == nil && id != 1 {
+			err = errors.New("replacement did not adopt slot 1")
+		}
+		addErr <- err
+	}()
+	waitEvent("join")
+	if ctx.MembershipEpoch() != epochBefore {
+		t.Fatalf("epoch installed while the loop was parked: %d -> %d",
+			epochBefore, ctx.MembershipEpoch())
+	}
+	close(release)
+
+	// The coalesced epoch installs: slot 1 is live before AND after, but
+	// the incarnation changed. The pinned attempt on the dead
+	// incarnation must fail over promptly — the pre-fix behavior was a
+	// silent hang (no RemoveExecutor, result conn severed, job stuck).
+	waitDone := make(chan error, 1)
+	go func() { _, err := h.Wait(); waitDone <- err }()
+	select {
+	case err := <-waitDone:
+		if err == nil {
+			t.Fatal("pinned job on the killed incarnation succeeded")
+		}
+		if !errors.Is(err, sched.ErrExecutorLost) {
+			t.Fatalf("pinned job failed with %v, want ErrExecutorLost", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("pinned job on the killed incarnation hung: dead incarnation was not torn down")
+	}
+	if err := <-addErr; err != nil {
+		t.Fatal(err)
+	}
+	awaitLive(t, ctx, 4)
+	// The installed view publishes before postReconfigure's scheduler
+	// diff; wait for the remove-then-add to land so placement on slot 1
+	// validates.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(ctx.sched.LiveExecutors()) != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler live set = %v, want 4 slots (slot 1 re-added)", ctx.sched.LiveExecutors())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The replacement must be schedulable over fresh task conns (the
+	// dead incarnation's cached conns were severed and re-dialed).
+	res, err := ctx.RunOnAllExecutors(func(ec *ExecContext, task, attempt int) ([]byte, error) {
+		return []byte{byte(ec.ID)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 2 || res[1] == nil || res[1][0] != 1 {
+		t.Fatalf("replacement on slot 1 ran nothing: %v", res)
 	}
 }
 

@@ -64,6 +64,13 @@ const (
 	// connGrace is how long reconfiguration waits for a joining
 	// executor's ctrl conn to appear before evicting it.
 	connGrace = 3 * time.Second
+	// noConnGrace is how long the heartbeat monitor tolerates a live
+	// member with no registered ctrl conn before evicting it. It must
+	// cover a joiner's worst-case boot: adopting a dead slot can spend
+	// up to ~2s each in the block-store and task-listener retry loops
+	// before the ctrl dial (see newExecutor/listenRetry), so hbTimeout
+	// alone would evict a legitimately booting replacement.
+	noConnGrace = 6 * time.Second
 	// drainTimeout caps how long a graceful (join/leave-only)
 	// reconfiguration waits for in-flight collectives to finish before
 	// pushing the new epoch anyway. Evictions never wait: the dead
@@ -260,6 +267,13 @@ func (svc *memberSvc) handle(c transport.Conn) {
 	p.lastHB.Store(time.Now().UnixNano())
 	svc.mu.Lock()
 	old := svc.conns[id]
+	if old != nil && old.gen > p.gen {
+		// A stale incarnation's hello arriving after its replacement
+		// registered must not displace the replacement's conn.
+		svc.mu.Unlock()
+		c.Close()
+		return
+	}
 	svc.conns[id] = p
 	closed := svc.closed
 	svc.mu.Unlock()
@@ -282,7 +296,11 @@ func (svc *memberSvc) handle(c transport.Conn) {
 			svc.mu.Unlock()
 			c.Close()
 			if current && !closed {
-				svc.reg.Evict(id, "control connection lost")
+				// Evict only the incarnation this conn belonged to: if the
+				// registry already re-assigned the slot to a replacement
+				// (coalesced leave+rejoin), the stale conn's death says
+				// nothing about the new member's health.
+				svc.reg.EvictIncarnation(id, p.gen, "control connection lost")
 			}
 			return
 		}
@@ -294,7 +312,10 @@ func (svc *memberSvc) handle(c transport.Conn) {
 		case ctrlHB:
 			p.lastHB.Store(time.Now().UnixNano())
 		case ctrlLeave:
-			svc.reg.Leave(id)
+			// Only the slot's current incarnation may retire it.
+			if svc.reg.View().JoinEpochOf(id) == p.gen {
+				svc.reg.Leave(id)
+			}
 		case ctrlReconfAck, ctrlCommitAck:
 			select {
 			case p.acks <- m:
@@ -305,13 +326,25 @@ func (svc *memberSvc) handle(c transport.Conn) {
 }
 
 // monitor is the slow-path failure detector: members whose heartbeats
-// stop, or that never present a ctrl conn, get evicted after hbTimeout.
-// The fast path — ctrl conn severed — is handled inline by handle.
+// stop get evicted after hbTimeout, members that never present a ctrl
+// conn after noConnGrace. The fast path — ctrl conn severed — is
+// handled inline by handle.
+//
+// missingSince is keyed by (slot, incarnation join epoch), not slot id
+// alone: slots are reused across kill-and-replace, and a timestamp left
+// behind by an incarnation evicted through another path (ctrl-conn
+// loss, reconfiguration timeout) must never count against a replacement
+// that later adopts the slot. Entries whose incarnation is no longer
+// live are pruned every tick.
 func (svc *memberSvc) monitor() {
 	defer svc.wg.Done()
 	t := time.NewTicker(hbTimeout / 4)
 	defer t.Stop()
-	missingSince := make(map[int]time.Time)
+	type incKey struct {
+		id  int
+		gen uint64
+	}
+	missingSince := make(map[incKey]time.Time)
 	for {
 		select {
 		case <-svc.quit:
@@ -320,22 +353,32 @@ func (svc *memberSvc) monitor() {
 		}
 		now := time.Now()
 		view := svc.reg.View()
+		liveNow := make(map[incKey]bool, view.NumLive())
 		for _, id := range view.Live() {
+			k := incKey{id: id, gen: view.JoinEpochOf(id)}
+			liveNow[k] = true
 			svc.mu.Lock()
 			p := svc.conns[id]
 			svc.mu.Unlock()
-			if p == nil {
-				if since, ok := missingSince[id]; !ok {
-					missingSince[id] = now
-				} else if now.Sub(since) > hbTimeout {
-					delete(missingSince, id)
-					svc.reg.Evict(id, "no control connection")
+			if p == nil || p.gen != k.gen {
+				// No conn for THIS incarnation yet (a leftover conn from a
+				// replaced incarnation does not count as liveness).
+				if since, ok := missingSince[k]; !ok {
+					missingSince[k] = now
+				} else if now.Sub(since) > noConnGrace {
+					delete(missingSince, k)
+					svc.reg.EvictIncarnation(id, k.gen, "no control connection")
 				}
 				continue
 			}
-			delete(missingSince, id)
+			delete(missingSince, k)
 			if now.Sub(time.Unix(0, p.lastHB.Load())) > hbTimeout {
 				p.c.Close() // handle's Recv fails and evicts
+			}
+		}
+		for k := range missingSince {
+			if !liveNow[k] {
+				delete(missingSince, k)
 			}
 		}
 	}
@@ -420,15 +463,30 @@ func (svc *memberSvc) buildClusterView(target *membership.View) *clusterView {
 	}
 }
 
-// waitPeer waits for executor id's ctrl conn (a joiner may still be
-// dialing), bounded by deadline.
-func (svc *memberSvc) waitPeer(id int, deadline time.Time) *ctrlPeer {
+// waitPeer waits for a ctrl conn of executor id's generation gen (a
+// joiner may still be dialing), bounded by deadline. A registered conn
+// of an OLDER generation is a departed incarnation that has not been
+// torn down yet — it must not receive the new epoch's protocol frames
+// (it would wire the wrong process into the ring at the replacement's
+// rank), so it counts as missing and the wait continues for the
+// replacement's hello. A NEWER generation means the registry has
+// already moved past the target view; the wait gives up immediately so
+// the run loop can retry against the fresher view.
+func (svc *memberSvc) waitPeer(id int, gen uint64, deadline time.Time) *ctrlPeer {
 	for {
 		svc.mu.Lock()
 		p := svc.conns[id]
 		svc.mu.Unlock()
-		if p != nil || !time.Now().Before(deadline) {
-			return p
+		if p != nil {
+			if p.gen == gen {
+				return p
+			}
+			if p.gen > gen {
+				return nil
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return nil
 		}
 		select {
 		case <-svc.quit:
@@ -469,16 +527,25 @@ func (svc *memberSvc) reconfigure(cur *clusterView, target *membership.View) {
 	peers := make([]*ctrlPeer, len(live))
 	connDeadline := time.Now().Add(connGrace)
 	for i, id := range live {
-		if peers[i] = svc.waitPeer(id, connDeadline); peers[i] == nil {
+		if peers[i] = svc.waitPeer(id, target.JoinEpochOf(id), connDeadline); peers[i] == nil {
 			if svc.isClosed() {
 				return
 			}
-			svc.reg.Evict(id, "no control connection at reconfiguration")
+			if svc.reg.View().Epoch > target.Epoch {
+				// The registry moved past target while we waited (e.g. the
+				// slot's incarnation changed again); retry against the
+				// fresher view instead of evicting anyone.
+				return
+			}
+			svc.reg.EvictIncarnation(id, target.JoinEpochOf(id), "no control connection at reconfiguration")
 			return
 		}
 	}
 	// Phase 1: every member builds and listens its endpoint for the new
-	// group, so phase 2's ConnectRing finds all peers accepting.
+	// group, so phase 2's ConnectRing finds all peers accepting. Failure
+	// evictions name the incarnation the frame was aimed at: a send to a
+	// gen-matched peer failing says nothing about any replacement the
+	// registry may have admitted to the slot since.
 	for i, id := range live {
 		err := peers[i].send(ctrlMsg{
 			Kind: ctrlReconf, Epoch: target.Epoch, Group: next.group,
@@ -486,7 +553,7 @@ func (svc *memberSvc) reconfigure(cur *clusterView, target *membership.View) {
 			Parallelism: svc.ctx.conf.RingParallelism,
 		})
 		if err != nil {
-			svc.reg.Evict(id, "reconf push failed")
+			svc.reg.EvictIncarnation(id, peers[i].gen, "reconf push failed")
 			return
 		}
 	}
@@ -495,14 +562,14 @@ func (svc *memberSvc) reconfigure(cur *clusterView, target *membership.View) {
 			if svc.isClosed() {
 				return
 			}
-			svc.reg.Evict(id, "reconf unacknowledged")
+			svc.reg.EvictIncarnation(id, peers[i].gen, "reconf unacknowledged")
 			return
 		}
 	}
 	// Phase 2: wire the ring and swap endpoints.
 	for i, id := range live {
 		if err := peers[i].send(ctrlMsg{Kind: ctrlCommit, Epoch: target.Epoch}); err != nil {
-			svc.reg.Evict(id, "commit push failed")
+			svc.reg.EvictIncarnation(id, peers[i].gen, "commit push failed")
 			return
 		}
 	}
@@ -511,7 +578,7 @@ func (svc *memberSvc) reconfigure(cur *clusterView, target *membership.View) {
 			if svc.isClosed() {
 				return
 			}
-			svc.reg.Evict(id, "commit unacknowledged")
+			svc.reg.EvictIncarnation(id, peers[i].gen, "commit unacknowledged")
 			return
 		}
 	}
@@ -541,31 +608,52 @@ type departedExec struct {
 	peer *ctrlPeer // nil if the ctrl conn is already gone
 }
 
-// captureDeparted swaps out the executor objects and ctrl conns of the
-// slots next removes, matching by generation so a replacement booted
-// for a later epoch (gen > next.Epoch) is left untouched.
+// captureDeparted swaps out the executor objects and ctrl conns of
+// every incarnation next leaves behind. Slots are diffed by
+// incarnation, not liveness: when epochs coalesce (the run loop always
+// jumps to the newest registry view), an eviction and a replacement
+// join of the same slot can land in one install, leaving the slot live
+// in both views — but the incarnation differs, and the dead
+// incarnation's scheduler state, conns and executor object still need
+// tearing down. Matching is by generation (the incarnation's join
+// epoch): anything older than next's incarnation at the slot departed;
+// a replacement booted for a later epoch (gen beyond next) is left
+// untouched.
 func (svc *memberSvc) captureDeparted(old, next *clusterView) []departedExec {
 	var out []departedExec
-	for _, id := range old.view.Live() {
+	slots := next.view.NumSlots()
+	if o := old.view.NumSlots(); o > slots {
+		slots = o
+	}
+	for id := 0; id < slots; id++ {
+		// genLimit is the exclusive upper bound on departed generations at
+		// this slot: the live incarnation's join epoch when next occupies
+		// the slot, else everything through next's epoch (a join+evict
+		// pair coalesced into one install leaves a dead slot whose
+		// intermediate incarnation still needs teardown).
+		genLimit := next.view.Epoch + 1
 		if next.view.IsLive(id) {
-			continue
+			genLimit = next.view.JoinEpochOf(id)
 		}
 		d := departedExec{id: id}
 		svc.ctx.execMu.Lock()
-		if id >= 0 && id < len(svc.ctx.executors) {
-			if e := svc.ctx.executors[id]; e != nil && e.gen <= next.view.Epoch {
+		if id < len(svc.ctx.executors) {
+			if e := svc.ctx.executors[id]; e != nil && e.gen < genLimit {
 				d.e = e
 				svc.ctx.executors[id] = nil
 			}
 		}
 		svc.ctx.execMu.Unlock()
 		svc.mu.Lock()
-		if p := svc.conns[id]; p != nil && p.gen <= next.view.Epoch {
+		if p := svc.conns[id]; p != nil && p.gen < genLimit {
 			delete(svc.conns, id)
 			d.peer = p
 		}
 		svc.mu.Unlock()
-		out = append(out, d)
+		removed := old.view.IsLive(id) && !membership.SameIncarnation(old.view, next.view, id)
+		if removed || d.e != nil || d.peer != nil {
+			out = append(out, d)
+		}
 	}
 	return out
 }
@@ -704,7 +792,10 @@ func (ctx *Context) awaitInstalled(pred func(*clusterView) bool, timeout time.Du
 // OnReconfigure registers f to run (on the reconfiguration goroutine)
 // after each new membership epoch is installed — the hook point
 // checkpoint re-replication uses to restore its replica invariant when
-// executors come or go. Hooks must not block indefinitely.
+// executors come or go. Hooks must not block: a blocked hook stalls all
+// further epoch installs, so long-running reactions (repair jobs,
+// re-replication) must hand off to their own goroutine — see
+// installCkptRepairHook for the kick-and-coalesce pattern.
 func (ctx *Context) OnReconfigure(f func(*membership.View)) {
 	ctx.memb.hookMu.Lock()
 	ctx.memb.hooks = append(ctx.memb.hooks, f)
@@ -724,10 +815,16 @@ func (ctx *Context) AddExecutor(host string) (int, error) {
 	id, v := ctx.memb.reg.Join(host)
 	e, err := newExecutor(ctx, id, host, -1, v.Epoch)
 	if err != nil {
-		ctx.memb.reg.Evict(id, "executor boot failed")
+		ctx.memb.reg.EvictIncarnation(id, v.Epoch, "executor boot failed")
 		return -1, fmt.Errorf("rdd: booting executor %d: %w", id, err)
 	}
-	ctx.setExecutor(id, e)
+	if prev := ctx.swapExecutor(id, e); prev != nil && prev.gen < e.gen {
+		// The slot was Dead when Join adopted it, so any executor object
+		// still parked there is a departed incarnation whose teardown
+		// epoch has not installed yet. Kill it here — once the new object
+		// occupies the slot, captureDeparted can no longer reach it.
+		prev.kill()
+	}
 	ok := ctx.awaitInstalled(func(cv *clusterView) bool {
 		return cv.view.Epoch >= v.Epoch && cv.view.IsLive(id)
 	}, memberOpTimeout)
@@ -790,12 +887,20 @@ func (ctx *Context) executorAt(id int) *Executor {
 
 // setExecutor installs e at slot id, growing the table as needed.
 func (ctx *Context) setExecutor(id int, e *Executor) {
+	ctx.swapExecutor(id, e)
+}
+
+// swapExecutor installs e at slot id, growing the table as needed, and
+// returns the previous occupant (nil for an empty slot).
+func (ctx *Context) swapExecutor(id int, e *Executor) *Executor {
 	ctx.execMu.Lock()
 	for len(ctx.executors) <= id {
 		ctx.executors = append(ctx.executors, nil)
 	}
+	prev := ctx.executors[id]
 	ctx.executors[id] = e
 	ctx.execMu.Unlock()
+	return prev
 }
 
 // executorSnapshot returns the executor table under the lock.
@@ -814,10 +919,6 @@ func (ctx *Context) executorSnapshot() []*Executor {
 // since adopted the slot, and the executor pointer — not the slot id —
 // is what gets killed.
 func (ctx *Context) postReconfigure(old, next *clusterView, departed []departedExec) {
-	wasLive := make(map[int]bool, old.view.NumLive())
-	for _, id := range old.view.Live() {
-		wasLive[id] = true
-	}
 	for _, d := range departed {
 		ctx.sched.RemoveExecutor(d.id)
 		if d.peer != nil {
@@ -828,8 +929,12 @@ func (ctx *Context) postReconfigure(old, next *clusterView, departed []departedE
 		}
 		ctx.closeExecutorConns(d.id)
 	}
+	// Slots live in next but not carried over from old by the same
+	// incarnation come up fresh: a genuinely new join, or a replacement
+	// whose predecessor was torn down just above (coalesced
+	// evict+rejoin — remove-then-add, never "unchanged").
 	for _, id := range next.view.Live() {
-		if !wasLive[id] {
+		if !membership.SameIncarnation(old.view, next.view, id) {
 			ctx.sched.AddExecutor(id)
 		}
 	}

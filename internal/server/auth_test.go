@@ -46,14 +46,24 @@ func TestAuthTokenGatesAPI(t *testing.T) {
 		}
 	}
 
-	// The right token passes through to the handlers.
-	if resp := doAuth(t, http.MethodGet, base+"/api/v1/jobs", "s3cret"); resp.StatusCode != http.StatusOK {
-		t.Errorf("authorized GET /api/v1/jobs: got %d, want 200", resp.StatusCode)
+	// The observability surfaces expose internal state (and /debug can
+	// trigger expensive dumps), so they are gated too.
+	for _, path := range []string{"/metrics", "/debug/sparker/membership", "/debug/pprof/cmdline", "/ws/events"} {
+		resp := doAuth(t, http.MethodGet, base+path, "")
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("GET %s without token: got %d, want 401", path, resp.StatusCode)
+		}
 	}
 
-	// Liveness and observability stay open so probes and dashboards work
-	// without credentials.
-	for _, path := range []string{"/healthz", "/buildinfo", "/metrics", "/debug/sparker/membership"} {
+	// The right token passes through to the handlers.
+	for _, path := range []string{"/api/v1/jobs", "/metrics", "/debug/sparker/membership"} {
+		if resp := doAuth(t, http.MethodGet, base+path, "s3cret"); resp.StatusCode != http.StatusOK {
+			t.Errorf("authorized GET %s: got %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	// Liveness stays open so probes work without credentials.
+	for _, path := range []string{"/healthz", "/buildinfo"} {
 		resp := doAuth(t, http.MethodGet, base+path, "")
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("GET %s without token: got %d, want 200", path, resp.StatusCode)

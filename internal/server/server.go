@@ -21,6 +21,9 @@
 //	GET    /ws/events                    live event-log stream (WebSocket, ?since=N resumes)
 //	GET    /healthz, /buildinfo          liveness and build identification
 //	GET    /debug/sparker/*, /debug/pprof/*  live introspection + profiling
+//
+// With Config.AuthToken set, every endpoint except /healthz and
+// /buildinfo requires "Authorization: Bearer <token>".
 package server
 
 import (
@@ -64,10 +67,13 @@ type Config struct {
 	// events.jsonl and terminal job records to jobs.jsonl under this
 	// directory; on boot jobs.jsonl is replayed into GET /api/v1/jobs.
 	HistoryDir string
-	// AuthToken, when non-empty, gates every /api/v1/* request behind
-	// "Authorization: Bearer <token>" (exact match, constant-time).
-	// Liveness (/healthz, /buildinfo), metrics, the event stream, and
-	// the debug plane stay open — they carry no mutation surface.
+	// AuthToken, when non-empty, gates every request behind
+	// "Authorization: Bearer <token>" (exact match, constant-time)
+	// except the liveness probes (/healthz, /buildinfo). The API, the
+	// event stream, /metrics and the /debug/ plane (membership
+	// introspection, flight-recorder/postmortem dumps, continuous
+	// profiling) all expose internal state or trigger expensive work,
+	// so they are covered.
 	AuthToken string
 }
 
@@ -234,11 +240,21 @@ func (s *Server) routes() http.Handler {
 	return s.withAuth(mux)
 }
 
-// withAuth enforces Config.AuthToken on the API surface: requests under
-// /api/v1/ must present "Authorization: Bearer <token>" or are refused
-// with 401 before reaching a handler. All other paths (notably
-// /healthz, so load balancers can probe an authenticated server) pass
-// through. A zero-value token disables the check.
+// authExempt lists the paths that stay open on a token-protected
+// server: liveness/readiness probes and build identification only.
+// Everything else — the API, the event stream, /metrics and the whole
+// /debug/ plane (membership introspection, flight-recorder dumps,
+// continuous profiling) — exposes internal state or triggers expensive
+// work, so it sits behind the bearer check.
+func authExempt(path string) bool {
+	return path == "/healthz" || path == "/buildinfo"
+}
+
+// withAuth enforces Config.AuthToken: requests must present
+// "Authorization: Bearer <token>" or are refused with 401 before
+// reaching a handler, except for the authExempt probe paths (notably
+// /healthz, so load balancers can probe an authenticated server). A
+// zero-value token disables the check.
 func (s *Server) withAuth(next http.Handler) http.Handler {
 	token := s.conf.AuthToken
 	if token == "" {
@@ -246,7 +262,7 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 	}
 	want := sha256.Sum256([]byte(token))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !strings.HasPrefix(r.URL.Path, "/api/v1/") {
+		if authExempt(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
